@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Push phase: R=10000") {
+		t.Fatalf("header missing:\n%s", got)
+	}
+	if !strings.Contains(got, "F_aware") || !strings.Contains(got, "per initially-online peer") {
+		t.Fatalf("summary missing:\n%s", got)
+	}
+}
+
+func TestRunWithSchedule(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-pf", "geom:0.9", "-partial-list", "-r", "1000",
+		"-online", "1000", "-sigma", "1", "-fr", "0.004"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "PF=PF(t)=0.9^t") {
+		t.Fatalf("schedule not echoed:\n%s", out.String())
+	}
+}
+
+func TestRunWithThreshold(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-partial-list", "-lthr", "0.05"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// L(t) column must be capped at the threshold.
+	if strings.Contains(out.String(), "0.0773") {
+		t.Fatalf("threshold not applied:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-pf", "nonsense:1"}, &out); err == nil {
+		t.Fatal("bad schedule should error")
+	}
+	if err := run([]string{"-r", "-5"}, &out); err == nil {
+		t.Fatal("bad population should error")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("unknown flag should error")
+	}
+}

@@ -1,0 +1,228 @@
+// Command figures regenerates the paper's evaluation artefacts: Figures
+// 1(a), 1(b), 2, 3, 4, 5, the pull-phase analysis, and Table 2.
+//
+// Usage:
+//
+//	figures -fig all            # every figure as text tables
+//	figures -fig 2              # one figure
+//	figures -fig 2 -csv         # CSV output
+//	figures -table              # Table 2, paper vs ours
+//	figures -table -sim         # add a simulated Table 2 column check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/p2pgossip/update/internal/experiments"
+	"github.com/p2pgossip/update/internal/metrics"
+	"github.com/p2pgossip/update/internal/pf"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fig := fs.String("fig", "", "figure id: 1a, 1b, 2, 3, 4, 5, pull, or all")
+	table := fs.Bool("table", false, "print Table 2 (paper vs ours)")
+	study := fs.String("study", "", "extra study: bimodal, backbone, or lthr")
+	sim := fs.Bool("sim", false, "add simulated cross-checks (with -table or -fig)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fig == "" && !*table && *study == "" {
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -fig, -table, or -study")
+	}
+
+	if *fig != "" {
+		figures := []experiments.Figure{}
+		if *fig == "all" {
+			figures = experiments.AllFigures()
+		} else {
+			f, err := experiments.FigureByID(*fig)
+			if err != nil {
+				return err
+			}
+			figures = append(figures, f)
+		}
+		for _, f := range figures {
+			if *csv {
+				printFigureCSV(out, f)
+			} else {
+				fmt.Fprintln(out, f.Render())
+			}
+			if *sim {
+				if err := printSimOverlay(out, f.ID, *seed); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	if *study != "" {
+		if err := runStudy(out, *study, *seed); err != nil {
+			return err
+		}
+	}
+
+	if *table {
+		blocks, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.RenderTable2(blocks))
+		if *sim {
+			if err := printSimulatedTable2(out, *seed); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func printFigureCSV(out io.Writer, f experiments.Figure) {
+	tb := &metrics.Table{Header: []string{"curve", f.XLabel, f.YLabel}}
+	for _, c := range f.Curves {
+		for _, p := range c.Points {
+			tb.AddRow(c.Label, p.X, p.Y)
+		}
+	}
+	fmt.Fprintf(out, "# Figure %s: %s\n%s", f.ID, f.Title, tb.CSV())
+}
+
+// printSimulatedTable2 re-runs the Table 2 top-block scenario on the
+// stochastic simulator for every scheme.
+func printSimulatedTable2(out io.Writer, seed int64) error {
+	type scheme struct {
+		name    string
+		newPF   func() pf.Func
+		partial bool
+	}
+	schemes := []scheme{
+		{"Gnutella", func() pf.Func { return pf.TTL{Rounds: 12} }, false},
+		{"Using Partial List", func() pf.Func { return pf.TTL{Rounds: 12} }, true},
+		{"Haas et al. G(0.8,2)", func() pf.Func { return pf.Haas{P1: 0.8, K: 2} }, false},
+		{"Our Scheme", func() pf.Func { return pf.Geometric{Base: 0.9} }, true},
+	}
+	tb := &metrics.Table{Header: []string{"Scheme", "sim msgs/peer", "sim F_aware", "rounds"}}
+	for _, s := range schemes {
+		res, err := experiments.SimulatePush(experiments.SimParams{
+			R: 1000, ROn0: 1000, Sigma: 1, Fr: 0.004,
+			NewPF: s.newPF, PartialList: s.partial, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		tb.AddRow(s.name, res.MessagesPerOnlinePeer, res.FinalAware, res.Rounds)
+	}
+	fmt.Fprintf(out, "Table 2 — simulated cross-check (R_on/R = 10^3/10^3, seed %d)\n%s", seed, tb.String())
+	return nil
+}
+
+// runStudy executes one of the §8 future-work studies or the §4.2 L_thr
+// sweep.
+func runStudy(out io.Writer, name string, seed int64) error {
+	switch name {
+	case "bimodal":
+		res, err := experiments.BimodalStudy(experiments.BimodalParams{
+			R: 2000, ROn0: 200, Sigma: 1, Fr: 0.007,
+			Trials: 60, ViewSize: 300, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Bimodality study (critical regime: R=2000, R_on=200, f_r=0.007)\n%s",
+			experiments.RenderBimodal(res))
+		return nil
+	case "backbone":
+		rows, err := experiments.BackboneStudy(experiments.BackboneParams{
+			R: 200, MeanOnline: 0.3, BackboneFrac: 0.1, Trials: 3, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Non-uniform availability study (mean online 30%%)\n%s",
+			experiments.RenderBackbone(rows))
+		return nil
+	case "lthr":
+		rows, err := experiments.LThrSweep(experiments.LThrParams{
+			R: 10_000, ROn0: 1000, Sigma: 0.95, Fr: 0.01, UpdateBytes: 100,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Partial-list threshold trade-off (R=10000, R_on=1000, sigma=0.95, f_r=0.01)\n%s",
+			experiments.RenderLThr(rows))
+		return nil
+	default:
+		return fmt.Errorf("unknown study %q (want bimodal, backbone, or lthr)", name)
+	}
+}
+
+// printSimOverlay runs a reduced-scale (R = 2000) simulated counterpart of
+// one analytic figure so the stochastic protocol can be eyeballed against
+// the model.
+func printSimOverlay(out io.Writer, figID string, seed int64) error {
+	type variant struct {
+		label string
+		p     experiments.SimParams
+	}
+	base := experiments.SimParams{R: 2000, ROn0: 200, Sigma: 0.95, Fr: 0.05, Seed: seed}
+	var variants []variant
+	switch figID {
+	case "1a":
+		v := base
+		v.ROn0 = 20
+		variants = append(variants, variant{"R_on[0]/R = 20/2000", v})
+	case "1b":
+		for _, on := range []int{100, 200, 600} {
+			v := base
+			v.ROn0 = on
+			variants = append(variants, variant{fmt.Sprintf("R_on[0] = %d", on), v})
+		}
+	case "2":
+		for _, fr := range []float64{0.025, 0.05, 0.1} {
+			v := base
+			v.Sigma = 0.9
+			v.Fr = fr
+			variants = append(variants, variant{fmt.Sprintf("f_r = %g", fr), v})
+		}
+	case "3":
+		for _, sigma := range []float64{1, 0.8, 0.5} {
+			v := base
+			v.Sigma = sigma
+			variants = append(variants, variant{fmt.Sprintf("sigma = %g", sigma), v})
+		}
+	case "4":
+		for _, b := range []float64{0.9, 0.7, 0.5} {
+			b := b
+			v := base
+			v.Sigma = 0.9
+			v.NewPF = func() pf.Func { return pf.Geometric{Base: b} }
+			variants = append(variants, variant{fmt.Sprintf("PF(t) = %g^t", b), v})
+		}
+	default:
+		fmt.Fprintf(out, "(no simulated overlay for figure %s)\n\n", figID)
+		return nil
+	}
+	tb := &metrics.Table{Header: []string{"curve", "final F_aware", "msgs/online peer", "rounds"}}
+	for _, v := range variants {
+		res, err := experiments.SimulatePush(v.p)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(v.label, res.FinalAware, res.MessagesPerOnlinePeer, res.Rounds)
+	}
+	fmt.Fprintf(out, "Simulated counterpart of figure %s (R = 2000, seed %d)\n%s\n", figID, seed, tb.String())
+	return nil
+}

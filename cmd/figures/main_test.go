@@ -1,0 +1,124 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Figure 2") || !strings.Contains(got, "F_r = 0.05") {
+		t.Fatalf("figure 2 output malformed:\n%s", got)
+	}
+}
+
+func TestRunAllFigures(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "all"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Figure 1a", "Figure 1b", "Figure 2",
+		"Figure 3", "Figure 4", "Figure 5", "Figure pull"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in -fig all output", want)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "3", "-csv"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "curve,F_aware,") {
+		t.Fatalf("CSV header missing:\n%s", out.String())
+	}
+}
+
+func TestRunTable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"Gnutella", "Using Partial List",
+		"Haas et al. G(0.8,2)", "Our Scheme", "paper msgs/peer"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("table output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunTableSimulated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated table is slow")
+	}
+	var out strings.Builder
+	if err := run([]string{"-table", "-sim", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "simulated cross-check") {
+		t.Fatalf("simulated table missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no arguments should error")
+	}
+	if err := run([]string{"-fig", "99"}, &out); err == nil {
+		t.Fatal("unknown figure should error")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("unknown flag should error")
+	}
+}
+
+func TestRunStudies(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-study", "lthr"}, &out); err != nil {
+		t.Fatalf("lthr study: %v", err)
+	}
+	if !strings.Contains(out.String(), "threshold trade-off") {
+		t.Fatalf("lthr output malformed:\n%s", out.String())
+	}
+	if err := run([]string{"-study", "nope"}, &out); err == nil {
+		t.Fatal("unknown study accepted")
+	}
+}
+
+func TestRunStudyBackbone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("backbone study is slow")
+	}
+	var out strings.Builder
+	if err := run([]string{"-study", "backbone", "-seed", "2"}, &out); err != nil {
+		t.Fatalf("backbone study: %v", err)
+	}
+	if !strings.Contains(out.String(), "backbone") {
+		t.Fatalf("backbone output malformed:\n%s", out.String())
+	}
+}
+
+func TestRunFigureWithSimOverlay(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "3", "-sim", "-seed", "1"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Simulated counterpart of figure 3") {
+		t.Fatalf("overlay missing:\n%s", out.String())
+	}
+	// Figures without an overlay say so instead of failing.
+	out.Reset()
+	if err := run([]string{"-fig", "5", "-sim"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "no simulated overlay") {
+		t.Fatalf("placeholder missing:\n%s", out.String())
+	}
+}

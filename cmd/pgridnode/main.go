@@ -1,0 +1,200 @@
+// Command pgridnode runs one live replica over TCP, suitable for trying the
+// protocol across real processes or machines.
+//
+// Start a few nodes and wire them together:
+//
+//	pgridnode -listen 127.0.0.1:7001
+//	pgridnode -listen 127.0.0.1:7002 -peers 127.0.0.1:7001
+//	pgridnode -listen 127.0.0.1:7003 -peers 127.0.0.1:7001,127.0.0.1:7002
+//
+// Then type commands on stdin:
+//
+//	put <key> <value>   publish an update
+//	del <key>           publish a tombstone
+//	get <key>           read the local winning revision
+//	query <key>         consult 3 replicas, return the freshest revision
+//	keys                list live keys
+//	peers               list known replicas
+//	pull                pull immediately
+//	quit                exit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/p2pgossip/update/internal/live"
+	"github.com/p2pgossip/update/internal/pf"
+	"github.com/p2pgossip/update/internal/pfparse"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pgridnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("pgridnode", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "address to listen on")
+	peers := fs.String("peers", "", "comma-separated bootstrap peer addresses")
+	fanout := fs.Int("fanout", 5, "push fanout")
+	pfSpec := fs.String("pf", "geom:0.9", "forwarding probability schedule")
+	pullSecs := fs.Duration("pull-interval", 0, "anti-entropy period (0 = default 30s)")
+	snapshot := fs.String("snapshot", "", "state file: restored at start, written at quit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	schedule, err := pfparse.Parse(*pfSpec)
+	if err != nil {
+		return err
+	}
+	tr, err := live.ListenTCP(*listen)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	cfg := live.DefaultReplicaConfig()
+	cfg.Fanout = *fanout
+	cfg.NewPF = func() pf.Func { return schedule }
+	if *pullSecs > 0 {
+		cfg.PullInterval = *pullSecs
+	}
+	replica, err := live.NewReplica(cfg, tr)
+	if err != nil {
+		return err
+	}
+	if *peers != "" {
+		replica.AddPeers(strings.Split(*peers, ",")...)
+	}
+	if *snapshot != "" {
+		if err := restoreSnapshot(replica, *snapshot); err != nil {
+			return err
+		}
+	}
+	replica.Start()
+	defer replica.Stop()
+
+	fmt.Fprintf(out, "replica listening on %s (%d known peers)\n",
+		replica.Addr(), len(replica.Peers()))
+	if err := repl(replica, in, out); err != nil {
+		return err
+	}
+	if *snapshot != "" {
+		return saveSnapshot(replica, *snapshot)
+	}
+	return nil
+}
+
+// restoreSnapshot loads a state file if it exists; a missing file is fine on
+// first start.
+func restoreSnapshot(r *live.Replica, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("open snapshot: %w", err)
+	}
+	defer f.Close()
+	if err := r.RestoreSnapshot(f); err != nil {
+		return fmt.Errorf("restore %s: %w", path, err)
+	}
+	return nil
+}
+
+// saveSnapshot writes the state file atomically (temp + rename).
+func saveSnapshot(r *live.Replica, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("create snapshot: %w", err)
+	}
+	if err := r.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("rename snapshot: %w", err)
+	}
+	return nil
+}
+
+func repl(r *live.Replica, in io.Reader, out io.Writer) error {
+	scanner := bufio.NewScanner(in)
+	for scanner.Scan() {
+		fields := strings.Fields(scanner.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "put":
+			if len(fields) < 3 {
+				fmt.Fprintln(out, "usage: put <key> <value>")
+				continue
+			}
+			u := r.Publish(fields[1], []byte(strings.Join(fields[2:], " ")))
+			fmt.Fprintf(out, "published %s (version %s)\n", u.ID(), u.Version)
+		case "del":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: del <key>")
+				continue
+			}
+			u := r.Delete(fields[1])
+			fmt.Fprintf(out, "deleted via %s\n", u.ID())
+		case "get":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: get <key>")
+				continue
+			}
+			if rev, ok := r.Get(fields[1]); ok {
+				fmt.Fprintf(out, "%s = %q (version %s)\n", fields[1], rev.Value, rev.Version)
+			} else {
+				fmt.Fprintf(out, "%s not found\n", fields[1])
+			}
+		case "query":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: query <key>")
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			outcome, err := r.Query(ctx, fields[1], 3)
+			cancel()
+			if err != nil {
+				fmt.Fprintf(out, "query failed: %v\n", err)
+				continue
+			}
+			if outcome.Found {
+				fmt.Fprintf(out, "%s = %q (%d responses, version %s)\n",
+					fields[1], outcome.Revision.Value, outcome.Responses,
+					outcome.Revision.Version)
+			} else {
+				fmt.Fprintf(out, "%s not found (%d responses)\n", fields[1], outcome.Responses)
+			}
+		case "keys":
+			fmt.Fprintln(out, strings.Join(r.Store().Keys(), " "))
+		case "peers":
+			fmt.Fprintln(out, strings.Join(r.Peers(), " "))
+		case "pull":
+			r.PullNow()
+			fmt.Fprintln(out, "pull issued")
+		case "quit", "exit":
+			return nil
+		default:
+			fmt.Fprintf(out, "unknown command %q\n", fields[0])
+		}
+	}
+	return scanner.Err()
+}

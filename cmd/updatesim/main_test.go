@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultScenario(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-r", "500", "-online", "100", "-fr", "0.05", "-seed", "2"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Simulated push: R=500") {
+		t.Fatalf("header missing:\n%s", got)
+	}
+	if !strings.Contains(got, "simulated:") || !strings.Contains(got, "analytic :") {
+		t.Fatalf("cross-check lines missing:\n%s", got)
+	}
+}
+
+func TestRunWithScheduleAndList(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-r", "400", "-online", "400", "-sigma", "1",
+		"-fr", "0.01", "-pf", "geom:0.9", "-partial-list", "-seed", "5"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "partial-list=true") {
+		t.Fatalf("options not echoed:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-pf", "junk"}, &out); err == nil {
+		t.Fatal("bad schedule should error")
+	}
+	if err := run([]string{"-r", "0"}, &out); err == nil {
+		t.Fatal("bad population should error")
+	}
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Fatal("unknown flag should error")
+	}
+}

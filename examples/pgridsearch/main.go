@@ -1,0 +1,112 @@
+// Pgridsearch composes the two halves of the paper: a P-Grid network
+// provides the *access structure* (trie-partitioned key space with greedy
+// prefix routing), and the gossip protocol provides *updates* within each
+// partition's replica group. A query routes to a responsible peer; an
+// update gossips through the responsible group; subsequent queries see the
+// new value.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/p2pgossip/update/internal/gossip"
+	"github.com/p2pgossip/update/internal/pgrid"
+	"github.com/p2pgossip/update/internal/simnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		peers = 128
+		depth = 4 // 16 partitions, 8 replicas each
+	)
+	grid, err := pgrid.Build(peers, depth, 3, 7)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("P-Grid: %d peers, %d partitions, replica groups of %d\n",
+		peers, grid.Partitions(), len(grid.ReplicaGroup(grid.Peers[0].Path)))
+
+	// The replica group responsible for our key runs the gossip protocol.
+	const key = "catalogue/price"
+	group := grid.GroupOfKey(key)
+	fmt.Printf("key %q lives at path %s, replicas %v\n",
+		key, pgrid.KeyPath(key, depth), group)
+
+	cfg := gossip.DefaultConfig(len(group))
+	cfg.Fr = 0.4
+	cfg.NewPF = nil
+	cfg.PullAttempts = 2
+	cfg.PullTimeout = 10
+	groupNet, err := gossip.BuildNetwork(len(group), cfg, 0, 7)
+	if err != nil {
+		return err
+	}
+	en, err := simnet.NewEngine(simnet.Config{
+		Nodes:         groupNet.Nodes,
+		InitialOnline: len(group),
+		Seed:          7,
+	})
+	if err != nil {
+		return err
+	}
+	en.Step()
+
+	// A group member publishes the value; gossip spreads it.
+	groupNet.Peers[0].Publish(simnet.NewTestEnv(en, 0), key, []byte("42 CHF"))
+	en.Run(20)
+	if !groupNet.Converged() {
+		return fmt.Errorf("replica group did not converge")
+	}
+	fmt.Println("update gossiped through the replica group")
+
+	// Queries route from random origins to the responsible partition and
+	// read from whichever group member the route lands on.
+	rng := rand.New(rand.NewSource(7))
+	for q := 0; q < 5; q++ {
+		origin := rng.Intn(peers)
+		route, err := grid.Route(origin, key, nil, rng)
+		if err != nil {
+			return err
+		}
+		// Map the grid peer back to its index inside the gossip group.
+		member := -1
+		for i, id := range group {
+			if id == route.Target {
+				member = i
+				break
+			}
+		}
+		if member < 0 {
+			return fmt.Errorf("route ended at peer %d outside the replica group", route.Target)
+		}
+		rev, ok := groupNet.Peers[member].Store().Get(key)
+		if !ok {
+			return fmt.Errorf("responsible peer %d has no value", route.Target)
+		}
+		fmt.Printf("query from peer %3d: %d hops → peer %3d: %s = %q\n",
+			origin, route.Hops, route.Target, key, rev.Value)
+	}
+
+	// Publish a new price and query again.
+	groupNet.Peers[3].Publish(simnet.NewTestEnv(en, 3), key, []byte("39 CHF"))
+	en.Run(20)
+	route, err := grid.Route(rng.Intn(peers), key, nil, rng)
+	if err != nil {
+		return err
+	}
+	for i, id := range group {
+		if id == route.Target {
+			rev, _ := groupNet.Peers[i].Store().Get(key)
+			fmt.Printf("after update: %s = %q (via peer %d)\n", key, rev.Value, route.Target)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+// TestRun executes the example end to end; every println path doubles as an
+// assertion because run returns an error on any unexpected state.
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs a full scenario")
+	}
+	if err := run(); err != nil {
+		t.Fatalf("example failed: %v", err)
+	}
+}

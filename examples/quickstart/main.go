@@ -1,0 +1,93 @@
+// Quickstart: a 20-replica group on the in-memory transport. One replica
+// publishes an update; the push phase floods it to the online population and
+// an initially-offline replica catches up by pulling when it "returns".
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	pushpull "github.com/p2pgossip/update"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	hub := pushpull.NewHub()
+
+	const n = 20
+	replicas := make([]*pushpull.Replica, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		addrs[i] = fmt.Sprintf("replica-%02d", i)
+		tr, err := hub.Attach(addrs[i])
+		if err != nil {
+			return err
+		}
+		cfg := pushpull.DefaultReplicaConfig()
+		cfg.PullInterval = 50 * time.Millisecond
+		cfg.Seed = int64(i) + 1
+		replicas[i], err = pushpull.NewReplica(cfg, tr)
+		if err != nil {
+			return err
+		}
+	}
+	for _, r := range replicas {
+		r.AddPeers(addrs...)
+		r.Start()
+		defer r.Stop()
+	}
+
+	// Take the last replica offline before the update happens.
+	hub.SetOnline(addrs[n-1], false)
+	fmt.Printf("%s is offline\n", addrs[n-1])
+
+	update := replicas[0].Publish("motd", []byte("gossip works"))
+	fmt.Printf("%s published %s\n", addrs[0], update.ID())
+
+	if err := waitFor(2*time.Second, func() bool {
+		for _, r := range replicas[:n-1] {
+			if _, ok := r.Get("motd"); !ok {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return fmt.Errorf("online replicas: %w", err)
+	}
+	fmt.Println("all 19 online replicas received the update via push")
+
+	if _, ok := replicas[n-1].Get("motd"); ok {
+		return fmt.Errorf("offline replica should not have the update yet")
+	}
+
+	// The offline replica returns and reconciles via the pull phase.
+	hub.SetOnline(addrs[n-1], true)
+	replicas[n-1].PullNow()
+	if err := waitFor(2*time.Second, func() bool {
+		_, ok := replicas[n-1].Get("motd")
+		return ok
+	}); err != nil {
+		return fmt.Errorf("returning replica: %w", err)
+	}
+	rev, _ := replicas[n-1].Get("motd")
+	fmt.Printf("%s came online and pulled: motd=%q (version %s)\n",
+		addrs[n-1], rev.Value, rev.Version)
+	return nil
+}
+
+func waitFor(d time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("condition not met within %v", d)
+}

@@ -1,0 +1,90 @@
+// Selftuning reproduces the paper's §6 argument experimentally: static
+// PF = 1 wastes messages on duplicates; a decaying schedule saves most of
+// them; and the *self-tuning* schedule — driven only by locally observed
+// duplicates and partial-list lengths — gets close to the tuned schedule
+// without any global parameter choice.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/p2pgossip/update/internal/churn"
+	"github.com/p2pgossip/update/internal/gossip"
+	"github.com/p2pgossip/update/internal/metrics"
+	"github.com/p2pgossip/update/internal/pf"
+	"github.com/p2pgossip/update/internal/simnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		replicas = 400
+		online   = 200
+		trials   = 5
+	)
+	schemes := []struct {
+		name  string
+		newPF func() pf.Func
+	}{
+		{"PF = 1 (plain flooding)", nil},
+		{"PF(t) = 0.9^t (tuned by hand)", func() pf.Func { return pf.Geometric{Base: 0.9} }},
+		{"adaptive (duplicates + list feedback)", func() pf.Func { return pf.NewAdaptive(1.0) }},
+	}
+
+	tb := &metrics.Table{Header: []string{"scheme", "msgs/online peer", "F_aware", "duplicates"}}
+	for _, s := range schemes {
+		var msgs, aware, dupes float64
+		for trial := 0; trial < trials; trial++ {
+			m, a, d, err := floodOnce(replicas, online, s.newPF, int64(trial)+1)
+			if err != nil {
+				return err
+			}
+			msgs += m
+			aware += a
+			dupes += d
+		}
+		tb.AddRow(s.name, msgs/trials/online, aware/trials, dupes/trials)
+	}
+	fmt.Printf("one update across %d replicas (%d online), averaged over %d seeds\n\n%s",
+		replicas, online, trials, tb.String())
+	fmt.Println("\nthe adaptive schedule needs no tuning: it throttles itself where")
+	fmt.Println("duplicates appear, which is exactly where the rumor is already known.")
+	return nil
+}
+
+func floodOnce(replicas, online int, newPF func() pf.Func, seed int64) (msgs, aware, dupes float64, err error) {
+	cfg := gossip.DefaultConfig(replicas)
+	cfg.Fr = 0.04
+	cfg.NewPF = newPF
+	cfg.PullAttempts = 0
+	cfg.PullTimeout = 0
+	net, err := gossip.BuildNetwork(replicas, cfg, 0, seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	en, err := simnet.NewEngine(simnet.Config{
+		Nodes:         net.Nodes,
+		InitialOnline: online,
+		Churn:         churn.Bernoulli{Sigma: 0.98},
+		Seed:          seed,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	en.Step()
+	id := net.Peers[0].Publish(simnet.NewTestEnv(en, 0), "k", []byte("v")).ID()
+	en.Run(50)
+	m := en.Metrics()
+	onlineNow := en.Population().OnlineCount()
+	frac := 0.0
+	if onlineNow > 0 {
+		frac = float64(net.CountAwareOnline(id, en)) / float64(onlineNow)
+	}
+	return m.Counter(simnet.MetricMessages), frac, m.Counter(gossip.MetricDuplicates), nil
+}

@@ -1,0 +1,213 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/p2pgossip/update/internal/pf"
+)
+
+// This file implements §5.6 of the paper: the expected-cost analysis of
+// simple flooding ("like in Gnutella") and its variants, plus the Table 2
+// comparison of Gnutella, flooding with a partial list, Haas et al.'s
+// G(p, k), and the paper's decaying-PF scheme.
+
+// ExpectedReached returns the expected number of *online* replicas reached
+// by `attempts` uniformly random contact attempts when `online` of the `r`
+// replicas are online: E = online·attempts/r (§5.6).
+//
+// Each attempt targets a uniformly random replica, so it hits an online one
+// with probability online/r.
+func ExpectedReached(online, attempts, r int) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return float64(online) * float64(attempts) / float64(r)
+}
+
+// ExpectedAttempts returns the expected number of uniformly random attempts
+// needed to reach m distinct online replicas out of `online` online among r
+// total. It is the coupon-collector partial sum r/online · H-style series
+// Σ_{i=0}^{m−1} online/(online−i) scaled by r/online:
+//
+//	E = Σ_{i=0}^{m−1} r/(online−i)
+//
+// It returns +Inf when m > online.
+func ExpectedAttempts(m, online, r int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	if online <= 0 || m > online || r <= 0 {
+		return math.Inf(1)
+	}
+	var e float64
+	for i := 0; i < m; i++ {
+		e += float64(r) / float64(online-i)
+	}
+	return e
+}
+
+// PoissonOnlineAttempts returns E_m(a) under the paper's Poisson online
+// model: the number of online replicas K is Poisson with mean r·pOn, and the
+// expected attempts to reach m online replicas is averaged over K:
+//
+//	E ≈ m/p_on · [1 − e^{−r·p_on} Σ_{K<m} (r·p_on)^K / K!]⁻¹-style bound;
+//
+// the paper's simplification (§5.6) gives
+//
+//	E_m(a) ≥ m/p_on · (1 − e^{−r·p_on} Σ_{K=0}^{m−1} (r·p_on)^K / K!)
+//
+// which we evaluate directly. For r·p_on ≫ m the correction term vanishes
+// and the familiar m/p_on appears.
+func PoissonOnlineAttempts(m int, pOn float64, r int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	if pOn <= 0 || r <= 0 {
+		return math.Inf(1)
+	}
+	lambda := float64(r) * pOn
+	// P(K < m) via the Poisson CDF, computed in log space for stability.
+	var cdf float64
+	logTerm := -lambda // log of e^{−λ}·λ^0/0!
+	for k := 0; k < m; k++ {
+		if k > 0 {
+			logTerm += math.Log(lambda) - math.Log(float64(k))
+		}
+		cdf += math.Exp(logTerm)
+	}
+	return float64(m) / pOn * (1 - cdf)
+}
+
+// PureFloodMessages returns the expected total message count of pure
+// flooding *without* duplicate avoidance after `rounds` rounds with fanout
+// R·f_r: the geometric sum 1 + (R·f_r) + (R·f_r)² + … (§5.6). The series is
+// truncated at the point where it exceeds maxMessages (camped growth),
+// mirroring the paper's observation that pure flooding is exponential.
+func PureFloodMessages(r int, fr float64, rounds int, maxMessages float64) float64 {
+	fanout := float64(r) * fr
+	if rounds <= 0 {
+		return 0
+	}
+	total := 0.0
+	term := fanout
+	for t := 0; t < rounds; t++ {
+		total += term
+		if maxMessages > 0 && total >= maxMessages {
+			return maxMessages
+		}
+		term *= fanout
+	}
+	return total
+}
+
+// GnutellaMessagesPerOnlinePeer returns the paper's closed-form result for
+// Gnutella-style flooding *with* duplicate avoidance: "the total number of
+// messages created per update will be exactly the average fanout multiplied
+// by number of peers online, that is to say, there will be on average f_r·R
+// messages per online peer" (§5.6). Duplicate avoidance removes redundant
+// sends without changing spread or latency.
+func GnutellaMessagesPerOnlinePeer(r int, fr float64) float64 {
+	return float64(r) * fr
+}
+
+// Scheme identifies one row of the paper's Table 2.
+type Scheme int
+
+// The four schemes compared in Table 2.
+const (
+	SchemeGnutella Scheme = iota + 1
+	SchemePartialList
+	SchemeHaas
+	SchemeOurs
+)
+
+// String returns the scheme name as printed in Table 2.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeGnutella:
+		return "Gnutella"
+	case SchemePartialList:
+		return "Using Partial List"
+	case SchemeHaas:
+		return "Haas et al. G(0.8,2)"
+	case SchemeOurs:
+		return "Our Scheme"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ComparisonRow is one row of Table 2: messages per initially-online peer
+// and push-round latency for a scheme.
+type ComparisonRow struct {
+	Scheme          Scheme
+	MessagesPerPeer float64
+	Rounds          int
+	FinalAware      float64
+}
+
+// CompareParams configures a Table 2 comparison scenario.
+type CompareParams struct {
+	// R, ROn0, Sigma, Fr as in PushParams.
+	R, ROn0 int
+	Sigma   float64
+	Fr      float64
+	// HaasP, HaasK parameterise the G(p,k) baseline (paper: 0.8, 2).
+	HaasP float64
+	HaasK int
+	// OursPF is the decaying schedule for the paper's scheme (Table 2 uses
+	// a geometric decay). Nil defaults to 0.9^t.
+	OursPF pf.Func
+	// AwareTarget is the awareness fraction used to measure latency
+	// (rounds). Zero means 0.99.
+	AwareTarget float64
+}
+
+// Compare evaluates all four Table 2 schemes under one scenario using the
+// unified analytical model ("all these variations of limited flooding can be
+// reduced to special cases of our model", §4.1).
+func Compare(p CompareParams) ([]ComparisonRow, error) {
+	ours := p.OursPF
+	if ours == nil {
+		ours = pf.Geometric{Base: 0.9}
+	}
+	target := p.AwareTarget
+	if target <= 0 {
+		target = 0.99
+	}
+	base := PushParams{R: p.R, ROn0: p.ROn0, Sigma: p.Sigma, Fr: p.Fr}
+
+	type variant struct {
+		scheme  Scheme
+		pfn     pf.Func
+		partial bool
+	}
+	variants := []variant{
+		{SchemeGnutella, pf.Always(), false},
+		{SchemePartialList, pf.Always(), true},
+		{SchemeHaas, pf.Haas{P1: p.HaasP, K: p.HaasK}, false},
+		{SchemeOurs, ours, true},
+	}
+	rows := make([]ComparisonRow, 0, len(variants))
+	for _, v := range variants {
+		params := base
+		params.PF = v.pfn
+		params.PartialList = v.partial
+		res, err := Push(params)
+		if err != nil {
+			return nil, fmt.Errorf("compare %s: %w", v.scheme, err)
+		}
+		rounds := res.RoundsToAware(target)
+		if rounds < 0 {
+			rounds = res.NumRounds()
+		}
+		rows = append(rows, ComparisonRow{
+			Scheme:          v.scheme,
+			MessagesPerPeer: res.MessagesPerOnlinePeer(),
+			Rounds:          rounds,
+			FinalAware:      res.FinalAware(),
+		})
+	}
+	return rows, nil
+}

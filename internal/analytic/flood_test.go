@@ -1,0 +1,201 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"github.com/p2pgossip/update/internal/pf"
+)
+
+func TestExpectedReached(t *testing.T) {
+	if got := ExpectedReached(100, 50, 1000); got != 5 {
+		t.Fatalf("ExpectedReached = %g, want 5", got)
+	}
+	if got := ExpectedReached(100, 50, 0); got != 0 {
+		t.Fatalf("ExpectedReached with R=0 = %g", got)
+	}
+}
+
+func TestExpectedAttempts(t *testing.T) {
+	if got := ExpectedAttempts(0, 100, 1000); got != 0 {
+		t.Fatalf("m=0: %g", got)
+	}
+	if got := ExpectedAttempts(5, 0, 1000); !math.IsInf(got, 1) {
+		t.Fatalf("no online: %g, want +Inf", got)
+	}
+	if got := ExpectedAttempts(101, 100, 1000); !math.IsInf(got, 1) {
+		t.Fatalf("m > online: %g, want +Inf", got)
+	}
+	// One target among K=100 online of R=1000: E = 1000/100 = 10.
+	if got := ExpectedAttempts(1, 100, 1000); got != 10 {
+		t.Fatalf("E_1 = %g, want 10", got)
+	}
+	// Coupon-collector growth: attempts grow superlinearly in m.
+	e10 := ExpectedAttempts(10, 100, 1000)
+	e50 := ExpectedAttempts(50, 100, 1000)
+	if !(e50 > 5*e10/2) {
+		t.Fatalf("coupon-collector growth violated: E_10=%g E_50=%g", e10, e50)
+	}
+}
+
+func TestPoissonOnlineAttempts(t *testing.T) {
+	if got := PoissonOnlineAttempts(0, 0.1, 1000); got != 0 {
+		t.Fatalf("m=0: %g", got)
+	}
+	if got := PoissonOnlineAttempts(5, 0, 1000); !math.IsInf(got, 1) {
+		t.Fatalf("pOn=0: %g", got)
+	}
+	// λ = R·p_on = 100 ≫ m = 5: correction vanishes, E ≈ m/p_on = 50.
+	got := PoissonOnlineAttempts(5, 0.1, 1000)
+	if math.Abs(got-50) > 1 {
+		t.Fatalf("E = %g, want ≈ 50", got)
+	}
+	// λ small relative to m: the correction must reduce the estimate.
+	small := PoissonOnlineAttempts(10, 0.001, 1000) // λ = 1 < m
+	naive := 10 / 0.001
+	if small >= naive {
+		t.Fatalf("correction missing: %g >= %g", small, naive)
+	}
+}
+
+func TestPureFloodMessages(t *testing.T) {
+	if got := PureFloodMessages(1000, 0.004, 0, 0); got != 0 {
+		t.Fatalf("0 rounds: %g", got)
+	}
+	// Fanout 4, 3 rounds: 4 + 16 + 64 = 84.
+	if got := PureFloodMessages(1000, 0.004, 3, 0); got != 84 {
+		t.Fatalf("geometric sum = %g, want 84", got)
+	}
+	// Cap applies.
+	if got := PureFloodMessages(1000, 0.004, 10, 100); got != 100 {
+		t.Fatalf("capped = %g, want 100", got)
+	}
+}
+
+func TestGnutellaClosedForm(t *testing.T) {
+	// "there will be on average f_r·R messages per online peer" (§5.6).
+	if got := GnutellaMessagesPerOnlinePeer(1000, 0.004); got != 4 {
+		t.Fatalf("fanout-4 Gnutella = %g msgs/peer, want 4", got)
+	}
+	if got := GnutellaMessagesPerOnlinePeer(1000, 0.04); got != 40 {
+		t.Fatalf("fanout-40 Gnutella = %g msgs/peer, want 40", got)
+	}
+}
+
+// TestTable2Top reproduces the first block of Table 2: all 1000 replicas
+// online, σ=1, fanout 4 (f_r = 0.004). Paper values (msgs/online peer):
+// Gnutella 4, Partial List 3.92, Haas G(0.8,2) 3.136, Ours 2.215; latency
+// 7/7/7/8 rounds. We assert the ordering, the closed-form Gnutella value,
+// and that each scheme lands within a generous band of the paper's number.
+func TestTable2Top(t *testing.T) {
+	rows, err := Compare(CompareParams{
+		R: 1000, ROn0: 1000, Sigma: 1, Fr: 0.004,
+		HaasP: 0.8, HaasK: 2,
+		OursPF:      pf.Geometric{Base: 0.9},
+		AwareTarget: 0.9,
+	})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	byScheme := map[Scheme]ComparisonRow{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+	}
+	gnutella := byScheme[SchemeGnutella]
+	partial := byScheme[SchemePartialList]
+	haas := byScheme[SchemeHaas]
+	ours := byScheme[SchemeOurs]
+
+	// Strict ordering: ours < Haas < partial list < Gnutella.
+	if !(ours.MessagesPerPeer < haas.MessagesPerPeer &&
+		haas.MessagesPerPeer < partial.MessagesPerPeer &&
+		partial.MessagesPerPeer < gnutella.MessagesPerPeer) {
+		t.Fatalf("Table 2 ordering violated: %+v", rows)
+	}
+	within := func(name string, got, want, tol float64) {
+		t.Helper()
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s = %g, paper %g (tol %g)", name, got, want, tol)
+		}
+	}
+	within("Gnutella", gnutella.MessagesPerPeer, 4.0, 0.4)
+	within("PartialList", partial.MessagesPerPeer, 3.92, 0.4)
+	within("Haas", haas.MessagesPerPeer, 3.136, 0.5)
+	within("Ours", ours.MessagesPerPeer, 2.215, 0.8)
+
+	// Latency: ours pays about one extra round.
+	if ours.Rounds < gnutella.Rounds {
+		t.Fatalf("ours should not be faster than Gnutella: %d vs %d",
+			ours.Rounds, gnutella.Rounds)
+	}
+	if gnutella.Rounds < 5 || gnutella.Rounds > 9 {
+		t.Fatalf("Gnutella rounds = %d, paper 7", gnutella.Rounds)
+	}
+}
+
+// TestTable2Bottom reproduces the second block: 100 of 1000 replicas online,
+// σ=1, fanout 40 (f_r = 0.04, ≈4 online peers expected per push). Paper:
+// Gnutella 40, Partial List 35.22, Haas 28.49, Ours 16.35; 5/5/5/6 rounds.
+func TestTable2Bottom(t *testing.T) {
+	rows, err := Compare(CompareParams{
+		R: 1000, ROn0: 100, Sigma: 1, Fr: 0.04,
+		HaasP: 0.8, HaasK: 2,
+		OursPF:      pf.Geometric{Base: 0.8},
+		AwareTarget: 0.9,
+	})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	byScheme := map[Scheme]ComparisonRow{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+	}
+	gnutella := byScheme[SchemeGnutella]
+	partial := byScheme[SchemePartialList]
+	haas := byScheme[SchemeHaas]
+	ours := byScheme[SchemeOurs]
+
+	if !(ours.MessagesPerPeer < haas.MessagesPerPeer &&
+		haas.MessagesPerPeer < partial.MessagesPerPeer &&
+		partial.MessagesPerPeer < gnutella.MessagesPerPeer) {
+		t.Fatalf("Table 2 ordering violated: %+v", rows)
+	}
+	within := func(name string, got, want, tolFrac float64) {
+		t.Helper()
+		if math.Abs(got-want)/want > tolFrac {
+			t.Errorf("%s = %g, paper %g (±%.0f%%)", name, got, want, tolFrac*100)
+		}
+	}
+	within("Gnutella", gnutella.MessagesPerPeer, 40, 0.15)
+	within("PartialList", partial.MessagesPerPeer, 35.22, 0.15)
+	within("Haas", haas.MessagesPerPeer, 28.49, 0.25)
+	within("Ours", ours.MessagesPerPeer, 16.35, 0.35)
+
+	// Dramatic improvement claim: ours saves ≥50% versus Gnutella.
+	if ours.MessagesPerPeer > 0.6*gnutella.MessagesPerPeer {
+		t.Fatalf("ours = %g vs Gnutella %g: improvement not dramatic",
+			ours.MessagesPerPeer, gnutella.MessagesPerPeer)
+	}
+}
+
+func TestCompareErrorPropagation(t *testing.T) {
+	if _, err := Compare(CompareParams{R: -1}); err == nil {
+		t.Fatal("invalid params should error")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	for s, want := range map[Scheme]string{
+		SchemeGnutella:    "Gnutella",
+		SchemePartialList: "Using Partial List",
+		SchemeHaas:        "Haas et al. G(0.8,2)",
+		SchemeOurs:        "Our Scheme",
+	} {
+		if got := s.String(); got != want {
+			t.Fatalf("String = %q, want %q", got, want)
+		}
+	}
+	if got := Scheme(9).String(); got != "Scheme(9)" {
+		t.Fatalf("unknown = %q", got)
+	}
+}

@@ -1,0 +1,136 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// PullSuccess returns the probability that a replica coming online obtains
+// the update within `attempts` random pull attempts, when a fraction fAware
+// of the rOn online replicas (out of R total) already hold it (§4.3):
+//
+//	P = 1 − (1 − R_on·F_aware / R)^a
+//
+// The pulling peer draws targets uniformly from the full replica set, so the
+// per-attempt hit probability is the fraction of *all* replicas that are both
+// online and aware.
+func PullSuccess(rOn int, fAware float64, r int, attempts int) float64 {
+	if r <= 0 || attempts <= 0 {
+		return 0
+	}
+	hit := float64(rOn) * clamp01(fAware) / float64(r)
+	if hit > 1 {
+		hit = 1
+	}
+	return 1 - math.Pow(1-hit, float64(attempts))
+}
+
+// PullAttemptsFor returns the smallest number of pull attempts that achieves
+// at least the target success probability, or −1 if the target is
+// unreachable (per-attempt hit probability zero). This backs the paper's
+// claim that "a constant number of pull attempts should give the update
+// information with high probability".
+func PullAttemptsFor(rOn int, fAware float64, r int, target float64) int {
+	if target <= 0 {
+		return 0
+	}
+	if r <= 0 {
+		return -1
+	}
+	hit := float64(rOn) * clamp01(fAware) / float64(r)
+	if hit <= 0 {
+		return -1
+	}
+	if hit >= 1 {
+		return 1
+	}
+	if target >= 1 {
+		return -1
+	}
+	// 1 − (1−hit)^a ≥ target  ⇔  a ≥ ln(1−target)/ln(1−hit).
+	a := math.Log(1-target) / math.Log(1-hit)
+	return int(math.Ceil(a))
+}
+
+// PushWhilePulling returns the probability that a peer which is online
+// during an ongoing push receives the update by push in the next round,
+// given that a fraction deltaAware of the rOn online replicas received the
+// update in the previous round and continue pushing (§4.3):
+//
+//	P = 1 − (1 − f_r·(1−L(t)))^{R_on·ΔF_aware·σ·PF(t)}
+//
+// It is the complement of being missed by every pusher, where each pusher
+// reaches a random f_r·(1−L) fraction outside its flooding list.
+func PushWhilePulling(rOn int, deltaAware, sigma, pfT, fr, listLen float64) float64 {
+	pushers := float64(rOn) * clamp01(deltaAware) * clamp01(sigma) * clamp01(pfT)
+	perPush := clamp01(fr * (1 - clamp01(listLen)))
+	return 1 - math.Pow(1-perPush, pushers)
+}
+
+// LazyPullDelay estimates the expected number of rounds a lazily pulling peer
+// (§6: "it can wait till it receives update from some replica") waits before
+// hearing about an update, given a steady per-round contact probability p.
+// It is the mean of the geometric distribution, 1/p, or +Inf for p ≤ 0.
+func LazyPullDelay(perRoundContact float64) float64 {
+	p := clamp01(perRoundContact)
+	if p == 0 {
+		return math.Inf(1)
+	}
+	return 1 / p
+}
+
+// PullParams parameterises an expected-cost analysis of the pull phase for a
+// population of peers coming online after a push completed.
+type PullParams struct {
+	// R is the total number of replicas; ROn the online population holding
+	// the update (fAware is folded in by the caller if <1).
+	R, ROn int
+	// Attempts is the number of parallel pull requests each waking peer
+	// issues ("it is preferable to contact multiple peers", §3).
+	Attempts int
+}
+
+// PullCost is the outcome of a pull-phase cost analysis.
+type PullCost struct {
+	// SuccessProb is the probability one waking peer syncs in one batch.
+	SuccessProb float64
+	// ExpectedBatches is the expected number of attempt batches until sync.
+	ExpectedBatches float64
+	// ExpectedMessages is the expected number of pull requests sent until
+	// success (batches × attempts).
+	ExpectedMessages float64
+}
+
+// Pull computes the expected cost of the pull phase.
+func Pull(p PullParams) (PullCost, error) {
+	if p.R <= 0 {
+		return PullCost{}, fmt.Errorf("analytic: R = %d must be positive", p.R)
+	}
+	if p.ROn < 0 || p.ROn > p.R {
+		return PullCost{}, fmt.Errorf("analytic: ROn = %d out of range [0,%d]", p.ROn, p.R)
+	}
+	if p.Attempts <= 0 {
+		return PullCost{}, fmt.Errorf("analytic: attempts = %d must be positive", p.Attempts)
+	}
+	success := PullSuccess(p.ROn, 1, p.R, p.Attempts)
+	cost := PullCost{SuccessProb: success}
+	if success == 0 {
+		cost.ExpectedBatches = math.Inf(1)
+		cost.ExpectedMessages = math.Inf(1)
+		return cost, nil
+	}
+	cost.ExpectedBatches = 1 / success
+	cost.ExpectedMessages = cost.ExpectedBatches * float64(p.Attempts)
+	return cost, nil
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0 || math.IsNaN(v):
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}

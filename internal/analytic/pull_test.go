@@ -1,0 +1,184 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPullSuccessBasics(t *testing.T) {
+	tests := []struct {
+		name     string
+		rOn      int
+		fAware   float64
+		r        int
+		attempts int
+		want     float64
+	}{
+		{"zero attempts", 100, 1, 1000, 0, 0},
+		{"zero replicas", 100, 1, 0, 3, 0},
+		{"no aware", 100, 0, 1000, 5, 0},
+		{"all aware all online", 1000, 1, 1000, 1, 1},
+		{"single attempt", 100, 1, 1000, 1, 0.1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := PullSuccess(tt.rOn, tt.fAware, tt.r, tt.attempts)
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Fatalf("PullSuccess = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPullSuccessPaperFormula(t *testing.T) {
+	// P = 1 − (1 − R_on·F_aware/R)^a with the paper's typical numbers:
+	// 10% online, fully aware, a attempts.
+	for _, a := range []int{1, 5, 10, 65} {
+		got := PullSuccess(100, 1, 1000, a)
+		want := 1 - math.Pow(0.9, float64(a))
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("a=%d: PullSuccess = %g, want %g", a, got, want)
+		}
+	}
+	// The paper's §2 motivation: 99.9% success with 10% availability needs
+	// about 65 serial attempts (0.9^65 ≈ 0.001; the exact minimum is 66).
+	if got := PullSuccess(100, 1, 1000, 66); got < 0.999 {
+		t.Fatalf("66 attempts at 10%% availability = %g, want ≥ 0.999", got)
+	}
+}
+
+func TestPullSuccessMonotone(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: quickValues(func(args []interface{}, r *rand.Rand) {
+			args[0] = r.Intn(1000)
+			args[1] = r.Float64()
+			args[2] = 1 + r.Intn(20)
+		}),
+	}
+	prop := func(rOn int, fAware float64, attempts int) bool {
+		r := 1000
+		if rOn > r {
+			rOn = r
+		}
+		p1 := PullSuccess(rOn, fAware, r, attempts)
+		p2 := PullSuccess(rOn, fAware, r, attempts+1)
+		return p2 >= p1-1e-12 && p1 >= 0 && p2 <= 1
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatalf("PullSuccess not monotone in attempts: %v", err)
+	}
+}
+
+func TestPullAttemptsFor(t *testing.T) {
+	tests := []struct {
+		name   string
+		rOn    int
+		fAware float64
+		r      int
+		target float64
+		want   int
+	}{
+		{"trivial target", 100, 1, 1000, 0, 0},
+		{"unreachable no replicas", 100, 1, 0, 0.9, -1},
+		{"unreachable no aware", 100, 0, 1000, 0.9, -1},
+		{"certain hit", 1000, 1, 1000, 0.99, 1},
+		{"target one", 100, 1, 1000, 1, -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := PullAttemptsFor(tt.rOn, tt.fAware, tt.r, tt.target)
+			if got != tt.want {
+				t.Fatalf("PullAttemptsFor = %d, want %d", got, tt.want)
+			}
+		})
+	}
+	// The computed attempt count must actually achieve the target.
+	a := PullAttemptsFor(100, 1, 1000, 0.999)
+	if a <= 0 {
+		t.Fatalf("attempts = %d", a)
+	}
+	if got := PullSuccess(100, 1, 1000, a); got < 0.999 {
+		t.Fatalf("%d attempts give %g, want ≥ 0.999", a, got)
+	}
+	if a > 1 {
+		if got := PullSuccess(100, 1, 1000, a-1); got >= 0.999 {
+			t.Fatalf("attempts not minimal: %d−1 already gives %g", a, got)
+		}
+	}
+	// ≈65 serial attempts for 99.9% at 10% availability (§2).
+	if a < 60 || a > 70 {
+		t.Fatalf("attempts = %d, paper estimates ≈ 65", a)
+	}
+}
+
+func TestPushWhilePulling(t *testing.T) {
+	// No pushers ⇒ no chance.
+	if got := PushWhilePulling(1000, 0, 1, 1, 0.01, 0); got != 0 {
+		t.Fatalf("no pushers: %g", got)
+	}
+	// Full list ⇒ pushes target nobody new.
+	if got := PushWhilePulling(1000, 0.5, 1, 1, 0.01, 1); got != 0 {
+		t.Fatalf("full list: %g", got)
+	}
+	// Reasonable mid-push scenario: nonzero, below 1, increasing in ΔF.
+	lo := PushWhilePulling(1000, 0.01, 0.9, 1, 0.01, 0.1)
+	hi := PushWhilePulling(1000, 0.2, 0.9, 1, 0.01, 0.1)
+	if !(lo > 0 && hi < 1 && hi > lo) {
+		t.Fatalf("mid-push probabilities implausible: lo=%g hi=%g", lo, hi)
+	}
+}
+
+func TestLazyPullDelay(t *testing.T) {
+	if got := LazyPullDelay(0); !math.IsInf(got, 1) {
+		t.Fatalf("delay at p=0 = %g, want +Inf", got)
+	}
+	if got := LazyPullDelay(0.25); got != 4 {
+		t.Fatalf("delay at p=0.25 = %g, want 4", got)
+	}
+	if got := LazyPullDelay(2); got != 1 {
+		t.Fatalf("delay clamps p to 1, got %g", got)
+	}
+}
+
+func TestPullCost(t *testing.T) {
+	cost, err := Pull(PullParams{R: 1000, ROn: 100, Attempts: 5})
+	if err != nil {
+		t.Fatalf("Pull: %v", err)
+	}
+	wantSuccess := 1 - math.Pow(0.9, 5)
+	if math.Abs(cost.SuccessProb-wantSuccess) > 1e-12 {
+		t.Fatalf("SuccessProb = %g, want %g", cost.SuccessProb, wantSuccess)
+	}
+	if math.Abs(cost.ExpectedBatches-1/wantSuccess) > 1e-9 {
+		t.Fatalf("ExpectedBatches = %g", cost.ExpectedBatches)
+	}
+	if math.Abs(cost.ExpectedMessages-5/wantSuccess) > 1e-9 {
+		t.Fatalf("ExpectedMessages = %g", cost.ExpectedMessages)
+	}
+}
+
+func TestPullCostUnreachable(t *testing.T) {
+	cost, err := Pull(PullParams{R: 1000, ROn: 0, Attempts: 5})
+	if err != nil {
+		t.Fatalf("Pull: %v", err)
+	}
+	if !math.IsInf(cost.ExpectedBatches, 1) || !math.IsInf(cost.ExpectedMessages, 1) {
+		t.Fatalf("unreachable pull should cost infinity: %+v", cost)
+	}
+}
+
+func TestPullValidation(t *testing.T) {
+	for _, p := range []PullParams{
+		{R: 0, ROn: 0, Attempts: 1},
+		{R: 10, ROn: -1, Attempts: 1},
+		{R: 10, ROn: 11, Attempts: 1},
+		{R: 10, ROn: 5, Attempts: 0},
+	} {
+		if _, err := Pull(p); err == nil {
+			t.Fatalf("Pull(%+v) should error", p)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/p2pgossip/update/internal/pf"
+)
+
+func mustPush(t *testing.T, p PushParams) PushResult {
+	t.Helper()
+	res, err := Push(p)
+	if err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	return res
+}
+
+func TestPushValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		p    PushParams
+	}{
+		{"zero R", PushParams{R: 0, ROn0: 0, Sigma: 1, Fr: 0.1}},
+		{"negative online", PushParams{R: 10, ROn0: -1, Sigma: 1, Fr: 0.1}},
+		{"online > R", PushParams{R: 10, ROn0: 11, Sigma: 1, Fr: 0.1}},
+		{"sigma > 1", PushParams{R: 10, ROn0: 5, Sigma: 1.5, Fr: 0.1}},
+		{"sigma < 0", PushParams{R: 10, ROn0: 5, Sigma: -0.1, Fr: 0.1}},
+		{"fr > 1", PushParams{R: 10, ROn0: 5, Sigma: 1, Fr: 1.5}},
+		{"fr < 0", PushParams{R: 10, ROn0: 5, Sigma: 1, Fr: -0.5}},
+		{"negative threshold", PushParams{R: 10, ROn0: 5, Sigma: 1, Fr: 0.5, ListThreshold: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Push(tt.p); err == nil {
+				t.Fatal("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestPushDegenerate(t *testing.T) {
+	// No online peers or zero fanout: nothing happens.
+	for _, p := range []PushParams{
+		{R: 100, ROn0: 0, Sigma: 1, Fr: 0.1},
+		{R: 100, ROn0: 50, Sigma: 1, Fr: 0},
+	} {
+		res := mustPush(t, p)
+		if res.NumRounds() != 0 || res.TotalMessages() != 0 {
+			t.Fatalf("degenerate params produced rounds: %+v", res)
+		}
+	}
+}
+
+func TestPushRound0(t *testing.T) {
+	p := PushParams{R: 10000, ROn0: 1000, Sigma: 0.95, Fr: 0.01, UpdateBytes: 100}
+	res := mustPush(t, p)
+	r0 := res.Rounds[0]
+	if r0.Messages != 100 { // R·f_r
+		t.Fatalf("M(0) = %g, want 100", r0.Messages)
+	}
+	if math.Abs(r0.Aware-0.01) > 1e-12 {
+		t.Fatalf("F_aware after round 0 = %g, want 0.01", r0.Aware)
+	}
+	// S_M(0) = U + γ·R·f_r = 100 + 10·10000·0.01... list disabled ⇒ only U.
+	if r0.MessageBytes != 100 {
+		t.Fatalf("no-list message bytes = %g, want 100", r0.MessageBytes)
+	}
+	pl := p
+	pl.PartialList = true
+	res = mustPush(t, pl)
+	want := 100 + 10.0*10000*ListLen(0, 0.01)
+	if math.Abs(res.Rounds[0].MessageBytes-want) > 1e-9 {
+		t.Fatalf("list message bytes = %g, want %g", res.Rounds[0].MessageBytes, want)
+	}
+}
+
+func TestPushReachesFullAwareness(t *testing.T) {
+	// The paper's default healthy scenario (Fig. 1(b) middle curve).
+	p := PushParams{R: 10000, ROn0: 1000, Sigma: 0.95, Fr: 0.01}
+	res := mustPush(t, p)
+	if got := res.FinalAware(); got < 0.999 {
+		t.Fatalf("final awareness = %g, want ≈ 1", got)
+	}
+	// The paper reports roughly 80 messages per online peer for plain
+	// flooding; accept the 60–110 band (shape, not testbed-exact).
+	mpp := res.MessagesPerOnlinePeer()
+	if mpp < 60 || mpp > 110 {
+		t.Fatalf("messages/online peer = %g, want ≈ 80", mpp)
+	}
+	// Latency is a handful of rounds.
+	if n := res.NumRounds(); n < 3 || n > 20 {
+		t.Fatalf("rounds = %d", n)
+	}
+}
+
+func TestPushDiesOutWithTinyPopulation(t *testing.T) {
+	// Fig. 1(a): 1% initial online population cannot sustain the rumor.
+	p := PushParams{R: 10000, ROn0: 100, Sigma: 0.95, Fr: 0.01}
+	res := mustPush(t, p)
+	if got := res.FinalAware(); got > 0.9 {
+		t.Fatalf("tiny population reached awareness %g; paper says it must struggle", got)
+	}
+}
+
+func TestPushMonotoneInvariants(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 150,
+		Values: quickValues(func(args []interface{}, r *rand.Rand) {
+			args[0] = 100 + r.Intn(5000)      // R
+			args[1] = r.Float64()             // online fraction
+			args[2] = 0.3 + 0.7*r.Float64()   // sigma
+			args[3] = 0.001 + 0.1*r.Float64() // f_r
+			args[4] = r.Intn(2) == 0          // partial list
+		}),
+	}
+	prop := func(r int, onFrac, sigma, fr float64, partial bool) bool {
+		p := PushParams{
+			R: r, ROn0: int(onFrac * float64(r)), Sigma: sigma, Fr: fr,
+			PartialList: partial,
+		}
+		res, err := Push(p)
+		if err != nil {
+			return false
+		}
+		prevAware, prevCum := 0.0, 0.0
+		for _, round := range res.Rounds {
+			if round.Aware < prevAware-1e-12 || round.Aware > 1+1e-9 {
+				return false
+			}
+			if round.Messages < 0 || round.CumMessages < prevCum-1e-9 {
+				return false
+			}
+			if round.DeltaAware < -1e-12 {
+				return false
+			}
+			prevAware, prevCum = round.Aware, round.CumMessages
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatalf("push invariants violated: %v", err)
+	}
+}
+
+func TestPartialListNeverIncreasesMessages(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: quickValues(func(args []interface{}, r *rand.Rand) {
+			args[0] = 500 + r.Intn(5000)
+			args[1] = 0.05 + 0.9*r.Float64()
+			args[2] = 0.5 + 0.5*r.Float64()
+			args[3] = 0.001 + 0.05*r.Float64()
+		}),
+	}
+	prop := func(r int, onFrac, sigma, fr float64) bool {
+		base := PushParams{R: r, ROn0: int(onFrac * float64(r)), Sigma: sigma, Fr: fr}
+		withList := base
+		withList.PartialList = true
+		a, err1 := Push(base)
+		b, err2 := Push(withList)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return b.TotalMessages() <= a.TotalMessages()+1e-9
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatalf("partial list increased messages: %v", err)
+	}
+}
+
+func TestDecayingPFReducesMessages(t *testing.T) {
+	// Fig. 4: decaying PF(t) must beat PF=1 on message count while still
+	// achieving near-full awareness for the paper's parameters.
+	base := PushParams{R: 10000, ROn0: 1000, Sigma: 0.9, Fr: 0.01}
+	plain := mustPush(t, base)
+
+	decayed := base
+	decayed.PF = pf.Geometric{Base: 0.9}
+	dres := mustPush(t, decayed)
+
+	if dres.TotalMessages() >= plain.TotalMessages() {
+		t.Fatalf("PF=0.9^t used %g messages, plain %g", dres.TotalMessages(), plain.TotalMessages())
+	}
+	if dres.FinalAware() < 0.95 {
+		t.Fatalf("PF=0.9^t awareness fell to %g", dres.FinalAware())
+	}
+	// Over-aggressive decay sacrifices coverage (the paper's warning).
+	harsh := base
+	harsh.PF = pf.Geometric{Base: 0.5}
+	hres := mustPush(t, harsh)
+	if hres.FinalAware() >= dres.FinalAware() {
+		t.Fatalf("PF=0.5^t should cover less than 0.9^t: %g vs %g",
+			hres.FinalAware(), dres.FinalAware())
+	}
+}
+
+func TestLowSigmaReducesMessages(t *testing.T) {
+	// Fig. 3's "curious" observation: message overhead decreases when peers
+	// fail to forward, while awareness stays near-complete down to σ≈0.5.
+	prev := math.Inf(1)
+	for _, sigma := range []float64{1, 0.95, 0.8, 0.7, 0.5} {
+		p := PushParams{R: 10000, ROn0: 1000, Sigma: sigma, Fr: 0.01}
+		res := mustPush(t, p)
+		if res.FinalAware() < 0.97 {
+			t.Fatalf("sigma=%g: awareness %g too low", sigma, res.FinalAware())
+		}
+		if got := res.TotalMessages(); got >= prev {
+			t.Fatalf("sigma=%g: messages %g did not decrease (prev %g)", sigma, got, prev)
+		} else {
+			prev = got
+		}
+	}
+}
+
+func TestLargerFanoutMoreDuplicates(t *testing.T) {
+	// Fig. 2: message overhead grows with f_r; f_r=0.05 costs several times
+	// f_r=0.005 without materially improving spread.
+	small := mustPush(t, PushParams{R: 10000, ROn0: 1000, Sigma: 0.9, Fr: 0.005})
+	large := mustPush(t, PushParams{R: 10000, ROn0: 1000, Sigma: 0.9, Fr: 0.05})
+	if small.FinalAware() < 0.97 || large.FinalAware() < 0.97 {
+		t.Fatalf("awareness: small %g large %g", small.FinalAware(), large.FinalAware())
+	}
+	ratio := large.MessagesPerOnlinePeer() / small.MessagesPerOnlinePeer()
+	if ratio < 4 || ratio > 15 {
+		t.Fatalf("f_r=0.05 vs 0.005 message ratio = %g, paper reports ≈ 8–10×", ratio)
+	}
+}
+
+func TestScalabilityFig5(t *testing.T) {
+	// Fig. 5: with R_on/R=0.1, σ=1, PF(t)=0.8·0.7^t+0.2 and fanout chosen so
+	// that ten *online* peers are expected per push (R_on·f_r = 10 ⇒
+	// R·f_r = 100), overhead stays below ~45 msgs per initial online peer
+	// and decreases as the population grows.
+	prev := math.Inf(1)
+	for _, total := range []int{10_000, 100_000, 1_000_000, 10_000_000} {
+		fr := 10.0 / (0.1 * float64(total)) // R_on·f_r = 10
+		p := PushParams{
+			R: total, ROn0: total / 10, Sigma: 1, Fr: fr,
+			PF: pf.AffineGeometric{A: 0.8, B: 0.7, C: 0.2},
+		}
+		res := mustPush(t, p)
+		// The PF floor of 0.2 sustains high but not total coverage at
+		// extreme scale; the trailing fraction is recovered by pull.
+		if res.FinalAware() < 0.85 {
+			t.Fatalf("R=%d: awareness %g", total, res.FinalAware())
+		}
+		mpp := res.MessagesPerOnlinePeer()
+		if mpp > 45 {
+			t.Fatalf("R=%d: %g msgs/online peer, paper caps ≈ 45", total, mpp)
+		}
+		if mpp > prev+1e-9 {
+			t.Fatalf("R=%d: overhead %g did not decrease (prev %g)", total, mpp, prev)
+		}
+		prev = mpp
+	}
+}
+
+func TestListLenClosedFormEqualsRecursion(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: quickValues(func(args []interface{}, r *rand.Rand) {
+			args[0] = r.Intn(50)
+			args[1] = r.Float64()
+		}),
+	}
+	prop := func(t int, fr float64) bool {
+		return math.Abs(ListLen(t, fr)-ListLenRecursive(t, fr)) < 1e-9
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatalf("L(t) closed form ≠ recursion: %v", err)
+	}
+}
+
+func TestListLenBasics(t *testing.T) {
+	if got := ListLen(-1, 0.5); got != 0 {
+		t.Fatalf("ListLen(-1) = %g", got)
+	}
+	if got := ListLen(0, 0.25); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("ListLen(0, 0.25) = %g, want 0.25", got)
+	}
+	if got := ListLenRecursive(-2, 0.3); got != 0 {
+		t.Fatalf("ListLenRecursive(-2) = %g", got)
+	}
+	// Monotone, bounded by 1.
+	prev := 0.0
+	for i := 0; i < 100; i++ {
+		l := ListLen(i, 0.05)
+		if l < prev || l > 1 {
+			t.Fatalf("L(%d) = %g not monotone in [0,1]", i, l)
+		}
+		prev = l
+	}
+}
+
+func TestListThresholdCapsLength(t *testing.T) {
+	p := PushParams{
+		R: 10000, ROn0: 1000, Sigma: 0.95, Fr: 0.05,
+		PartialList: true, ListThreshold: 0.1,
+	}
+	res := mustPush(t, p)
+	for _, round := range res.Rounds {
+		if round.ListLen > 0.1+1e-12 {
+			t.Fatalf("round %d list length %g exceeds threshold", round.T, round.ListLen)
+		}
+	}
+	// Thresholding costs extra duplicate messages versus the full list.
+	full := p
+	full.ListThreshold = 0
+	fres := mustPush(t, full)
+	if res.TotalMessages() < fres.TotalMessages()-1e-9 {
+		t.Fatalf("thresholded list sent fewer messages (%g) than full list (%g)",
+			res.TotalMessages(), fres.TotalMessages())
+	}
+}
+
+func TestRoundsToAware(t *testing.T) {
+	res := mustPush(t, PushParams{R: 10000, ROn0: 1000, Sigma: 0.95, Fr: 0.01})
+	if got := res.RoundsToAware(0.5); got <= 0 {
+		t.Fatalf("RoundsToAware(0.5) = %d", got)
+	}
+	if got := res.RoundsToAware(2.0); got != -1 {
+		t.Fatalf("RoundsToAware(2.0) = %d, want -1", got)
+	}
+	if a, b := res.RoundsToAware(0.3), res.RoundsToAware(0.95); a > b {
+		t.Fatalf("RoundsToAware not monotone: %d > %d", a, b)
+	}
+}
+
+func TestMessagesPerOnlinePeerZeroPopulation(t *testing.T) {
+	res := PushResult{Params: PushParams{ROn0: 0}}
+	if got := res.MessagesPerOnlinePeer(); got != 0 {
+		t.Fatalf("MessagesPerOnlinePeer = %g", got)
+	}
+	if got := res.FinalAware(); got != 0 {
+		t.Fatalf("FinalAware on empty = %g", got)
+	}
+}
+
+func TestFanout(t *testing.T) {
+	p := PushParams{R: 10000, Fr: 0.01}
+	if got := p.Fanout(); got != 100 {
+		t.Fatalf("Fanout = %g", got)
+	}
+}
+
+func quickValues(fill func(args []interface{}, r *rand.Rand)) func([]reflect.Value, *rand.Rand) {
+	return func(vals []reflect.Value, r *rand.Rand) {
+		args := make([]interface{}, len(vals))
+		fill(args, r)
+		for i := range vals {
+			vals[i] = reflect.ValueOf(args[i])
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/p2pgossip/update/internal/pf"
+)
+
+func lastY(c Curve) float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	return c.Points[len(c.Points)-1].Y
+}
+
+func lastX(c Curve) float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	return c.Points[len(c.Points)-1].X
+}
+
+func TestFig1aRumorDies(t *testing.T) {
+	fig := Fig1a()
+	if len(fig.Curves) != 1 {
+		t.Fatalf("curves = %d", len(fig.Curves))
+	}
+	if aware := lastX(fig.Curves[0]); aware > 0.9 {
+		t.Fatalf("1%% population reached F_aware %g; paper: it must struggle", aware)
+	}
+}
+
+func TestFig1bOverheadIndependentOfPopulation(t *testing.T) {
+	fig := Fig1b()
+	if len(fig.Curves) != 5 {
+		t.Fatalf("curves = %d", len(fig.Curves))
+	}
+	// Curves with ≥5% initial population all reach ≈ full awareness at
+	// roughly the same per-peer cost (the paper reports ~80).
+	var costs []float64
+	for _, c := range fig.Curves[1:] { // skip the 100-peer curve
+		if lastX(c) < 0.99 {
+			t.Fatalf("%s stalled at %g", c.Label, lastX(c))
+		}
+		costs = append(costs, lastY(c))
+	}
+	for _, cost := range costs {
+		if cost < 55 || cost > 115 {
+			t.Fatalf("plain-flooding cost %g outside the ~80 band", cost)
+		}
+	}
+	lo, hi := costs[0], costs[0]
+	for _, c := range costs {
+		lo, hi = math.Min(lo, c), math.Max(hi, c)
+	}
+	// "Relatively independent" (paper's wording): a 20× population range
+	// moves the per-peer cost by well under 2×.
+	if hi/lo > 2.0 {
+		t.Fatalf("overhead should be nearly population-independent: %g vs %g", lo, hi)
+	}
+}
+
+func TestFig2FanoutDuplicates(t *testing.T) {
+	fig := Fig2()
+	if len(fig.Curves) != 4 {
+		t.Fatalf("curves = %d", len(fig.Curves))
+	}
+	// Costs grow with f_r; f_r=0.05 versus f_r=0.005 is ≈ 8–10×.
+	first, last := lastY(fig.Curves[0]), lastY(fig.Curves[3])
+	if ratio := last / first; ratio < 4 || ratio > 15 {
+		t.Fatalf("Fig2 ratio = %g, paper ≈ 8–10", ratio)
+	}
+	// The paper's y-ceiling: ~350–400 msgs/peer for f_r=0.05.
+	if last < 200 || last > 450 {
+		t.Fatalf("f_r=0.05 cost = %g, paper plots ≈ 350", last)
+	}
+}
+
+func TestFig3SigmaMonotone(t *testing.T) {
+	fig := Fig3()
+	prev := math.Inf(1)
+	for _, c := range fig.Curves {
+		cost := lastY(c)
+		if cost >= prev {
+			t.Fatalf("cost did not decrease with sigma: %s has %g (prev %g)",
+				c.Label, cost, prev)
+		}
+		prev = cost
+		if lastX(c) < 0.97 {
+			t.Fatalf("%s awareness %g", c.Label, lastX(c))
+		}
+	}
+}
+
+func TestFig4DecayingPF(t *testing.T) {
+	fig := Fig4()
+	byLabel := map[string]Curve{}
+	for _, c := range fig.Curves {
+		byLabel[c.Label] = c
+	}
+	plain := byLabel[pf.Constant{C: 1}.String()]
+	gentle := byLabel[pf.Geometric{Base: 0.9}.String()]
+	harsh := byLabel[pf.Geometric{Base: 0.5}.String()]
+	if lastY(gentle) >= lastY(plain) {
+		t.Fatalf("0.9^t (%g) not cheaper than PF=1 (%g)", lastY(gentle), lastY(plain))
+	}
+	if lastX(harsh) >= lastX(gentle) {
+		t.Fatalf("0.5^t should under-cover: %g vs %g", lastX(harsh), lastX(gentle))
+	}
+}
+
+func TestFig5Scalability(t *testing.T) {
+	fig := Fig5()
+	if len(fig.Curves) != 5 {
+		t.Fatalf("curves = %d", len(fig.Curves))
+	}
+	prev := math.Inf(1)
+	for _, c := range fig.Curves {
+		cost := lastY(c)
+		if cost > 45 {
+			t.Fatalf("%s cost %g exceeds the paper's ~45 ceiling", c.Label, cost)
+		}
+		if cost > prev+1e-9 {
+			t.Fatalf("cost per peer should decrease with population: %s", c.Label)
+		}
+		prev = cost
+	}
+}
+
+func TestFigPull(t *testing.T) {
+	fig := FigPull()
+	for _, c := range fig.Curves {
+		prev := 0.0
+		for _, p := range c.Points {
+			if p.Y < prev || p.Y > 1 {
+				t.Fatalf("%s not monotone in attempts", c.Label)
+			}
+			prev = p.Y
+		}
+		if lastY(c) < 0.9 {
+			t.Fatalf("%s: 40 attempts give only %g", c.Label, lastY(c))
+		}
+	}
+}
+
+func TestFigureByID(t *testing.T) {
+	for _, id := range []string{"1a", "1b", "2", "3", "4", "5", "pull"} {
+		fig, err := FigureByID(id)
+		if err != nil {
+			t.Fatalf("FigureByID(%q): %v", id, err)
+		}
+		if fig.ID != id || len(fig.Curves) == 0 {
+			t.Fatalf("figure %q malformed", id)
+		}
+	}
+	if _, err := FigureByID("nope"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Fig1a().Render()
+	if !strings.Contains(out, "Figure 1a") || !strings.Contains(out, "F_aware") {
+		t.Fatalf("render output malformed:\n%s", out)
+	}
+}
+
+func TestTable2MatchesPaperShape(t *testing.T) {
+	blocks, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	for _, block := range blocks {
+		if len(block.Rows) != 4 {
+			t.Fatalf("rows = %d", len(block.Rows))
+		}
+		// Same ordering as the paper and within 35% of each reported value.
+		for i := 1; i < len(block.Rows); i++ {
+			if block.Rows[i].Ours >= block.Rows[i-1].Ours+1e-9 {
+				t.Fatalf("%s: ordering violated at %s", block.Caption, block.Rows[i].Scheme)
+			}
+		}
+		for _, row := range block.Rows {
+			gap := math.Abs(row.Ours-row.Paper) / row.Paper
+			if gap > 0.35 {
+				t.Errorf("%s / %s: ours %g vs paper %g (%.0f%% off)",
+					block.Caption, row.Scheme, row.Ours, row.Paper, gap*100)
+			}
+		}
+	}
+	if out := RenderTable2(blocks); !strings.Contains(out, "Gnutella") {
+		t.Fatal("render missing schemes")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := SimulatePush(SimParams{R: 0}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+	if _, err := SimulatePush(SimParams{R: 10, ROn0: 20}); err == nil {
+		t.Fatal("ROn0 > R accepted")
+	}
+}
+
+func TestSimulationMatchesAnalyticModel(t *testing.T) {
+	// The core validation: the stochastic simulator and the recursion agree
+	// on message cost and coverage for the paper's parameter regime
+	// (scaled to R=2000 to keep the test fast).
+	cases := []struct {
+		name string
+		p    SimParams
+	}{
+		{"plain sigma=0.95", SimParams{
+			R: 2000, ROn0: 200, Sigma: 0.95, Fr: 0.05, Seed: 1,
+		}},
+		{"partial list", SimParams{
+			R: 2000, ROn0: 200, Sigma: 0.95, Fr: 0.05, PartialList: true, Seed: 2,
+		}},
+		{"decaying pf", SimParams{
+			R: 2000, ROn0: 200, Sigma: 0.9, Fr: 0.05, PartialList: true,
+			NewPF: func() pf.Func { return pf.Geometric{Base: 0.9} }, Seed: 3,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			anaMsgs, simMsgs, anaAware, simAware, err := CrossCheck(tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msgGap := math.Abs(anaMsgs-simMsgs) / anaMsgs
+			if msgGap > 0.30 {
+				t.Errorf("message gap %0.f%%: analytic %g vs sim %g",
+					msgGap*100, anaMsgs, simMsgs)
+			}
+			if math.Abs(anaAware-simAware) > 0.15 {
+				t.Errorf("awareness gap: analytic %g vs sim %g", anaAware, simAware)
+			}
+		})
+	}
+}

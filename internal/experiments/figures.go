@@ -1,0 +1,244 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (§5): the analytical curves exactly as the authors' C program
+// computed them, plus stochastic cross-checks on the discrete simulator.
+//
+// Identifiers follow the paper: Fig1a/Fig1b (initial online population),
+// Fig2 (fanout f_r), Fig3 (σ), Fig4 (PF(t) schedules), Fig5 (scalability),
+// Table2 (scheme comparison), and the §4.3 pull-phase analysis.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/p2pgossip/update/internal/analytic"
+	"github.com/p2pgossip/update/internal/metrics"
+	"github.com/p2pgossip/update/internal/pf"
+)
+
+// Point is one (x, y) sample of a curve.
+type Point struct {
+	X, Y float64
+}
+
+// Curve is one labelled series of a figure.
+type Curve struct {
+	// Label matches the paper's legend entry.
+	Label string
+	// Points are ordered samples; for push-phase figures X is F_aware and
+	// Y is cumulative messages per initially-online peer, one point per
+	// round, exactly like the paper's plots.
+	Points []Point
+}
+
+// Figure is one reproducible plot.
+type Figure struct {
+	// ID is the paper's figure number ("1a", "2", …).
+	ID string
+	// Title and axis labels mirror the paper.
+	Title  string
+	XLabel string
+	YLabel string
+	Curves []Curve
+}
+
+// pushCurve converts an analytical push trajectory into the paper's plot
+// coordinates.
+func pushCurve(label string, res analytic.PushResult) Curve {
+	c := Curve{Label: label, Points: make([]Point, 0, len(res.Rounds))}
+	rOn0 := float64(res.Params.ROn0)
+	for _, round := range res.Rounds {
+		c.Points = append(c.Points, Point{
+			X: round.Aware,
+			Y: round.CumMessages / rOn0,
+		})
+	}
+	return c
+}
+
+func mustPush(p analytic.PushParams) analytic.PushResult {
+	res, err := analytic.Push(p)
+	if err != nil {
+		// All experiment parameters are compile-time constants; an error
+		// here is a programming bug, matching the guide's initialization
+		// exception for panics.
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return res
+}
+
+// Fig1a reproduces Figure 1(a): plain flooding with a tiny initial online
+// population (1%) fails to spread. σ=0.95, PF=1, f_r=0.01, R_on[0]/R =
+// 100/10000.
+func Fig1a() Figure {
+	res := mustPush(analytic.PushParams{
+		R: 10_000, ROn0: 100, Sigma: 0.95, Fr: 0.01,
+	})
+	return Figure{
+		ID:     "1a",
+		Title:  "Impact of a small initial online population (plain flooding)",
+		XLabel: "F_aware",
+		YLabel: "Total messages / R_on[0]",
+		Curves: []Curve{pushCurve("R_on[0]/R = 100/10000", res)},
+	}
+}
+
+// Fig1b reproduces Figure 1(b): for a significant initial population the
+// per-peer message overhead is nearly independent of the population size,
+// but high (~80 messages/online peer) for plain flooding.
+func Fig1b() Figure {
+	fig := Figure{
+		ID:     "1b",
+		Title:  "Impact of the initial online population (plain flooding)",
+		XLabel: "F_aware",
+		YLabel: "Total messages / R_on[0]",
+	}
+	for _, rOn := range []int{100, 500, 1000, 3000, 10000} {
+		res := mustPush(analytic.PushParams{
+			R: 10_000, ROn0: rOn, Sigma: 0.95, Fr: 0.01,
+		})
+		fig.Curves = append(fig.Curves,
+			pushCurve(fmt.Sprintf("R_on[0]/R = %d/10000", rOn), res))
+	}
+	return fig
+}
+
+// Fig2 reproduces Figure 2: varying the fanout fraction f_r. A small fanout
+// suffices; larger fanouts multiply duplicate messages without materially
+// faster spread. σ=0.9, PF=1, R_on[0]=1000.
+func Fig2() Figure {
+	fig := Figure{
+		ID:     "2",
+		Title:  "Varying f_r",
+		XLabel: "F_aware",
+		YLabel: "Total messages / R_on[0]",
+	}
+	for _, fr := range []float64{0.005, 0.01, 0.02, 0.05} {
+		res := mustPush(analytic.PushParams{
+			R: 10_000, ROn0: 1000, Sigma: 0.9, Fr: fr,
+		})
+		fig.Curves = append(fig.Curves,
+			pushCurve(fmt.Sprintf("F_r = %g", fr), res))
+	}
+	return fig
+}
+
+// Fig3 reproduces Figure 3: varying σ. The push phase is robust to peers
+// going offline after receiving — and the message overhead *decreases* with
+// lower σ, the observation that motivated PF(t). PF=1, R_on[0]=1000,
+// f_r=0.01.
+func Fig3() Figure {
+	fig := Figure{
+		ID:     "3",
+		Title:  "Varying sigma",
+		XLabel: "F_aware",
+		YLabel: "Total messages / R_on[0]",
+	}
+	for _, sigma := range []float64{1, 0.95, 0.8, 0.7, 0.5} {
+		res := mustPush(analytic.PushParams{
+			R: 10_000, ROn0: 1000, Sigma: sigma, Fr: 0.01,
+		})
+		fig.Curves = append(fig.Curves,
+			pushCurve(fmt.Sprintf("Sigma = %g", sigma), res))
+	}
+	return fig
+}
+
+// Fig4 reproduces Figure 4: varying the forwarding probability schedule
+// PF(t). Decaying schedules eliminate most duplicates; overly aggressive
+// decay fails to reach the whole population. σ=0.9, R_on[0]=1000, f_r=0.01.
+func Fig4() Figure {
+	fig := Figure{
+		ID:     "4",
+		Title:  "Varying PF(t)",
+		XLabel: "F_aware",
+		YLabel: "Total messages / R_on[0]",
+	}
+	schedules := []pf.Func{
+		pf.Constant{C: 1},
+		pf.Constant{C: 0.8},
+		pf.Linear{Start: 1, Slope: 0.1},
+		pf.Geometric{Base: 0.9},
+		pf.Geometric{Base: 0.7},
+		pf.Geometric{Base: 0.5},
+	}
+	for _, schedule := range schedules {
+		res := mustPush(analytic.PushParams{
+			R: 10_000, ROn0: 1000, Sigma: 0.9, Fr: 0.01, PF: schedule,
+		})
+		fig.Curves = append(fig.Curves, pushCurve(schedule.String(), res))
+	}
+	return fig
+}
+
+// Fig5 reproduces Figure 5: scalability from 10^4 to 10^8 total replicas
+// with R_on/R = 0.1, σ=1, PF(t) = 0.8·0.7^t + 0.2 and f_r chosen so that
+// ten online peers are expected per push (R_on·f_r = 10).
+func Fig5() Figure {
+	fig := Figure{
+		ID:     "5",
+		Title:  "Scalability",
+		XLabel: "F_aware",
+		YLabel: "Total messages / initial online population",
+	}
+	for _, total := range []int{10_000, 100_000, 1_000_000, 10_000_000, 100_000_000} {
+		rOn := total / 10
+		res := mustPush(analytic.PushParams{
+			R: total, ROn0: rOn, Sigma: 1, Fr: 10.0 / float64(rOn),
+			PF: pf.AffineGeometric{A: 0.8, B: 0.7, C: 0.2},
+		})
+		fig.Curves = append(fig.Curves,
+			pushCurve(fmt.Sprintf("Total population: %d", total), res))
+	}
+	return fig
+}
+
+// FigPull reproduces the §4.3 pull analysis: success probability versus the
+// number of pull attempts for the paper's typical availability levels.
+func FigPull() Figure {
+	fig := Figure{
+		ID:     "pull",
+		Title:  "Pull success probability vs attempts (post-push)",
+		XLabel: "Pull attempts",
+		YLabel: "P(update obtained)",
+	}
+	for _, online := range []float64{0.1, 0.2, 0.3} {
+		curve := Curve{Label: fmt.Sprintf("R_on/R = %g", online)}
+		for a := 1; a <= 40; a++ {
+			p := analytic.PullSuccess(int(online*1000), 1, 1000, a)
+			curve.Points = append(curve.Points, Point{X: float64(a), Y: p})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig
+}
+
+// AllFigures returns every analytic figure keyed by ID.
+func AllFigures() []Figure {
+	return []Figure{Fig1a(), Fig1b(), Fig2(), Fig3(), Fig4(), Fig5(), FigPull()}
+}
+
+// FigureByID returns the analytic figure with the given paper ID.
+func FigureByID(id string) (Figure, error) {
+	for _, f := range AllFigures() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("experiments: unknown figure %q", id)
+}
+
+// Render prints a figure as aligned text tables, one block per curve.
+func (f Figure) Render() string {
+	tb := &metrics.Table{Header: []string{"curve", f.XLabel, f.YLabel}}
+	for _, c := range f.Curves {
+		for _, p := range c.Points {
+			tb.AddRow(c.Label, trim(p.X), trim(p.Y))
+		}
+	}
+	return fmt.Sprintf("Figure %s: %s\n%s", f.ID, f.Title, tb.String())
+}
+
+func trim(v float64) float64 {
+	return math.Round(v*10000) / 10000
+}

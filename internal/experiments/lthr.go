@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/p2pgossip/update/internal/analytic"
+	"github.com/p2pgossip/update/internal/metrics"
+)
+
+// LThrRow is one point of the §4.2 list-threshold trade-off: capping the
+// partial flooding list at L_thr·R entries bounds message size at the cost
+// of extra duplicate messages.
+type LThrRow struct {
+	// Threshold is L_thr (0 = unthresholded full list).
+	Threshold float64
+	// TotalMessages is the push phase's expected message count.
+	TotalMessages float64
+	// MaxMessageBytes is the largest per-message size over all rounds.
+	MaxMessageBytes float64
+	// FinalAware is the achieved awareness.
+	FinalAware float64
+}
+
+// LThrParams configures the threshold sweep.
+type LThrParams struct {
+	// R, ROn0, Sigma, Fr as in the push analysis.
+	R     int
+	ROn0  int
+	Sigma float64
+	Fr    float64
+	// UpdateBytes is the payload size U.
+	UpdateBytes int
+	// Thresholds are the L_thr values to sweep; empty means the default
+	// {0, 0.05, 0.02, 0.01, 0.005} (the unthresholded list for the default
+	// scenario peaks below 0.08, so larger caps never bind).
+	Thresholds []float64
+}
+
+// LThrSweep evaluates the trade-off analytically. The paper proves that
+// thresholding leaves F_aware unchanged while "the nodes which push the
+// update in the next round pay the penalty of forwarding extra messages"
+// (§4.2); the sweep quantifies that penalty against the bandwidth saved.
+func LThrSweep(p LThrParams) ([]LThrRow, error) {
+	thresholds := p.Thresholds
+	if len(thresholds) == 0 {
+		thresholds = []float64{0, 0.05, 0.02, 0.01, 0.005}
+	}
+	rows := make([]LThrRow, 0, len(thresholds))
+	for _, thr := range thresholds {
+		res, err := analytic.Push(analytic.PushParams{
+			R: p.R, ROn0: p.ROn0, Sigma: p.Sigma, Fr: p.Fr,
+			PartialList: true, ListThreshold: thr, UpdateBytes: p.UpdateBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lthr sweep at %g: %w", thr, err)
+		}
+		row := LThrRow{Threshold: thr, TotalMessages: res.TotalMessages(),
+			FinalAware: res.FinalAware()}
+		for _, round := range res.Rounds {
+			if round.MessageBytes > row.MaxMessageBytes {
+				row.MaxMessageBytes = round.MessageBytes
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderLThr prints the sweep.
+func RenderLThr(rows []LThrRow) string {
+	tb := &metrics.Table{Header: []string{
+		"L_thr", "total messages", "max message bytes", "F_aware",
+	}}
+	for _, r := range rows {
+		label := fmt.Sprintf("%g", r.Threshold)
+		if r.Threshold == 0 {
+			label = "unlimited"
+		}
+		tb.AddRow(label, r.TotalMessages, r.MaxMessageBytes, r.FinalAware)
+	}
+	return tb.String()
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/p2pgossip/update/internal/churn"
+	"github.com/p2pgossip/update/internal/gossip"
+	"github.com/p2pgossip/update/internal/metrics"
+	"github.com/p2pgossip/update/internal/pf"
+	"github.com/p2pgossip/update/internal/simnet"
+)
+
+// This file implements the two studies the paper lists as future work (§8):
+//
+//   - Bimodal behaviour: "we plan to use simulations … to investigate
+//     whether there is bimodal behaviour [Birman et al.] even in the assumed
+//     environment of very low peer presence". Bimodal means the final
+//     coverage distribution concentrates near 0 ("almost none") and near 1
+//     ("almost all"), with little mass in between.
+//   - Non-uniform online probability: "a relatively reliable network
+//     backbone would exist and thus would make possible further performance
+//     improvements".
+
+// BimodalParams configures the bimodality study.
+type BimodalParams struct {
+	// R, ROn0, Sigma, Fr, PartialList as in SimParams.
+	R           int
+	ROn0        int
+	Sigma       float64
+	Fr          float64
+	PartialList bool
+	// NewPF as in SimParams (nil = PF(t)=1).
+	NewPF func() pf.Func
+	// Trials is the number of independent seeds; 0 means 100.
+	Trials int
+	// Buckets is the histogram resolution; 0 means 10.
+	Buckets int
+	// ViewSize caps initial membership views (see SimParams.ViewSize).
+	ViewSize int
+	// Seed offsets the per-trial seeds.
+	Seed int64
+}
+
+// BimodalResult is a histogram of final F_aware over independent runs.
+type BimodalResult struct {
+	// Buckets[i] counts runs whose final awareness fell into
+	// [i/len, (i+1)/len).
+	Buckets []int
+	// Trials is the total number of runs.
+	Trials int
+	// LowMass, HighMass, MidMass are the fractions of runs ending in the
+	// bottom bucket, the top bucket, and everything in between.
+	LowMass, HighMass, MidMass float64
+}
+
+// Bimodality returns HighMass + LowMass − MidMass, a crude index in
+// [−1, 1]: values near 1 mean "almost all or almost none".
+func (r BimodalResult) Bimodality() float64 {
+	return r.LowMass + r.HighMass - r.MidMass
+}
+
+// BimodalStudy runs many independent pushes and histograms the final
+// awareness.
+func BimodalStudy(p BimodalParams) (BimodalResult, error) {
+	trials := p.Trials
+	if trials <= 0 {
+		trials = 100
+	}
+	buckets := p.Buckets
+	if buckets <= 0 {
+		buckets = 10
+	}
+	res := BimodalResult{Buckets: make([]int, buckets), Trials: trials}
+	for trial := 0; trial < trials; trial++ {
+		sim, err := SimulatePush(SimParams{
+			R: p.R, ROn0: p.ROn0, Sigma: p.Sigma, Fr: p.Fr,
+			PartialList: p.PartialList, NewPF: p.NewPF, ViewSize: p.ViewSize,
+			Seed: p.Seed + int64(trial)*7919,
+		})
+		if err != nil {
+			return BimodalResult{}, err
+		}
+		idx := int(sim.FinalAware * float64(buckets))
+		if idx >= buckets {
+			idx = buckets - 1
+		}
+		res.Buckets[idx]++
+	}
+	res.LowMass = float64(res.Buckets[0]) / float64(trials)
+	res.HighMass = float64(res.Buckets[buckets-1]) / float64(trials)
+	res.MidMass = 1 - res.LowMass - res.HighMass
+	return res, nil
+}
+
+// RenderBimodal prints the histogram.
+func RenderBimodal(r BimodalResult) string {
+	tb := &metrics.Table{Header: []string{"F_aware bucket", "runs"}}
+	n := len(r.Buckets)
+	for i, c := range r.Buckets {
+		tb.AddRow(fmt.Sprintf("[%.1f,%.1f)", float64(i)/float64(n), float64(i+1)/float64(n)), c)
+	}
+	return fmt.Sprintf("%sbimodality index: %.2f (low %.2f / mid %.2f / high %.2f)\n",
+		tb.String(), r.Bimodality(), r.LowMass, r.MidMass, r.HighMass)
+}
+
+// BackboneParams configures the non-uniform availability study.
+type BackboneParams struct {
+	// R is the population size.
+	R int
+	// MeanOnline is the long-run online fraction both scenarios share.
+	MeanOnline float64
+	// BackboneFrac is the fraction of peers forming the reliable backbone.
+	BackboneFrac float64
+	// Rounds bounds each simulation; 0 means 400.
+	Rounds int
+	// Trials averages over seeds; 0 means 5.
+	Trials int
+	// Seed offsets the per-trial seeds.
+	Seed int64
+}
+
+// backboneCoverage is the convergence target: 99% of all replicas. Full
+// coverage is the wrong yardstick under memoryless churn — a peer has a
+// small but positive probability of staying offline for the whole horizon.
+const backboneCoverage = 0.99
+
+// BackboneRow summarises one availability scenario.
+type BackboneRow struct {
+	Scenario string
+	// RoundsToAll is the mean round by which 99% of all replicas (online or
+	// not) held the update; −1 if some run never got there.
+	RoundsToAll float64
+	// Messages is the mean total message count.
+	Messages float64
+}
+
+// BackboneStudy compares uniform availability against a
+// backbone-plus-flaky-edge population with the same mean availability,
+// measuring full-population convergence time (push + pull).
+func BackboneStudy(p BackboneParams) ([]BackboneRow, error) {
+	if p.R <= 0 || p.MeanOnline <= 0 || p.MeanOnline >= 1 {
+		return nil, fmt.Errorf("experiments: bad backbone params %+v", p)
+	}
+	rounds := p.Rounds
+	if rounds <= 0 {
+		rounds = 400
+	}
+	trials := p.Trials
+	if trials <= 0 {
+		trials = 5
+	}
+
+	// Uniform: every peer has the same Bernoulli availability.
+	pOff := 0.05
+	uniform := churn.Bernoulli{Sigma: 1 - pOff, POn: pOff * p.MeanOnline / (1 - p.MeanOnline)}
+
+	// Backbone: BackboneFrac of peers are (nearly) always online; the rest
+	// are flakier, tuned so the population mean matches.
+	edgeMean := (p.MeanOnline - p.BackboneFrac) / (1 - p.BackboneFrac)
+	if edgeMean < 0.01 {
+		edgeMean = 0.01
+	}
+	backbone := churn.NewBackbone(p.R, p.BackboneFrac,
+		0.999, 0.9, // backbone: sticks online
+		1-pOff, pOff*edgeMean/(1-edgeMean)) // edge: same form as uniform
+
+	scenarios := []struct {
+		name string
+		proc churn.Process
+	}{
+		{"uniform availability", uniform},
+		{fmt.Sprintf("%.0f%% reliable backbone", p.BackboneFrac*100), backbone},
+	}
+	rows := make([]BackboneRow, 0, len(scenarios))
+	for _, sc := range scenarios {
+		var sumRounds, sumMsgs float64
+		converged := true
+		for trial := 0; trial < trials; trial++ {
+			r, msgs, ok, err := backboneTrial(p.R, p.MeanOnline, sc.proc, rounds,
+				p.Seed+int64(trial)*104729)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				converged = false
+			}
+			sumRounds += float64(r)
+			sumMsgs += msgs
+		}
+		row := BackboneRow{
+			Scenario: sc.name,
+			Messages: sumMsgs / float64(trials),
+		}
+		if converged {
+			row.RoundsToAll = sumRounds / float64(trials)
+		} else {
+			row.RoundsToAll = -1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func backboneTrial(r int, meanOnline float64, proc churn.Process, rounds int, seed int64) (int, float64, bool, error) {
+	cfg := gossip.DefaultConfig(r)
+	cfg.Fr = 0.05
+	cfg.NewPF = func() pf.Func { return pf.Geometric{Base: 0.9} }
+	cfg.PullAttempts = 3
+	cfg.PullTimeout = 25
+	net, err := gossip.BuildNetwork(r, cfg, 0, seed)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	en, err := simnet.NewEngine(simnet.Config{
+		Nodes:         net.Nodes,
+		InitialOnline: int(meanOnline * float64(r)),
+		Churn:         proc,
+		Seed:          seed,
+	})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	en.Step()
+	id := net.Peers[0].Publish(simnet.NewTestEnv(en, 0), "k", []byte("v")).ID()
+	target := int(backboneCoverage * float64(r))
+	for round := 1; round <= rounds; round++ {
+		en.Step()
+		if net.CountAware(id) >= target {
+			return round, en.Metrics().Counter(simnet.MetricMessages), true, nil
+		}
+	}
+	return rounds, en.Metrics().Counter(simnet.MetricMessages), false, nil
+}
+
+// RenderBackbone prints the study result.
+func RenderBackbone(rows []BackboneRow) string {
+	tb := &metrics.Table{Header: []string{"scenario", "rounds to full convergence", "messages"}}
+	for _, r := range rows {
+		roundsCell := fmt.Sprintf("%.1f", r.RoundsToAll)
+		if r.RoundsToAll < 0 {
+			roundsCell = "did not converge"
+		}
+		tb.AddRow(r.Scenario, roundsCell, r.Messages)
+	}
+	return tb.String()
+}

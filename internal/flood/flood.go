@@ -1,0 +1,164 @@
+// Package flood provides the flooding baselines the paper compares against
+// in §5.6 and Table 2, expressed — as the paper argues they can be — as
+// special cases of the generic push model:
+//
+//   - Gnutella: flooding with fixed fanout and TTL; duplicate avoidance
+//     discards repeated receipts but sends no partial list.
+//   - Partial list: Gnutella plus the paper's flooding-list optimisation.
+//   - Haas et al. GOSSIP1(p, k): pure flood for k rounds, then forwarding
+//     probability p.
+//   - Our scheme: decaying PF(t) with partial lists.
+//
+// It also implements *pure* flooding without duplicate avoidance as its own
+// node type (every received copy is forwarded again, exponential blow-up),
+// which cannot be expressed as a single-push special case.
+package flood
+
+import (
+	"fmt"
+
+	"github.com/p2pgossip/update/internal/gossip"
+	"github.com/p2pgossip/update/internal/pf"
+	"github.com/p2pgossip/update/internal/simnet"
+)
+
+// GnutellaConfig returns the gossip configuration equivalent to Gnutella
+// flooding with duplicate avoidance: PF = 1 for ttl rounds then 0 (§4.1),
+// no partial list, push only.
+func GnutellaConfig(r int, fr float64, ttl int) gossip.Config {
+	cfg := gossip.DefaultConfig(r)
+	cfg.Fr = fr
+	cfg.NewPF = func() pf.Func { return pf.TTL{Rounds: ttl} }
+	cfg.PartialList = false
+	cfg.PullAttempts = 0
+	cfg.PullTimeout = 0
+	return cfg
+}
+
+// PartialListConfig is Gnutella plus the paper's partial flooding list.
+func PartialListConfig(r int, fr float64, ttl int) gossip.Config {
+	cfg := GnutellaConfig(r, fr, ttl)
+	cfg.PartialList = true
+	return cfg
+}
+
+// HaasConfig returns Haas et al.'s GOSSIP1(p, k): certain forwarding for the
+// first k rounds, probability p afterwards; no partial list.
+func HaasConfig(r int, fr, p float64, k int) gossip.Config {
+	cfg := gossip.DefaultConfig(r)
+	cfg.Fr = fr
+	cfg.NewPF = func() pf.Func { return pf.Haas{P1: p, K: k} }
+	cfg.PartialList = false
+	cfg.PullAttempts = 0
+	cfg.PullTimeout = 0
+	return cfg
+}
+
+// OursConfig returns the paper's scheme: geometrically decaying PF(t) with
+// partial lists (push phase only, for baseline comparisons).
+func OursConfig(r int, fr, base float64) gossip.Config {
+	cfg := gossip.DefaultConfig(r)
+	cfg.Fr = fr
+	cfg.NewPF = func() pf.Func { return pf.Geometric{Base: base} }
+	cfg.PartialList = true
+	cfg.PullAttempts = 0
+	cfg.PullTimeout = 0
+	return cfg
+}
+
+// FloodMsg is the payload of the pure-flooding baseline: just the hop
+// counter.
+type FloodMsg struct {
+	// T is the hop count of this copy.
+	T int
+}
+
+// MetricFloodForwards counts pure-flood forwarding events.
+const MetricFloodForwards = "flood_forwards"
+
+// PureFloodNode floods without duplicate avoidance: *every* received copy
+// within the TTL is forwarded to a fresh random fanout, reproducing the
+// exponential message growth of §5.6's geometric series. A hard message cap
+// keeps simulations finite.
+type PureFloodNode struct {
+	id     int
+	fanout int
+	ttl    int
+	cap    int
+	aware  bool
+	sent   int
+}
+
+var _ simnet.Node = (*PureFloodNode)(nil)
+
+// NewPureFloodNetwork builds n pure-flood nodes with the given fanout, TTL,
+// and per-node send cap (≤0 means a generous default of 10·fanout).
+func NewPureFloodNetwork(n, fanout, ttl, sendCap int) ([]simnet.Node, []*PureFloodNode, error) {
+	if n <= 0 || fanout <= 0 || ttl <= 0 {
+		return nil, nil, fmt.Errorf("flood: n=%d fanout=%d ttl=%d must be positive", n, fanout, ttl)
+	}
+	if sendCap <= 0 {
+		sendCap = 10 * fanout
+	}
+	nodes := make([]simnet.Node, n)
+	raw := make([]*PureFloodNode, n)
+	for i := 0; i < n; i++ {
+		raw[i] = &PureFloodNode{id: i, fanout: fanout, ttl: ttl, cap: sendCap}
+		nodes[i] = raw[i]
+	}
+	return nodes, raw, nil
+}
+
+// Aware reports whether the node has received the flood.
+func (f *PureFloodNode) Aware() bool { return f.aware }
+
+// Start initiates the flood from this node.
+func (f *PureFloodNode) Start(env *simnet.Env) {
+	f.aware = true
+	f.forward(env, 0)
+}
+
+// Init implements simnet.Node.
+func (f *PureFloodNode) Init(*simnet.Env) {}
+
+// CameOnline implements simnet.Node.
+func (f *PureFloodNode) CameOnline(*simnet.Env) {}
+
+// Tick implements simnet.Node.
+func (f *PureFloodNode) Tick(*simnet.Env) {}
+
+// HandleMessage implements simnet.Node: every copy is re-flooded while the
+// TTL lasts — no duplicate suppression.
+func (f *PureFloodNode) HandleMessage(env *simnet.Env, msg simnet.Message) {
+	m, ok := msg.Payload.(FloodMsg)
+	if !ok {
+		return
+	}
+	f.aware = true
+	if m.T+1 < f.ttl {
+		f.forward(env, m.T+1)
+	}
+}
+
+func (f *PureFloodNode) forward(env *simnet.Env, t int) {
+	for i := 0; i < f.fanout && f.sent < f.cap; i++ {
+		target := env.RNG().Intn(env.N() - 1)
+		if target >= f.id {
+			target++
+		}
+		env.Send(target, FloodMsg{T: t}, 16)
+		env.Metrics().Inc(MetricFloodForwards)
+		f.sent++
+	}
+}
+
+// CountAware returns the number of aware pure-flood nodes.
+func CountAware(nodes []*PureFloodNode) int {
+	n := 0
+	for _, node := range nodes {
+		if node.aware {
+			n++
+		}
+	}
+	return n
+}

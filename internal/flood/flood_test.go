@@ -1,0 +1,162 @@
+package flood
+
+import (
+	"testing"
+
+	"github.com/p2pgossip/update/internal/gossip"
+	"github.com/p2pgossip/update/internal/simnet"
+)
+
+// runScheme floods one update through a 200-peer fully-online network under
+// the given configuration and returns (messages per peer, aware count).
+func runScheme(t *testing.T, cfg gossip.Config, seed int64) (float64, int) {
+	t.Helper()
+	const n = 200
+	net, err := gossip.BuildNetwork(n, cfg, 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := simnet.NewEngine(simnet.Config{
+		Nodes: net.Nodes, InitialOnline: n, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en.Step()
+	u := net.Peers[0].Publish(simnet.NewTestEnv(en, 0), "k", []byte("v"))
+	en.Run(60)
+	return en.Metrics().Counter(simnet.MetricMessages) / n, net.CountAware(u.ID())
+}
+
+// TestTable2SimulatedOrdering cross-validates the analytical Table 2 with
+// the simulator: the message-cost ordering
+// ours < Haas < partial list ≤ Gnutella must hold, with high coverage for
+// the non-decaying schemes.
+func TestTable2SimulatedOrdering(t *testing.T) {
+	const (
+		r  = 200
+		fr = 0.02 // fanout 4, as in Table 2 top (scaled population)
+	)
+	avg := func(mk func() gossip.Config) (float64, float64) {
+		var msgs, aware float64
+		const trials = 5
+		for s := int64(0); s < trials; s++ {
+			m, a := runScheme(t, mk(), 100+s)
+			msgs += m
+			aware += float64(a)
+		}
+		return msgs / trials, aware / trials / r
+	}
+
+	gnutellaMsgs, gnutellaAware := avg(func() gossip.Config { return GnutellaConfig(r, fr, 12) })
+	partialMsgs, partialAware := avg(func() gossip.Config { return PartialListConfig(r, fr, 12) })
+	haasMsgs, haasAware := avg(func() gossip.Config { return HaasConfig(r, fr, 0.8, 2) })
+	oursMsgs, oursAware := avg(func() gossip.Config { return OursConfig(r, fr, 0.9) })
+
+	t.Logf("msgs/peer: gnutella=%.2f partial=%.2f haas=%.2f ours=%.2f",
+		gnutellaMsgs, partialMsgs, haasMsgs, oursMsgs)
+	t.Logf("aware:     gnutella=%.2f partial=%.2f haas=%.2f ours=%.2f",
+		gnutellaAware, partialAware, haasAware, oursAware)
+
+	if gnutellaAware < 0.95 || partialAware < 0.95 || haasAware < 0.9 {
+		t.Fatalf("baseline coverage too low")
+	}
+	if oursAware < 0.75 {
+		t.Fatalf("our scheme coverage %g collapsed", oursAware)
+	}
+	if !(oursMsgs < haasMsgs && haasMsgs < gnutellaMsgs) {
+		t.Fatalf("ordering violated: ours=%g haas=%g gnutella=%g",
+			oursMsgs, haasMsgs, gnutellaMsgs)
+	}
+	if partialMsgs > gnutellaMsgs {
+		t.Fatalf("partial list increased cost: %g > %g", partialMsgs, gnutellaMsgs)
+	}
+	// Gnutella with duplicate avoidance sends ≈ fanout per online peer
+	// (§5.6 closed form): everyone who gets the rumor pushes once.
+	if gnutellaMsgs < 2.5 || gnutellaMsgs > 4.5 {
+		t.Fatalf("Gnutella msgs/peer = %g, closed form says ≈ 4", gnutellaMsgs)
+	}
+}
+
+func TestPureFloodExplodesVersusDuplicateAvoidance(t *testing.T) {
+	const n = 200
+	nodes, raw, err := NewPureFloodNetwork(n, 4, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := simnet.NewEngine(simnet.Config{Nodes: nodes, InitialOnline: n, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en.Step()
+	raw[0].Start(simnet.NewTestEnv(en, 0))
+	en.Run(20)
+	pureMsgs := en.Metrics().Counter(simnet.MetricMessages) / n
+
+	gnutellaMsgs, _ := runScheme(t, GnutellaConfig(n, 0.02, 6), 3)
+	if pureMsgs <= 2*gnutellaMsgs {
+		t.Fatalf("pure flooding (%g/peer) should dwarf duplicate avoidance (%g/peer)",
+			pureMsgs, gnutellaMsgs)
+	}
+	if got := CountAware(raw); got < n*9/10 {
+		t.Fatalf("pure flood aware = %d/%d", got, n)
+	}
+}
+
+func TestPureFloodValidation(t *testing.T) {
+	for _, bad := range [][3]int{{0, 4, 6}, {10, 0, 6}, {10, 4, 0}} {
+		if _, _, err := NewPureFloodNetwork(bad[0], bad[1], bad[2], 0); err == nil {
+			t.Fatalf("NewPureFloodNetwork(%v) should error", bad)
+		}
+	}
+}
+
+func TestPureFloodCapBoundsMessages(t *testing.T) {
+	const n = 100
+	nodes, raw, err := NewPureFloodNetwork(n, 10, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := simnet.NewEngine(simnet.Config{Nodes: nodes, InitialOnline: n, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en.Step()
+	raw[0].Start(simnet.NewTestEnv(en, 0))
+	en.Run(30)
+	if got := en.Metrics().Counter(simnet.MetricMessages); got > float64(n*5) {
+		t.Fatalf("cap violated: %g messages > %d", got, n*5)
+	}
+}
+
+func TestPureFloodIgnoresForeignPayloads(t *testing.T) {
+	nodes, raw, err := NewPureFloodNetwork(3, 2, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := simnet.NewEngine(simnet.Config{Nodes: nodes, InitialOnline: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en.Step()
+	raw[1].HandleMessage(simnet.NewTestEnv(en, 1), simnet.Message{Payload: "junk"})
+	if raw[1].Aware() {
+		t.Fatal("foreign payload marked node aware")
+	}
+}
+
+func TestConfigsAreValid(t *testing.T) {
+	for name, cfg := range map[string]gossip.Config{
+		"gnutella": GnutellaConfig(1000, 0.004, 7),
+		"partial":  PartialListConfig(1000, 0.004, 7),
+		"haas":     HaasConfig(1000, 0.004, 0.8, 2),
+		"ours":     OursConfig(1000, 0.004, 0.9),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s config invalid: %v", name, err)
+		}
+		if cfg.PullAttempts != 0 {
+			t.Fatalf("%s: baselines must be push-only", name)
+		}
+	}
+}

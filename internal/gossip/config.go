@@ -1,0 +1,148 @@
+// Package gossip implements the paper's primary contribution: the hybrid
+// push/pull rumor-spreading protocol for update propagation among replicas
+// with very low online probability.
+//
+// Push phase (§3): a peer that first receives Push(U, V, R_f, t) applies the
+// update, selects a random subset R_p of its known replicas with
+// |R_p| = R·f_r, and — with probability PF(t) — forwards
+// Push(U, V, R_f ∪ R_p, t+1) to R_p \ R_f. The partial list R_f suppresses
+// duplicates, spreads membership knowledge (name-dropper), and its length
+// feeds the self-tuning of PF (§6).
+//
+// Pull phase (§3): a peer that comes online, has seen no updates for a
+// while, or receives a pull request while unsure of its own freshness,
+// contacts several known replicas and reconciles via version vectors
+// (anti-entropy).
+//
+// Optimisations (§6): acknowledgement-based peer preference, suspect lists
+// for peers that never ack, lazy pulling, and duplicate-count-driven
+// adaptive forwarding probabilities. Every optimisation is independently
+// switchable so the ablation benchmarks can quantify each one.
+package gossip
+
+import (
+	"fmt"
+
+	"github.com/p2pgossip/update/internal/pf"
+	"github.com/p2pgossip/update/internal/replicalist"
+)
+
+// AckPolicy selects the acknowledgement optimisation of §6.
+type AckPolicy int
+
+// Acknowledgement policies.
+const (
+	// AckNone disables acknowledgements.
+	AckNone AckPolicy = iota + 1
+	// AckFirst replies to the first replica an update was received from.
+	// Ack senders are preferred as future push targets; peers that never
+	// ack are suspected offline and skipped for SuspectTTL rounds.
+	AckFirst
+)
+
+// String returns the policy name.
+func (a AckPolicy) String() string {
+	switch a {
+	case AckNone:
+		return "ack-none"
+	case AckFirst:
+		return "ack-first"
+	default:
+		return fmt.Sprintf("AckPolicy(%d)", int(a))
+	}
+}
+
+// Config parameterises a gossip peer. The zero value is not valid; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// R is the total number of replicas in the partition (the paper's R).
+	R int
+	// Fr is the fanout fraction f_r: each push targets ≈ R·Fr replicas.
+	Fr float64
+	// NewPF builds the forwarding-probability function for one update at
+	// one peer. A factory (rather than a shared instance) lets adaptive
+	// schedules keep per-peer, per-update state. Nil means PF(t) = 1.
+	NewPF func() pf.Func
+	// PartialList enables carrying the flooding list R_f on push messages.
+	PartialList bool
+	// ListThreshold is the normalised cap L_thr on the carried list (§4.2);
+	// 0 disables truncation.
+	ListThreshold float64
+	// TruncatePolicy selects which entries to drop when truncating.
+	TruncatePolicy replicalist.TruncatePolicy
+	// PullAttempts is the number of known replicas contacted per pull
+	// batch. Zero disables the pull phase entirely (push-only experiments).
+	PullAttempts int
+	// LazyPull makes a waking peer wait for gossip instead of pulling
+	// eagerly (§6); it then answers queries only after it has synced.
+	LazyPull bool
+	// PullTimeout is the number of rounds without any received update after
+	// which an online peer proactively pulls ("no_updates_since(t)"). Zero
+	// disables timeout-driven pulls.
+	PullTimeout int
+	// Ack selects the acknowledgement optimisation.
+	Ack AckPolicy
+	// SuspectTTL is how many rounds a non-acking peer is skipped as a push
+	// target under AckFirst. Zero defaults to 10.
+	SuspectTTL int
+}
+
+// DefaultConfig returns the configuration used by the paper's headline
+// experiments: fanout f_r over R replicas, decaying PF, partial lists on,
+// eager pull with three attempts.
+func DefaultConfig(r int) Config {
+	return Config{
+		R:              r,
+		Fr:             0.01,
+		NewPF:          func() pf.Func { return pf.Geometric{Base: 0.9} },
+		PartialList:    true,
+		TruncatePolicy: replicalist.DropRandom,
+		PullAttempts:   3,
+		PullTimeout:    50,
+		Ack:            AckNone,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.R <= 0:
+		return fmt.Errorf("gossip: R = %d must be positive", c.R)
+	case c.Fr < 0 || c.Fr > 1:
+		return fmt.Errorf("gossip: f_r = %g out of [0,1]", c.Fr)
+	case c.ListThreshold < 0 || c.ListThreshold > 1:
+		return fmt.Errorf("gossip: L_thr = %g out of [0,1]", c.ListThreshold)
+	case c.PullAttempts < 0:
+		return fmt.Errorf("gossip: pull attempts = %d negative", c.PullAttempts)
+	case c.PullTimeout < 0:
+		return fmt.Errorf("gossip: pull timeout = %d negative", c.PullTimeout)
+	default:
+		return nil
+	}
+}
+
+// suspectTTL returns the effective suspect duration.
+func (c Config) suspectTTL() int {
+	if c.SuspectTTL <= 0 {
+		return 10
+	}
+	return c.SuspectTTL
+}
+
+// Metric names emitted by gossip peers on top of the engine's counters.
+const (
+	// MetricPushes counts push messages sent.
+	MetricPushes = "gossip_push_sent"
+	// MetricDuplicates counts duplicate pushes received.
+	MetricDuplicates = "gossip_duplicates"
+	// MetricPullRequests counts pull requests sent.
+	MetricPullRequests = "gossip_pull_requests"
+	// MetricPullResponses counts pull responses sent.
+	MetricPullResponses = "gossip_pull_responses"
+	// MetricPullUpdates counts updates shipped in pull responses.
+	MetricPullUpdates = "gossip_pull_updates"
+	// MetricAcks counts acknowledgement messages.
+	MetricAcks = "gossip_acks"
+	// MetricReplicasLearned counts replicas discovered via partial lists.
+	MetricReplicasLearned = "gossip_replicas_learned"
+)

@@ -1,0 +1,66 @@
+package gossip
+
+import (
+	"github.com/p2pgossip/update/internal/replicalist"
+	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// PushMsg is the paper's Push(U, V, R_f, t): one update, the partial
+// flooding list of peers the update has already been sent to, and the push
+// round counter.
+type PushMsg struct {
+	// Update carries the data item and its version (the paper's U and V).
+	Update store.Update
+	// RF is the partial flooding list (peer indices). Nil when the partial
+	// list optimisation is disabled.
+	RF []int
+	// T is the push round counter; the initiator sends with T = 0.
+	T int
+}
+
+// SizeBytes accounts the wire size: update payload plus γ per list entry
+// plus the round counter.
+func (m PushMsg) SizeBytes() int {
+	return m.Update.SizeBytes() + len(m.RF)*replicalist.EntryBytes + 4
+}
+
+// PullReq asks a peer for updates the sender is missing, summarised by the
+// sender's vector clock ("inquire for missed updates based on version
+// vectors", §3).
+type PullReq struct {
+	// Clock is the requester's vector clock.
+	Clock version.Clock
+}
+
+// SizeBytes estimates the wire size of the clock (origin string + counter
+// per component, ≈ 16 bytes each) plus framing.
+func (m PullReq) SizeBytes() int { return 8 + 16*len(m.Clock) }
+
+// PullResp ships the updates the requester was missing, plus a membership
+// sample (the name-dropper effect applied to the pull phase).
+type PullResp struct {
+	// Updates are the missing updates in (origin, seq) order.
+	Updates []store.Update
+	// Peers is a sample of the responder's membership view.
+	Peers []int
+}
+
+// SizeBytes sums the update sizes plus the peer sample plus framing.
+func (m PullResp) SizeBytes() int {
+	n := 8 + len(m.Peers)*replicalist.EntryBytes
+	for _, u := range m.Updates {
+		n += u.SizeBytes()
+	}
+	return n
+}
+
+// AckMsg acknowledges the receipt of an update (§6): the sender gains
+// preference as a future push target.
+type AckMsg struct {
+	// UpdateID identifies the acknowledged update.
+	UpdateID string
+}
+
+// SizeBytes is the id plus framing.
+func (m AckMsg) SizeBytes() int { return 8 + len(m.UpdateID) }

@@ -1,0 +1,106 @@
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/p2pgossip/update/internal/simnet"
+)
+
+// Network bundles a population of gossip peers with its simulation nodes.
+type Network struct {
+	// Peers are the protocol instances, indexed by peer id.
+	Peers []*Peer
+	// Nodes is the same population typed for simnet.Config.
+	Nodes []simnet.Node
+}
+
+// BuildNetwork constructs n peers sharing one configuration and wires their
+// membership views.
+//
+// viewSize controls how much of the replica set each peer knows initially:
+// ≤0 or ≥n−1 gives complete knowledge (the analytical model's assumption
+// that push targets are uniform over all R replicas); smaller values give
+// each peer a uniform random sample, with the partial lists growing views
+// over time (name-dropper).
+func BuildNetwork(n int, cfg Config, viewSize int, seed int64) (*Network, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gossip: network size %d must be positive", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	peers := make([]*Peer, n)
+	nodes := make([]simnet.Node, n)
+	for i := 0; i < n; i++ {
+		p, err := NewPeer(i, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("gossip: peer %d: %w", i, err)
+		}
+		peers[i] = p
+		nodes[i] = p
+	}
+	full := viewSize <= 0 || viewSize >= n-1
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i, p := range peers {
+		if full {
+			for j := 0; j < n; j++ {
+				if j != i {
+					p.view.Learn(j)
+				}
+			}
+			continue
+		}
+		rng.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		learned := 0
+		for _, j := range perm {
+			if j == i {
+				continue
+			}
+			p.view.Learn(j)
+			learned++
+			if learned == viewSize {
+				break
+			}
+		}
+	}
+	return &Network{Peers: peers, Nodes: nodes}, nil
+}
+
+// CountAware returns how many peers have applied the given update.
+func (n *Network) CountAware(updateID string) int {
+	count := 0
+	for _, p := range n.Peers {
+		if p.HasUpdate(updateID) {
+			count++
+		}
+	}
+	return count
+}
+
+// CountAwareOnline returns how many currently online peers have applied the
+// update — the paper's F_aware numerator.
+func (n *Network) CountAwareOnline(updateID string, en *simnet.Engine) int {
+	count := 0
+	for i, p := range n.Peers {
+		if en.Population().Online(i) && p.HasUpdate(updateID) {
+			count++
+		}
+	}
+	return count
+}
+
+// Converged reports whether every peer's store equals peer 0's store.
+func (n *Network) Converged() bool {
+	if len(n.Peers) == 0 {
+		return true
+	}
+	first := n.Peers[0].Store()
+	for _, p := range n.Peers[1:] {
+		if !first.Equal(p.Store()) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+package gossip
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/p2pgossip/update/internal/churn"
+	"github.com/p2pgossip/update/internal/simnet"
+)
+
+// TestPushOnceInvariant: a replica forwards a given update at most once
+// (§3: "any replica pushes the update at most once"), so the total push
+// count is bounded by (aware peers)·max-fanout for random parameter draws.
+func TestPushOnceInvariant(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 30,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(50 + r.Intn(200))       // population
+			vals[1] = reflect.ValueOf(0.02 + 0.2*r.Float64()) // f_r
+			vals[2] = reflect.ValueOf(0.5 + 0.5*r.Float64())  // sigma
+			vals[3] = reflect.ValueOf(r.Int63())
+		},
+	}
+	prop := func(n int, fr, sigma float64, seed int64) bool {
+		c := DefaultConfig(n)
+		c.Fr = fr
+		c.NewPF = nil
+		c.PullAttempts = 0
+		c.PullTimeout = 0
+		net, err := BuildNetwork(n, c, 0, seed)
+		if err != nil {
+			return false
+		}
+		en, err := simnet.NewEngine(simnet.Config{
+			Nodes: net.Nodes, InitialOnline: n,
+			Churn: churn.Bernoulli{Sigma: sigma}, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		en.Step()
+		id := net.Peers[0].Publish(simnet.NewTestEnv(en, 0), "k", []byte("v")).ID()
+		en.Run(50)
+
+		aware := net.CountAware(id)
+		maxFanout := float64(int(float64(n)*fr) + 1)
+		pushes := en.Metrics().Counter(MetricPushes)
+		return pushes <= float64(aware)*maxFanout
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatalf("push-once invariant failed: %v", err)
+	}
+}
+
+// TestAwarenessMonotoneAndConsistent: a peer that knows an update never
+// un-knows it, and aware peers hold the update in their store.
+func TestAwarenessMonotoneAndConsistent(t *testing.T) {
+	const n = 80
+	cfg := DefaultConfig(n)
+	cfg.Fr = 0.05
+	cfg.NewPF = nil
+	cfg.PullAttempts = 2
+	cfg.PullTimeout = 10
+	net, err := BuildNetwork(n, cfg, 0, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := simnet.NewEngine(simnet.Config{
+		Nodes: net.Nodes, InitialOnline: n / 2,
+		Churn: churn.Bernoulli{Sigma: 0.9, POn: 0.1}, Seed: 61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en.Step()
+	u := net.Peers[0].Publish(simnet.NewTestEnv(en, 0), "k", []byte("v"))
+	id := u.ID()
+
+	prevAware := map[int]bool{}
+	for round := 0; round < 60; round++ {
+		en.Step()
+		for i, p := range net.Peers {
+			has := p.HasUpdate(id)
+			if prevAware[i] && !has {
+				t.Fatalf("round %d: peer %d forgot the update", round, i)
+			}
+			if has {
+				if _, ok := p.Store().Get("k"); !ok {
+					t.Fatalf("round %d: peer %d aware but store empty", round, i)
+				}
+				prevAware[i] = true
+			}
+		}
+	}
+}
+
+// TestSimulationDeterminismProperty: identical seeds yield identical
+// trajectories for random parameters.
+func TestSimulationDeterminismProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 15,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(30 + r.Intn(100))
+			vals[1] = reflect.ValueOf(r.Int63())
+		},
+	}
+	run := func(n int, seed int64) (float64, int) {
+		c := DefaultConfig(n)
+		c.Fr = 0.1
+		net, err := BuildNetwork(n, c, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		en, err := simnet.NewEngine(simnet.Config{
+			Nodes: net.Nodes, InitialOnline: n / 2,
+			Churn: churn.Bernoulli{Sigma: 0.9, POn: 0.1}, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		en.Step()
+		id := net.Peers[0].Publish(simnet.NewTestEnv(en, 0), "k", []byte("v")).ID()
+		en.Run(40)
+		return en.Metrics().Counter(simnet.MetricMessages), net.CountAware(id)
+	}
+	prop := func(n int, seed int64) bool {
+		m1, a1 := run(n, seed)
+		m2, a2 := run(n, seed)
+		return m1 == m2 && a1 == a2
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatalf("determinism property failed: %v", err)
+	}
+}

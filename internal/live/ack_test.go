@@ -1,0 +1,138 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAcksPreferRespondingPeers(t *testing.T) {
+	cfg := Config{
+		Fanout:       3,
+		PartialList:  true,
+		Acks:         true,
+		AckTimeout:   20 * time.Millisecond,
+		SuspectTTL:   time.Minute,
+		PullAttempts: 0,
+	}
+	hub, replicas := newCluster(t, 6, cfg)
+	// Replica 5 is offline: pushes to it never ack.
+	hub.SetOnline("replica-5", false)
+
+	replicas[0].Publish("k1", []byte("v1"))
+	replicas[0].Publish("k2", []byte("v2"))
+	time.Sleep(60 * time.Millisecond) // let ack timeouts fire
+
+	// Force a sweep and inspect: if replica 0 ever pushed to replica-5, it
+	// must now be suspected (no ack possible).
+	replicas[0].mu.Lock()
+	replicas[0].sweepAcksLocked(time.Now())
+	_, pushed := replicas[0].awaitingAck["replica-5"]
+	replicas[0].mu.Unlock()
+	if pushed {
+		t.Fatal("awaiting ack entry not swept")
+	}
+
+	// Publish more updates; every one must reach the responsive replicas.
+	replicas[0].Publish("k3", []byte("v3"))
+	eventually(t, 2*time.Second, func() bool {
+		for _, r := range replicas[:5] {
+			if _, ok := r.Get("k3"); !ok {
+				return false
+			}
+		}
+		return true
+	}, "responsive replicas did not receive the update")
+}
+
+func TestSuspectExpiryReadmitsPeer(t *testing.T) {
+	hub := NewHub()
+	tr, err := hub.Attach("acker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Fanout: 1, Acks: true,
+		AckTimeout: time.Millisecond,
+		SuspectTTL: 10 * time.Millisecond,
+		Seed:       60,
+	}
+	r, err := NewReplica(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AddPeers("ghost")
+	r.mu.Lock()
+	r.expectAckLocked("ghost", time.Now().Add(-time.Second))
+	r.sweepAcksLocked(time.Now())
+	_, suspected := r.suspects["ghost"]
+	r.mu.Unlock()
+	if !suspected {
+		t.Fatal("overdue ack did not create a suspect")
+	}
+	if got := r.Suspects(); len(got) != 1 || got[0] != "ghost" {
+		t.Fatalf("Suspects = %v", got)
+	}
+	// While suspected, the peer is not sampled.
+	r.mu.Lock()
+	sample := r.sampleLocked(5, nil)
+	r.mu.Unlock()
+	if len(sample) != 0 {
+		t.Fatalf("suspect sampled: %v", sample)
+	}
+	// After the TTL it is re-admitted.
+	time.Sleep(15 * time.Millisecond)
+	r.mu.Lock()
+	r.sweepAcksLocked(time.Now())
+	sample = r.sampleLocked(5, nil)
+	r.mu.Unlock()
+	if len(sample) != 1 {
+		t.Fatalf("expired suspect not re-admitted: %v", sample)
+	}
+}
+
+func TestAckRemovesSuspicion(t *testing.T) {
+	hub := NewHub()
+	tr, err := hub.Attach("fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReplica(Config{Fanout: 1, Acks: true, Seed: 61}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AddPeers("peer-x")
+	now := time.Now()
+	r.mu.Lock()
+	r.suspects["peer-x"] = now
+	r.noteAckLocked("peer-x", now)
+	_, stillSuspect := r.suspects["peer-x"]
+	_, acked := r.ackedBy["peer-x"]
+	r.mu.Unlock()
+	if stillSuspect || !acked {
+		t.Fatalf("ack processing wrong: suspect=%v acked=%v", stillSuspect, acked)
+	}
+}
+
+func TestAckConfigValidation(t *testing.T) {
+	if err := (Config{AckTimeout: -time.Second}).Validate(); err == nil {
+		t.Fatal("negative ack timeout accepted")
+	}
+	if err := (Config{SuspectTTL: -time.Second}).Validate(); err == nil {
+		t.Fatal("negative suspect ttl accepted")
+	}
+}
+
+func TestAcksDisabledNoBookkeeping(t *testing.T) {
+	cfg := Config{Fanout: 2, PullAttempts: 0}
+	_, replicas := newCluster(t, 4, cfg)
+	replicas[0].Publish("k", []byte("v"))
+	eventually(t, time.Second, func() bool {
+		_, ok := replicas[3].Get("k")
+		return ok
+	}, "push failed")
+	replicas[0].mu.Lock()
+	defer replicas[0].mu.Unlock()
+	if len(replicas[0].awaitingAck) != 0 || len(replicas[0].ackedBy) != 0 {
+		t.Fatal("ack bookkeeping active despite Acks=false")
+	}
+}

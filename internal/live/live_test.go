@@ -1,0 +1,369 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/p2pgossip/update/internal/pf"
+	"github.com/p2pgossip/update/internal/wire"
+)
+
+// newCluster builds n replicas on a shared in-memory hub with full mutual
+// knowledge and starts them.
+func newCluster(t *testing.T, n int, cfg Config) (*Hub, []*Replica) {
+	t.Helper()
+	hub := NewHub()
+	replicas := make([]*Replica, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		addrs[i] = fmt.Sprintf("replica-%d", i)
+		tr, err := hub.Attach(addrs[i])
+		if err != nil {
+			t.Fatalf("attach: %v", err)
+		}
+		c := cfg
+		c.Seed = int64(i) + 1
+		r, err := NewReplica(c, tr)
+		if err != nil {
+			t.Fatalf("new replica: %v", err)
+		}
+		replicas[i] = r
+	}
+	for _, r := range replicas {
+		r.AddPeers(addrs...)
+	}
+	for _, r := range replicas {
+		r.Start()
+		t.Cleanup(r.Stop)
+	}
+	return hub, replicas
+}
+
+// eventually polls cond every millisecond up to the deadline.
+func eventually(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, bad := range []Config{
+		{Fanout: -1},
+		{ListMax: -1},
+		{PullAttempts: -1},
+		{PullInterval: -time.Second},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("Config %+v should be invalid", bad)
+		}
+	}
+	if err := DefaultReplicaConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestNewReplicaValidation(t *testing.T) {
+	if _, err := NewReplica(Config{Fanout: -1}, nil); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := NewReplica(Config{}, nil); err == nil {
+		t.Fatal("nil transport accepted")
+	}
+}
+
+func TestPushPropagatesInMemory(t *testing.T) {
+	cfg := Config{Fanout: 4, PartialList: true, PullAttempts: 0}
+	_, replicas := newCluster(t, 10, cfg)
+	replicas[0].Publish("greeting", []byte("hello"))
+	eventually(t, 2*time.Second, func() bool {
+		for _, r := range replicas {
+			if _, ok := r.Get("greeting"); !ok {
+				return false
+			}
+		}
+		return true
+	}, "push did not reach every replica")
+}
+
+func TestOfflineReplicaCatchesUpViaPull(t *testing.T) {
+	cfg := Config{
+		Fanout:       4,
+		PartialList:  true,
+		PullAttempts: 3,
+		PullInterval: 10 * time.Millisecond,
+	}
+	hub, replicas := newCluster(t, 8, cfg)
+	hub.SetOnline("replica-7", false)
+
+	replicas[0].Publish("doc", []byte("v1"))
+	eventually(t, 2*time.Second, func() bool {
+		for _, r := range replicas[:7] {
+			if _, ok := r.Get("doc"); !ok {
+				return false
+			}
+		}
+		return true
+	}, "online replicas did not sync")
+	if _, ok := replicas[7].Get("doc"); ok {
+		t.Fatal("offline replica received the update")
+	}
+
+	hub.SetOnline("replica-7", true)
+	eventually(t, 2*time.Second, func() bool {
+		_, ok := replicas[7].Get("doc")
+		return ok
+	}, "returning replica did not pull the update")
+}
+
+func TestDeletePropagates(t *testing.T) {
+	cfg := Config{Fanout: 4, PartialList: true, PullAttempts: 2, PullInterval: 10 * time.Millisecond}
+	_, replicas := newCluster(t, 6, cfg)
+	replicas[0].Publish("k", []byte("v"))
+	eventually(t, 2*time.Second, func() bool {
+		_, ok := replicas[5].Get("k")
+		return ok
+	}, "put did not propagate")
+	replicas[0].Delete("k")
+	eventually(t, 2*time.Second, func() bool {
+		for _, r := range replicas {
+			if _, ok := r.Get("k"); ok {
+				return false
+			}
+		}
+		return true
+	}, "delete did not propagate")
+}
+
+func TestAdaptivePFInLiveRuntime(t *testing.T) {
+	cfg := Config{
+		Fanout:       5,
+		NewPF:        func() pf.Func { return pf.NewAdaptive(1.0) },
+		PartialList:  true,
+		PullAttempts: 2,
+		PullInterval: 10 * time.Millisecond,
+	}
+	_, replicas := newCluster(t, 12, cfg)
+	replicas[3].Publish("adaptive", []byte("x"))
+	eventually(t, 2*time.Second, func() bool {
+		for _, r := range replicas {
+			if _, ok := r.Get("adaptive"); !ok {
+				return false
+			}
+		}
+		return true
+	}, "adaptive cluster did not converge")
+}
+
+func TestConcurrentPublishersConverge(t *testing.T) {
+	cfg := Config{Fanout: 4, PartialList: true, PullAttempts: 3, PullInterval: 10 * time.Millisecond}
+	_, replicas := newCluster(t, 8, cfg)
+	for i, r := range replicas {
+		go r.Publish(fmt.Sprintf("key-%d", i), []byte{byte(i)})
+	}
+	eventually(t, 3*time.Second, func() bool {
+		for _, r := range replicas {
+			for i := range replicas {
+				if _, ok := r.Get(fmt.Sprintf("key-%d", i)); !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}, "concurrent publishers did not converge")
+	// Stores must be pairwise equal.
+	for i := 1; i < len(replicas); i++ {
+		if !replicas[0].Store().Equal(replicas[i].Store()) {
+			t.Fatalf("replica %d diverged", i)
+		}
+	}
+}
+
+func TestHubSemantics(t *testing.T) {
+	hub := NewHub()
+	tr, err := hub.Attach("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Attach("a"); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+	// No handler yet: delivery fails.
+	if err := hub.deliver("a", wire.Envelope{}); err == nil {
+		t.Fatal("delivery without handler succeeded")
+	}
+	got := 0
+	tr.SetHandler(func(wire.Envelope) { got++ })
+	tr2, err := hub.Attach("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2.SetHandler(func(wire.Envelope) {})
+	if err := tr2.Send("a", wire.Envelope{}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if got != 1 {
+		t.Fatalf("handler calls = %d", got)
+	}
+	// Unknown target.
+	if err := tr2.Send("nobody", wire.Envelope{}); err == nil {
+		t.Fatal("send to unknown address succeeded")
+	}
+	// Offline sender.
+	hub.SetOnline("b", false)
+	if err := tr2.Send("a", wire.Envelope{}); err == nil {
+		t.Fatal("offline sender could send")
+	}
+	// Closed transport.
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	hub.SetOnline("b", true)
+	if err := tr2.Send("a", wire.Envelope{}); err == nil {
+		t.Fatal("send to detached address succeeded")
+	}
+}
+
+func TestReplicaPeersManagement(t *testing.T) {
+	hub := NewHub()
+	tr, err := hub.Attach("self")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReplica(Config{Fanout: 2}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AddPeers("self", "", "p1", "p2", "p1")
+	peers := r.Peers()
+	if len(peers) != 2 {
+		t.Fatalf("peers = %v", peers)
+	}
+}
+
+func TestStopIsIdempotent(t *testing.T) {
+	hub := NewHub()
+	tr, err := hub.Attach("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReplica(Config{Fanout: 1, PullInterval: time.Millisecond, PullAttempts: 1}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	r.Stop()
+	r.Stop() // must not panic or deadlock
+}
+
+func TestReplicaSnapshotRestore(t *testing.T) {
+	hub := NewHub()
+	tr1, err := hub.Attach("snap-src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := NewReplica(Config{Fanout: 0, Seed: 50}, tr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Publish("a", []byte("1"))
+	r1.Publish("b", []byte("2"))
+	r1.Delete("a")
+
+	var buf bytes.Buffer
+	if err := r1.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+
+	// A "restarted" replica on the same address restores the snapshot and
+	// must continue the sequence instead of reusing numbers.
+	tr2, err := hub.Attach("snap-dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewReplica(Config{Fanout: 0, Seed: 51}, tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.RestoreSnapshot(&buf); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if _, ok := r2.Get("a"); ok {
+		t.Fatal("tombstone lost in restore")
+	}
+	rev, ok := r2.Get("b")
+	if !ok || string(rev.Value) != "2" {
+		t.Fatalf("restored value = %v %v", rev, ok)
+	}
+	// Restored state came from origin "snap-src"; r2's own writes use its
+	// own origin, starting at 1.
+	u := r2.Publish("c", []byte("3"))
+	if u.Origin != "snap-dst" || u.Seq != 1 {
+		t.Fatalf("post-restore update = %s", u.ID())
+	}
+}
+
+func TestReplicaRestoreGarbage(t *testing.T) {
+	hub := NewHub()
+	tr, err := hub.Attach("snap-bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReplica(Config{Fanout: 0, Seed: 52}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RestoreSnapshot(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+func TestPullBootstrapsMembership(t *testing.T) {
+	// A new replica knowing only one seed address learns the rest of the
+	// population from the membership sample on pull responses.
+	cfg := Config{
+		Fanout:       3,
+		PartialList:  true,
+		PullAttempts: 2,
+		PullInterval: 10 * time.Millisecond,
+	}
+	_, replicas := newCluster(t, 6, cfg)
+
+	// Attach the newcomer to the same hub as the cluster.
+	clusterHub := replicasHub(t, replicas)
+	tr, err := clusterHub.Attach("newcomer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg
+	c.Seed = 77
+	newcomer, err := NewReplica(c, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newcomer.AddPeers("replica-0") // one seed only
+	newcomer.Start()
+	t.Cleanup(newcomer.Stop)
+
+	eventually(t, 2*time.Second, func() bool {
+		return len(newcomer.Peers()) >= 4
+	}, "newcomer did not learn peers from pull responses")
+}
+
+// replicasHub digs the shared hub out of a cluster built by newCluster.
+func replicasHub(t *testing.T, replicas []*Replica) *Hub {
+	t.Helper()
+	mt, ok := replicas[0].transport.(*MemTransport)
+	if !ok {
+		t.Fatal("cluster not on MemTransport")
+	}
+	return mt.hub
+}

@@ -1,0 +1,116 @@
+package live
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestLiveQueryReturnsFreshest(t *testing.T) {
+	cfg := Config{Fanout: 0, PullAttempts: 0} // no gossip: stores diverge
+	_, replicas := newCluster(t, 4, cfg)
+
+	// Replica 1 has the old revision; replica 2 the newer one (same origin
+	// history, longer).
+	u1 := replicas[0].Publish("k", []byte("old"))
+	u2 := replicas[0].Publish("k", []byte("new"))
+	replicas[1].Store().Apply(u1)
+	replicas[2].Store().Apply(u1)
+	replicas[2].Store().Apply(u2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	out, err := replicas[3].Query(ctx, "k", 3)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !out.Found || string(out.Revision.Value) != "new" {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if out.Responses != 3 {
+		t.Fatalf("responses = %d", out.Responses)
+	}
+}
+
+func TestLiveQueryLocalVoice(t *testing.T) {
+	// A replica that already holds the freshest revision must not be
+	// downgraded by stale peers.
+	cfg := Config{Fanout: 0, PullAttempts: 0}
+	_, replicas := newCluster(t, 3, cfg)
+	u1 := replicas[0].Publish("k", []byte("old"))
+	u2 := replicas[0].Publish("k", []byte("new"))
+	replicas[1].Store().Apply(u1)
+	replicas[2].Store().Apply(u1)
+	replicas[2].Store().Apply(u2) // the querier itself is freshest
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	out, err := replicas[2].Query(ctx, "k", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out.Revision.Value) != "new" {
+		t.Fatalf("stale peer won: %+v", out)
+	}
+}
+
+func TestLiveQueryMissingKey(t *testing.T) {
+	cfg := Config{Fanout: 0, PullAttempts: 0}
+	_, replicas := newCluster(t, 3, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	out, err := replicas[0].Query(ctx, "ghost", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Found || out.Responses != 2 {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+func TestLiveQueryTimeoutWithOfflinePeers(t *testing.T) {
+	cfg := Config{Fanout: 0, PullAttempts: 0}
+	hub, replicas := newCluster(t, 3, cfg)
+	hub.SetOnline("replica-1", false)
+	hub.SetOnline("replica-2", false)
+
+	// No local copy, no responders: context error surfaces.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := replicas[0].Query(ctx, "k", 2); err == nil {
+		t.Fatal("query with zero responses should error")
+	}
+
+	// With a local copy the query degrades gracefully to the local answer.
+	replicas[0].Publish("k", []byte("local"))
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	out, err := replicas[0].Query(ctx2, "k", 2)
+	if err != nil {
+		t.Fatalf("degraded query errored: %v", err)
+	}
+	if !out.Found || string(out.Revision.Value) != "local" {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+func TestLiveQueryNoPeers(t *testing.T) {
+	hub := NewHub()
+	tr, err := hub.Attach("loner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReplica(Config{Fanout: 0, Seed: 70}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Publish("k", []byte("v"))
+	ctx := context.Background()
+	out, err := r.Query(ctx, "k", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Found || string(out.Revision.Value) != "v" {
+		t.Fatalf("outcome = %+v", out)
+	}
+}

@@ -1,0 +1,492 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/p2pgossip/update/internal/pf"
+	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/wire"
+)
+
+// Config parameterises a live replica.
+type Config struct {
+	// Fanout is the number of peers each push targets (the paper's R·f_r).
+	Fanout int
+	// NewPF builds the per-update forwarding-probability schedule. Nil
+	// means PF(t) = 1.
+	NewPF func() pf.Func
+	// PartialList enables the flooding-list optimisation.
+	PartialList bool
+	// ListMax caps the number of addresses carried per push (the live
+	// analogue of L_thr·R); 0 means unlimited.
+	ListMax int
+	// PullAttempts is the number of peers contacted per pull batch.
+	PullAttempts int
+	// PullInterval is the period of background anti-entropy pulls; 0
+	// disables periodic pulling (the eager pull at Start still happens
+	// unless PullAttempts is 0).
+	PullInterval time.Duration
+	// Acks enables the §6 acknowledgement optimisation: receivers ack the
+	// first copy of each update; senders prefer acking peers and skip
+	// suspected-offline ones.
+	Acks bool
+	// AckTimeout is how long to wait for an ack before suspecting a peer
+	// offline; 0 means 3s.
+	AckTimeout time.Duration
+	// SuspectTTL is how long suspected peers are skipped; 0 means 1m.
+	SuspectTTL time.Duration
+	// Seed seeds the replica's random source; 0 derives one from the
+	// current time.
+	Seed int64
+}
+
+// DefaultReplicaConfig returns a production-ish configuration: fanout 5,
+// PF(t)=0.9^t, partial lists, eager + periodic pull.
+func DefaultReplicaConfig() Config {
+	return Config{
+		Fanout:       5,
+		NewPF:        func() pf.Func { return pf.Geometric{Base: 0.9} },
+		PartialList:  true,
+		PullAttempts: 3,
+		PullInterval: 30 * time.Second,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Fanout < 0:
+		return fmt.Errorf("live: fanout %d negative", c.Fanout)
+	case c.ListMax < 0:
+		return fmt.Errorf("live: list max %d negative", c.ListMax)
+	case c.PullAttempts < 0:
+		return fmt.Errorf("live: pull attempts %d negative", c.PullAttempts)
+	case c.PullInterval < 0:
+		return fmt.Errorf("live: pull interval %v negative", c.PullInterval)
+	case c.AckTimeout < 0:
+		return fmt.Errorf("live: ack timeout %v negative", c.AckTimeout)
+	case c.SuspectTTL < 0:
+		return fmt.Errorf("live: suspect ttl %v negative", c.SuspectTTL)
+	default:
+		return nil
+	}
+}
+
+// replicaState is per-update bookkeeping (mirrors gossip.updateState with
+// addresses instead of indices).
+type replicaState struct {
+	rf     map[string]struct{}
+	rfList []string
+	pfn    pf.Func
+}
+
+func (s *replicaState) add(addr string) {
+	if _, ok := s.rf[addr]; ok {
+		return
+	}
+	s.rf[addr] = struct{}{}
+	s.rfList = append(s.rfList, addr)
+}
+
+// Replica is a live protocol node. Create with NewReplica, then Start; Stop
+// releases the background puller. All methods are safe for concurrent use.
+type Replica struct {
+	cfg       Config
+	transport Transport
+	st        *store.Store
+	writer    *store.Writer
+
+	mu     sync.Mutex
+	peers  map[string]struct{}
+	order  []string
+	states map[string]*replicaState
+	rng    *rand.Rand
+
+	// §6 ack optimisation state (only used when cfg.Acks).
+	ackedBy     map[string]time.Time
+	suspects    map[string]time.Time
+	awaitingAck map[string]time.Time
+
+	// §4.4 query state.
+	queries      map[int64]*liveQuery
+	queryCounter int64
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewReplica builds a replica on the given transport. The transport's
+// handler is claimed by the replica.
+func NewReplica(cfg Config, transport Transport) (*Replica, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if transport == nil {
+		return nil, fmt.Errorf("live: nil transport")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	r := &Replica{
+		cfg:         cfg,
+		transport:   transport,
+		st:          store.New(),
+		peers:       make(map[string]struct{}),
+		states:      make(map[string]*replicaState),
+		rng:         rand.New(rand.NewSource(seed)),
+		ackedBy:     make(map[string]time.Time),
+		suspects:    make(map[string]time.Time),
+		awaitingAck: make(map[string]time.Time),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	w, err := store.NewWriter(transport.Addr(), r.st, time.Now,
+		rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		return nil, err
+	}
+	r.writer = w
+	transport.SetHandler(r.handle)
+	return r, nil
+}
+
+// Addr returns the replica's address.
+func (r *Replica) Addr() string { return r.transport.Addr() }
+
+// Store returns the replica's data store.
+func (r *Replica) Store() *store.Store { return r.st }
+
+// AddPeers teaches the replica about other replica addresses.
+func (r *Replica) AddPeers(addrs ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, a := range addrs {
+		r.learnLocked(a)
+	}
+}
+
+func (r *Replica) learnLocked(addr string) {
+	if addr == "" || addr == r.transport.Addr() {
+		return
+	}
+	if _, ok := r.peers[addr]; ok {
+		return
+	}
+	r.peers[addr] = struct{}{}
+	r.order = append(r.order, addr)
+}
+
+// Peers returns a copy of the known replica addresses.
+func (r *Replica) Peers() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// Start launches the background puller and performs the coming-online pull.
+func (r *Replica) Start() {
+	go r.pullLoop()
+	if r.cfg.PullAttempts > 0 {
+		r.PullNow()
+	}
+}
+
+// Stop terminates the background puller and waits for it to exit. It is
+// idempotent.
+func (r *Replica) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+func (r *Replica) pullLoop() {
+	defer close(r.done)
+	if r.cfg.PullInterval <= 0 {
+		<-r.stop
+		return
+	}
+	ticker := time.NewTicker(r.cfg.PullInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if r.cfg.PullAttempts > 0 {
+				r.PullNow()
+			}
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// Publish creates and pushes an update for key.
+func (r *Replica) Publish(key string, value []byte) store.Update {
+	u := r.writer.Put(key, value)
+	r.initiate(u)
+	return u
+}
+
+// Delete creates and pushes a tombstone for key.
+func (r *Replica) Delete(key string) store.Update {
+	u := r.writer.Delete(key)
+	r.initiate(u)
+	return u
+}
+
+// Get reads the winning revision for key from the local store.
+func (r *Replica) Get(key string) (store.Revision, bool) { return r.st.Get(key) }
+
+// PullNow performs one pull batch immediately.
+func (r *Replica) PullNow() {
+	r.mu.Lock()
+	targets := r.sampleLocked(r.cfg.PullAttempts, nil)
+	clock := wire.ClockToWire(r.st.Clock())
+	r.mu.Unlock()
+	for _, t := range targets {
+		env := wire.Envelope{Kind: wire.KindPullReq, From: r.Addr(), Clock: clock}
+		_ = r.transport.Send(t, env) // offline peers are expected; pull retries later
+	}
+}
+
+func (r *Replica) initiate(u store.Update) {
+	r.mu.Lock()
+	state := r.newStateLocked()
+	r.states[u.ID()] = state
+	targets := r.sampleLocked(r.cfg.Fanout, nil)
+	state.add(r.Addr())
+	for _, t := range targets {
+		state.add(t)
+	}
+	carried := r.carriedLocked(state)
+	r.mu.Unlock()
+	r.sendPushes(u, targets, carried, 0)
+}
+
+func (r *Replica) handle(env wire.Envelope) {
+	switch env.Kind {
+	case wire.KindPush:
+		r.handlePush(env)
+	case wire.KindPullReq:
+		r.handlePullReq(env)
+	case wire.KindPullResp:
+		r.handlePullResp(env)
+	case wire.KindAck:
+		r.mu.Lock()
+		r.noteAckLocked(env.From, time.Now())
+		r.mu.Unlock()
+	case wire.KindQuery:
+		r.handleQuery(env)
+	case wire.KindQueryResp:
+		r.handleQueryResp(env)
+	}
+}
+
+func (r *Replica) handlePush(env wire.Envelope) {
+	u, err := env.Update.ToStore()
+	if err != nil {
+		return // malformed update: drop
+	}
+	id := u.ID()
+
+	r.mu.Lock()
+	r.learnLocked(env.From)
+	for _, a := range env.RF {
+		r.learnLocked(a)
+	}
+	if state, seen := r.states[id]; seen {
+		// Duplicate: merge lists, feed adaptive PF.
+		for _, a := range env.RF {
+			state.add(a)
+		}
+		if ad, ok := state.pfn.(*pf.Adaptive); ok {
+			ad.ObserveDuplicate()
+		}
+		r.mu.Unlock()
+		return
+	}
+	state := r.newStateLocked()
+	for _, a := range env.RF {
+		state.add(a)
+	}
+	state.add(r.Addr())
+	r.states[id] = state
+	r.st.Apply(u)
+	sendAck := r.cfg.Acks
+	from := env.From
+
+	t := env.T + 1
+	forward := r.rng.Float64() < state.pfn.P(t)
+	var targets []string
+	var carried []string
+	if forward && r.cfg.Fanout > 0 {
+		rp := r.sampleLocked(r.cfg.Fanout, nil)
+		for _, a := range rp {
+			if _, listed := state.rf[a]; !listed {
+				targets = append(targets, a)
+			}
+			state.add(a)
+		}
+		carried = r.carriedLocked(state)
+	}
+	r.mu.Unlock()
+
+	if sendAck && from != "" {
+		r.sendAck(from, id)
+	}
+	if len(targets) > 0 {
+		r.sendPushes(u, targets, carried, t)
+	}
+}
+
+func (r *Replica) sendPushes(u store.Update, targets, carried []string, t int) {
+	wu := wire.FromStore(u)
+	now := time.Now()
+	r.mu.Lock()
+	for _, target := range targets {
+		r.expectAckLocked(target, now)
+	}
+	r.mu.Unlock()
+	for _, target := range targets {
+		env := wire.Envelope{
+			Kind: wire.KindPush, From: r.Addr(), Update: wu, RF: carried, T: t,
+		}
+		_ = r.transport.Send(target, env) // offline targets are the normal case
+	}
+}
+
+// pullGossipSample is the number of known peer addresses piggybacked on a
+// pull response (membership gossip for bootstrap).
+const pullGossipSample = 16
+
+func (r *Replica) handlePullReq(env wire.Envelope) {
+	r.mu.Lock()
+	r.learnLocked(env.From)
+	sample := r.sampleLocked(pullGossipSample, map[string]struct{}{env.From: {}})
+	r.mu.Unlock()
+	missing := r.st.MissingFor(wire.ClockFromWire(env.Clock))
+	updates := make([]wire.Update, len(missing))
+	for i, u := range missing {
+		updates[i] = wire.FromStore(u)
+	}
+	resp := wire.Envelope{
+		Kind: wire.KindPullResp, From: r.Addr(),
+		Updates: updates, KnownPeers: sample,
+	}
+	_ = r.transport.Send(env.From, resp)
+}
+
+func (r *Replica) handlePullResp(env wire.Envelope) {
+	r.mu.Lock()
+	r.learnLocked(env.From)
+	for _, a := range env.KnownPeers {
+		r.learnLocked(a)
+	}
+	r.mu.Unlock()
+	for _, wu := range env.Updates {
+		u, err := wu.ToStore()
+		if err != nil {
+			continue
+		}
+		r.st.Apply(u)
+		r.mu.Lock()
+		if _, ok := r.states[u.ID()]; !ok {
+			// Pulled updates are not re-pushed (§4.3's optimism).
+			r.states[u.ID()] = r.newStateLocked()
+		}
+		r.mu.Unlock()
+	}
+}
+
+// sampleLocked draws up to k distinct known peers, excluding those in skip.
+// With acks enabled, suspected-offline peers are skipped and recently-acking
+// peers are preferred (§6).
+func (r *Replica) sampleLocked(k int, skip map[string]struct{}) []string {
+	if k <= 0 || len(r.order) == 0 {
+		return nil
+	}
+	r.sweepAcksLocked(time.Now())
+	preferred := make([]string, 0, k)
+	candidates := make([]string, 0, len(r.order))
+	for _, a := range r.order {
+		if skip != nil {
+			if _, s := skip[a]; s {
+				continue
+			}
+		}
+		if r.cfg.Acks {
+			if _, suspect := r.suspects[a]; suspect {
+				continue
+			}
+			if _, acked := r.ackedBy[a]; acked {
+				preferred = append(preferred, a)
+				continue
+			}
+		}
+		candidates = append(candidates, a)
+	}
+	r.rng.Shuffle(len(preferred), func(i, j int) {
+		preferred[i], preferred[j] = preferred[j], preferred[i]
+	})
+	r.rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	out := preferred
+	if len(out) > k {
+		out = out[:k]
+	} else {
+		need := k - len(out)
+		if need > len(candidates) {
+			need = len(candidates)
+		}
+		out = append(out, candidates[:need]...)
+	}
+	return out
+}
+
+// carriedLocked renders a state's flooding list for the wire, honouring
+// ListMax by dropping random entries (the default truncation policy).
+func (r *Replica) carriedLocked(state *replicaState) []string {
+	if !r.cfg.PartialList {
+		return nil
+	}
+	out := append([]string(nil), state.rfList...)
+	if r.cfg.ListMax > 0 && len(out) > r.cfg.ListMax {
+		r.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		out = out[:r.cfg.ListMax]
+	}
+	return out
+}
+
+func (r *Replica) newStateLocked() *replicaState {
+	s := &replicaState{rf: make(map[string]struct{}, 8)}
+	if r.cfg.NewPF != nil {
+		s.pfn = r.cfg.NewPF()
+	} else {
+		s.pfn = pf.Always()
+	}
+	return s
+}
+
+// WriteSnapshot serialises the replica's full update log to w, for restarts.
+func (r *Replica) WriteSnapshot(w io.Writer) error {
+	return r.st.WriteSnapshot(w)
+}
+
+// RestoreSnapshot replaces the replica's state with a snapshot previously
+// produced by WriteSnapshot (on this or another replica). The writer's
+// sequence counter advances so new updates never reuse sequence numbers.
+// Call before Start.
+func (r *Replica) RestoreSnapshot(rd io.Reader) error {
+	restored, err := store.ReadSnapshot(rd, store.DefaultTombstoneRetention)
+	if err != nil {
+		return err
+	}
+	r.st.Replace(restored)
+	r.writer.Resync()
+	return nil
+}

@@ -1,0 +1,142 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/p2pgossip/update/internal/wire"
+)
+
+// maxFrameBytes bounds a single envelope frame (16 MiB) so a corrupt or
+// hostile peer cannot force unbounded allocation.
+const maxFrameBytes = 16 << 20
+
+// dialTimeout bounds connection establishment to an (often offline) peer.
+const dialTimeout = 2 * time.Second
+
+// TCPTransport sends and receives envelopes over TCP. Each envelope travels
+// as a length-prefixed gob frame on a fresh connection: replicas in the
+// target environment are mostly offline, so long-lived connections would
+// mostly be dead weight; an update burst is a handful of messages.
+type TCPTransport struct {
+	listener net.Listener
+
+	mu      sync.RWMutex
+	handler Handler
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// ListenTCP starts a transport on the given address ("127.0.0.1:0" picks a
+// free port).
+func ListenTCP(addr string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{listener: ln}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr implements Transport.
+func (t *TCPTransport) Addr() string { return t.listener.Addr().String() }
+
+// SetHandler implements Transport.
+func (t *TCPTransport) SetHandler(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(to string, env wire.Envelope) error {
+	t.mu.RLock()
+	closed := t.closed
+	t.mu.RUnlock()
+	if closed {
+		return fmt.Errorf("live: transport closed")
+	}
+	conn, err := net.DialTimeout("tcp", to, dialTimeout)
+	if err != nil {
+		return fmt.Errorf("live: dial %s: %w", to, err)
+	}
+	defer conn.Close()
+	raw, err := wire.Encode(env)
+	if err != nil {
+		return err
+	}
+	var lenbuf [4]byte
+	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(raw)))
+	if _, err := conn.Write(lenbuf[:]); err != nil {
+		return fmt.Errorf("live: write frame length to %s: %w", to, err)
+	}
+	if _, err := conn.Write(raw); err != nil {
+		return fmt.Errorf("live: write frame to %s: %w", to, err)
+	}
+	return nil
+}
+
+// Close implements Transport: stops accepting and waits for in-flight
+// deliveries.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.listener.Close()
+	t.wg.Wait()
+	return err
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.serveConn(conn)
+		}()
+	}
+}
+
+func (t *TCPTransport) serveConn(conn net.Conn) {
+	defer conn.Close()
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(conn, lenbuf[:]); err != nil {
+		return
+	}
+	n := binary.BigEndian.Uint32(lenbuf[:])
+	if n == 0 || n > maxFrameBytes {
+		return
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(conn, raw); err != nil {
+		return
+	}
+	env, err := wire.Decode(raw)
+	if err != nil {
+		return
+	}
+	t.mu.RLock()
+	handler := t.handler
+	closed := t.closed
+	t.mu.RUnlock()
+	if handler != nil && !closed {
+		handler(env)
+	}
+}

@@ -1,0 +1,173 @@
+package live
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/p2pgossip/update/internal/wire"
+)
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	got := make(chan wire.Envelope, 1)
+	b.SetHandler(func(env wire.Envelope) { got <- env })
+
+	env := wire.Envelope{Kind: wire.KindAck, From: a.Addr(), UpdateID: "origin/7"}
+	if err := a.Send(b.Addr(), env); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case received := <-got:
+		if received.Kind != wire.KindAck || received.UpdateID != "origin/7" {
+			t.Fatalf("received %+v", received)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no envelope received")
+	}
+}
+
+func TestTCPSendToDeadAddressFails(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// A port we just closed is very likely dead.
+	dead, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr()
+	dead.Close()
+	if err := a.Send(deadAddr, wire.Envelope{Kind: wire.KindPush}); err == nil {
+		t.Fatal("send to closed listener succeeded")
+	}
+}
+
+func TestTCPCloseStopsDelivery(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := a.Send("127.0.0.1:1", wire.Envelope{}); err == nil {
+		t.Fatal("send on closed transport succeeded")
+	}
+}
+
+func TestReplicasOverTCPConverge(t *testing.T) {
+	const n = 5
+	transports := make([]*TCPTransport, n)
+	replicas := make([]*Replica, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		tr, err := ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[i] = tr
+		addrs[i] = tr.Addr()
+		cfg := Config{
+			Fanout:       3,
+			PartialList:  true,
+			PullAttempts: 2,
+			PullInterval: 20 * time.Millisecond,
+			Seed:         int64(i) + 1,
+		}
+		r, err := NewReplica(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[i] = r
+	}
+	for i, r := range replicas {
+		r.AddPeers(addrs...)
+		r.Start()
+		i := i
+		t.Cleanup(func() {
+			replicas[i].Stop()
+			transports[i].Close()
+		})
+	}
+
+	replicas[0].Publish("tcp-key", []byte("payload"))
+	eventually(t, 5*time.Second, func() bool {
+		for _, r := range replicas {
+			rev, ok := r.Get("tcp-key")
+			if !ok || string(rev.Value) != "payload" {
+				return false
+			}
+		}
+		return true
+	}, "TCP replicas did not converge")
+}
+
+func TestWireEncodeDecode(t *testing.T) {
+	env := wire.Envelope{
+		Kind: wire.KindPullReq,
+		From: "a:1",
+		Clock: map[string]uint64{
+			"x": 3, "y": 9,
+		},
+	}
+	raw, err := wire.Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := wire.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != env.Kind || back.From != env.From || back.Clock["y"] != 9 {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	if _, err := wire.Decode([]byte("garbage")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestWireUpdateConversion(t *testing.T) {
+	hub := NewHub()
+	tr, err := hub.Attach(fmt.Sprintf("w-%p", t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReplica(Config{Fanout: 0, Seed: 9}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := r.Publish("k", []byte("v"))
+
+	wu := wire.FromStore(u)
+	back, err := wu.ToStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID() != u.ID() || string(back.Value) != string(u.Value) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, u)
+	}
+	if len(back.Version) != len(u.Version) || back.Version[0] != u.Version[0] {
+		t.Fatal("version history corrupted")
+	}
+	// Malformed version id length must error.
+	wu.Version = [][]byte{{1, 2, 3}}
+	if _, err := wu.ToStore(); err == nil {
+		t.Fatal("short version id accepted")
+	}
+}

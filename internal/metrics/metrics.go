@@ -1,0 +1,212 @@
+// Package metrics provides counters, per-round time series, and simple
+// table rendering used by the simulation engine and the experiment harness.
+//
+// The package is deliberately dependency-free and allocation-conscious: the
+// simulator updates counters on every message, so the hot path is a map
+// lookup and an integer add. All accessors return copies so that callers can
+// never alias internal state.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry collects named counters and named per-round series.
+//
+// A Registry is safe for concurrent use. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]float64
+	series   map[string]*Series
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]float64),
+		series:   make(map[string]*Series),
+	}
+}
+
+// Add increments the named counter by delta.
+func (r *Registry) Add(name string, delta float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] += delta
+}
+
+// Inc increments the named counter by one.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Counter returns the current value of the named counter (zero if absent).
+func (r *Registry) Counter(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Counters returns a copy of all counters.
+func (r *Registry) Counters() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Observe appends (x, y) to the named series, creating it if necessary.
+func (r *Registry) Observe(name string, x, y float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{Name: name}
+		r.series[name] = s
+	}
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Series returns a copy of the named series. The second return value reports
+// whether the series exists.
+func (r *Registry) Series(name string) (Series, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		return Series{Name: name}, false
+	}
+	return s.clone(), true
+}
+
+// SeriesNames returns the sorted names of all series.
+func (r *Registry) SeriesNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.series))
+	for k := range r.series {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset clears all counters and series.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = make(map[string]float64)
+	r.series = make(map[string]*Series)
+}
+
+// Series is an ordered sequence of (X, Y) observations, e.g. round number
+// versus fraction of aware peers.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+func (s *Series) clone() Series {
+	out := Series{Name: s.Name}
+	out.X = append([]float64(nil), s.X...)
+	out.Y = append([]float64(nil), s.Y...)
+	return out
+}
+
+// Len returns the number of observations in the series.
+func (s Series) Len() int { return len(s.X) }
+
+// Last returns the final (x, y) pair. It returns zeros for an empty series.
+func (s Series) Last() (x, y float64) {
+	if len(s.X) == 0 {
+		return 0, 0
+	}
+	return s.X[len(s.X)-1], s.Y[len(s.Y)-1]
+}
+
+// Table renders labelled rows of numeric cells as a fixed-width text table.
+// It is used by cmd/figures to print the paper's tables and figure series.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells, formatting each value with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		case float32:
+			row[i] = trimFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounters(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Counter("missing"); got != 0 {
+		t.Fatalf("missing counter = %g", got)
+	}
+	r.Inc("a")
+	r.Add("a", 2.5)
+	if got := r.Counter("a"); got != 3.5 {
+		t.Fatalf("a = %g", got)
+	}
+	all := r.Counters()
+	if all["a"] != 3.5 || len(all) != 1 {
+		t.Fatalf("Counters = %v", all)
+	}
+	// Returned map is a copy.
+	all["a"] = 99
+	if r.Counter("a") != 3.5 {
+		t.Fatal("Counters exposed internal map")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Series("s"); ok {
+		t.Fatal("missing series reported present")
+	}
+	r.Observe("s", 0, 1)
+	r.Observe("s", 1, 2)
+	s, ok := r.Series("s")
+	if !ok || s.Len() != 2 {
+		t.Fatalf("series = %+v ok=%v", s, ok)
+	}
+	x, y := s.Last()
+	if x != 1 || y != 2 {
+		t.Fatalf("Last = %g,%g", x, y)
+	}
+	// Copy semantics.
+	s.Y[0] = 42
+	s2, _ := r.Series("s")
+	if s2.Y[0] != 1 {
+		t.Fatal("Series exposed internal slice")
+	}
+	var empty Series
+	if x, y := empty.Last(); x != 0 || y != 0 {
+		t.Fatal("empty Last should be zeros")
+	}
+}
+
+func TestSeriesNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("b", 0, 0)
+	r.Observe("a", 0, 0)
+	names := r.SeriesNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("SeriesNames = %v", names)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("x")
+	r.Observe("s", 1, 1)
+	r.Reset()
+	if r.Counter("x") != 0 {
+		t.Fatal("counter survived reset")
+	}
+	if _, ok := r.Series("s"); ok {
+		t.Fatal("series survived reset")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Inc("c")
+				r.Observe("s", float64(j), float64(j))
+				_ = r.Counter("c")
+				_, _ = r.Series("s")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c"); got != 8000 {
+		t.Fatalf("concurrent counter = %g", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", float32(2))
+	tb.AddRow("gamma-long-name", 0.3333333)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5") {
+		t.Fatalf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + separator + 3 rows
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "name,value\n") {
+		t.Fatalf("CSV header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "0.3333") {
+		t.Fatalf("CSV cell formatting wrong:\n%s", csv)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{1.5, "1.5"}, {2, "2"}, {0, "0"}, {0.25, "0.25"}, {-1.2, "-1.2"},
+	}
+	for _, tt := range tests {
+		if got := trimFloat(tt.in); got != tt.want {
+			t.Fatalf("trimFloat(%g) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

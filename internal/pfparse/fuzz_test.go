@@ -1,0 +1,30 @@
+package pfparse
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse ensures the schedule parser never panics and that every parsed
+// schedule yields probabilities in [0, 1] for all rounds.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"const:1", "geom:0.9", "affine:0.8,0.7,0.2", "ttl:7",
+		"haas:0.8,2", "lin:1,0.1", "adaptive:1",
+		"", ":", "geom:", "geom:NaN", "geom:-1", "const:1e308",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		fn, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		for _, round := range []int{-1, 0, 1, 10, 1000} {
+			p := fn.P(round)
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Fatalf("Parse(%q).P(%d) = %v out of [0,1]", spec, round, p)
+			}
+		}
+	})
+}

@@ -1,0 +1,245 @@
+// Package pgrid implements the P-Grid access structure [Aberer, CoopIS
+// 2001] that motivated the paper: a binary-trie partitioning of the key
+// space in which every peer is responsible for one partition (its *path*),
+// maintains routing references to the complementary subtree at every level,
+// and replicates its partition's data with all peers sharing the same path
+// (the *replica group*).
+//
+// Updates within a replica group are *not* handled here — they are delegated
+// to the gossip package, exactly as the paper proposes: "the 'data' may
+// indeed be knowledge regarding the system's topology, for example the
+// routing tables used in P-Grid" (§3). The pgrid and gossip packages
+// compose in examples/pgridsearch and the integration tests.
+package pgrid
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+)
+
+// KeyPath maps a key to its binary partition path of the given depth, via a
+// stable hash. Peers responsible for the returned path serve the key.
+func KeyPath(key string, depth int) string {
+	if depth <= 0 {
+		return ""
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key)) // fnv hash writes never fail
+	v := mix64(h.Sum64())
+	var b strings.Builder
+	b.Grow(depth)
+	for i := 0; i < depth; i++ {
+		if v&(1<<uint(63-i)) != 0 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// mix64 is the splitmix64 finaliser; FNV alone distributes the high bits of
+// short, similar keys poorly, and partition paths use the high bits.
+func mix64(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}
+
+// Peer is one P-Grid participant.
+type Peer struct {
+	// ID is the peer index.
+	ID int
+	// Path is the binary partition the peer is responsible for.
+	Path string
+	// Routing maps trie level l to peer IDs whose path agrees with Path on
+	// the first l bits and differs at bit l — the standard P-Grid
+	// references into the complementary subtree.
+	Routing map[int][]int
+}
+
+// Grid is a constructed P-Grid network.
+type Grid struct {
+	// Peers indexed by ID.
+	Peers []*Peer
+	// Depth is the trie depth; there are 2^Depth partitions.
+	Depth int
+
+	groups map[string][]int
+}
+
+// Build constructs a balanced P-Grid of 2^depth partitions over n peers,
+// assigning peers to partitions round-robin and wiring refsPerLevel random
+// routing references per level. Multiple references per level are P-Grid's
+// redundancy against offline peers.
+func Build(n, depth, refsPerLevel int, seed int64) (*Grid, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pgrid: n = %d must be positive", n)
+	}
+	if depth < 0 || depth > 20 {
+		return nil, fmt.Errorf("pgrid: depth = %d out of [0,20]", depth)
+	}
+	partitions := 1 << uint(depth)
+	if n < partitions {
+		return nil, fmt.Errorf("pgrid: %d peers cannot populate %d partitions", n, partitions)
+	}
+	if refsPerLevel <= 0 {
+		refsPerLevel = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	g := &Grid{
+		Peers:  make([]*Peer, n),
+		Depth:  depth,
+		groups: make(map[string][]int, partitions),
+	}
+	for i := 0; i < n; i++ {
+		path := pathOfPartition(i%partitions, depth)
+		g.Peers[i] = &Peer{ID: i, Path: path, Routing: make(map[int][]int, depth)}
+		g.groups[path] = append(g.groups[path], i)
+	}
+	// Wire routing tables: for each level l, pick refsPerLevel random peers
+	// from the complementary subtree at that level.
+	for _, p := range g.Peers {
+		for l := 0; l < depth; l++ {
+			prefix := p.Path[:l] + flip(p.Path[l])
+			candidates := g.peersWithPrefix(prefix)
+			rng.Shuffle(len(candidates), func(a, b int) {
+				candidates[a], candidates[b] = candidates[b], candidates[a]
+			})
+			k := refsPerLevel
+			if k > len(candidates) {
+				k = len(candidates)
+			}
+			p.Routing[l] = append([]int(nil), candidates[:k]...)
+		}
+	}
+	return g, nil
+}
+
+func pathOfPartition(idx, depth int) string {
+	var b strings.Builder
+	b.Grow(depth)
+	for i := depth - 1; i >= 0; i-- {
+		if idx&(1<<uint(i)) != 0 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+func flip(b byte) string {
+	if b == '0' {
+		return "1"
+	}
+	return "0"
+}
+
+func (g *Grid) peersWithPrefix(prefix string) []int {
+	var out []int
+	for path, ids := range g.groups {
+		if strings.HasPrefix(path, prefix) {
+			out = append(out, ids...)
+		}
+	}
+	return out
+}
+
+// ReplicaGroup returns the peer IDs responsible for the given path (copy).
+func (g *Grid) ReplicaGroup(path string) []int {
+	return append([]int(nil), g.groups[path]...)
+}
+
+// GroupOfKey returns the replica group serving the key.
+func (g *Grid) GroupOfKey(key string) []int {
+	return g.ReplicaGroup(KeyPath(key, g.Depth))
+}
+
+// Partitions returns the number of partitions.
+func (g *Grid) Partitions() int { return 1 << uint(g.Depth) }
+
+// RouteResult describes one greedy prefix-routing run.
+type RouteResult struct {
+	// Target is the responsible peer the query reached.
+	Target int
+	// Hops is the number of forwarding steps taken.
+	Hops int
+	// Visited lists the peers on the route, starting with the origin.
+	Visited []int
+}
+
+// ErrUnroutable is returned when every candidate reference for the required
+// subtree is offline.
+var ErrUnroutable = fmt.Errorf("pgrid: no online route to target partition")
+
+// Route performs greedy prefix routing for key starting at peer `from`:
+// at each step, the current peer forwards to one of its references at the
+// first bit where its own path diverges from the key's path, preferring
+// online references (availability is supplied by the caller — typically the
+// simulation's churn state; nil means everyone is online). The route
+// succeeds when it reaches any peer whose path prefixes the key's path.
+func (g *Grid) Route(from int, key string, online func(int) bool, rng *rand.Rand) (RouteResult, error) {
+	if from < 0 || from >= len(g.Peers) {
+		return RouteResult{}, fmt.Errorf("pgrid: origin %d out of range", from)
+	}
+	if online == nil {
+		online = func(int) bool { return true }
+	}
+	target := KeyPath(key, g.Depth)
+	res := RouteResult{Visited: []int{from}}
+	current := g.Peers[from]
+	// Each hop extends the matched prefix by ≥1 bit, so Depth+1 hops bound
+	// any successful route; the loop guard is defensive.
+	for hop := 0; hop <= g.Depth; hop++ {
+		l := commonPrefixLen(current.Path, target)
+		if l == g.Depth || l == len(current.Path) {
+			res.Target = current.ID
+			res.Hops = hop
+			return res, nil
+		}
+		refs := current.Routing[l]
+		next := -1
+		if rng != nil && len(refs) > 1 {
+			perm := rng.Perm(len(refs))
+			for _, idx := range perm {
+				if online(refs[idx]) {
+					next = refs[idx]
+					break
+				}
+			}
+		} else {
+			for _, ref := range refs {
+				if online(ref) {
+					next = ref
+					break
+				}
+			}
+		}
+		if next == -1 {
+			return res, fmt.Errorf("%w: stuck at peer %d level %d", ErrUnroutable, current.ID, l)
+		}
+		current = g.Peers[next]
+		res.Visited = append(res.Visited, next)
+	}
+	return res, fmt.Errorf("%w: exceeded depth bound", ErrUnroutable)
+}
+
+func commonPrefixLen(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

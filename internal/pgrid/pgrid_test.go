@@ -1,0 +1,236 @@
+package pgrid
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestKeyPath(t *testing.T) {
+	if got := KeyPath("k", 0); got != "" {
+		t.Fatalf("depth 0 path = %q", got)
+	}
+	a := KeyPath("alpha", 8)
+	if len(a) != 8 {
+		t.Fatalf("path length = %d", len(a))
+	}
+	if a != KeyPath("alpha", 8) {
+		t.Fatal("KeyPath not deterministic")
+	}
+	for _, c := range a {
+		if c != '0' && c != '1' {
+			t.Fatalf("non-binary path %q", a)
+		}
+	}
+	// Deeper paths extend shallower ones (prefix property).
+	if !strings.HasPrefix(KeyPath("alpha", 12), a) {
+		t.Fatal("deeper path does not extend shallower path")
+	}
+}
+
+func TestKeyPathDistribution(t *testing.T) {
+	// Hash-based partitioning should be roughly uniform.
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[KeyPath(fmt.Sprintf("key-%d", i), 3)]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("only %d of 8 partitions used", len(counts))
+	}
+	for path, c := range counts {
+		if c < keys/8/2 || c > keys/8*2 {
+			t.Fatalf("partition %s has %d keys, expected ≈ %d", path, c, keys/8)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	for _, bad := range []struct {
+		n, depth int
+	}{{0, 2}, {10, -1}, {10, 21}, {3, 2}} {
+		if _, err := Build(bad.n, bad.depth, 2, 1); err == nil {
+			t.Fatalf("Build(%d,%d) should error", bad.n, bad.depth)
+		}
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	g, err := Build(64, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Partitions() != 8 {
+		t.Fatalf("partitions = %d", g.Partitions())
+	}
+	// Balanced assignment: 8 peers per partition.
+	for path, ids := range g.groups {
+		if len(ids) != 8 {
+			t.Fatalf("partition %s has %d peers", path, len(ids))
+		}
+	}
+	// Routing invariant: refs at level l agree on l bits and differ at bit l.
+	for _, p := range g.Peers {
+		for l, refs := range p.Routing {
+			if len(refs) == 0 {
+				t.Fatalf("peer %d has no refs at level %d", p.ID, l)
+			}
+			for _, ref := range refs {
+				other := g.Peers[ref].Path
+				if other[:l] != p.Path[:l] {
+					t.Fatalf("ref prefix mismatch at level %d: %s vs %s", l, other, p.Path)
+				}
+				if other[l] == p.Path[l] {
+					t.Fatalf("ref does not flip bit %d: %s vs %s", l, other, p.Path)
+				}
+			}
+		}
+	}
+}
+
+func TestReplicaGroupOfKey(t *testing.T) {
+	g, err := Build(32, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := g.GroupOfKey("some-key")
+	if len(group) != 8 {
+		t.Fatalf("group size = %d", len(group))
+	}
+	path := KeyPath("some-key", 2)
+	for _, id := range group {
+		if g.Peers[id].Path != path {
+			t.Fatalf("peer %d path %s not responsible for %s", id, g.Peers[id].Path, path)
+		}
+	}
+	// Copy semantics.
+	group[0] = -99
+	if g.GroupOfKey("some-key")[0] == -99 {
+		t.Fatal("ReplicaGroup exposed internal slice")
+	}
+}
+
+func TestRouteReachesResponsiblePeer(t *testing.T) {
+	g, err := Build(128, 4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		key := fmt.Sprintf("key-%d", trial)
+		from := rng.Intn(128)
+		res, err := g.Route(from, key, nil, rng)
+		if err != nil {
+			t.Fatalf("route %s from %d: %v", key, from, err)
+		}
+		want := KeyPath(key, 4)
+		if g.Peers[res.Target].Path != want {
+			t.Fatalf("routed to %s, want %s", g.Peers[res.Target].Path, want)
+		}
+		if res.Hops > 4 {
+			t.Fatalf("route took %d hops, depth is 4", res.Hops)
+		}
+		if len(res.Visited) != res.Hops+1 {
+			t.Fatalf("visited %d peers for %d hops", len(res.Visited), res.Hops)
+		}
+	}
+}
+
+func TestRouteZeroHopsWhenResponsible(t *testing.T) {
+	g, err := Build(16, 2, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "k"
+	group := g.GroupOfKey(key)
+	res, err := g.Route(group[0], key, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hops != 0 || res.Target != group[0] {
+		t.Fatalf("self-route = %+v", res)
+	}
+}
+
+func TestRouteToleratesOfflineRefs(t *testing.T) {
+	// With 3 refs per level and 30% of peers offline, most routes succeed
+	// (the redundancy argument for multiple references).
+	g, err := Build(256, 4, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	offline := map[int]bool{}
+	for i := 0; i < 256; i++ {
+		if rng.Float64() < 0.3 {
+			offline[i] = true
+		}
+	}
+	online := func(id int) bool { return !offline[id] }
+	success := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		from := rng.Intn(256)
+		if !online(from) {
+			continue
+		}
+		if _, err := g.Route(from, fmt.Sprintf("k%d", trial), online, rng); err == nil {
+			success++
+		}
+	}
+	if success < trials/2 {
+		t.Fatalf("only %d/%d routes succeeded with 30%% offline", success, trials)
+	}
+}
+
+func TestRouteFailsWhenSubtreeDark(t *testing.T) {
+	g, err := Build(16, 2, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "k"
+	target := KeyPath(key, 2)
+	// Knock the entire target subtree (first bit) offline.
+	dark := target[:1]
+	online := func(id int) bool {
+		return !strings.HasPrefix(g.Peers[id].Path, dark)
+	}
+	var from int
+	for i, p := range g.Peers {
+		if !strings.HasPrefix(p.Path, dark) {
+			from = i
+			break
+		}
+	}
+	if _, err := g.Route(from, key, online, nil); err == nil {
+		t.Fatal("route should fail when the target subtree is offline")
+	}
+}
+
+func TestRouteOriginValidation(t *testing.T) {
+	g, err := Build(16, 2, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Route(-1, "k", nil, nil); err == nil {
+		t.Fatal("negative origin should error")
+	}
+	if _, err := g.Route(99, "k", nil, nil); err == nil {
+		t.Fatal("out-of-range origin should error")
+	}
+}
+
+func TestDepthZeroGrid(t *testing.T) {
+	g, err := Build(4, 0, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Partitions() != 1 {
+		t.Fatalf("partitions = %d", g.Partitions())
+	}
+	res, err := g.Route(2, "anything", nil, nil)
+	if err != nil || res.Hops != 0 {
+		t.Fatalf("depth-0 route = %+v, %v", res, err)
+	}
+}

@@ -1,0 +1,94 @@
+package pgrid
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestRoutePropertyAlwaysReachesPartition: for random grid shapes, random
+// keys and random origins, greedy prefix routing (everyone online) reaches a
+// peer responsible for the key's partition in at most Depth hops.
+func TestRoutePropertyAlwaysReachesPartition(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			depth := 1 + r.Intn(5)
+			minPeers := 1 << uint(depth)
+			vals[0] = reflect.ValueOf(depth)
+			vals[1] = reflect.ValueOf(minPeers + r.Intn(4*minPeers))
+			vals[2] = reflect.ValueOf(1 + r.Intn(3)) // refs per level
+			vals[3] = reflect.ValueOf(r.Int63())
+		},
+	}
+	prop := func(depth, n, refs int, seed int64) bool {
+		g, err := Build(n, depth, refs, seed)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 10; trial++ {
+			key := fmt.Sprintf("key-%d-%d", seed, trial)
+			from := rng.Intn(n)
+			res, err := g.Route(from, key, nil, rng)
+			if err != nil {
+				return false
+			}
+			if res.Hops > depth {
+				return false
+			}
+			if g.Peers[res.Target].Path != KeyPath(key, depth) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatalf("routing property failed: %v", err)
+	}
+}
+
+// TestReplicaGroupsPartitionPopulation: every peer belongs to exactly one
+// replica group, and the groups cover the population.
+func TestReplicaGroupsPartitionPopulation(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			depth := r.Intn(5)
+			minPeers := 1 << uint(depth)
+			vals[0] = reflect.ValueOf(depth)
+			vals[1] = reflect.ValueOf(minPeers + r.Intn(3*minPeers))
+			vals[2] = reflect.ValueOf(r.Int63())
+		},
+	}
+	prop := func(depth, n int, seed int64) bool {
+		g, err := Build(n, depth, 2, seed)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]int, n)
+		for part := 0; part < g.Partitions(); part++ {
+			path := pathOfPartition(part, depth)
+			for _, id := range g.ReplicaGroup(path) {
+				seen[id]++
+				if g.Peers[id].Path != path {
+					return false
+				}
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, count := range seen {
+			if count != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatalf("partition property failed: %v", err)
+	}
+}

@@ -1,0 +1,292 @@
+// Package replicalist implements the partial flooding list R_f that the push
+// phase attaches to every update message, plus the peer-side replica
+// membership view it feeds.
+//
+// The list serves three purposes in the paper:
+//
+//  1. Duplicate suppression — a forwarding peer sends only to R_p \ R_f
+//     (§3, push pseudocode).
+//  2. Membership gossip — a receiving peer "possibly discovers replicas
+//     unknown to her" (§3), the name-dropper effect [Harchol-Balter et al.].
+//  3. Feed-forward estimation — the normalised list length
+//     L(t) = 1 − (1−f_r)^{t+1} estimates how far the update has already
+//     spread, and is used to tune PF(t) and f_r locally (§4.2, §6).
+//
+// Because L(t) grows with every hop, §4.2 introduces a normalised threshold
+// L_thr: lists longer than L_thr·R are truncated — by dropping the head, the
+// tail, or random entries — trading extra duplicate messages for bounded
+// message size.
+package replicalist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// EntryBytes is γ, the size in bytes to describe one replica in a message
+// (the paper suggests ~10 bytes: address + port).
+const EntryBytes = 10
+
+// TruncatePolicy selects which entries are dropped when a list exceeds its
+// threshold length (§4.2: "discarding either random entries or the head or
+// tail of the partial list").
+type TruncatePolicy int
+
+// Truncation policies.
+const (
+	// DropTail keeps the oldest entries (head of the list).
+	DropTail TruncatePolicy = iota + 1
+	// DropHead keeps the newest entries (tail of the list).
+	DropHead
+	// DropRandom drops uniformly random entries.
+	DropRandom
+)
+
+// String returns the policy name.
+func (p TruncatePolicy) String() string {
+	switch p {
+	case DropTail:
+		return "drop-tail"
+	case DropHead:
+		return "drop-head"
+	case DropRandom:
+		return "drop-random"
+	default:
+		return fmt.Sprintf("TruncatePolicy(%d)", int(p))
+	}
+}
+
+// List is a partial flooding list: an insertion-ordered set of peer IDs the
+// update has already been sent to. The zero value is an empty list.
+type List struct {
+	order []int
+	seen  map[int]struct{}
+}
+
+// New returns an empty list with capacity for n entries.
+func New(n int) *List {
+	return &List{
+		order: make([]int, 0, n),
+		seen:  make(map[int]struct{}, n),
+	}
+}
+
+// FromSlice builds a list from ids, preserving order and dropping duplicates.
+func FromSlice(ids []int) *List {
+	l := New(len(ids))
+	for _, id := range ids {
+		l.Add(id)
+	}
+	return l
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.order)
+}
+
+// Contains reports whether id is in the list.
+func (l *List) Contains(id int) bool {
+	if l == nil {
+		return false
+	}
+	_, ok := l.seen[id]
+	return ok
+}
+
+// Add inserts id if absent and reports whether it was inserted.
+func (l *List) Add(id int) bool {
+	if l.seen == nil {
+		l.seen = make(map[int]struct{})
+	}
+	if _, ok := l.seen[id]; ok {
+		return false
+	}
+	l.seen[id] = struct{}{}
+	l.order = append(l.order, id)
+	return true
+}
+
+// AddAll inserts every id in ids, returning the number inserted.
+func (l *List) AddAll(ids []int) int {
+	n := 0
+	for _, id := range ids {
+		if l.Add(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// Union returns a new list containing l's entries followed by other's new
+// entries. Neither input is modified.
+func (l *List) Union(other *List) *List {
+	out := New(l.Len() + other.Len())
+	if l != nil {
+		out.AddAll(l.order)
+	}
+	if other != nil {
+		out.AddAll(other.order)
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (l *List) Clone() *List {
+	out := New(l.Len())
+	if l != nil {
+		out.AddAll(l.order)
+	}
+	return out
+}
+
+// Slice returns a copy of the entries in insertion order.
+func (l *List) Slice() []int {
+	if l == nil {
+		return nil
+	}
+	return append([]int(nil), l.order...)
+}
+
+// Sorted returns a sorted copy of the entries.
+func (l *List) Sorted() []int {
+	s := l.Slice()
+	sort.Ints(s)
+	return s
+}
+
+// SizeBytes returns the wire size contribution of the list (γ per entry).
+func (l *List) SizeBytes() int { return l.Len() * EntryBytes }
+
+// NormalizedLen returns L = len/R, the paper's normalised list length, the
+// local estimator of global spread. R must be positive.
+func (l *List) NormalizedLen(totalReplicas int) float64 {
+	if totalReplicas <= 0 {
+		return 0
+	}
+	return float64(l.Len()) / float64(totalReplicas)
+}
+
+// Truncate drops entries until the list has at most maxLen entries, using the
+// given policy. rng is required only for DropRandom. It returns the number of
+// entries dropped.
+func (l *List) Truncate(maxLen int, policy TruncatePolicy, rng *rand.Rand) int {
+	if l == nil || maxLen < 0 || l.Len() <= maxLen {
+		return 0
+	}
+	drop := l.Len() - maxLen
+	switch policy {
+	case DropTail:
+		for _, id := range l.order[maxLen:] {
+			delete(l.seen, id)
+		}
+		l.order = l.order[:maxLen]
+	case DropHead:
+		for _, id := range l.order[:drop] {
+			delete(l.seen, id)
+		}
+		l.order = append(l.order[:0], l.order[drop:]...)
+	case DropRandom:
+		if rng == nil {
+			// Deterministic fallback keeps behaviour defined without a
+			// random source.
+			return l.Truncate(maxLen, DropTail, nil)
+		}
+		rng.Shuffle(len(l.order), func(i, j int) {
+			l.order[i], l.order[j] = l.order[j], l.order[i]
+		})
+		for _, id := range l.order[maxLen:] {
+			delete(l.seen, id)
+		}
+		l.order = l.order[:maxLen]
+	default:
+		return 0
+	}
+	return drop
+}
+
+// View is a peer's local membership view: the set of replicas it knows for
+// the data partition. The paper assumes "each replica knows a minimal
+// fraction of the complete set of replicas" (§2) and that views grow through
+// the update mechanism itself.
+type View struct {
+	list *List
+	self int
+}
+
+// NewView creates a view for peer self. The peer itself is never a member of
+// its own view.
+func NewView(self int) *View {
+	return &View{list: New(16), self: self}
+}
+
+// Self returns the owning peer's id.
+func (v *View) Self() int { return v.self }
+
+// Len returns the number of known replicas.
+func (v *View) Len() int { return v.list.Len() }
+
+// Known reports whether id is in the view.
+func (v *View) Known(id int) bool { return v.list.Contains(id) }
+
+// Learn adds id to the view (ignoring the peer itself) and reports whether it
+// was new.
+func (v *View) Learn(id int) bool {
+	if id == v.self {
+		return false
+	}
+	return v.list.Add(id)
+}
+
+// LearnAll adds every id, returning the number newly learned. This is how the
+// name-dropper effect materialises: partial lists piggybacked on updates
+// expand the receiver's view.
+func (v *View) LearnAll(ids []int) int {
+	n := 0
+	for _, id := range ids {
+		if v.Learn(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// Members returns a copy of the view in insertion order.
+func (v *View) Members() []int { return v.list.Slice() }
+
+// SampleExcluding returns up to k distinct members drawn uniformly at random,
+// excluding any id in the exclude list. It is the "random subset R_p" choice
+// of the push phase and the random peer choice of the pull phase.
+func (v *View) SampleExcluding(k int, exclude *List, rng *rand.Rand) []int {
+	if k <= 0 || v.list.Len() == 0 {
+		return nil
+	}
+	// Reservoir-free approach: shuffle a copy of the candidate set. The view
+	// is small (hundreds), so this is cheap and exact.
+	candidates := make([]int, 0, v.list.Len())
+	for _, id := range v.list.order {
+		if exclude.Contains(id) {
+			continue
+		}
+		candidates = append(candidates, id)
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	return candidates[:k]
+}
+
+// Sample returns up to k distinct members drawn uniformly at random.
+func (v *View) Sample(k int, rng *rand.Rand) []int {
+	return v.SampleExcluding(k, nil, rng)
+}

@@ -1,0 +1,368 @@
+package replicalist
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddContains(t *testing.T) {
+	l := New(4)
+	if l.Len() != 0 {
+		t.Fatalf("new list Len = %d", l.Len())
+	}
+	if !l.Add(7) {
+		t.Fatal("first Add returned false")
+	}
+	if l.Add(7) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if !l.Contains(7) || l.Contains(8) {
+		t.Fatal("Contains wrong")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+}
+
+func TestZeroValueList(t *testing.T) {
+	var l List
+	if !l.Add(1) {
+		t.Fatal("Add on zero value failed")
+	}
+	if !l.Contains(1) {
+		t.Fatal("Contains on zero value failed")
+	}
+}
+
+func TestNilListSafeReads(t *testing.T) {
+	var l *List
+	if l.Len() != 0 || l.Contains(3) || l.Slice() != nil {
+		t.Fatal("nil list reads should be zero values")
+	}
+	if l.NormalizedLen(10) != 0 {
+		t.Fatal("nil NormalizedLen should be 0")
+	}
+	if got := l.Union(FromSlice([]int{1, 2})); got.Len() != 2 {
+		t.Fatalf("nil Union = %v", got.Slice())
+	}
+}
+
+func TestFromSliceDedup(t *testing.T) {
+	l := FromSlice([]int{3, 1, 3, 2, 1})
+	want := []int{3, 1, 2}
+	got := l.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v (order preserved)", got, want)
+		}
+	}
+}
+
+func TestUnionPreservesBoth(t *testing.T) {
+	a := FromSlice([]int{1, 2, 3})
+	b := FromSlice([]int{3, 4})
+	u := a.Union(b)
+	if u.Len() != 4 {
+		t.Fatalf("union Len = %d, want 4", u.Len())
+	}
+	for _, id := range []int{1, 2, 3, 4} {
+		if !u.Contains(id) {
+			t.Fatalf("union missing %d", id)
+		}
+	}
+	// Inputs untouched.
+	if a.Len() != 3 || b.Len() != 2 {
+		t.Fatal("Union modified an input")
+	}
+}
+
+func TestUnionPropertyIsSetUnion(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: quickValues(func(args []interface{}, r *rand.Rand) {
+			mk := func() []int {
+				n := r.Intn(20)
+				out := make([]int, n)
+				for i := range out {
+					out[i] = r.Intn(15)
+				}
+				return out
+			}
+			args[0] = mk()
+			args[1] = mk()
+		}),
+	}
+	prop := func(xs, ys []int) bool {
+		u := FromSlice(xs).Union(FromSlice(ys))
+		want := map[int]struct{}{}
+		for _, x := range xs {
+			want[x] = struct{}{}
+		}
+		for _, y := range ys {
+			want[y] = struct{}{}
+		}
+		if u.Len() != len(want) {
+			return false
+		}
+		for x := range want {
+			if !u.Contains(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatalf("union is not set union: %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]int{1, 2})
+	c := a.Clone()
+	c.Add(3)
+	if a.Contains(3) {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestSizeBytesAndNormalized(t *testing.T) {
+	l := FromSlice([]int{1, 2, 3})
+	if got := l.SizeBytes(); got != 3*EntryBytes {
+		t.Fatalf("SizeBytes = %d", got)
+	}
+	if got := l.NormalizedLen(30); got != 0.1 {
+		t.Fatalf("NormalizedLen = %g", got)
+	}
+	if got := l.NormalizedLen(0); got != 0 {
+		t.Fatalf("NormalizedLen with R=0 = %g", got)
+	}
+}
+
+func TestTruncatePolicies(t *testing.T) {
+	base := []int{10, 11, 12, 13, 14}
+	t.Run("drop-tail keeps head", func(t *testing.T) {
+		l := FromSlice(base)
+		dropped := l.Truncate(2, DropTail, nil)
+		if dropped != 3 {
+			t.Fatalf("dropped = %d", dropped)
+		}
+		got := l.Slice()
+		if len(got) != 2 || got[0] != 10 || got[1] != 11 {
+			t.Fatalf("Slice = %v", got)
+		}
+		if l.Contains(14) {
+			t.Fatal("seen map not pruned")
+		}
+	})
+	t.Run("drop-head keeps tail", func(t *testing.T) {
+		l := FromSlice(base)
+		l.Truncate(2, DropHead, nil)
+		got := l.Slice()
+		if len(got) != 2 || got[0] != 13 || got[1] != 14 {
+			t.Fatalf("Slice = %v", got)
+		}
+		if l.Contains(10) {
+			t.Fatal("seen map not pruned")
+		}
+	})
+	t.Run("drop-random keeps count", func(t *testing.T) {
+		l := FromSlice(base)
+		rng := rand.New(rand.NewSource(1))
+		l.Truncate(3, DropRandom, rng)
+		if l.Len() != 3 {
+			t.Fatalf("Len = %d", l.Len())
+		}
+		for _, id := range l.Slice() {
+			if !l.Contains(id) {
+				t.Fatalf("map/order inconsistent for %d", id)
+			}
+		}
+	})
+	t.Run("drop-random nil rng falls back", func(t *testing.T) {
+		l := FromSlice(base)
+		l.Truncate(2, DropRandom, nil)
+		if l.Len() != 2 {
+			t.Fatalf("Len = %d", l.Len())
+		}
+	})
+	t.Run("no-op when short", func(t *testing.T) {
+		l := FromSlice(base)
+		if got := l.Truncate(10, DropTail, nil); got != 0 {
+			t.Fatalf("dropped = %d", got)
+		}
+	})
+	t.Run("unknown policy no-op", func(t *testing.T) {
+		l := FromSlice(base)
+		if got := l.Truncate(1, TruncatePolicy(99), nil); got != 0 {
+			t.Fatalf("dropped = %d", got)
+		}
+	})
+}
+
+func TestTruncateConsistencyProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: quickValues(func(args []interface{}, r *rand.Rand) {
+			n := r.Intn(30)
+			ids := make([]int, n)
+			for i := range ids {
+				ids[i] = r.Intn(40)
+			}
+			args[0] = ids
+			args[1] = r.Intn(30)
+			args[2] = int(DropTail) + r.Intn(3)
+			args[3] = r.Int63()
+		}),
+	}
+	prop := func(ids []int, maxLen, policy int, seed int64) bool {
+		l := FromSlice(ids)
+		rng := rand.New(rand.NewSource(seed))
+		l.Truncate(maxLen, TruncatePolicy(policy), rng)
+		if l.Len() > maxLen {
+			return false
+		}
+		// order and seen map stay consistent
+		for _, id := range l.Slice() {
+			if !l.Contains(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatalf("truncate inconsistency: %v", err)
+	}
+}
+
+func TestViewLearn(t *testing.T) {
+	v := NewView(5)
+	if v.Self() != 5 {
+		t.Fatalf("Self = %d", v.Self())
+	}
+	if v.Learn(5) {
+		t.Fatal("view learned itself")
+	}
+	if !v.Learn(1) || v.Learn(1) {
+		t.Fatal("Learn dedup broken")
+	}
+	if n := v.LearnAll([]int{1, 2, 3, 5}); n != 2 {
+		t.Fatalf("LearnAll = %d, want 2", n)
+	}
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", v.Len())
+	}
+	members := v.Members()
+	sort.Ints(members)
+	for i, want := range []int{1, 2, 3} {
+		if members[i] != want {
+			t.Fatalf("Members = %v", members)
+		}
+	}
+}
+
+func TestViewSampleExcluding(t *testing.T) {
+	v := NewView(0)
+	for i := 1; i <= 10; i++ {
+		v.Learn(i)
+	}
+	rng := rand.New(rand.NewSource(2))
+	exclude := FromSlice([]int{1, 2, 3, 4, 5})
+	got := v.SampleExcluding(10, exclude, rng)
+	if len(got) != 5 {
+		t.Fatalf("sample size = %d, want 5", len(got))
+	}
+	for _, id := range got {
+		if exclude.Contains(id) {
+			t.Fatalf("sample contains excluded id %d", id)
+		}
+	}
+	// k smaller than candidates: distinct entries.
+	got = v.Sample(4, rng)
+	if len(got) != 4 {
+		t.Fatalf("Sample size = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("Sample has duplicate %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestViewSampleEdgeCases(t *testing.T) {
+	v := NewView(0)
+	rng := rand.New(rand.NewSource(3))
+	if got := v.Sample(3, rng); got != nil {
+		t.Fatalf("Sample on empty view = %v", got)
+	}
+	v.Learn(1)
+	if got := v.Sample(0, rng); got != nil {
+		t.Fatalf("Sample k=0 = %v", got)
+	}
+	if got := v.SampleExcluding(3, FromSlice([]int{1}), rng); got != nil {
+		t.Fatalf("fully excluded sample = %v", got)
+	}
+}
+
+func TestViewSampleUniformity(t *testing.T) {
+	// Loose sanity check: each of 5 members appears roughly equally often in
+	// 1-element samples.
+	v := NewView(0)
+	for i := 1; i <= 5; i++ {
+		v.Learn(i)
+	}
+	rng := rand.New(rand.NewSource(4))
+	counts := map[int]int{}
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		got := v.Sample(1, rng)
+		counts[got[0]]++
+	}
+	for id, c := range counts {
+		frac := float64(c) / trials
+		if frac < 0.15 || frac > 0.25 {
+			t.Fatalf("member %d sampled with frequency %.3f, want ≈ 0.2", id, frac)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[TruncatePolicy]string{
+		DropTail: "drop-tail", DropHead: "drop-head", DropRandom: "drop-random",
+	} {
+		if got := p.String(); got != want {
+			t.Fatalf("String = %q, want %q", got, want)
+		}
+	}
+	if got := TruncatePolicy(42).String(); got != "TruncatePolicy(42)" {
+		t.Fatalf("unknown String = %q", got)
+	}
+}
+
+func TestSorted(t *testing.T) {
+	l := FromSlice([]int{5, 1, 3})
+	got := l.Sorted()
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v", got)
+		}
+	}
+}
+
+func quickValues(fill func(args []interface{}, r *rand.Rand)) func([]reflect.Value, *rand.Rand) {
+	return func(vals []reflect.Value, r *rand.Rand) {
+		args := make([]interface{}, len(vals))
+		fill(args, r)
+		for i := range vals {
+			vals[i] = reflect.ValueOf(args[i])
+		}
+	}
+}

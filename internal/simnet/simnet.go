@@ -1,0 +1,284 @@
+// Package simnet is a round-based discrete simulator for epidemic protocols
+// under churn.
+//
+// The paper analyses the push phase in a synchronous model, "a standard
+// model for analysing epidemic algorithms" (§3), and notes that the discrete
+// time model is a round abstraction rather than a wall clock (§4.1). The
+// engine mirrors that model:
+//
+//   - Each round, the churn process updates every peer's availability.
+//   - Messages sent in round t are delivered at the beginning of round t+1
+//     to recipients that are online then; sends to offline peers are counted
+//     (the paper's message metric includes them, Table 1: "including
+//     messages to offline replicas") but not delivered.
+//   - Online nodes then take a Tick step (initiate pushes, pulls, …).
+//
+// Protocol behaviours plug in through the Node interface; the gossip core
+// and all flooding baselines run on the same engine so that their message
+// counts are directly comparable.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/p2pgossip/update/internal/churn"
+	"github.com/p2pgossip/update/internal/metrics"
+	"github.com/p2pgossip/update/internal/trace"
+)
+
+// Metric names used by the engine. Protocols add their own on top.
+const (
+	// MetricMessages counts every send, delivered or not.
+	MetricMessages = "messages"
+	// MetricMessagesOffline counts sends whose recipient was offline at
+	// delivery time.
+	MetricMessagesOffline = "messages_offline"
+	// MetricMessagesDropped counts sends lost to injected message loss.
+	MetricMessagesDropped = "messages_dropped"
+	// MetricBytes accumulates the byte size of every send.
+	MetricBytes = "bytes"
+)
+
+// Message is an in-flight simulation message.
+type Message struct {
+	// From and To are peer indices.
+	From, To int
+	// SentAt is the round in which the message was sent.
+	SentAt int
+	// Payload is the protocol-defined content.
+	Payload any
+	// Bytes is the accounted wire size.
+	Bytes int
+}
+
+// Node is a protocol behaviour attached to one peer.
+type Node interface {
+	// Init is called once before the first round.
+	Init(env *Env)
+	// HandleMessage delivers one message; called only while online.
+	HandleMessage(env *Env, msg Message)
+	// Tick runs once per round while online, after message delivery.
+	Tick(env *Env)
+	// CameOnline is called when the peer transitions offline→online, before
+	// message delivery in that round (this is where the pull phase starts).
+	CameOnline(env *Env)
+}
+
+// Env is the API surface protocols use to interact with the engine. An Env
+// is only valid for the duration of the callback it is passed to.
+type Env struct {
+	engine *Engine
+	self   int
+}
+
+// Self returns the peer index the callback runs on (−1 for engine-level
+// contexts).
+func (e *Env) Self() int { return e.self }
+
+// Round returns the current round number.
+func (e *Env) Round() int { return e.engine.round }
+
+// N returns the population size.
+func (e *Env) N() int { return len(e.engine.nodes) }
+
+// RNG returns the engine's deterministic random source.
+func (e *Env) RNG() *rand.Rand { return e.engine.rng }
+
+// Online reports whether the given peer is currently online.
+func (e *Env) Online(id int) bool { return e.engine.pop.Online(id) }
+
+// OnlineCount returns the number of online peers.
+func (e *Env) OnlineCount() int { return e.engine.pop.OnlineCount() }
+
+// Metrics returns the engine's metric registry.
+func (e *Env) Metrics() *metrics.Registry { return e.engine.reg }
+
+// Send queues a message from the calling peer for delivery next round.
+func (e *Env) Send(to int, payload any, bytes int) {
+	e.engine.send(e.self, to, payload, bytes)
+}
+
+// Engine drives a population of nodes through synchronous rounds.
+type Engine struct {
+	nodes   []Node
+	pop     *churn.Population
+	rng     *rand.Rand
+	reg     *metrics.Registry
+	tracer  *trace.Recorder // nil Recorder records nothing
+	round   int
+	inbox   []Message // messages awaiting delivery this round
+	outbox  []Message // messages produced this round
+	loss    float64
+	started bool
+}
+
+// Config parameterises an Engine.
+type Config struct {
+	// Nodes are the protocol behaviours, one per peer.
+	Nodes []Node
+	// InitialOnline is the number of peers online at round 0 (peers
+	// 0..InitialOnline−1).
+	InitialOnline int
+	// Churn is the availability process. Nil means churn.Static.
+	Churn churn.Process
+	// Seed seeds the engine's random source.
+	Seed int64
+	// MessageLoss is an independent per-message drop probability, used by
+	// the failure-injection tests. Zero disables loss.
+	MessageLoss float64
+	// Metrics receives the engine counters. Nil allocates a fresh registry.
+	Metrics *metrics.Registry
+	// Trace, if non-nil, records per-event telemetry (sends, deliveries,
+	// drops, availability transitions).
+	Trace *trace.Recorder
+}
+
+// NewEngine constructs an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("simnet: no nodes")
+	}
+	if cfg.MessageLoss < 0 || cfg.MessageLoss > 1 {
+		return nil, fmt.Errorf("simnet: message loss %g out of [0,1]", cfg.MessageLoss)
+	}
+	proc := cfg.Churn
+	if proc == nil {
+		proc = churn.Static{}
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pop, err := churn.NewPopulation(len(cfg.Nodes), cfg.InitialOnline, proc, rng)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: %w", err)
+	}
+	return &Engine{
+		nodes:  cfg.Nodes,
+		pop:    pop,
+		rng:    rng,
+		reg:    reg,
+		tracer: cfg.Trace,
+		loss:   cfg.MessageLoss,
+	}, nil
+}
+
+// Round returns the current round number.
+func (en *Engine) Round() int { return en.round }
+
+// Metrics returns the engine's registry.
+func (en *Engine) Metrics() *metrics.Registry { return en.reg }
+
+// Population exposes the availability state (read-mostly; tests also force
+// states through it).
+func (en *Engine) Population() *churn.Population { return en.pop }
+
+// Node returns the behaviour attached to peer id.
+func (en *Engine) Node(id int) Node { return en.nodes[id] }
+
+// InFlight returns the number of messages queued for future delivery.
+func (en *Engine) InFlight() int { return len(en.inbox) + len(en.outbox) }
+
+func (en *Engine) send(from, to int, payload any, bytes int) {
+	en.reg.Inc(MetricMessages)
+	en.reg.Add(MetricBytes, float64(bytes))
+	en.tracer.Record(trace.Event{
+		Round: en.round, Kind: trace.KindSend, From: from, To: to,
+		Note: fmt.Sprintf("%T %dB", payload, bytes),
+	})
+	if en.loss > 0 && en.rng.Float64() < en.loss {
+		en.reg.Inc(MetricMessagesDropped)
+		en.tracer.Record(trace.Event{
+			Round: en.round, Kind: trace.KindDrop, From: from, To: to,
+		})
+		return
+	}
+	en.outbox = append(en.outbox, Message{
+		From: from, To: to, SentAt: en.round, Payload: payload, Bytes: bytes,
+	})
+}
+
+func (en *Engine) env(self int) *Env { return &Env{engine: en, self: self} }
+
+// SetMessageLoss adjusts the loss probability mid-run (failure injection).
+func (en *Engine) SetMessageLoss(p float64) { en.loss = p }
+
+// Step executes one round and returns the number of messages delivered.
+//
+// Ordering within a round: churn (except before round 0) → CameOnline
+// callbacks → message delivery → Tick for every online node. Messages sent
+// during the round are delivered next round.
+func (en *Engine) Step() int {
+	if !en.started {
+		en.started = true
+		for i, n := range en.nodes {
+			n.Init(en.env(i))
+		}
+	} else {
+		en.round++
+		came := en.pop.Step(en.round)
+		for _, id := range came {
+			en.tracer.Record(trace.Event{
+				Round: en.round, Kind: trace.KindWentOnline, From: id, To: -1,
+			})
+			en.nodes[id].CameOnline(en.env(id))
+		}
+	}
+
+	// Deliver last round's messages.
+	delivered := 0
+	for _, msg := range en.inbox {
+		if !en.pop.Online(msg.To) {
+			en.reg.Inc(MetricMessagesOffline)
+			en.tracer.Record(trace.Event{
+				Round: en.round, Kind: trace.KindOffline, From: msg.From, To: msg.To,
+			})
+			continue
+		}
+		en.tracer.Record(trace.Event{
+			Round: en.round, Kind: trace.KindDeliver, From: msg.From, To: msg.To,
+		})
+		en.nodes[msg.To].HandleMessage(en.env(msg.To), msg)
+		delivered++
+	}
+	en.inbox = en.inbox[:0]
+
+	// Tick online nodes.
+	for i, n := range en.nodes {
+		if en.pop.Online(i) {
+			n.Tick(en.env(i))
+		}
+	}
+
+	// Rotate outbox → inbox for next round.
+	en.inbox, en.outbox = en.outbox, en.inbox[:0]
+	return delivered
+}
+
+// Run executes up to maxRounds rounds, stopping early when the network goes
+// idle (no messages in flight for two consecutive rounds). It returns the
+// number of rounds executed.
+func (en *Engine) Run(maxRounds int) int {
+	idle := 0
+	executed := 0
+	for executed < maxRounds {
+		delivered := en.Step()
+		executed++
+		if delivered == 0 && en.InFlight() == 0 {
+			idle++
+			if idle >= 2 {
+				break
+			}
+		} else {
+			idle = 0
+		}
+	}
+	return executed
+}
+
+// NewTestEnv returns an Env bound to the engine for out-of-band calls, such
+// as injecting an update at a peer from a test or an experiment harness.
+// Messages sent through it follow normal next-round delivery.
+func NewTestEnv(en *Engine, self int) *Env { return en.env(self) }

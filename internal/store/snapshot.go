@@ -1,0 +1,124 @@
+package store
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// snapshotUpdate is the serialised form of one logged update. Version ids
+// travel as raw byte slices to keep the gob schema independent of the
+// version.ID array length.
+type snapshotUpdate struct {
+	Origin  string
+	Seq     uint64
+	Key     string
+	Value   []byte
+	Delete  bool
+	Version [][]byte
+	Stamp   int64
+}
+
+// snapshot is the on-disk form of a store: the complete update log. Items,
+// branches and the vector clock are derived state — replaying the log
+// through Apply reconstructs them exactly (Apply is order-independent and
+// idempotent, which the property tests assert).
+type snapshot struct {
+	FormatVersion int
+	Updates       []snapshotUpdate
+}
+
+// snapshotFormatVersion guards against reading snapshots from incompatible
+// future layouts.
+const snapshotFormatVersion = 1
+
+// WriteSnapshot serialises the store's full update log to w.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	updates := s.MissingFor(nil) // everything, in (origin, seq) order
+	snap := snapshot{
+		FormatVersion: snapshotFormatVersion,
+		Updates:       make([]snapshotUpdate, len(updates)),
+	}
+	for i, u := range updates {
+		versionBytes := make([][]byte, len(u.Version))
+		for j, id := range u.Version {
+			id := id
+			versionBytes[j] = id[:]
+		}
+		snap.Updates[i] = snapshotUpdate{
+			Origin: u.Origin, Seq: u.Seq, Key: u.Key, Value: u.Value,
+			Delete: u.Delete, Version: versionBytes, Stamp: u.Stamp.UnixNano(),
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot reconstructs a store from a snapshot written by
+// WriteSnapshot, with the given tombstone retention.
+func ReadSnapshot(r io.Reader, retain time.Duration) (*Store, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	if snap.FormatVersion != snapshotFormatVersion {
+		return nil, fmt.Errorf("store: snapshot format %d unsupported (want %d)",
+			snap.FormatVersion, snapshotFormatVersion)
+	}
+	st := NewWithRetention(retain)
+	for _, su := range snap.Updates {
+		u := Update{
+			Origin: su.Origin, Seq: su.Seq, Key: su.Key, Value: su.Value,
+			Delete: su.Delete, Stamp: time.Unix(0, su.Stamp),
+		}
+		for _, raw := range su.Version {
+			if len(raw) != version.IDSize {
+				return nil, fmt.Errorf("store: snapshot has version id of %d bytes", len(raw))
+			}
+			var id version.ID
+			copy(id[:], raw)
+			u.Version = append(u.Version, id)
+		}
+		st.Apply(u)
+	}
+	return st, nil
+}
+
+// Replace swaps the store's contents for those of other. It backs restores
+// into an already-wired store (the live runtime hands its store to the
+// writer and transport handlers at construction time, so the pointer must
+// remain stable).
+func (s *Store) Replace(other *Store) {
+	other.mu.RLock()
+	items := make(map[string][]Revision, len(other.items))
+	for k, revs := range other.items {
+		copied := make([]Revision, len(revs))
+		for i, r := range revs {
+			copied[i] = cloneRevision(r)
+		}
+		items[k] = copied
+	}
+	log := make(map[string][]Update, len(other.log))
+	for origin, updates := range other.log {
+		copied := make([]Update, len(updates))
+		for i, u := range updates {
+			copied[i] = cloneUpdate(u)
+		}
+		log[origin] = copied
+	}
+	clock := other.clock.Clone()
+	retain := other.tombRetain
+	other.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = items
+	s.log = log
+	s.clock = clock
+	s.tombRetain = retain
+}

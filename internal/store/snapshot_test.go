@@ -1,0 +1,112 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	st := New()
+	w := testWriter(t, "a", st, 40)
+	w.Put("x", []byte("1"))
+	w.Put("y", []byte("2"))
+	w.Put("x", []byte("3"))
+	w.Delete("y")
+
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	restored, err := ReadSnapshot(&buf, DefaultTombstoneRetention)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if !st.Equal(restored) {
+		t.Fatal("restored store differs")
+	}
+	if restored.UpdateCount() != 4 {
+		t.Fatalf("restored log = %d updates", restored.UpdateCount())
+	}
+	if got := restored.Clock().Get("a"); got != 4 {
+		t.Fatalf("restored clock = %d", got)
+	}
+	// Tombstone survived the round trip.
+	if _, ok := restored.Get("y"); ok {
+		t.Fatal("delete lost in snapshot")
+	}
+	if len(restored.Versions("y")) != 1 {
+		t.Fatal("tombstone branch lost")
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&buf, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.UpdateCount() != 0 || len(restored.Keys()) != 0 {
+		t.Fatal("empty snapshot restored non-empty store")
+	}
+}
+
+func TestReadSnapshotGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not a snapshot"), time.Hour); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+func TestReplaceSwapsState(t *testing.T) {
+	a := New()
+	wa := testWriter(t, "a", a, 41)
+	wa.Put("old", []byte("x"))
+
+	b := New()
+	wb := testWriter(t, "b", b, 42)
+	wb.Put("new", []byte("y"))
+
+	a.Replace(b)
+	if _, ok := a.Get("old"); ok {
+		t.Fatal("Replace kept old state")
+	}
+	rev, ok := a.Get("new")
+	if !ok || string(rev.Value) != "y" {
+		t.Fatal("Replace did not adopt new state")
+	}
+	// Deep copy: mutating b afterwards must not affect a.
+	wb.Put("new", []byte("z"))
+	rev, _ = a.Get("new")
+	if string(rev.Value) != "y" {
+		t.Fatal("Replace aliases the source store")
+	}
+}
+
+func TestWriterResyncAfterRestore(t *testing.T) {
+	st := New()
+	w := testWriter(t, "a", st, 43)
+	w.Put("k", []byte("1"))
+	w.Put("k", []byte("2"))
+
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&buf, DefaultTombstoneRetention)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh writer over a fresh store pointed at restored state.
+	fresh := New()
+	fresh.Replace(restored)
+	w2 := testWriter(t, "a", fresh, 44)
+	w2.Resync()
+	u := w2.Put("k", []byte("3"))
+	if u.Seq != 3 {
+		t.Fatalf("post-restore Seq = %d, want 3", u.Seq)
+	}
+}

@@ -1,0 +1,383 @@
+// Package store implements the replicated, versioned data store that the
+// update protocol synchronises.
+//
+// The paper's data model (§3) is deliberately weak: update conflicts are
+// rare, and when concurrent versions of an item arise "it may be treated as
+// distinct and coexists as different versions". Deletions use tombstones /
+// death certificates. Queries want "correct and most recent" results under
+// eventual consistency (§4.4).
+//
+// The store therefore keeps, per key, a set of version *branches*: applying
+// an update discards branches that the update causally dominates (prefix
+// order on version histories) and otherwise lets branches coexist. Every
+// update carries an (origin, sequence) pair so that a vector clock over
+// origins summarises exactly which updates a replica holds; the pull phase
+// exchanges these clocks and ships the missing updates ("inquire for missed
+// updates based on version vectors", §3).
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// Update is the unit of propagation: one mutation of one key, stamped by its
+// origin replica.
+type Update struct {
+	// Origin identifies the replica that created the update.
+	Origin string
+	// Seq is the origin's sequence number, starting at 1. The pair
+	// (Origin, Seq) is unique and drives vector-clock reconciliation.
+	Seq uint64
+	// Key is the item being updated.
+	Key string
+	// Value is the new content (ignored for deletes).
+	Value []byte
+	// Delete marks a tombstone update.
+	Delete bool
+	// Version is the item's version history after this update.
+	Version version.History
+	// Stamp is the creation time (simulated or wall clock), used for
+	// tombstone retention.
+	Stamp time.Time
+}
+
+// ID returns the unique update identifier (origin, seq).
+func (u Update) ID() string { return fmt.Sprintf("%s/%d", u.Origin, u.Seq) }
+
+// SizeBytes estimates the wire size of the update: key, value, and the
+// version history (IDSize bytes per entry), plus a small fixed header.
+func (u Update) SizeBytes() int {
+	const header = 24 // origin/seq/flags framing
+	return header + len(u.Key) + len(u.Value) + len(u.Version)*version.IDSize
+}
+
+// Revision is one coexisting branch of an item's history.
+type Revision struct {
+	// Version is the branch's version history.
+	Version version.History
+	// Value is the branch content.
+	Value []byte
+	// Deleted marks a tombstoned branch.
+	Deleted bool
+	// Stamp is when the branch head was written.
+	Stamp time.Time
+}
+
+// ApplyResult classifies the outcome of applying an update.
+type ApplyResult int
+
+// Apply outcomes.
+const (
+	// Applied means the update was new and changed the store.
+	Applied ApplyResult = iota + 1
+	// Duplicate means the exact update (origin, seq) was already known.
+	Duplicate
+	// Obsolete means the update's version was already dominated by an
+	// existing branch; it is recorded in the clock but changes nothing.
+	Obsolete
+)
+
+// String returns the outcome name.
+func (r ApplyResult) String() string {
+	switch r {
+	case Applied:
+		return "applied"
+	case Duplicate:
+		return "duplicate"
+	case Obsolete:
+		return "obsolete"
+	default:
+		return fmt.Sprintf("ApplyResult(%d)", int(r))
+	}
+}
+
+// Store is a replica's local state. It is safe for concurrent use.
+type Store struct {
+	mu sync.RWMutex
+	// items maps key → coexisting revisions.
+	items map[string][]Revision
+	// log holds every applied update per origin, ordered by Seq, backing
+	// anti-entropy diffs.
+	log map[string][]Update
+	// clock summarises the applied updates.
+	clock version.Clock
+	// tombRetain is how long tombstones are kept before GC.
+	tombRetain time.Duration
+}
+
+// DefaultTombstoneRetention keeps death certificates for 30 days, a
+// conventional choice that comfortably exceeds expected offline periods.
+const DefaultTombstoneRetention = 30 * 24 * time.Hour
+
+// New returns an empty store with the default tombstone retention.
+func New() *Store { return NewWithRetention(DefaultTombstoneRetention) }
+
+// NewWithRetention returns an empty store keeping tombstones for the given
+// duration.
+func NewWithRetention(retain time.Duration) *Store {
+	return &Store{
+		items:      make(map[string][]Revision),
+		log:        make(map[string][]Update),
+		clock:      version.NewClock(),
+		tombRetain: retain,
+	}
+}
+
+// Apply ingests one update and returns the outcome. Updates may arrive in
+// any order and repeatedly; Apply is idempotent per (origin, seq).
+func (s *Store) Apply(u Update) ApplyResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if u.Seq == 0 || u.Origin == "" {
+		// Malformed updates are treated as obsolete noise rather than
+		// panicking; the transport layer validates before this point.
+		return Obsolete
+	}
+	if s.haveUpdateLocked(u.Origin, u.Seq) {
+		return Duplicate
+	}
+
+	s.appendLogLocked(u)
+	// The clock advances only over the contiguous prefix of received
+	// sequence numbers; a gap (update lost in flight) keeps the clock low so
+	// that a later pull re-fetches the hole.
+	cur := s.clock.Get(u.Origin)
+	for _, logged := range s.log[u.Origin] {
+		if logged.Seq == cur+1 {
+			cur++
+		} else if logged.Seq > cur+1 {
+			break
+		}
+	}
+	if cur > s.clock.Get(u.Origin) {
+		s.clock[u.Origin] = cur
+	}
+
+	revs := s.items[u.Key]
+	newRev := Revision{Version: u.Version, Value: u.Value, Deleted: u.Delete, Stamp: u.Stamp}
+	kept := revs[:0]
+	dominated := false
+	for _, r := range revs {
+		switch r.Version.Compare(u.Version) {
+		case version.Before:
+			// Existing branch is an ancestor: superseded, drop it.
+		case version.Equal, version.After:
+			// The incoming update is already covered.
+			dominated = true
+			kept = append(kept, r)
+		case version.Concurrent:
+			kept = append(kept, r)
+		}
+	}
+	if dominated {
+		s.items[u.Key] = kept
+		return Obsolete
+	}
+	s.items[u.Key] = append(kept, newRev)
+	return Applied
+}
+
+func (s *Store) haveUpdateLocked(origin string, seq uint64) bool {
+	for _, u := range s.log[origin] {
+		if u.Seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Store) appendLogLocked(u Update) {
+	log := s.log[u.Origin]
+	idx := sort.Search(len(log), func(i int) bool { return log[i].Seq >= u.Seq })
+	if idx < len(log) && log[idx].Seq == u.Seq {
+		return
+	}
+	log = append(log, Update{})
+	copy(log[idx+1:], log[idx:])
+	log[idx] = u
+	s.log[u.Origin] = log
+}
+
+// Get returns the winning revision for key. When concurrent branches
+// coexist, the winner is the branch with the longest history, ties broken by
+// comparing head identifiers — a deterministic "most recent version" rule in
+// the spirit of §4.4. The boolean is false if the key is absent or every
+// branch is deleted.
+func (s *Store) Get(key string) (Revision, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	best, ok := winner(s.items[key])
+	if !ok || best.Deleted {
+		return Revision{}, false
+	}
+	return cloneRevision(best), true
+}
+
+// Versions returns copies of all coexisting revisions of key, including
+// tombstoned branches, sorted deterministically.
+func (s *Store) Versions(key string) []Revision {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	revs := s.items[key]
+	out := make([]Revision, len(revs))
+	for i, r := range revs {
+		out[i] = cloneRevision(r)
+	}
+	sortRevisions(out)
+	return out
+}
+
+// Keys returns the sorted set of keys with at least one live revision.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.items))
+	for k, revs := range s.items {
+		if w, ok := winner(revs); ok && !w.Deleted {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clock returns a copy of the store's vector clock.
+func (s *Store) Clock() version.Clock {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.clock.Clone()
+}
+
+// MissingFor returns every logged update the remote clock has not seen,
+// ordered by origin then sequence. It is the payload of a pull response.
+func (s *Store) MissingFor(remote version.Clock) []Update {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	origins := make([]string, 0, len(s.log))
+	for o := range s.log {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	var out []Update
+	for _, o := range origins {
+		have := remote.Get(o)
+		for _, u := range s.log[o] {
+			if u.Seq > have {
+				out = append(out, cloneUpdate(u))
+			}
+		}
+	}
+	return out
+}
+
+// UpdateCount returns the number of logged updates.
+func (s *Store) UpdateCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, log := range s.log {
+		n += len(log)
+	}
+	return n
+}
+
+// GCTombstones drops tombstoned revisions (and their log entries' values)
+// whose retention expired at `now`, returning the number collected. Live
+// branches and the vector clock are untouched, so reconciliation stays
+// correct for peers that return within the retention window.
+func (s *Store) GCTombstones(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	collected := 0
+	for key, revs := range s.items {
+		kept := revs[:0]
+		for _, r := range revs {
+			ts := version.Tombstone{Deleted: r.Version, At: r.Stamp, Retain: s.tombRetain}
+			if r.Deleted && ts.Expired(now) {
+				collected++
+				continue
+			}
+			kept = append(kept, r)
+		}
+		if len(kept) == 0 {
+			delete(s.items, key)
+		} else {
+			s.items[key] = kept
+		}
+	}
+	return collected
+}
+
+// Equal reports whether two stores hold identical live state (same keys,
+// same winning values). It backs the convergence assertions in the
+// integration tests.
+func (s *Store) Equal(other *Store) bool {
+	ak, bk := s.Keys(), other.Keys()
+	if len(ak) != len(bk) {
+		return false
+	}
+	for i := range ak {
+		if ak[i] != bk[i] {
+			return false
+		}
+	}
+	for _, k := range ak {
+		a, okA := s.Get(k)
+		b, okB := other.Get(k)
+		if okA != okB || !bytes.Equal(a.Value, b.Value) ||
+			a.Version.Compare(b.Version) != version.Equal {
+			return false
+		}
+	}
+	return true
+}
+
+func winner(revs []Revision) (Revision, bool) {
+	if len(revs) == 0 {
+		return Revision{}, false
+	}
+	sorted := make([]Revision, len(revs))
+	copy(sorted, revs)
+	sortRevisions(sorted)
+	return sorted[0], true
+}
+
+// sortRevisions orders branches best-first: longer history wins, then the
+// lexicographically larger head id (arbitrary but deterministic across
+// replicas), so every replica picks the same winner among concurrent
+// branches.
+func sortRevisions(revs []Revision) {
+	sort.Slice(revs, func(i, j int) bool {
+		a, b := revs[i], revs[j]
+		if len(a.Version) != len(b.Version) {
+			return len(a.Version) > len(b.Version)
+		}
+		ah, errA := a.Version.Head()
+		bh, errB := b.Version.Head()
+		if errA != nil || errB != nil {
+			return errA == nil
+		}
+		return bytes.Compare(ah[:], bh[:]) > 0
+	})
+}
+
+func cloneRevision(r Revision) Revision {
+	out := r
+	out.Version = r.Version.Clone()
+	out.Value = append([]byte(nil), r.Value...)
+	return out
+}
+
+func cloneUpdate(u Update) Update {
+	out := u
+	out.Version = u.Version.Clone()
+	out.Value = append([]byte(nil), u.Value...)
+	return out
+}

@@ -1,0 +1,89 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// Writer creates well-formed updates on behalf of one replica: it assigns
+// per-origin sequence numbers, extends the item's current version history
+// (taking the local winning branch as the parent, which is how optimistic
+// replication earns its rare conflicts), and applies the update locally.
+type Writer struct {
+	origin string
+	store  *Store
+	seq    uint64
+	now    func() time.Time
+	rng    *rand.Rand
+}
+
+// NewWriter returns a Writer for the given origin writing through st.
+// now and rng may be nil, in which case wall-clock time and a time-seeded
+// source are used; simulations inject deterministic ones.
+func NewWriter(origin string, st *Store, now func() time.Time, rng *rand.Rand) (*Writer, error) {
+	if origin == "" {
+		return nil, fmt.Errorf("store: writer origin must be non-empty")
+	}
+	if st == nil {
+		return nil, fmt.Errorf("store: writer needs a store")
+	}
+	if now == nil {
+		now = time.Now
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	w := &Writer{origin: origin, store: st, now: now, rng: rng}
+	// Resume the sequence after a restart from the store's clock.
+	w.seq = st.Clock().Get(origin)
+	return w, nil
+}
+
+// Origin returns the writer's replica identity.
+func (w *Writer) Origin() string { return w.origin }
+
+// Put creates, applies, and returns an update setting key to value.
+func (w *Writer) Put(key string, value []byte) Update {
+	return w.mutate(key, value, false)
+}
+
+// Delete creates, applies, and returns a tombstone update for key.
+func (w *Writer) Delete(key string) Update {
+	return w.mutate(key, nil, true)
+}
+
+func (w *Writer) mutate(key string, value []byte, del bool) Update {
+	now := w.now()
+	parent := version.History(nil)
+	if rev, ok := w.store.Get(key); ok {
+		parent = rev.Version
+	} else if revs := w.store.Versions(key); len(revs) > 0 {
+		// All branches deleted: extend the winning tombstone so the write
+		// supersedes the deletion.
+		parent = revs[0].Version
+	}
+	w.seq++
+	u := Update{
+		Origin:  w.origin,
+		Seq:     w.seq,
+		Key:     key,
+		Value:   append([]byte(nil), value...),
+		Delete:  del,
+		Version: parent.Append(version.NewID(now, w.origin, w.rng)),
+		Stamp:   now,
+	}
+	w.store.Apply(u)
+	return u
+}
+
+// Resync advances the writer's sequence counter to the store's clock for
+// its origin. Call after restoring the store from a snapshot so that new
+// writes do not reuse sequence numbers.
+func (w *Writer) Resync() {
+	if seq := w.store.Clock().Get(w.origin); seq > w.seq {
+		w.seq = seq
+	}
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndQuery(t *testing.T) {
+	r := New(0)
+	r.Record(Event{Round: 0, Kind: KindSend, From: 1, To: 2, Note: "push"})
+	r.Record(Event{Round: 1, Kind: KindDeliver, From: 1, To: 2})
+	r.Record(Event{Round: 1, Kind: KindOffline, From: 1, To: 3})
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if r.CountKind(KindSend) != 1 || r.CountKind(KindDeliver) != 1 {
+		t.Fatal("CountKind wrong")
+	}
+	of2 := r.OfPeer(2)
+	if len(of2) != 2 {
+		t.Fatalf("OfPeer(2) = %d events", len(of2))
+	}
+	if len(r.OfPeer(9)) != 0 {
+		t.Fatal("OfPeer(9) non-empty")
+	}
+	// Events() returns a copy.
+	events[0].Round = 99
+	if r.Events()[0].Round == 99 {
+		t.Fatal("Events exposed internal slice")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindSend}) // must not panic
+	r.SetFilter(func(Event) bool { return true })
+	if r.Events() != nil || r.CountKind(KindSend) != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder returned data")
+	}
+	if r.OfPeer(1) != nil {
+		t.Fatal("nil OfPeer returned data")
+	}
+}
+
+func TestCapDropsOldest(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 25; i++ {
+		r.Record(Event{Round: i, Kind: KindSend})
+	}
+	events := r.Events()
+	if len(events) > 10 {
+		t.Fatalf("cap exceeded: %d", len(events))
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("no drops recorded")
+	}
+	// The newest event must survive.
+	last := events[len(events)-1]
+	if last.Round != 24 {
+		t.Fatalf("latest event lost, tail = %d", last.Round)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := New(0)
+	r.SetFilter(func(e Event) bool { return e.Kind == KindDrop })
+	r.Record(Event{Kind: KindSend})
+	r.Record(Event{Kind: KindDrop})
+	if len(r.Events()) != 1 || r.Events()[0].Kind != KindDrop {
+		t.Fatalf("filter not applied: %v", r.Events())
+	}
+}
+
+func TestRender(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Round: i, Kind: KindDeliver, From: 0, To: 1, Note: "x"})
+	}
+	out := r.Render()
+	if !strings.Contains(out, "deliver") || !strings.Contains(out, "dropped by cap") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindSend: "send", KindDeliver: "deliver", KindOffline: "to-offline",
+		KindDrop: "drop", KindWentOnline: "online", KindWentOffline: "offline",
+		KindCustom: "custom",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("String = %q, want %q", got, want)
+		}
+	}
+	if Kind(77).String() != "Kind(77)" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New(1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(Event{Kind: KindSend})
+				_ = r.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Events()) + r.Dropped(); got != 4000 {
+		t.Fatalf("recorded+dropped = %d, want 4000", got)
+	}
+}

@@ -1,0 +1,285 @@
+// Package version implements the versioning substrate of the update
+// protocol: universally unique version identifiers, append-only version
+// histories, vector clocks, and tombstones (death certificates).
+//
+// The paper (§3, footnote 1) models an item version as a vector of version
+// identifiers ⟨Version_1, …, Version_k⟩ where each identifier is computed
+// locally by hashing the current date/time, the peer's address, and a large
+// random number. Two histories are ordered iff one is a prefix of the other;
+// otherwise they are concurrent (a rare conflict, which the paper's target
+// applications tolerate by letting versions coexist).
+package version
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// IDSize is the byte length of a version identifier.
+const IDSize = 16
+
+// ID is a universally unique version identifier. Per the paper it is derived
+// from a cryptographic hash of the local time, the peer's address, and a
+// large random number.
+type ID [IDSize]byte
+
+// NewID computes a fresh identifier from the given instant, peer address and
+// random source. Deterministic for a fixed (now, addr, rng) so that
+// simulations are reproducible.
+func NewID(now time.Time, addr string, rng *rand.Rand) ID {
+	var buf [8 + 8]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(now.UnixNano()))
+	binary.BigEndian.PutUint64(buf[8:16], rng.Uint64())
+	h := sha256.New()
+	h.Write(buf[:])
+	h.Write([]byte(addr))
+	var id ID
+	copy(id[:], h.Sum(nil)[:IDSize])
+	return id
+}
+
+// IsZero reports whether the identifier is the zero value.
+func (id ID) IsZero() bool { return id == ID{} }
+
+// String returns the hex form of the identifier, shortened for logs.
+func (id ID) String() string { return hex.EncodeToString(id[:4]) }
+
+// FullString returns the full hex form of the identifier.
+func (id ID) FullString() string { return hex.EncodeToString(id[:]) }
+
+// ParseID parses a full hex identifier produced by FullString.
+func ParseID(s string) (ID, error) {
+	var id ID
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return id, fmt.Errorf("parse version id: %w", err)
+	}
+	if len(raw) != IDSize {
+		return id, fmt.Errorf("parse version id: got %d bytes, want %d", len(raw), IDSize)
+	}
+	copy(id[:], raw)
+	return id, nil
+}
+
+// Ordering is the result of comparing two version histories or clocks.
+type Ordering int
+
+// Possible comparison results. Equal means identical histories; Before and
+// After are strict causal orderings; Concurrent means neither history is a
+// prefix of the other (an update conflict).
+const (
+	Equal Ordering = iota + 1
+	Before
+	After
+	Concurrent
+)
+
+// String returns a human-readable ordering name.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// History is an append-only chain of version identifiers, oldest first. It is
+// the paper's ⟨Version_1, …, Version_k⟩ vector.
+type History []ID
+
+// ErrEmptyHistory is returned when an operation requires at least one entry.
+var ErrEmptyHistory = errors.New("version: empty history")
+
+// Append returns a new history extended by id. The receiver is not modified.
+func (h History) Append(id ID) History {
+	out := make(History, len(h)+1)
+	copy(out, h)
+	out[len(h)] = id
+	return out
+}
+
+// Head returns the most recent identifier.
+func (h History) Head() (ID, error) {
+	if len(h) == 0 {
+		return ID{}, ErrEmptyHistory
+	}
+	return h[len(h)-1], nil
+}
+
+// Clone returns a deep copy of the history.
+func (h History) Clone() History {
+	return append(History(nil), h...)
+}
+
+// Compare orders two histories by the prefix relation:
+//
+//   - Equal: same length, same entries.
+//   - Before: h is a strict prefix of other (other is newer).
+//   - After: other is a strict prefix of h (h is newer).
+//   - Concurrent: the histories diverge — an update conflict.
+func (h History) Compare(other History) Ordering {
+	n := len(h)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		if h[i] != other[i] {
+			return Concurrent
+		}
+	}
+	switch {
+	case len(h) == len(other):
+		return Equal
+	case len(h) < len(other):
+		return Before
+	default:
+		return After
+	}
+}
+
+// Dominates reports whether h is at least as new as other (Equal or After).
+func (h History) Dominates(other History) bool {
+	o := h.Compare(other)
+	return o == Equal || o == After
+}
+
+// String renders the history as a short arrow-chain, for logs and debugging.
+func (h History) String() string {
+	if len(h) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(h))
+	for i, id := range h {
+		parts[i] = id.String()
+	}
+	return strings.Join(parts, "→")
+}
+
+// Clock is a vector clock mapping a replica identity to the count of updates
+// it has originated. It is used by the pull phase to summarise "what I have"
+// compactly ("inquire for missed updates based on version vectors", §3).
+type Clock map[string]uint64
+
+// NewClock returns an empty clock.
+func NewClock() Clock { return make(Clock) }
+
+// Tick increments the component for the given replica and returns the new
+// count.
+func (c Clock) Tick(replica string) uint64 {
+	c[replica]++
+	return c[replica]
+}
+
+// Get returns the component for the given replica (zero if absent).
+func (c Clock) Get(replica string) uint64 { return c[replica] }
+
+// Clone returns a deep copy of the clock.
+func (c Clock) Clone() Clock {
+	out := make(Clock, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge returns the component-wise maximum of c and other. Neither input is
+// modified. Merge is commutative, associative and idempotent (it computes the
+// join in the lattice of vector clocks); the property tests assert this.
+func (c Clock) Merge(other Clock) Clock {
+	out := c.Clone()
+	for k, v := range other {
+		if v > out[k] {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Compare orders two clocks pointwise:
+//
+//   - Equal: identical components.
+//   - Before: every component of c ≤ other, at least one strictly less.
+//   - After: every component of c ≥ other, at least one strictly greater.
+//   - Concurrent: some component greater, some smaller.
+func (c Clock) Compare(other Clock) Ordering {
+	var less, greater bool
+	for k, v := range c {
+		ov := other[k]
+		if v < ov {
+			less = true
+		} else if v > ov {
+			greater = true
+		}
+	}
+	for k, ov := range other {
+		if _, seen := c[k]; seen {
+			continue
+		}
+		if ov > 0 {
+			less = true
+		}
+	}
+	switch {
+	case less && greater:
+		return Concurrent
+	case less:
+		return Before
+	case greater:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// Dominates reports whether c is at least as advanced as other.
+func (c Clock) Dominates(other Clock) bool {
+	o := c.Compare(other)
+	return o == Equal || o == After
+}
+
+// String renders the clock deterministically (sorted by key).
+func (c Clock) String() string {
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s:%d", k, c[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Tombstone is a death certificate recording the deletion of an item. The
+// paper (§3) notes deletions "may use conventional tombstones and death
+// certificates": the tombstone propagates like a normal update and expires
+// after a retention period so that storage is eventually reclaimed.
+type Tombstone struct {
+	// Deleted is the version history at which the item was deleted.
+	Deleted History
+	// At is the (simulated or wall-clock) time of deletion.
+	At time.Time
+	// Retain is how long the certificate must be kept before it may be
+	// garbage-collected.
+	Retain time.Duration
+}
+
+// Expired reports whether the certificate may be dropped at time now.
+func (t Tombstone) Expired(now time.Time) bool {
+	return now.Sub(t.At) >= t.Retain
+}

@@ -1,0 +1,355 @@
+package version
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mustID(t *testing.T, rng *rand.Rand) ID {
+	t.Helper()
+	return NewID(time.Unix(1_000_000, 0), "peer", rng)
+}
+
+func TestNewIDDeterministic(t *testing.T) {
+	now := time.Unix(42, 7)
+	a := NewID(now, "addr", rand.New(rand.NewSource(1)))
+	b := NewID(now, "addr", rand.New(rand.NewSource(1)))
+	if a != b {
+		t.Fatalf("ids from identical inputs differ: %v vs %v", a, b)
+	}
+	c := NewID(now, "addr", rand.New(rand.NewSource(2)))
+	if a == c {
+		t.Fatalf("ids from different rng collide: %v", a)
+	}
+	d := NewID(now, "other", rand.New(rand.NewSource(1)))
+	if a == d {
+		t.Fatalf("ids from different addresses collide: %v", a)
+	}
+}
+
+func TestIDZeroAndString(t *testing.T) {
+	var zero ID
+	if !zero.IsZero() {
+		t.Fatal("zero ID not reported as zero")
+	}
+	id := mustID(t, rand.New(rand.NewSource(9)))
+	if id.IsZero() {
+		t.Fatal("fresh ID reported as zero")
+	}
+	if len(id.FullString()) != 2*IDSize {
+		t.Fatalf("FullString length = %d, want %d", len(id.FullString()), 2*IDSize)
+	}
+}
+
+func TestParseIDRoundTrip(t *testing.T) {
+	id := mustID(t, rand.New(rand.NewSource(3)))
+	got, err := ParseID(id.FullString())
+	if err != nil {
+		t.Fatalf("ParseID: %v", err)
+	}
+	if got != id {
+		t.Fatalf("round trip mismatch: %v vs %v", got, id)
+	}
+}
+
+func TestParseIDErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"not hex", "zz"},
+		{"short", "abcd"},
+		{"long", "00112233445566778899aabbccddeeff00"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseID(tt.in); err == nil {
+				t.Fatalf("ParseID(%q) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestHistoryCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b, c := mustID(t, rng), mustID(t, rng), mustID(t, rng)
+
+	base := History{a}
+	longer := base.Append(b)
+	diverged := base.Append(c)
+
+	tests := []struct {
+		name string
+		h, o History
+		want Ordering
+	}{
+		{"equal empty", nil, nil, Equal},
+		{"equal", longer, longer.Clone(), Equal},
+		{"prefix before", base, longer, Before},
+		{"prefix after", longer, base, After},
+		{"empty before any", nil, base, Before},
+		{"concurrent", longer, diverged, Concurrent},
+		{"concurrent sym", diverged, longer, Concurrent},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.h.Compare(tt.o); got != tt.want {
+				t.Fatalf("Compare = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHistoryCompareAntisymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var h History
+	for i := 0; i < 4; i++ {
+		h = h.Append(mustID(t, rng))
+		prefix := h[:len(h)-1].Clone()
+		if got := prefix.Compare(h); got != Before {
+			t.Fatalf("prefix.Compare = %v, want Before", got)
+		}
+		if got := h.Compare(prefix); got != After {
+			t.Fatalf("h.Compare(prefix) = %v, want After", got)
+		}
+	}
+}
+
+func TestHistoryAppendDoesNotAliasReceiver(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a, b, c := mustID(t, rng), mustID(t, rng), mustID(t, rng)
+	base := History{a}
+	h1 := base.Append(b)
+	h2 := base.Append(c)
+	if h1.Compare(h2) != Concurrent {
+		t.Fatalf("branches from a shared base should be concurrent")
+	}
+	if base[0] != a {
+		t.Fatalf("base mutated by Append")
+	}
+}
+
+func TestHistoryHead(t *testing.T) {
+	var empty History
+	if _, err := empty.Head(); err == nil {
+		t.Fatal("Head of empty history should error")
+	}
+	rng := rand.New(rand.NewSource(7))
+	a, b := mustID(t, rng), mustID(t, rng)
+	h := History{a, b}
+	head, err := h.Head()
+	if err != nil {
+		t.Fatalf("Head: %v", err)
+	}
+	if head != b {
+		t.Fatalf("Head = %v, want %v", head, b)
+	}
+}
+
+func TestHistoryDominates(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a, b := mustID(t, rng), mustID(t, rng)
+	h := History{a, b}
+	if !h.Dominates(h) {
+		t.Fatal("history should dominate itself")
+	}
+	if !h.Dominates(h[:1]) {
+		t.Fatal("longer history should dominate its prefix")
+	}
+	if h[:1].Dominates(h) {
+		t.Fatal("prefix should not dominate extension")
+	}
+}
+
+func TestClockBasics(t *testing.T) {
+	c := NewClock()
+	if got := c.Get("a"); got != 0 {
+		t.Fatalf("Get on empty = %d", got)
+	}
+	if got := c.Tick("a"); got != 1 {
+		t.Fatalf("first Tick = %d, want 1", got)
+	}
+	if got := c.Tick("a"); got != 2 {
+		t.Fatalf("second Tick = %d, want 2", got)
+	}
+	c.Tick("b")
+	if got := c.String(); got != "{a:2,b:1}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestClockCompare(t *testing.T) {
+	mk := func(pairs ...any) Clock {
+		c := NewClock()
+		for i := 0; i < len(pairs); i += 2 {
+			c[pairs[i].(string)] = uint64(pairs[i+1].(int))
+		}
+		return c
+	}
+	tests := []struct {
+		name string
+		a, b Clock
+		want Ordering
+	}{
+		{"both empty", mk(), mk(), Equal},
+		{"equal", mk("x", 1), mk("x", 1), Equal},
+		{"before", mk("x", 1), mk("x", 2), Before},
+		{"after", mk("x", 3), mk("x", 2), After},
+		{"missing key before", mk(), mk("y", 1), Before},
+		{"missing key after", mk("y", 1), mk(), After},
+		{"concurrent", mk("x", 1), mk("y", 1), Concurrent},
+		{"zero component equal", mk("x", 0), mk(), Equal},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Fatalf("Compare = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func randClock(r *rand.Rand) Clock {
+	keys := []string{"p", "q", "r", "s"}
+	c := NewClock()
+	for _, k := range keys {
+		if r.Intn(2) == 0 {
+			c[k] = uint64(r.Intn(5))
+		}
+	}
+	return c
+}
+
+func TestClockMergeProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: quickValues(func(args []interface{}, r *rand.Rand) {
+			args[0] = randClock(r)
+			args[1] = randClock(r)
+			args[2] = randClock(r)
+		}),
+	}
+	commutative := func(a, b, _ Clock) bool {
+		return a.Merge(b).Compare(b.Merge(a)) == Equal
+	}
+	if err := quick.Check(commutative, cfg); err != nil {
+		t.Errorf("merge not commutative: %v", err)
+	}
+	associative := func(a, b, c Clock) bool {
+		return a.Merge(b).Merge(c).Compare(a.Merge(b.Merge(c))) == Equal
+	}
+	if err := quick.Check(associative, cfg); err != nil {
+		t.Errorf("merge not associative: %v", err)
+	}
+	idempotent := func(a, _, _ Clock) bool {
+		return a.Merge(a).Compare(a) == Equal
+	}
+	if err := quick.Check(idempotent, cfg); err != nil {
+		t.Errorf("merge not idempotent: %v", err)
+	}
+	dominates := func(a, b, _ Clock) bool {
+		m := a.Merge(b)
+		return m.Dominates(a) && m.Dominates(b)
+	}
+	if err := quick.Check(dominates, cfg); err != nil {
+		t.Errorf("merge does not dominate inputs: %v", err)
+	}
+}
+
+func TestClockCompareConsistentWithMerge(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: quickValues(func(args []interface{}, r *rand.Rand) {
+			args[0] = randClock(r)
+			args[1] = randClock(r)
+		}),
+	}
+	// If a ≤ b then merge(a,b) == b.
+	prop := func(a, b Clock) bool {
+		if a.Compare(b) == Before || a.Compare(b) == Equal {
+			return a.Merge(b).Compare(b) == Equal
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Errorf("compare/merge inconsistent: %v", err)
+	}
+}
+
+func TestClockCompareAntisymmetry(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: quickValues(func(args []interface{}, r *rand.Rand) {
+			args[0] = randClock(r)
+			args[1] = randClock(r)
+		}),
+	}
+	flip := map[Ordering]Ordering{
+		Equal: Equal, Before: After, After: Before, Concurrent: Concurrent,
+	}
+	prop := func(a, b Clock) bool {
+		return flip[a.Compare(b)] == b.Compare(a)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Errorf("compare not antisymmetric: %v", err)
+	}
+}
+
+func TestClockCloneIndependent(t *testing.T) {
+	a := NewClock()
+	a.Tick("x")
+	b := a.Clone()
+	b.Tick("x")
+	if a.Get("x") != 1 || b.Get("x") != 2 {
+		t.Fatalf("clone aliases original: a=%v b=%v", a, b)
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	for o, want := range map[Ordering]string{
+		Equal: "equal", Before: "before", After: "after", Concurrent: "concurrent",
+	} {
+		if got := o.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", int(o), got, want)
+		}
+	}
+	if got := Ordering(99).String(); got != "Ordering(99)" {
+		t.Fatalf("unknown ordering String = %q", got)
+	}
+}
+
+func TestTombstoneExpiry(t *testing.T) {
+	at := time.Unix(1000, 0)
+	ts := Tombstone{At: at, Retain: time.Hour}
+	if ts.Expired(at.Add(59 * time.Minute)) {
+		t.Fatal("tombstone expired too early")
+	}
+	if !ts.Expired(at.Add(time.Hour)) {
+		t.Fatal("tombstone did not expire at retention boundary")
+	}
+}
+
+func TestHistoryString(t *testing.T) {
+	var empty History
+	if got := empty.String(); got == "" {
+		t.Fatal("empty history should render a placeholder")
+	}
+	rng := rand.New(rand.NewSource(10))
+	h := History{mustID(t, rng), mustID(t, rng)}
+	if got := h.String(); len(got) == 0 {
+		t.Fatal("history String empty")
+	}
+}
+
+func quickValues(fill func(args []interface{}, r *rand.Rand)) func([]reflect.Value, *rand.Rand) {
+	return func(vals []reflect.Value, r *rand.Rand) {
+		args := make([]interface{}, len(vals))
+		fill(args, r)
+		for i := range vals {
+			vals[i] = reflect.ValueOf(args[i])
+		}
+	}
+}

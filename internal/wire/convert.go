@@ -1,0 +1,34 @@
+package wire
+
+import (
+	"fmt"
+
+	"github.com/p2pgossip/update/internal/version"
+)
+
+func versionIDFromBytes(raw []byte) (version.ID, error) {
+	var id version.ID
+	if len(raw) != version.IDSize {
+		return id, fmt.Errorf("wire: version id has %d bytes, want %d", len(raw), version.IDSize)
+	}
+	copy(id[:], raw)
+	return id, nil
+}
+
+// ClockToWire converts a version.Clock to its wire form (a plain map copy).
+func ClockToWire(c version.Clock) map[string]uint64 {
+	out := make(map[string]uint64, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// ClockFromWire converts a wire clock back to a version.Clock.
+func ClockFromWire(m map[string]uint64) version.Clock {
+	out := version.NewClock()
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"testing"
+)
+
+// FuzzDecode ensures the decoder never panics and that every successfully
+// decoded envelope re-encodes.
+func FuzzDecode(f *testing.F) {
+	seedEnvs := []Envelope{
+		{Kind: KindPush, From: "a:1", RF: []string{"x", "y"}, T: 3},
+		{Kind: KindPullReq, From: "b:2", Clock: map[string]uint64{"o": 9}},
+		{Kind: KindAck, From: "c:3", UpdateID: "o/9"},
+	}
+	for _, env := range seedEnvs {
+		raw, err := Encode(env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("garbage input"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(data)
+		if err != nil {
+			return // malformed input is rejected, never panics
+		}
+		if _, err := Encode(env); err != nil {
+			t.Fatalf("decoded envelope does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzUpdateToStore ensures version conversion never panics on arbitrary
+// byte shapes.
+func FuzzUpdateToStore(f *testing.F) {
+	f.Add("origin", uint64(1), "key", []byte("value"), []byte("0123456789abcdef"))
+	f.Add("", uint64(0), "", []byte{}, []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, origin string, seq uint64, key string, value, vid []byte) {
+		u := Update{
+			Origin: origin, Seq: seq, Key: key, Value: value,
+			Version: [][]byte{vid},
+		}
+		su, err := u.ToStore()
+		if err != nil {
+			return
+		}
+		if len(su.Version) != 1 {
+			t.Fatal("version length changed")
+		}
+	})
+}

@@ -1,0 +1,163 @@
+// Package wire defines the transport-independent message format of the live
+// (asynchronous) runtime, plus gob-based encoding helpers for the TCP
+// transport.
+//
+// The paper keeps the propagation mechanism orthogonal to the physical
+// network (§1); this package is the concrete boundary: the same envelopes
+// travel over in-memory channels in tests and over TCP in deployments.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"github.com/p2pgossip/update/internal/store"
+)
+
+// Kind discriminates envelope payloads.
+type Kind int
+
+// Envelope kinds.
+const (
+	// KindPush carries an update push.
+	KindPush Kind = iota + 1
+	// KindPullReq asks for missing updates.
+	KindPullReq
+	// KindPullResp ships missing updates.
+	KindPullResp
+	// KindAck acknowledges an update receipt.
+	KindAck
+	// KindQuery asks a replica for its current revision of a key (§4.4).
+	KindQuery
+	// KindQueryResp answers a query.
+	KindQueryResp
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPush:
+		return "push"
+	case KindPullReq:
+		return "pull-req"
+	case KindPullResp:
+		return "pull-resp"
+	case KindAck:
+		return "ack"
+	case KindQuery:
+		return "query"
+	case KindQueryResp:
+		return "query-resp"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Update is the wire form of store.Update. Version histories travel as raw
+// byte slices to keep gob encoding simple and stable.
+type Update struct {
+	Origin  string
+	Seq     uint64
+	Key     string
+	Value   []byte
+	Delete  bool
+	Version [][]byte
+	Stamp   int64 // UnixNano
+}
+
+// FromStore converts a store.Update to its wire form.
+func FromStore(u store.Update) Update {
+	version := make([][]byte, len(u.Version))
+	for i, id := range u.Version {
+		v := id // copy array
+		version[i] = v[:]
+	}
+	return Update{
+		Origin:  u.Origin,
+		Seq:     u.Seq,
+		Key:     u.Key,
+		Value:   append([]byte(nil), u.Value...),
+		Delete:  u.Delete,
+		Version: version,
+		Stamp:   u.Stamp.UnixNano(),
+	}
+}
+
+// ToStore converts back to a store.Update. Malformed version entries are an
+// error: silently truncating them would corrupt causality.
+func (u Update) ToStore() (store.Update, error) {
+	out := store.Update{
+		Origin: u.Origin,
+		Seq:    u.Seq,
+		Key:    u.Key,
+		Value:  append([]byte(nil), u.Value...),
+		Delete: u.Delete,
+		Stamp:  time.Unix(0, u.Stamp),
+	}
+	for _, raw := range u.Version {
+		id, err := versionIDFromBytes(raw)
+		if err != nil {
+			return store.Update{}, err
+		}
+		out.Version = append(out.Version, id)
+	}
+	return out, nil
+}
+
+// Envelope is one transport message.
+type Envelope struct {
+	// Kind selects which payload fields are meaningful.
+	Kind Kind
+	// From is the sender's address.
+	From string
+	// Update is set for KindPush.
+	Update Update
+	// RF is the partial flooding list (addresses) for KindPush.
+	RF []string
+	// T is the push round counter for KindPush.
+	T int
+	// Clock is the requester's vector clock for KindPullReq.
+	Clock map[string]uint64
+	// Updates are the missing updates for KindPullResp.
+	Updates []Update
+	// KnownPeers is a membership sample piggybacked on KindPullResp — the
+	// name-dropper effect applied to the pull phase, which bootstraps the
+	// views of freshly joined replicas.
+	KnownPeers []string
+	// UpdateID identifies the acknowledged update for KindAck.
+	UpdateID string
+	// QID correlates KindQuery/KindQueryResp pairs.
+	QID int64
+	// Key is the queried key for KindQuery/KindQueryResp.
+	Key string
+	// Found reports whether the responder holds a live revision
+	// (KindQueryResp).
+	Found bool
+	// Value and Version carry the responder's winning revision
+	// (KindQueryResp).
+	Value []byte
+	// Version is the revision's history, wire-encoded like Update.Version.
+	Version [][]byte
+	// Confident is false when the responder suspects it is stale.
+	Confident bool
+}
+
+// Encode serialises the envelope with gob.
+func Encode(env Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return nil, fmt.Errorf("wire: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserialises an envelope.
+func Decode(raw []byte) (Envelope, error) {
+	var env Envelope
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&env); err != nil {
+		return Envelope{}, fmt.Errorf("wire: decode: %w", err)
+	}
+	return env, nil
+}

@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/version"
+)
+
+func sampleUpdate(t *testing.T) store.Update {
+	t.Helper()
+	st := store.New()
+	w, err := store.NewWriter("origin-1", st,
+		func() time.Time { return time.Unix(1234, 5678) },
+		rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Put("k", []byte("first"))
+	return w.Put("k", []byte("second")) // history length 2
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	u := sampleUpdate(t)
+	wu := FromStore(u)
+	back, err := wu.ToStore()
+	if err != nil {
+		t.Fatalf("ToStore: %v", err)
+	}
+	if back.ID() != u.ID() {
+		t.Fatalf("id mismatch: %s vs %s", back.ID(), u.ID())
+	}
+	if string(back.Value) != "second" || back.Delete != u.Delete {
+		t.Fatalf("payload mismatch: %+v", back)
+	}
+	if back.Version.Compare(u.Version) != version.Equal {
+		t.Fatalf("version mismatch: %s vs %s", back.Version, u.Version)
+	}
+	if !back.Stamp.Equal(u.Stamp) {
+		t.Fatalf("stamp mismatch: %v vs %v", back.Stamp, u.Stamp)
+	}
+}
+
+func TestUpdateConversionIsolatesBuffers(t *testing.T) {
+	u := sampleUpdate(t)
+	wu := FromStore(u)
+	wu.Value[0] = 'X'
+	if u.Value[0] == 'X' {
+		t.Fatal("FromStore aliases the source value")
+	}
+	back, err := wu.ToStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.Value[0] = 'Y'
+	if wu.Value[0] == 'Y' {
+		t.Fatal("ToStore aliases the wire value")
+	}
+}
+
+func TestToStoreRejectsBadVersion(t *testing.T) {
+	wu := FromStore(sampleUpdate(t))
+	wu.Version = append(wu.Version, []byte{1, 2})
+	if _, err := wu.ToStore(); err == nil {
+		t.Fatal("short version id accepted")
+	}
+}
+
+func TestEnvelopeRoundTripAllKinds(t *testing.T) {
+	u := FromStore(sampleUpdate(t))
+	envs := []Envelope{
+		{Kind: KindPush, From: "a", Update: u, RF: []string{"a", "b"}, T: 4},
+		{Kind: KindPullReq, From: "b", Clock: map[string]uint64{"x": 3}},
+		{Kind: KindPullResp, From: "c", Updates: []Update{u, u}},
+		{Kind: KindAck, From: "d", UpdateID: "origin-1/2"},
+	}
+	for _, env := range envs {
+		raw, err := Encode(env)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", env.Kind, err)
+		}
+		back, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", env.Kind, err)
+		}
+		if back.Kind != env.Kind || back.From != env.From {
+			t.Fatalf("%s: header mismatch: %+v", env.Kind, back)
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil decoded")
+	}
+	if _, err := Decode([]byte("not gob")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindPush: "push", KindPullReq: "pull-req",
+		KindPullResp: "pull-resp", KindAck: "ack",
+		KindQuery: "query", KindQueryResp: "query-resp",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("String = %q, want %q", got, want)
+		}
+	}
+	if got := Kind(42).String(); got != "Kind(42)" {
+		t.Fatalf("unknown kind = %q", got)
+	}
+}
+
+func TestClockConversions(t *testing.T) {
+	c := version.NewClock()
+	c["a"] = 3
+	c["b"] = 9
+	w := ClockToWire(c)
+	if len(w) != 2 || w["b"] != 9 {
+		t.Fatalf("ClockToWire = %v", w)
+	}
+	// Mutating the wire form must not touch the original.
+	w["a"] = 99
+	if c["a"] != 3 {
+		t.Fatal("ClockToWire aliases the clock")
+	}
+	back := ClockFromWire(w)
+	if back.Get("a") != 99 || back.Get("b") != 9 {
+		t.Fatalf("ClockFromWire = %v", back)
+	}
+}

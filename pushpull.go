@@ -1,0 +1,121 @@
+// Package pushpull is the public API of a hybrid push/pull epidemic update
+// protocol for heavily replicated peer-to-peer systems in which replicas are
+// mostly offline, after "Updates in Highly Unreliable, Replicated
+// Peer-to-Peer Systems" (Datta, Hauswirth, Aberer — ICDCS 2003).
+//
+// The package re-exports three layers:
+//
+//   - The live runtime: Replica nodes exchanging updates over pluggable
+//     transports (in-memory for tests, TCP for deployments). Updates spread
+//     by constrained flooding with partial flooding lists and decaying
+//     forwarding probabilities; replicas that were offline reconcile by
+//     vector-clock anti-entropy when they return.
+//   - The analytical model of the protocol's push and pull phases — the
+//     tool that generates every figure and table of the paper.
+//   - The discrete simulator used to cross-validate the model and to
+//     explore parameters (churn processes, failure injection, baselines).
+//
+// Quick start:
+//
+//	hub := pushpull.NewHub()
+//	tr, _ := hub.Attach("replica-1")
+//	r, _ := pushpull.NewReplica(pushpull.DefaultReplicaConfig(), tr)
+//	r.AddPeers("replica-2", "replica-3")
+//	r.Start()
+//	defer r.Stop()
+//	r.Publish("greeting", []byte("hello"))
+//
+// See the examples/ directory for complete programs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the paper-versus-measured record.
+package pushpull
+
+import (
+	"github.com/p2pgossip/update/internal/analytic"
+	"github.com/p2pgossip/update/internal/live"
+	"github.com/p2pgossip/update/internal/pf"
+	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// Live runtime types.
+type (
+	// Replica is a live protocol node; see NewReplica.
+	Replica = live.Replica
+	// ReplicaConfig parameterises a Replica.
+	ReplicaConfig = live.Config
+	// Transport moves protocol envelopes between replicas.
+	Transport = live.Transport
+	// Hub is an in-memory transport fabric for tests and examples.
+	Hub = live.Hub
+	// TCPTransport is the production transport.
+	TCPTransport = live.TCPTransport
+	// QueryOutcome is the result of Replica.Query (§4.4): the freshest
+	// revision among the consulted replicas.
+	QueryOutcome = live.QueryOutcome
+)
+
+// Data model types.
+type (
+	// Update is one replicated mutation (put or tombstone delete).
+	Update = store.Update
+	// Revision is one coexisting version branch of an item.
+	Revision = store.Revision
+	// Store is a replica's local versioned store.
+	Store = store.Store
+	// Clock is a vector clock summarising received updates.
+	Clock = version.Clock
+	// History is an item's version history.
+	History = version.History
+)
+
+// Forwarding-probability schedules (the paper's PF(t)).
+type (
+	// PFFunc maps a push round to a forwarding probability.
+	PFFunc = pf.Func
+	// PFConstant is PF(t) = C.
+	PFConstant = pf.Constant
+	// PFGeometric is PF(t) = Base^t.
+	PFGeometric = pf.Geometric
+	// PFAffineGeometric is PF(t) = A·B^t + C (the paper's Fig. 5 schedule).
+	PFAffineGeometric = pf.AffineGeometric
+	// PFAdaptive is the self-tuning schedule driven by duplicate counts and
+	// partial-list length (§6).
+	PFAdaptive = pf.Adaptive
+)
+
+// Analytical model types.
+type (
+	// PushParams parameterises the push-phase recursion (§4.2).
+	PushParams = analytic.PushParams
+	// PushResult is the resulting trajectory.
+	PushResult = analytic.PushResult
+)
+
+// NewReplica builds a live replica on the given transport.
+func NewReplica(cfg ReplicaConfig, tr Transport) (*Replica, error) {
+	return live.NewReplica(cfg, tr)
+}
+
+// DefaultReplicaConfig returns a production-ready configuration: fanout 5,
+// PF(t) = 0.9^t, partial lists, eager + periodic pull.
+func DefaultReplicaConfig() ReplicaConfig { return live.DefaultReplicaConfig() }
+
+// NewHub returns an in-memory transport fabric.
+func NewHub() *Hub { return live.NewHub() }
+
+// ListenTCP starts a TCP transport on addr ("host:0" picks a free port).
+func ListenTCP(addr string) (*TCPTransport, error) { return live.ListenTCP(addr) }
+
+// NewAdaptivePF returns the §6 self-tuning forwarding probability with the
+// given base.
+func NewAdaptivePF(base float64) *PFAdaptive { return pf.NewAdaptive(base) }
+
+// AnalyzePush evaluates the paper's push-phase recursion.
+func AnalyzePush(p PushParams) (PushResult, error) { return analytic.Push(p) }
+
+// PullSuccess returns the §4.3 pull success probability: the chance that a
+// replica coming online obtains the update within `attempts` random pulls
+// when fAware of the rOn online replicas (out of r) hold it.
+func PullSuccess(rOn int, fAware float64, r, attempts int) float64 {
+	return analytic.PullSuccess(rOn, fAware, r, attempts)
+}

@@ -1,0 +1,78 @@
+package pushpull_test
+
+import (
+	"testing"
+	"time"
+
+	pushpull "github.com/p2pgossip/update"
+)
+
+// TestPublicAPIQuickstart exercises the README quick-start path end to end
+// through the facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	hub := pushpull.NewHub()
+	const n = 5
+	replicas := make([]*pushpull.Replica, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		addrs[i] = string(rune('a' + i))
+		tr, err := hub.Attach(addrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := pushpull.DefaultReplicaConfig()
+		cfg.PullInterval = 5 * time.Millisecond
+		cfg.Seed = int64(i) + 1
+		r, err := pushpull.NewReplica(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[i] = r
+	}
+	for _, r := range replicas {
+		r.AddPeers(addrs...)
+		r.Start()
+		defer r.Stop()
+	}
+	replicas[0].Publish("greeting", []byte("hello"))
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, r := range replicas {
+			if rev, ok := r.Get("greeting"); !ok || string(rev.Value) != "hello" {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("facade quickstart did not converge")
+}
+
+func TestPublicAnalyticAPI(t *testing.T) {
+	res, err := pushpull.AnalyzePush(pushpull.PushParams{
+		R: 10000, ROn0: 1000, Sigma: 0.95, Fr: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAware() < 0.99 {
+		t.Fatalf("FinalAware = %g", res.FinalAware())
+	}
+	if p := pushpull.PullSuccess(100, 1, 1000, 66); p < 0.999 {
+		t.Fatalf("PullSuccess = %g", p)
+	}
+}
+
+func TestPublicAdaptivePF(t *testing.T) {
+	ad := pushpull.NewAdaptivePF(1.0)
+	before := ad.P(0)
+	ad.ObserveDuplicate()
+	if ad.P(1) >= before {
+		t.Fatal("adaptive PF did not decay")
+	}
+}
