@@ -22,6 +22,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,8 +30,7 @@ import (
 	"strings"
 	"time"
 
-	"github.com/p2pgossip/update/internal/live"
-	"github.com/p2pgossip/update/internal/pf"
+	pushpull "github.com/p2pgossip/update"
 	"github.com/p2pgossip/update/internal/pfparse"
 )
 
@@ -57,69 +57,61 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	tr, err := live.ListenTCP(*listen)
-	if err != nil {
-		return err
+	opts := []pushpull.Option{
+		pushpull.WithTCP(*listen),
+		pushpull.WithFanout(*fanout),
+		pushpull.WithPF(func() pushpull.PFFunc { return schedule }),
 	}
-	defer tr.Close()
-
-	cfg := live.DefaultReplicaConfig()
-	cfg.Fanout = *fanout
-	cfg.NewPF = func() pf.Func { return schedule }
 	if *pullSecs > 0 {
-		cfg.PullInterval = *pullSecs
-	}
-	replica, err := live.NewReplica(cfg, tr)
-	if err != nil {
-		return err
+		opts = append(opts, pushpull.WithPullInterval(*pullSecs))
 	}
 	if *peers != "" {
-		replica.AddPeers(strings.Split(*peers, ",")...)
+		opts = append(opts, pushpull.WithPeers(strings.Split(*peers, ",")...))
 	}
+	var snapFile *os.File
 	if *snapshot != "" {
-		if err := restoreSnapshot(replica, *snapshot); err != nil {
-			return err
+		// A missing state file is fine on first start.
+		f, err := os.Open(*snapshot)
+		switch {
+		case err == nil:
+			snapFile = f
+			opts = append(opts, pushpull.WithSnapshot(f))
+		case !os.IsNotExist(err):
+			return fmt.Errorf("open snapshot: %w", err)
 		}
 	}
-	replica.Start()
-	defer replica.Stop()
+	node, err := pushpull.Open(opts...)
+	if snapFile != nil {
+		snapFile.Close()
+	}
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = node.Close(ctx)
+	}()
 
 	fmt.Fprintf(out, "replica listening on %s (%d known peers)\n",
-		replica.Addr(), len(replica.Peers()))
-	if err := repl(replica, in, out); err != nil {
+		node.Addr(), len(node.Peers()))
+	if err := repl(node, in, out); err != nil {
 		return err
 	}
 	if *snapshot != "" {
-		return saveSnapshot(replica, *snapshot)
-	}
-	return nil
-}
-
-// restoreSnapshot loads a state file if it exists; a missing file is fine on
-// first start.
-func restoreSnapshot(r *live.Replica, path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil
-		}
-		return fmt.Errorf("open snapshot: %w", err)
-	}
-	defer f.Close()
-	if err := r.RestoreSnapshot(f); err != nil {
-		return fmt.Errorf("restore %s: %w", path, err)
+		return saveSnapshot(node, *snapshot)
 	}
 	return nil
 }
 
 // saveSnapshot writes the state file atomically (temp + rename).
-func saveSnapshot(r *live.Replica, path string) error {
+func saveSnapshot(n *pushpull.Node, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("create snapshot: %w", err)
 	}
-	if err := r.WriteSnapshot(f); err != nil {
+	if err := n.WriteSnapshot(f); err != nil {
 		f.Close()
 		return err
 	}
@@ -132,7 +124,8 @@ func saveSnapshot(r *live.Replica, path string) error {
 	return nil
 }
 
-func repl(r *live.Replica, in io.Reader, out io.Writer) error {
+func repl(n *pushpull.Node, in io.Reader, out io.Writer) error {
+	ctx := context.Background()
 	scanner := bufio.NewScanner(in)
 	for scanner.Scan() {
 		fields := strings.Fields(scanner.Text())
@@ -145,21 +138,29 @@ func repl(r *live.Replica, in io.Reader, out io.Writer) error {
 				fmt.Fprintln(out, "usage: put <key> <value>")
 				continue
 			}
-			u := r.Publish(fields[1], []byte(strings.Join(fields[2:], " ")))
+			u, err := n.Publish(ctx, fields[1], []byte(strings.Join(fields[2:], " ")))
+			if err != nil {
+				fmt.Fprintf(out, "publish failed: %v\n", err)
+				continue
+			}
 			fmt.Fprintf(out, "published %s (version %s)\n", u.ID(), u.Version)
 		case "del":
 			if len(fields) != 2 {
 				fmt.Fprintln(out, "usage: del <key>")
 				continue
 			}
-			u := r.Delete(fields[1])
+			u, err := n.Delete(ctx, fields[1])
+			if err != nil {
+				fmt.Fprintf(out, "delete failed: %v\n", err)
+				continue
+			}
 			fmt.Fprintf(out, "deleted via %s\n", u.ID())
 		case "get":
 			if len(fields) != 2 {
 				fmt.Fprintln(out, "usage: get <key>")
 				continue
 			}
-			if rev, ok := r.Get(fields[1]); ok {
+			if rev, ok := n.Get(fields[1]); ok {
 				fmt.Fprintf(out, "%s = %q (version %s)\n", fields[1], rev.Value, rev.Version)
 			} else {
 				fmt.Fprintf(out, "%s not found\n", fields[1])
@@ -169,10 +170,10 @@ func repl(r *live.Replica, in io.Reader, out io.Writer) error {
 				fmt.Fprintln(out, "usage: query <key>")
 				continue
 			}
-			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			outcome, err := r.Query(ctx, fields[1], 3)
+			qctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			outcome, err := n.Query(qctx, fields[1], 3)
 			cancel()
-			if err != nil {
+			if err != nil && !errors.Is(err, pushpull.ErrNoPeers) {
 				fmt.Fprintf(out, "query failed: %v\n", err)
 				continue
 			}
@@ -184,11 +185,14 @@ func repl(r *live.Replica, in io.Reader, out io.Writer) error {
 				fmt.Fprintf(out, "%s not found (%d responses)\n", fields[1], outcome.Responses)
 			}
 		case "keys":
-			fmt.Fprintln(out, strings.Join(r.Store().Keys(), " "))
+			fmt.Fprintln(out, strings.Join(n.Keys(), " "))
 		case "peers":
-			fmt.Fprintln(out, strings.Join(r.Peers(), " "))
+			fmt.Fprintln(out, strings.Join(n.Peers(), " "))
 		case "pull":
-			r.PullNow()
+			if err := n.Pull(ctx); err != nil && !errors.Is(err, pushpull.ErrNoPeers) {
+				fmt.Fprintf(out, "pull failed: %v\n", err)
+				continue
+			}
 			fmt.Fprintln(out, "pull issued")
 		case "quit", "exit":
 			return nil

@@ -1,32 +1,3 @@
-// Package pushpull is the public API of a hybrid push/pull epidemic update
-// protocol for heavily replicated peer-to-peer systems in which replicas are
-// mostly offline, after "Updates in Highly Unreliable, Replicated
-// Peer-to-Peer Systems" (Datta, Hauswirth, Aberer — ICDCS 2003).
-//
-// The package re-exports three layers:
-//
-//   - The live runtime: Replica nodes exchanging updates over pluggable
-//     transports (in-memory for tests, TCP for deployments). Updates spread
-//     by constrained flooding with partial flooding lists and decaying
-//     forwarding probabilities; replicas that were offline reconcile by
-//     vector-clock anti-entropy when they return.
-//   - The analytical model of the protocol's push and pull phases — the
-//     tool that generates every figure and table of the paper.
-//   - The discrete simulator used to cross-validate the model and to
-//     explore parameters (churn processes, failure injection, baselines).
-//
-// Quick start:
-//
-//	hub := pushpull.NewHub()
-//	tr, _ := hub.Attach("replica-1")
-//	r, _ := pushpull.NewReplica(pushpull.DefaultReplicaConfig(), tr)
-//	r.AddPeers("replica-2", "replica-3")
-//	r.Start()
-//	defer r.Stop()
-//	r.Publish("greeting", []byte("hello"))
-//
-// See the examples/ directory for complete programs, DESIGN.md for the
-// architecture, and EXPERIMENTS.md for the paper-versus-measured record.
 package pushpull
 
 import (
@@ -37,11 +8,20 @@ import (
 	"github.com/p2pgossip/update/internal/version"
 )
 
+// This file re-exports the layer types behind the Node API and keeps the
+// pre-Node constructors compiling. New code should open a Node; the
+// deprecated shims remain thin forwards to the live runtime.
+
 // Live runtime types.
 type (
-	// Replica is a live protocol node; see NewReplica.
+	// Replica is a live protocol node.
+	//
+	// Deprecated: open a Node instead; Replica remains for code written
+	// against the pre-Node API.
 	Replica = live.Replica
 	// ReplicaConfig parameterises a Replica.
+	//
+	// Deprecated: configure a Node with Options instead.
 	ReplicaConfig = live.Config
 	// Transport moves protocol envelopes between replicas.
 	Transport = live.Transport
@@ -49,7 +29,7 @@ type (
 	Hub = live.Hub
 	// TCPTransport is the production transport.
 	TCPTransport = live.TCPTransport
-	// QueryOutcome is the result of Replica.Query (§4.4): the freshest
+	// QueryOutcome is the result of Node.Query (§4.4): the freshest
 	// revision among the consulted replicas.
 	QueryOutcome = live.QueryOutcome
 )
@@ -92,18 +72,26 @@ type (
 )
 
 // NewReplica builds a live replica on the given transport.
+//
+// Deprecated: use Open with a transport option; it returns a Node with
+// context-aware operations, Watch streams, and graceful shutdown.
 func NewReplica(cfg ReplicaConfig, tr Transport) (*Replica, error) {
 	return live.NewReplica(cfg, tr)
 }
 
 // DefaultReplicaConfig returns a production-ready configuration: fanout 5,
 // PF(t) = 0.9^t, partial lists, eager + periodic pull.
+//
+// Deprecated: Open starts from these defaults already; adjust with Options.
 func DefaultReplicaConfig() ReplicaConfig { return live.DefaultReplicaConfig() }
 
-// NewHub returns an in-memory transport fabric.
+// NewHub returns an in-memory transport fabric; attach nodes to it with
+// WithHub.
 func NewHub() *Hub { return live.NewHub() }
 
 // ListenTCP starts a TCP transport on addr ("host:0" picks a free port).
+// Most callers want WithTCP instead; ListenTCP remains for wiring a
+// transport explicitly via WithTransport.
 func ListenTCP(addr string) (*TCPTransport, error) { return live.ListenTCP(addr) }
 
 // NewAdaptivePF returns the §6 self-tuning forwarding probability with the

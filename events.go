@@ -1,0 +1,83 @@
+package pushpull
+
+import (
+	"github.com/p2pgossip/update/internal/live"
+	"github.com/p2pgossip/update/internal/store"
+)
+
+// Source identifies how an update reached the node.
+type Source = live.Source
+
+// Update sources.
+const (
+	// SourceLocal marks updates created by this node's own Publish or
+	// Delete.
+	SourceLocal = live.SourceLocal
+	// SourcePush marks updates received through the constrained-flooding
+	// push phase.
+	SourcePush = live.SourcePush
+	// SourcePull marks updates obtained by anti-entropy pull
+	// reconciliation.
+	SourcePull = live.SourcePull
+)
+
+// EventKind classifies what an arriving update did to the local store.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventApplied means the update was new and changed the store.
+	EventApplied EventKind = iota + 1
+	// EventDuplicate means the exact update was already known.
+	EventDuplicate
+	// EventObsolete means the update was causally dominated by an existing
+	// revision and changed nothing.
+	EventObsolete
+)
+
+// String returns the kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EventApplied:
+		return "applied"
+	case EventDuplicate:
+		return "duplicate"
+	case EventObsolete:
+		return "obsolete"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one observation delivered on a Watch stream: an update offered to
+// the node's store, how it got here, and what it did.
+type Event struct {
+	// Kind classifies the apply outcome.
+	Kind EventKind
+	// Update is the update itself. Update.Delete marks tombstones.
+	Update Update
+	// Source tells whether the update was created locally, pushed, or
+	// pulled.
+	Source Source
+	// Branches is the number of coexisting revisions of the key after the
+	// apply; a value above 1 signals concurrent (conflicting) versions.
+	Branches int
+}
+
+// Tombstone reports whether the event carries a delete.
+func (e Event) Tombstone() bool { return e.Update.Delete }
+
+// Conflict reports whether concurrent revisions of the key coexist after
+// this event.
+func (e Event) Conflict() bool { return e.Branches > 1 }
+
+func eventKind(res store.ApplyResult) EventKind {
+	switch res {
+	case store.Applied:
+		return EventApplied
+	case store.Duplicate:
+		return EventDuplicate
+	default:
+		return EventObsolete
+	}
+}

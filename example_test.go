@@ -1,50 +1,50 @@
 package pushpull_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	pushpull "github.com/p2pgossip/update"
 )
 
-// ExampleNewReplica builds a three-replica in-memory cluster, publishes an
-// update, and reads it back from another replica.
-func ExampleNewReplica() {
+// ExampleOpen builds a three-node in-memory cluster, publishes an update,
+// and observes it arriving on another node's Watch stream.
+func ExampleOpen() {
+	ctx := context.Background()
 	hub := pushpull.NewHub()
 	addrs := []string{"r1", "r2", "r3"}
-	var replicas []*pushpull.Replica
+	var nodes []*pushpull.Node
 	for i, addr := range addrs {
-		tr, err := hub.Attach(addr)
+		node, err := pushpull.Open(
+			pushpull.WithHub(hub, addr),
+			pushpull.WithPullInterval(5*time.Millisecond),
+			pushpull.WithSeed(int64(i)+1),
+			pushpull.WithPeers(addrs...),
+		)
 		if err != nil {
-			fmt.Println("attach:", err)
+			fmt.Println("open:", err)
 			return
 		}
-		cfg := pushpull.DefaultReplicaConfig()
-		cfg.PullInterval = 5 * time.Millisecond
-		cfg.Seed = int64(i) + 1
-		r, err := pushpull.NewReplica(cfg, tr)
-		if err != nil {
-			fmt.Println("new replica:", err)
-			return
-		}
-		replicas = append(replicas, r)
-	}
-	for _, r := range replicas {
-		r.AddPeers(addrs...)
-		r.Start()
-		defer r.Stop()
+		nodes = append(nodes, node)
+		defer node.Close(ctx)
 	}
 
-	replicas[0].Publish("motd", []byte("hello"))
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if rev, ok := replicas[2].Get("motd"); ok {
-			fmt.Printf("r3 sees motd=%s\n", rev.Value)
-			return
-		}
-		time.Sleep(time.Millisecond)
+	events, err := nodes[2].Watch(ctx, "")
+	if err != nil {
+		fmt.Println("watch:", err)
+		return
 	}
-	fmt.Println("timed out")
+	if _, err := nodes[0].Publish(ctx, "motd", []byte("hello")); err != nil {
+		fmt.Println("publish:", err)
+		return
+	}
+	select {
+	case ev := <-events:
+		fmt.Printf("r3 sees %s=%s\n", ev.Update.Key, ev.Update.Value)
+	case <-time.After(2 * time.Second):
+		fmt.Println("timed out")
+	}
 	// Output: r3 sees motd=hello
 }
 

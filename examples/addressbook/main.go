@@ -1,18 +1,20 @@
-// Addressbook simulates one of the paper's motivating applications (§1): a
-// shared address book replicated across 150 peers that are online only ~30%
-// of the time. Multiple writers add, change, and delete contacts; the
-// hybrid push/pull protocol brings every replica to the same state despite
-// the churn, with tombstones handling the deletes.
+// Addressbook runs one of the paper's motivating applications (§1) on the
+// live runtime: a shared address book replicated across 150 peers that are
+// online only ~30% of the time. Multiple writers add, change, and delete
+// contacts while peers churn on- and offline; the hybrid push/pull protocol
+// brings every replica to the same state, with tombstones handling the
+// deletes. A single metrics registry shared by all nodes aggregates the
+// message economy of the whole group.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math/rand"
+	"time"
 
-	"github.com/p2pgossip/update/internal/churn"
-	"github.com/p2pgossip/update/internal/gossip"
-	"github.com/p2pgossip/update/internal/pf"
-	"github.com/p2pgossip/update/internal/simnet"
+	pushpull "github.com/p2pgossip/update"
 )
 
 func main() {
@@ -22,69 +24,113 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	const (
 		replicas      = 150
 		onlineAtStart = 45 // ~30%
+		churnTicks    = 12
 	)
-	cfg := gossip.DefaultConfig(replicas)
-	cfg.Fr = 0.08
-	cfg.NewPF = func() pf.Func { return pf.Geometric{Base: 0.9} }
-	cfg.PullAttempts = 3
-	cfg.PullTimeout = 20
-
-	net, err := gossip.BuildNetwork(replicas, cfg, 0, 42)
-	if err != nil {
-		return err
+	hub := pushpull.NewHub()
+	reg := pushpull.NewMetrics()
+	nodes := make([]*pushpull.Node, replicas)
+	addrs := make([]string, replicas)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("peer-%03d", i)
 	}
-	en, err := simnet.NewEngine(simnet.Config{
-		Nodes:         net.Nodes,
-		InitialOnline: onlineAtStart,
-		Churn:         churn.Bernoulli{Sigma: 0.95, POn: 0.05},
-		Seed:          42,
-	})
-	if err != nil {
-		return err
+	for i := range nodes {
+		node, err := pushpull.Open(
+			pushpull.WithHub(hub, addrs[i]),
+			pushpull.WithPullInterval(25*time.Millisecond),
+			pushpull.WithSeed(int64(i)+1),
+			pushpull.WithMetrics(reg),
+			pushpull.WithPeers(addrs...),
+		)
+		if err != nil {
+			return err
+		}
+		nodes[i] = node
+		defer node.Close(ctx)
 	}
-	en.Step()
 
-	// Three writers edit the book over time; the engine keeps churning.
-	type edit struct {
-		round  int
+	// Start with ~30% of the population online.
+	rng := rand.New(rand.NewSource(42))
+	online := make([]bool, replicas)
+	for _, i := range rng.Perm(replicas)[:onlineAtStart] {
+		online[i] = true
+	}
+	for i, on := range online {
+		hub.SetOnline(addrs[i], on)
+	}
+	fmt.Printf("%d of %d replicas start online\n", onlineAtStart, replicas)
+
+	// Three writers edit the book over time while the population churns:
+	// each tick, a few peers drop off and a few return (returning peers
+	// pull, the paper's coming-online reconciliation).
+	edits := []struct {
+		tick   int
 		writer int
 		verb   string
 		key    string
 		value  string
-	}
-	edits := []edit{
-		{1, 0, "put", "alice", "alice@example.org"},
-		{5, 1, "put", "bob", "bob@example.org"},
-		{9, 2, "put", "carol", "carol@example.org"},
-		{40, 1, "put", "alice", "alice@new-domain.org"}, // update
-		{80, 0, "del", "bob", ""},                       // tombstone
+	}{
+		{0, 0, "put", "alice", "alice@example.org"},
+		{2, 1, "put", "bob", "bob@example.org"},
+		{4, 2, "put", "carol", "carol@example.org"},
+		{7, 1, "put", "alice", "alice@new-domain.org"}, // update
+		{10, 0, "del", "bob", ""},                      // tombstone
 	}
 	next := 0
-	for round := 1; round <= 600; round++ {
-		for next < len(edits) && edits[next].round == round {
+	for tick := 0; tick < churnTicks; tick++ {
+		for next < len(edits) && edits[next].tick == tick {
 			e := edits[next]
-			env := simnet.NewTestEnv(en, e.writer)
-			en.Population().SetOnline(e.writer, true) // writers act while online
+			w := e.writer
+			if !online[w] { // writers act while online
+				online[w] = true
+				hub.SetOnline(addrs[w], true)
+				_ = nodes[w].Pull(ctx)
+			}
 			if e.verb == "put" {
-				net.Peers[e.writer].Publish(env, e.key, []byte(e.value))
-				fmt.Printf("round %3d: peer %d put %s=%s\n", round, e.writer, e.key, e.value)
+				if _, err := nodes[w].Publish(ctx, e.key, []byte(e.value)); err != nil {
+					return err
+				}
+				fmt.Printf("tick %2d: peer %d put %s=%s\n", tick, w, e.key, e.value)
 			} else {
-				net.Peers[e.writer].PublishDelete(env, e.key)
-				fmt.Printf("round %3d: peer %d deleted %s\n", round, e.writer, e.key)
+				if _, err := nodes[w].Delete(ctx, e.key); err != nil {
+					return err
+				}
+				fmt.Printf("tick %2d: peer %d deleted %s\n", tick, w, e.key)
 			}
 			next++
 		}
-		en.Step()
+		// Bernoulli churn: 5% of the online drop off, 5% of the offline
+		// return and reconcile.
+		for i := range nodes {
+			switch {
+			case online[i] && rng.Float64() < 0.05:
+				online[i] = false
+				hub.SetOnline(addrs[i], false)
+			case !online[i] && rng.Float64() < 0.05:
+				online[i] = true
+				hub.SetOnline(addrs[i], true)
+				_ = nodes[i].Pull(ctx)
+			}
+		}
+		time.Sleep(40 * time.Millisecond)
 	}
 
-	// Verify convergence.
-	if !net.Converged() {
-		return fmt.Errorf("replicas did not converge after 600 rounds")
+	// Eventually every peer returns; pulls reconcile the whole group.
+	for i := range nodes {
+		if !online[i] {
+			online[i] = true
+			hub.SetOnline(addrs[i], true)
+			_ = nodes[i].Pull(ctx)
+		}
 	}
-	sample := net.Peers[replicas-1].Store()
+	if err := waitConverged(nodes); err != nil {
+		return err
+	}
+
+	sample := nodes[replicas-1]
 	fmt.Println("\nfinal state on an arbitrary replica:")
 	for _, key := range sample.Keys() {
 		rev, _ := sample.Get(key)
@@ -93,11 +139,31 @@ func run() error {
 	if _, ok := sample.Get("bob"); ok {
 		return fmt.Errorf("deleted contact resurfaced")
 	}
-	m := en.Metrics()
-	fmt.Printf("\nall %d replicas converged; %0.f messages total (%.1f per replica), %0.f duplicates\n",
-		replicas,
-		m.Counter(simnet.MetricMessages),
-		m.Counter(simnet.MetricMessages)/replicas,
-		m.Counter(gossip.MetricDuplicates))
+	msgs := reg.Counter(pushpull.MetricPushSent) + reg.Counter(pushpull.MetricPullRequests)
+	fmt.Printf("\nall %d replicas converged; %.0f messages total (%.1f per replica), %.0f duplicate pushes\n",
+		replicas, msgs, msgs/replicas, reg.Counter(pushpull.MetricPushDuplicate))
 	return nil
+}
+
+// waitConverged blocks until every node agrees on the final address book:
+// alice updated, carol present, bob tombstoned.
+func waitConverged(nodes []*pushpull.Node) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, node := range nodes {
+			alice, okA := node.Get("alice")
+			_, okC := node.Get("carol")
+			_, okB := node.Get("bob")
+			if !okA || string(alice.Value) != "alice@new-domain.org" || !okC || okB {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("replicas did not converge")
 }

@@ -1,12 +1,13 @@
-// Livecluster runs five replicas over real TCP sockets, publishes updates,
-// "crashes" one replica (stopping it after saving a snapshot), keeps
-// updating the survivors, and then restarts the crashed replica from its
-// snapshot — it reconciles the missed updates by pulling, exactly the
-// paper's offline-peer story but with durable local state.
+// Livecluster runs five nodes over real TCP sockets, publishes updates,
+// "crashes" one node (closing it after saving a snapshot), keeps updating
+// the survivors, and then restarts the crashed node from its snapshot — it
+// reconciles the missed updates by pulling, exactly the paper's offline-peer
+// story but with durable local state.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -21,104 +22,103 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	const n = 5
-	replicas := make([]*pushpull.Replica, n)
-	transports := make([]*pushpull.TCPTransport, n)
+	nodes := make([]*pushpull.Node, n)
 	addrs := make([]string, n)
 
 	for i := 0; i < n; i++ {
-		tr, err := pushpull.ListenTCP("127.0.0.1:0")
+		node, err := pushpull.Open(
+			pushpull.WithTCP("127.0.0.1:0"),
+			pushpull.WithPullInterval(50*time.Millisecond),
+			pushpull.WithSeed(int64(i)+1),
+		)
 		if err != nil {
 			return err
 		}
-		transports[i] = tr
-		addrs[i] = tr.Addr()
-		cfg := pushpull.DefaultReplicaConfig()
-		cfg.PullInterval = 50 * time.Millisecond
-		cfg.Seed = int64(i) + 1
-		replicas[i], err = pushpull.NewReplica(cfg, tr)
-		if err != nil {
-			return err
-		}
+		nodes[i] = node
+		addrs[i] = node.Addr()
 	}
-	for _, r := range replicas {
-		r.AddPeers(addrs...)
-		r.Start()
+	for _, node := range nodes {
+		node.AddPeers(addrs...)
 	}
 	fmt.Printf("five replicas on TCP: %v\n", addrs)
 
-	replicas[0].Publish("config/rate", []byte("100"))
-	if err := waitAll(replicas, "config/rate", "100"); err != nil {
+	if _, err := nodes[0].Publish(ctx, "config/rate", []byte("100")); err != nil {
+		return err
+	}
+	if err := waitAll(nodes, "config/rate", "100"); err != nil {
 		return err
 	}
 	fmt.Println("update 1 reached all replicas")
 
-	// Crash replica 4: snapshot, stop, close its socket.
+	// Crash node 4: snapshot, then close (drains the puller, frees the
+	// socket).
 	var snapshot bytes.Buffer
-	if err := replicas[4].WriteSnapshot(&snapshot); err != nil {
+	if err := nodes[4].WriteSnapshot(&snapshot); err != nil {
 		return err
 	}
-	replicas[4].Stop()
-	if err := transports[4].Close(); err != nil {
+	if err := nodes[4].Close(ctx); err != nil {
 		return err
 	}
 	fmt.Println("replica 4 crashed (state snapshotted)")
 
 	// The survivors keep making progress.
-	replicas[1].Publish("config/rate", []byte("250"))
-	replicas[2].Publish("config/burst", []byte("16"))
-	if err := waitAll(replicas[:4], "config/burst", "16"); err != nil {
+	if _, err := nodes[1].Publish(ctx, "config/rate", []byte("250")); err != nil {
+		return err
+	}
+	if _, err := nodes[2].Publish(ctx, "config/burst", []byte("16")); err != nil {
+		return err
+	}
+	if err := waitAll(nodes[:4], "config/burst", "16"); err != nil {
 		return err
 	}
 	fmt.Println("updates 2+3 reached the four survivors")
 
-	// Restart replica 4 on a fresh port, restore, rejoin, reconcile.
-	tr, err := pushpull.ListenTCP("127.0.0.1:0")
+	// Restart node 4 on a fresh port, restored from its snapshot. It opens
+	// peerless so the pre-crash state can be verified, then rejoins and
+	// reconciles by pulling.
+	restarted, err := pushpull.Open(
+		pushpull.WithTCP("127.0.0.1:0"),
+		pushpull.WithPullInterval(50*time.Millisecond),
+		pushpull.WithSeed(99),
+		pushpull.WithSnapshot(&snapshot),
+	)
 	if err != nil {
 		return err
 	}
-	defer tr.Close()
-	cfg := pushpull.DefaultReplicaConfig()
-	cfg.PullInterval = 50 * time.Millisecond
-	cfg.Seed = 99
-	restarted, err := pushpull.NewReplica(cfg, tr)
-	if err != nil {
-		return err
-	}
-	if err := restarted.RestoreSnapshot(&snapshot); err != nil {
-		return err
-	}
+	defer restarted.Close(ctx)
 	if rev, ok := restarted.Get("config/rate"); !ok || string(rev.Value) != "100" {
 		return fmt.Errorf("snapshot restore lost state")
 	}
+	fmt.Printf("replica 4 restarted on %s from its snapshot\n", restarted.Addr())
 	restarted.AddPeers(addrs[:4]...)
-	restarted.Start()
-	defer restarted.Stop()
-	fmt.Printf("replica 4 restarted on %s from its snapshot\n", tr.Addr())
-
-	if err := waitAll([]*pushpull.Replica{restarted}, "config/rate", "250"); err != nil {
+	if err := restarted.Pull(ctx); err != nil {
 		return err
 	}
-	if err := waitAll([]*pushpull.Replica{restarted}, "config/burst", "16"); err != nil {
+
+	if err := waitAll([]*pushpull.Node{restarted}, "config/rate", "250"); err != nil {
+		return err
+	}
+	if err := waitAll([]*pushpull.Node{restarted}, "config/burst", "16"); err != nil {
 		return err
 	}
 	fmt.Println("restarted replica pulled the updates it missed — cluster consistent")
 
-	for _, r := range replicas[:4] {
-		r.Stop()
-	}
-	for _, tr := range transports[:4] {
-		_ = tr.Close()
+	for _, node := range nodes[:4] {
+		if err := node.Close(ctx); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-func waitAll(replicas []*pushpull.Replica, key, want string) error {
+func waitAll(nodes []*pushpull.Node, key, want string) error {
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
 		done := true
-		for _, r := range replicas {
-			rev, ok := r.Get(key)
+		for _, node := range nodes {
+			rev, ok := node.Get(key)
 			if !ok || string(rev.Value) != want {
 				done = false
 				break
@@ -129,5 +129,5 @@ func waitAll(replicas []*pushpull.Replica, key, want string) error {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	return fmt.Errorf("timeout waiting for %s=%s on %d replicas", key, want, len(replicas))
+	return fmt.Errorf("timeout waiting for %s=%s on %d replicas", key, want, len(nodes))
 }

@@ -1,19 +1,20 @@
 // Pgridsearch composes the two halves of the paper: a P-Grid network
 // provides the *access structure* (trie-partitioned key space with greedy
-// prefix routing), and the gossip protocol provides *updates* within each
-// partition's replica group. A query routes to a responsible peer; an
-// update gossips through the responsible group; subsequent queries see the
-// new value.
+// prefix routing), and the live gossip runtime provides *updates* within
+// each partition's replica group. A query routes to a responsible peer; an
+// update gossips through the responsible group's nodes; subsequent queries
+// see the new value.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
-	"github.com/p2pgossip/update/internal/gossip"
+	pushpull "github.com/p2pgossip/update"
 	"github.com/p2pgossip/update/internal/pgrid"
-	"github.com/p2pgossip/update/internal/simnet"
 )
 
 func main() {
@@ -23,6 +24,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	const (
 		peers = 128
 		depth = 4 // 16 partitions, 8 replicas each
@@ -34,36 +36,44 @@ func run() error {
 	fmt.Printf("P-Grid: %d peers, %d partitions, replica groups of %d\n",
 		peers, grid.Partitions(), len(grid.ReplicaGroup(grid.Peers[0].Path)))
 
-	// The replica group responsible for our key runs the gossip protocol.
+	// The replica group responsible for our key runs the live protocol on
+	// an in-memory hub; each group member is one Node addressed by its
+	// grid peer id.
 	const key = "catalogue/price"
 	group := grid.GroupOfKey(key)
 	fmt.Printf("key %q lives at path %s, replicas %v\n",
 		key, pgrid.KeyPath(key, depth), group)
 
-	cfg := gossip.DefaultConfig(len(group))
-	cfg.Fr = 0.4
-	cfg.NewPF = nil
-	cfg.PullAttempts = 2
-	cfg.PullTimeout = 10
-	groupNet, err := gossip.BuildNetwork(len(group), cfg, 0, 7)
-	if err != nil {
-		return err
+	hub := pushpull.NewHub()
+	addrs := make([]string, len(group))
+	byGridID := make(map[int]*pushpull.Node, len(group))
+	nodes := make([]*pushpull.Node, len(group))
+	for i, id := range group {
+		addrs[i] = fmt.Sprintf("peer-%03d", id)
 	}
-	en, err := simnet.NewEngine(simnet.Config{
-		Nodes:         groupNet.Nodes,
-		InitialOnline: len(group),
-		Seed:          7,
-	})
-	if err != nil {
-		return err
+	for i, id := range group {
+		node, err := pushpull.Open(
+			pushpull.WithHub(hub, addrs[i]),
+			pushpull.WithFanout(3),
+			pushpull.WithPF(nil), // PF(t) = 1: tiny group, flood plainly
+			pushpull.WithPullInterval(20*time.Millisecond),
+			pushpull.WithSeed(int64(i)+1),
+			pushpull.WithPeers(addrs...),
+		)
+		if err != nil {
+			return err
+		}
+		nodes[i] = node
+		byGridID[id] = node
+		defer node.Close(ctx)
 	}
-	en.Step()
 
 	// A group member publishes the value; gossip spreads it.
-	groupNet.Peers[0].Publish(simnet.NewTestEnv(en, 0), key, []byte("42 CHF"))
-	en.Run(20)
-	if !groupNet.Converged() {
-		return fmt.Errorf("replica group did not converge")
+	if _, err := nodes[0].Publish(ctx, key, []byte("42 CHF")); err != nil {
+		return err
+	}
+	if err := waitValue(nodes, key, "42 CHF"); err != nil {
+		return err
 	}
 	fmt.Println("update gossiped through the replica group")
 
@@ -76,18 +86,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		// Map the grid peer back to its index inside the gossip group.
-		member := -1
-		for i, id := range group {
-			if id == route.Target {
-				member = i
-				break
-			}
-		}
-		if member < 0 {
+		node, ok := byGridID[route.Target]
+		if !ok {
 			return fmt.Errorf("route ended at peer %d outside the replica group", route.Target)
 		}
-		rev, ok := groupNet.Peers[member].Store().Get(key)
+		rev, ok := node.Get(key)
 		if !ok {
 			return fmt.Errorf("responsible peer %d has no value", route.Target)
 		}
@@ -96,17 +99,39 @@ func run() error {
 	}
 
 	// Publish a new price and query again.
-	groupNet.Peers[3].Publish(simnet.NewTestEnv(en, 3), key, []byte("39 CHF"))
-	en.Run(20)
+	if _, err := nodes[3].Publish(ctx, key, []byte("39 CHF")); err != nil {
+		return err
+	}
+	if err := waitValue(nodes, key, "39 CHF"); err != nil {
+		return err
+	}
 	route, err := grid.Route(rng.Intn(peers), key, nil, rng)
 	if err != nil {
 		return err
 	}
-	for i, id := range group {
-		if id == route.Target {
-			rev, _ := groupNet.Peers[i].Store().Get(key)
-			fmt.Printf("after update: %s = %q (via peer %d)\n", key, rev.Value, route.Target)
-		}
+	if node, ok := byGridID[route.Target]; ok {
+		rev, _ := node.Get(key)
+		fmt.Printf("after update: %s = %q (via peer %d)\n", key, rev.Value, route.Target)
 	}
 	return nil
+}
+
+// waitValue blocks until every node reads want for key.
+func waitValue(nodes []*pushpull.Node, key, want string) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, node := range nodes {
+			rev, ok := node.Get(key)
+			if !ok || string(rev.Value) != want {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("group did not converge on %s=%q", key, want)
 }

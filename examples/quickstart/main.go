@@ -1,9 +1,11 @@
-// Quickstart: a 20-replica group on the in-memory transport. One replica
+// Quickstart: a 20-node group on the in-memory transport. One node
 // publishes an update; the push phase floods it to the online population and
-// an initially-offline replica catches up by pulling when it "returns".
+// an initially-offline node catches up by pulling when it "returns" — its
+// Watch stream reports the pulled update as it lands.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -18,41 +20,48 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	hub := pushpull.NewHub()
 
 	const n = 20
-	replicas := make([]*pushpull.Replica, n)
+	nodes := make([]*pushpull.Node, n)
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
 		addrs[i] = fmt.Sprintf("replica-%02d", i)
-		tr, err := hub.Attach(addrs[i])
-		if err != nil {
-			return err
-		}
-		cfg := pushpull.DefaultReplicaConfig()
-		cfg.PullInterval = 50 * time.Millisecond
-		cfg.Seed = int64(i) + 1
-		replicas[i], err = pushpull.NewReplica(cfg, tr)
-		if err != nil {
-			return err
-		}
 	}
-	for _, r := range replicas {
-		r.AddPeers(addrs...)
-		r.Start()
-		defer r.Stop()
+	for i := 0; i < n; i++ {
+		node, err := pushpull.Open(
+			pushpull.WithHub(hub, addrs[i]),
+			pushpull.WithPullInterval(50*time.Millisecond),
+			pushpull.WithSeed(int64(i)+1),
+			pushpull.WithPeers(addrs...),
+		)
+		if err != nil {
+			return err
+		}
+		nodes[i] = node
+		defer node.Close(ctx)
 	}
 
-	// Take the last replica offline before the update happens.
+	// Take the last node offline before the update happens, but leave a
+	// watch on it: the stream will report the eventual pull-reconciled
+	// update.
 	hub.SetOnline(addrs[n-1], false)
+	events, err := nodes[n-1].Watch(ctx, "")
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%s is offline\n", addrs[n-1])
 
-	update := replicas[0].Publish("motd", []byte("gossip works"))
+	update, err := nodes[0].Publish(ctx, "motd", []byte("gossip works"))
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%s published %s\n", addrs[0], update.ID())
 
 	if err := waitFor(2*time.Second, func() bool {
-		for _, r := range replicas[:n-1] {
-			if _, ok := r.Get("motd"); !ok {
+		for _, node := range nodes[:n-1] {
+			if _, ok := node.Get("motd"); !ok {
 				return false
 			}
 		}
@@ -62,22 +71,30 @@ func run() error {
 	}
 	fmt.Println("all 19 online replicas received the update via push")
 
-	if _, ok := replicas[n-1].Get("motd"); ok {
+	if _, ok := nodes[n-1].Get("motd"); ok {
 		return fmt.Errorf("offline replica should not have the update yet")
 	}
 
-	// The offline replica returns and reconciles via the pull phase.
+	// The offline node returns and reconciles via the pull phase.
 	hub.SetOnline(addrs[n-1], true)
-	replicas[n-1].PullNow()
-	if err := waitFor(2*time.Second, func() bool {
-		_, ok := replicas[n-1].Get("motd")
-		return ok
-	}); err != nil {
-		return fmt.Errorf("returning replica: %w", err)
+	if err := nodes[n-1].Pull(ctx); err != nil {
+		return err
 	}
-	rev, _ := replicas[n-1].Get("motd")
-	fmt.Printf("%s came online and pulled: motd=%q (version %s)\n",
-		addrs[n-1], rev.Value, rev.Version)
+	select {
+	case ev := <-events:
+		fmt.Printf("%s came online and observed %s of %s=%q via %s\n",
+			addrs[n-1], ev.Kind, ev.Update.Key, ev.Update.Value, ev.Source)
+		if ev.Source != pushpull.SourcePull {
+			return fmt.Errorf("expected a pull-sourced event, got %s", ev.Source)
+		}
+	case <-time.After(2 * time.Second):
+		return fmt.Errorf("returning replica saw no event")
+	}
+	rev, ok := nodes[n-1].Get("motd")
+	if !ok {
+		return fmt.Errorf("returning replica still misses the update")
+	}
+	fmt.Printf("%s now reads motd=%q (version %s)\n", addrs[n-1], rev.Value, rev.Version)
 	return nil
 }
 

@@ -1,19 +1,20 @@
-// Selftuning reproduces the paper's §6 argument experimentally: static
+// Selftuning reproduces the paper's §6 argument on the live runtime: static
 // PF = 1 wastes messages on duplicates; a decaying schedule saves most of
 // them; and the *self-tuning* schedule — driven only by locally observed
 // duplicates and partial-list lengths — gets close to the tuned schedule
-// without any global parameter choice.
+// without any global parameter choice. Each scheme runs an identical live
+// cluster with its own metrics registry, so the message economies compare
+// directly.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"github.com/p2pgossip/update/internal/churn"
-	"github.com/p2pgossip/update/internal/gossip"
+	pushpull "github.com/p2pgossip/update"
 	"github.com/p2pgossip/update/internal/metrics"
-	"github.com/p2pgossip/update/internal/pf"
-	"github.com/p2pgossip/update/internal/simnet"
 )
 
 func main() {
@@ -22,69 +23,91 @@ func main() {
 	}
 }
 
+const (
+	replicas = 60
+	trials   = 3
+)
+
 func run() error {
-	const (
-		replicas = 400
-		online   = 200
-		trials   = 5
-	)
 	schemes := []struct {
 		name  string
-		newPF func() pf.Func
+		newPF func() pushpull.PFFunc
 	}{
 		{"PF = 1 (plain flooding)", nil},
-		{"PF(t) = 0.9^t (tuned by hand)", func() pf.Func { return pf.Geometric{Base: 0.9} }},
-		{"adaptive (duplicates + list feedback)", func() pf.Func { return pf.NewAdaptive(1.0) }},
+		{"PF(t) = 0.9^t (tuned by hand)", func() pushpull.PFFunc { return pushpull.PFGeometric{Base: 0.9} }},
+		{"adaptive (duplicates + list feedback)", func() pushpull.PFFunc { return pushpull.NewAdaptivePF(1.0) }},
 	}
 
-	tb := &metrics.Table{Header: []string{"scheme", "msgs/online peer", "F_aware", "duplicates"}}
-	for _, s := range schemes {
-		var msgs, aware, dupes float64
+	tb := &metrics.Table{Header: []string{"scheme", "pushes/replica", "duplicates"}}
+	totals := make([]float64, len(schemes))
+	for si, s := range schemes {
+		var pushes, dupes float64
 		for trial := 0; trial < trials; trial++ {
-			m, a, d, err := floodOnce(replicas, online, s.newPF, int64(trial)+1)
+			p, d, err := floodOnce(s.newPF, int64(trial)*1000)
 			if err != nil {
 				return err
 			}
-			msgs += m
-			aware += a
+			pushes += p
 			dupes += d
 		}
-		tb.AddRow(s.name, msgs/trials/online, aware/trials, dupes/trials)
+		totals[si] = pushes / trials
+		tb.AddRow(s.name, pushes/trials/replicas, dupes/trials)
 	}
-	fmt.Printf("one update across %d replicas (%d online), averaged over %d seeds\n\n%s",
-		replicas, online, trials, tb.String())
+	fmt.Printf("one update across a live cluster of %d replicas, averaged over %d runs\n\n%s",
+		replicas, trials, tb.String())
+	if totals[0] <= totals[2] {
+		return fmt.Errorf("plain flooding (%.0f pushes) should cost more than adaptive (%.0f)",
+			totals[0], totals[2])
+	}
 	fmt.Println("\nthe adaptive schedule needs no tuning: it throttles itself where")
 	fmt.Println("duplicates appear, which is exactly where the rumor is already known.")
 	return nil
 }
 
-func floodOnce(replicas, online int, newPF func() pf.Func, seed int64) (msgs, aware, dupes float64, err error) {
-	cfg := gossip.DefaultConfig(replicas)
-	cfg.Fr = 0.04
-	cfg.NewPF = newPF
-	cfg.PullAttempts = 0
-	cfg.PullTimeout = 0
-	net, err := gossip.BuildNetwork(replicas, cfg, 0, seed)
-	if err != nil {
-		return 0, 0, 0, err
+// floodOnce spreads one update through a fresh cluster under the given PF
+// schedule and returns the push and duplicate counts.
+func floodOnce(newPF func() pushpull.PFFunc, seedBase int64) (pushes, dupes float64, err error) {
+	ctx := context.Background()
+	hub := pushpull.NewHub()
+	reg := pushpull.NewMetrics()
+	nodes := make([]*pushpull.Node, replicas)
+	addrs := make([]string, replicas)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("replica-%02d", i)
 	}
-	en, err := simnet.NewEngine(simnet.Config{
-		Nodes:         net.Nodes,
-		InitialOnline: online,
-		Churn:         churn.Bernoulli{Sigma: 0.98},
-		Seed:          seed,
-	})
-	if err != nil {
-		return 0, 0, 0, err
+	for i := range nodes {
+		node, err := pushpull.Open(
+			pushpull.WithHub(hub, addrs[i]),
+			pushpull.WithPF(newPF),
+			pushpull.WithPullInterval(20*time.Millisecond),
+			pushpull.WithSeed(seedBase+int64(i)+1),
+			pushpull.WithMetrics(reg),
+			pushpull.WithPeers(addrs...),
+		)
+		if err != nil {
+			return 0, 0, err
+		}
+		nodes[i] = node
+		defer node.Close(ctx)
 	}
-	en.Step()
-	id := net.Peers[0].Publish(simnet.NewTestEnv(en, 0), "k", []byte("v")).ID()
-	en.Run(50)
-	m := en.Metrics()
-	onlineNow := en.Population().OnlineCount()
-	frac := 0.0
-	if onlineNow > 0 {
-		frac = float64(net.CountAwareOnline(id, en)) / float64(onlineNow)
+
+	if _, err := nodes[0].Publish(ctx, "k", []byte("v")); err != nil {
+		return 0, 0, err
 	}
-	return m.Counter(simnet.MetricMessages), frac, m.Counter(gossip.MetricDuplicates), nil
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		aware := 0
+		for _, node := range nodes {
+			if _, ok := node.Get("k"); ok {
+				aware++
+			}
+		}
+		if aware == replicas {
+			// Settle briefly so in-flight forwards are counted too.
+			time.Sleep(20 * time.Millisecond)
+			return reg.Counter(pushpull.MetricPushSent), reg.Counter(pushpull.MetricPushDuplicate), nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return 0, 0, fmt.Errorf("cluster did not converge")
 }

@@ -1,0 +1,3 @@
+module github.com/p2pgossip/update
+
+go 1.21

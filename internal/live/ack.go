@@ -65,6 +65,12 @@ func (r *Replica) sweepAcksLocked(now time.Time) {
 		if now.Sub(since) >= deadline {
 			r.suspects[addr] = now
 			delete(r.awaitingAck, addr)
+			r.inc(MetricSuspects)
+			if r.cfg.Hooks.OnSuspect != nil {
+				// Runs with r.mu held — the Hooks contract (no blocking, no
+				// re-entry into the Replica) keeps this safe.
+				r.cfg.Hooks.OnSuspect(addr)
+			}
 		}
 	}
 	ttl := r.cfg.suspectTTL()
@@ -78,6 +84,7 @@ func (r *Replica) sweepAcksLocked(now time.Time) {
 // sendAck acknowledges an update to its sender.
 func (r *Replica) sendAck(to, updateID string) {
 	env := wire.Envelope{Kind: wire.KindAck, From: r.Addr(), UpdateID: updateID}
+	r.inc(MetricAckSent)
 	_ = r.transport.Send(to, env) // best effort; a lost ack only costs preference
 }
 

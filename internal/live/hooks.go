@@ -1,0 +1,129 @@
+package live
+
+import "github.com/p2pgossip/update/internal/store"
+
+// This file is the observability surface of the live runtime. A replica can
+// be configured with a set of Hooks (structured protocol events: applies,
+// acks, suspicions) and a Metrics sink (counters for every message class).
+// Both are optional and add no overhead when unset; the public pushpull.Node
+// wires them to its Watch streams and metrics registry.
+
+// Source identifies how an update reached a replica.
+type Source int
+
+// Update sources.
+const (
+	// SourceLocal marks updates created by this replica's own Publish or
+	// Delete.
+	SourceLocal Source = iota + 1
+	// SourcePush marks updates received through the constrained-flooding
+	// push phase.
+	SourcePush
+	// SourcePull marks updates obtained by anti-entropy pull
+	// reconciliation.
+	SourcePull
+)
+
+// String returns the source name.
+func (s Source) String() string {
+	switch s {
+	case SourceLocal:
+		return "local"
+	case SourcePush:
+		return "push"
+	case SourcePull:
+		return "pull"
+	default:
+		return "unknown"
+	}
+}
+
+// Hooks observes protocol-level events. All callbacks are optional; set
+// callbacks run synchronously on the replica's message paths, so they must
+// be fast, must not block, and must not call back into the Replica.
+type Hooks struct {
+	// OnApply fires after an update is offered to the local store, whether
+	// created locally, pushed, or pulled. res classifies the outcome and
+	// branches is the number of coexisting revisions of the key afterwards
+	// (>1 signals concurrent versions).
+	OnApply func(u store.Update, res store.ApplyResult, src Source, branches int)
+	// OnAck fires when a peer acknowledges an update we pushed (§6).
+	OnAck func(peer string)
+	// OnSuspect fires when a peer is suspected offline because its ack
+	// never arrived (§6).
+	OnSuspect func(peer string)
+}
+
+// Metrics is the counter sink the replica reports into. The project's
+// metrics.Registry satisfies it; nil disables instrumentation.
+type Metrics interface {
+	// Inc increments the named counter by one.
+	Inc(name string)
+	// Add increments the named counter by delta.
+	Add(name string, delta float64)
+}
+
+// Counter names reported by an instrumented replica.
+const (
+	// MetricPushSent counts push envelopes sent (including forwards).
+	MetricPushSent = "live.push.sent"
+	// MetricPushReceived counts push envelopes received.
+	MetricPushReceived = "live.push.received"
+	// MetricPushDuplicate counts received pushes already known locally.
+	MetricPushDuplicate = "live.push.duplicate"
+	// MetricApplied counts updates that changed the local store.
+	MetricApplied = "live.apply.applied"
+	// MetricObsolete counts updates dominated by existing branches.
+	MetricObsolete = "live.apply.obsolete"
+	// MetricPullRequests counts pull requests sent.
+	MetricPullRequests = "live.pull.requests"
+	// MetricPullServed counts pull requests answered for peers.
+	MetricPullServed = "live.pull.served"
+	// MetricPullUpdates counts updates received in pull responses.
+	MetricPullUpdates = "live.pull.updates"
+	// MetricAckSent counts acknowledgements sent (§6).
+	MetricAckSent = "live.ack.sent"
+	// MetricAckReceived counts acknowledgements received (§6).
+	MetricAckReceived = "live.ack.received"
+	// MetricSuspects counts peers promoted to suspected-offline (§6).
+	MetricSuspects = "live.suspect"
+	// MetricQuerySent counts query envelopes sent (§4.4).
+	MetricQuerySent = "live.query.sent"
+	// MetricQueryServed counts queries answered for peers (§4.4).
+	MetricQueryServed = "live.query.served"
+)
+
+// inc bumps a counter if a metrics sink is configured.
+func (r *Replica) inc(name string) {
+	if r.cfg.Metrics != nil {
+		r.cfg.Metrics.Inc(name)
+	}
+}
+
+// addMetric adds to a counter if a metrics sink is configured.
+func (r *Replica) addMetric(name string, delta float64) {
+	if r.cfg.Metrics != nil {
+		r.cfg.Metrics.Add(name, delta)
+	}
+}
+
+// fireApply reports one apply outcome to the metrics sink and the OnApply
+// hook. branches must come from the apply itself (Store.ApplyObserved), not
+// a later BranchCount, so concurrent applies to the key cannot skew it.
+// Call without holding r.mu.
+func (r *Replica) fireApply(u store.Update, res store.ApplyResult, src Source, branches int) {
+	if r.cfg.Metrics != nil {
+		switch res {
+		case store.Applied:
+			r.inc(MetricApplied)
+		case store.Obsolete:
+			r.inc(MetricObsolete)
+		}
+		if src == SourcePull {
+			r.inc(MetricPullUpdates)
+		}
+	}
+	if r.cfg.Hooks.OnApply != nil {
+		r.cfg.Hooks.OnApply(u, res, src, branches)
+	}
+}

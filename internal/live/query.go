@@ -62,6 +62,7 @@ func (r *Replica) Query(ctx context.Context, key string, k int) (QueryOutcome, e
 
 	for _, target := range targets {
 		env := wire.Envelope{Kind: wire.KindQuery, From: r.Addr(), QID: qid, Key: key}
+		r.inc(MetricQuerySent)
 		_ = r.transport.Send(target, env) // offline targets simply never answer
 	}
 
@@ -102,6 +103,7 @@ func (r *Replica) handleQuery(env wire.Envelope) {
 	r.mu.Lock()
 	r.learnLocked(env.From)
 	r.mu.Unlock()
+	r.inc(MetricQueryServed)
 	resp := wire.Envelope{
 		Kind: wire.KindQueryResp, From: r.Addr(),
 		QID: env.QID, Key: env.Key, Confident: true,

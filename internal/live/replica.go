@@ -1,6 +1,8 @@
 package live
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"math/rand"
@@ -11,6 +13,19 @@ import (
 	"github.com/p2pgossip/update/internal/store"
 	"github.com/p2pgossip/update/internal/wire"
 )
+
+// cryptoSeed draws a PRNG seed from the system entropy source. Unlike the
+// classic time.Now().UnixNano() fallback it cannot collide across replicas
+// created in the same instant (coarse clocks, VM snapshots, mass restarts).
+func cryptoSeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable on supported
+		// platforms; the timestamp keeps the replica functional.
+		return time.Now().UnixNano()
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]))
+}
 
 // Config parameterises a live replica.
 type Config struct {
@@ -39,9 +54,14 @@ type Config struct {
 	AckTimeout time.Duration
 	// SuspectTTL is how long suspected peers are skipped; 0 means 1m.
 	SuspectTTL time.Duration
-	// Seed seeds the replica's random source; 0 derives one from the
-	// current time.
+	// Seed seeds the replica's random source; 0 draws a seed from
+	// crypto/rand so concurrently created replicas cannot collide.
 	Seed int64
+	// Hooks observes protocol events (applies, acks, suspicions). All
+	// callbacks are optional; see the Hooks type for the contract.
+	Hooks Hooks
+	// Metrics receives protocol counters; nil disables instrumentation.
+	Metrics Metrics
 }
 
 // DefaultReplicaConfig returns a production-ish configuration: fanout 5,
@@ -131,7 +151,7 @@ func NewReplica(cfg Config, transport Transport) (*Replica, error) {
 	}
 	seed := cfg.Seed
 	if seed == 0 {
-		seed = time.Now().UnixNano()
+		seed = cryptoSeed()
 	}
 	r := &Replica{
 		cfg:         cfg,
@@ -189,6 +209,14 @@ func (r *Replica) Peers() []string {
 	return append([]string(nil), r.order...)
 }
 
+// PeerCount returns the number of known replica addresses without copying
+// the list.
+func (r *Replica) PeerCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}
+
 // Start launches the background puller and performs the coming-online pull.
 func (r *Replica) Start() {
 	go r.pullLoop()
@@ -226,14 +254,16 @@ func (r *Replica) pullLoop() {
 
 // Publish creates and pushes an update for key.
 func (r *Replica) Publish(key string, value []byte) store.Update {
-	u := r.writer.Put(key, value)
+	u, branches := r.writer.PutObserved(key, value)
+	r.fireApply(u, store.Applied, SourceLocal, branches)
 	r.initiate(u)
 	return u
 }
 
 // Delete creates and pushes a tombstone for key.
 func (r *Replica) Delete(key string) store.Update {
-	u := r.writer.Delete(key)
+	u, branches := r.writer.DeleteObserved(key)
+	r.fireApply(u, store.Applied, SourceLocal, branches)
 	r.initiate(u)
 	return u
 }
@@ -249,6 +279,7 @@ func (r *Replica) PullNow() {
 	r.mu.Unlock()
 	for _, t := range targets {
 		env := wire.Envelope{Kind: wire.KindPullReq, From: r.Addr(), Clock: clock}
+		r.inc(MetricPullRequests)
 		_ = r.transport.Send(t, env) // offline peers are expected; pull retries later
 	}
 }
@@ -279,6 +310,10 @@ func (r *Replica) handle(env wire.Envelope) {
 		r.mu.Lock()
 		r.noteAckLocked(env.From, time.Now())
 		r.mu.Unlock()
+		r.inc(MetricAckReceived)
+		if r.cfg.Hooks.OnAck != nil {
+			r.cfg.Hooks.OnAck(env.From)
+		}
 	case wire.KindQuery:
 		r.handleQuery(env)
 	case wire.KindQueryResp:
@@ -292,6 +327,7 @@ func (r *Replica) handlePush(env wire.Envelope) {
 		return // malformed update: drop
 	}
 	id := u.ID()
+	r.inc(MetricPushReceived)
 
 	r.mu.Lock()
 	r.learnLocked(env.From)
@@ -305,8 +341,13 @@ func (r *Replica) handlePush(env wire.Envelope) {
 		}
 		if ad, ok := state.pfn.(*pf.Adaptive); ok {
 			ad.ObserveDuplicate()
+			ad.ObserveListFraction(r.listFractionLocked(state))
 		}
 		r.mu.Unlock()
+		r.inc(MetricPushDuplicate)
+		// Nothing was applied; a point-in-time branch count is the best
+		// available description of the key's state.
+		r.fireApply(u, store.Duplicate, SourcePush, r.st.BranchCount(u.Key))
 		return
 	}
 	state := r.newStateLocked()
@@ -315,7 +356,13 @@ func (r *Replica) handlePush(env wire.Envelope) {
 	}
 	state.add(r.Addr())
 	r.states[id] = state
-	r.st.Apply(u)
+	if ad, ok := state.pfn.(*pf.Adaptive); ok {
+		// §6 speculation: the flooding list on the incoming push estimates
+		// how far the update has already been sent, and unlike duplicate
+		// counts it is available before the forwarding decision below.
+		ad.ObserveListFraction(r.listFractionLocked(state))
+	}
+	applied, branches := r.st.ApplyObserved(u)
 	sendAck := r.cfg.Acks
 	from := env.From
 
@@ -335,6 +382,7 @@ func (r *Replica) handlePush(env wire.Envelope) {
 	}
 	r.mu.Unlock()
 
+	r.fireApply(u, applied, SourcePush, branches)
 	if sendAck && from != "" {
 		r.sendAck(from, id)
 	}
@@ -355,6 +403,7 @@ func (r *Replica) sendPushes(u store.Update, targets, carried []string, t int) {
 		env := wire.Envelope{
 			Kind: wire.KindPush, From: r.Addr(), Update: wu, RF: carried, T: t,
 		}
+		r.inc(MetricPushSent)
 		_ = r.transport.Send(target, env) // offline targets are the normal case
 	}
 }
@@ -377,6 +426,7 @@ func (r *Replica) handlePullReq(env wire.Envelope) {
 		Kind: wire.KindPullResp, From: r.Addr(),
 		Updates: updates, KnownPeers: sample,
 	}
+	r.inc(MetricPullServed)
 	_ = r.transport.Send(env.From, resp)
 }
 
@@ -392,13 +442,14 @@ func (r *Replica) handlePullResp(env wire.Envelope) {
 		if err != nil {
 			continue
 		}
-		r.st.Apply(u)
+		applied, branches := r.st.ApplyObserved(u)
 		r.mu.Lock()
 		if _, ok := r.states[u.ID()]; !ok {
 			// Pulled updates are not re-pushed (§4.3's optimism).
 			r.states[u.ID()] = r.newStateLocked()
 		}
 		r.mu.Unlock()
+		r.fireApply(u, applied, SourcePull, branches)
 	}
 }
 
@@ -460,6 +511,17 @@ func (r *Replica) carriedLocked(state *replicaState) []string {
 		out = out[:r.cfg.ListMax]
 	}
 	return out
+}
+
+// listFractionLocked estimates the fraction of the known population an
+// update has already been sent to, from its flooding-list length (the live
+// analogue of the simulator's NormalizedLen over R).
+func (r *Replica) listFractionLocked(state *replicaState) float64 {
+	population := len(r.peers) + 1
+	if population == 0 {
+		return 0
+	}
+	return float64(len(state.rf)) / float64(population)
 }
 
 func (r *Replica) newStateLocked() *replicaState {

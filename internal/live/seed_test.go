@@ -1,0 +1,18 @@
+package live
+
+import "testing"
+
+// TestCryptoSeedDistinct guards the replica seeding path: seeds drawn for
+// concurrently created replicas must not collide the way time-derived seeds
+// can (coarse clocks hand identical UnixNano values to replicas created in
+// the same instant).
+func TestCryptoSeedDistinct(t *testing.T) {
+	seen := make(map[int64]struct{}, 256)
+	for i := 0; i < 256; i++ {
+		s := cryptoSeed()
+		if _, dup := seen[s]; dup {
+			t.Fatalf("seed %d repeated within 256 draws", s)
+		}
+		seen[s] = struct{}{}
+	}
+}

@@ -109,7 +109,15 @@ type Store struct {
 	clock version.Clock
 	// tombRetain is how long tombstones are kept before GC.
 	tombRetain time.Duration
+	// hook, when set, observes every Apply outcome.
+	hook ApplyHook
 }
+
+// ApplyHook observes apply outcomes: the update, its classification, and the
+// number of coexisting revisions of the key after the apply (>1 signals
+// concurrent branches). Hooks run synchronously on the applying goroutine
+// after the store's lock is released; they must not block.
+type ApplyHook func(u Update, res ApplyResult, branches int)
 
 // DefaultTombstoneRetention keeps death certificates for 30 days, a
 // conventional choice that comfortably exceeds expected offline periods.
@@ -129,12 +137,46 @@ func NewWithRetention(retain time.Duration) *Store {
 	}
 }
 
+// SetApplyHook registers a callback observing every subsequent Apply. Pass
+// nil to remove it. Set the hook before the store starts receiving
+// concurrent traffic.
+func (s *Store) SetApplyHook(h ApplyHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
+}
+
+// BranchCount returns the number of coexisting revisions of key, including
+// tombstoned branches. Zero means the key is unknown.
+func (s *Store) BranchCount(key string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.items[key])
+}
+
 // Apply ingests one update and returns the outcome. Updates may arrive in
 // any order and repeatedly; Apply is idempotent per (origin, seq).
 func (s *Store) Apply(u Update) ApplyResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	res, _ := s.ApplyObserved(u)
+	return res
+}
 
+// ApplyObserved is Apply returning also the number of coexisting revisions
+// of the key, counted atomically with the apply — unlike a subsequent
+// BranchCount it cannot be skewed by concurrent applies to the same key.
+func (s *Store) ApplyObserved(u Update) (ApplyResult, int) {
+	s.mu.Lock()
+	res := s.applyLocked(u)
+	hook := s.hook
+	branches := len(s.items[u.Key])
+	s.mu.Unlock()
+	if hook != nil {
+		hook(u, res, branches)
+	}
+	return res, branches
+}
+
+func (s *Store) applyLocked(u Update) ApplyResult {
 	if u.Seq == 0 || u.Origin == "" {
 		// Malformed updates are treated as obsolete noise rather than
 		// panicking; the transport layer validates before this point.

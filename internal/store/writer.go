@@ -47,15 +47,29 @@ func (w *Writer) Origin() string { return w.origin }
 
 // Put creates, applies, and returns an update setting key to value.
 func (w *Writer) Put(key string, value []byte) Update {
-	return w.mutate(key, value, false)
+	u, _ := w.mutate(key, value, false)
+	return u
 }
 
 // Delete creates, applies, and returns a tombstone update for key.
 func (w *Writer) Delete(key string) Update {
+	u, _ := w.mutate(key, nil, true)
+	return u
+}
+
+// PutObserved is Put returning also the key's revision count, counted
+// atomically with the apply (see Store.ApplyObserved).
+func (w *Writer) PutObserved(key string, value []byte) (Update, int) {
+	return w.mutate(key, value, false)
+}
+
+// DeleteObserved is Delete returning also the key's revision count, counted
+// atomically with the apply.
+func (w *Writer) DeleteObserved(key string) (Update, int) {
 	return w.mutate(key, nil, true)
 }
 
-func (w *Writer) mutate(key string, value []byte, del bool) Update {
+func (w *Writer) mutate(key string, value []byte, del bool) (Update, int) {
 	now := w.now()
 	parent := version.History(nil)
 	if rev, ok := w.store.Get(key); ok {
@@ -75,8 +89,8 @@ func (w *Writer) mutate(key string, value []byte, del bool) Update {
 		Version: parent.Append(version.NewID(now, w.origin, w.rng)),
 		Stamp:   now,
 	}
-	w.store.Apply(u)
-	return u
+	_, branches := w.store.ApplyObserved(u)
+	return u, branches
 }
 
 // Resync advances the writer's sequence counter to the store's clock for

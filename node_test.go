@@ -1,0 +1,401 @@
+package pushpull_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	pushpull "github.com/p2pgossip/update"
+)
+
+// openHubNode opens a node on hub with sensible test settings.
+func openHubNode(t *testing.T, hub *pushpull.Hub, addr string, seed int64, extra ...pushpull.Option) *pushpull.Node {
+	t.Helper()
+	opts := append([]pushpull.Option{
+		pushpull.WithHub(hub, addr),
+		pushpull.WithSeed(seed),
+		pushpull.WithPullInterval(5 * time.Millisecond),
+	}, extra...)
+	n, err := pushpull.Open(opts...)
+	if err != nil {
+		t.Fatalf("open %s: %v", addr, err)
+	}
+	t.Cleanup(func() { _ = n.Close(context.Background()) })
+	return n
+}
+
+func TestOpenInvalidConfig(t *testing.T) {
+	hub := pushpull.NewHub()
+	cases := []struct {
+		name string
+		opts []pushpull.Option
+	}{
+		{"no transport", nil},
+		{"two transports", []pushpull.Option{
+			pushpull.WithHub(hub, "a"), pushpull.WithTCP("127.0.0.1:0"),
+		}},
+		{"negative fanout", []pushpull.Option{
+			pushpull.WithHub(hub, "b"), pushpull.WithFanout(-1),
+		}},
+		{"nil metrics", []pushpull.Option{
+			pushpull.WithHub(hub, "c"), pushpull.WithMetrics(nil),
+		}},
+		{"nil transport", []pushpull.Option{pushpull.WithTransport(nil)}},
+		{"nil hub", []pushpull.Option{pushpull.WithHub(nil, "d")}},
+		{"bad watch buffer", []pushpull.Option{
+			pushpull.WithHub(hub, "e"), pushpull.WithWatchBuffer(0),
+		}},
+	}
+	for _, tc := range cases {
+		n, err := pushpull.Open(tc.opts...)
+		if err == nil {
+			n.Close(context.Background())
+			t.Fatalf("%s: Open succeeded", tc.name)
+		}
+		if !errors.Is(err, pushpull.ErrInvalidConfig) {
+			t.Fatalf("%s: error %v does not match ErrInvalidConfig", tc.name, err)
+		}
+	}
+	if !errors.Is(pushpull.ErrNoTransport, pushpull.ErrInvalidConfig) {
+		t.Fatal("ErrNoTransport should match ErrInvalidConfig")
+	}
+}
+
+func TestPublishDeleteHonorContext(t *testing.T) {
+	hub := pushpull.NewHub()
+	n := openHubNode(t, hub, "ctx-node", 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := n.Publish(ctx, "k", []byte("v")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Publish with cancelled ctx: %v", err)
+	}
+	if _, err := n.Delete(ctx, "k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Delete with cancelled ctx: %v", err)
+	}
+	if _, ok := n.Get("k"); ok {
+		t.Fatal("cancelled Publish must not apply")
+	}
+	if _, err := n.Publish(context.Background(), "k", []byte("v")); err != nil {
+		t.Fatalf("Publish with live ctx: %v", err)
+	}
+}
+
+func TestQueryHonorsContext(t *testing.T) {
+	hub := pushpull.NewHub()
+	// The node's only peer is never attached, so queries can't be answered
+	// and must end with the context's error.
+	n := openHubNode(t, hub, "q-node", 1, pushpull.WithPeers("ghost"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := n.Query(ctx, "missing", 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Query against silent peer: %v", err)
+	}
+}
+
+func TestNodeNoPeers(t *testing.T) {
+	hub := pushpull.NewHub()
+	n := openHubNode(t, hub, "lonely", 1)
+	ctx := context.Background()
+
+	if err := n.Pull(ctx); !errors.Is(err, pushpull.ErrNoPeers) {
+		t.Fatalf("Pull without peers: %v", err)
+	}
+	if _, err := n.Query(ctx, "absent", 3); !errors.Is(err, pushpull.ErrNoPeers) {
+		t.Fatalf("Query miss without peers: %v", err)
+	}
+	// A local hit still answers.
+	if _, err := n.Publish(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	out, err := n.Query(ctx, "k", 3)
+	if err != nil || !out.Found || string(out.Revision.Value) != "v" {
+		t.Fatalf("local-only query: out=%+v err=%v", out, err)
+	}
+}
+
+func TestNodeClosed(t *testing.T) {
+	hub := pushpull.NewHub()
+	n := openHubNode(t, hub, "closer", 1)
+	ctx := context.Background()
+
+	if err := n.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := n.Close(ctx); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := n.Publish(ctx, "k", nil); !errors.Is(err, pushpull.ErrClosed) {
+		t.Fatalf("Publish after close: %v", err)
+	}
+	if _, err := n.Delete(ctx, "k"); !errors.Is(err, pushpull.ErrClosed) {
+		t.Fatalf("Delete after close: %v", err)
+	}
+	if _, err := n.Query(ctx, "k", 1); !errors.Is(err, pushpull.ErrClosed) {
+		t.Fatalf("Query after close: %v", err)
+	}
+	if err := n.Pull(ctx); !errors.Is(err, pushpull.ErrClosed) {
+		t.Fatalf("Pull after close: %v", err)
+	}
+	if _, err := n.Watch(ctx, ""); !errors.Is(err, pushpull.ErrClosed) {
+		t.Fatalf("Watch after close: %v", err)
+	}
+}
+
+// TestWatchPushAndPull is the integration test for the Watch stream: every
+// update applied via push and via pull anti-entropy is delivered, with its
+// source, and tombstones are marked.
+func TestWatchPushAndPull(t *testing.T) {
+	hub := pushpull.NewHub()
+	ctx := context.Background()
+	// Publisher pushes straight to the push-receiver.
+	pub := openHubNode(t, hub, "publisher", 1, pushpull.WithPeers("push-recv"))
+	recv := openHubNode(t, hub, "push-recv", 2)
+
+	recvEvents, err := recv.Watch(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubEvents, err := pub.Watch(ctx, "cfg/")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := pub.Publish(ctx, "cfg/rate", []byte("9000")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Delete(ctx, "cfg/rate"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The publisher's own watch sees both local applies.
+	for i, wantDel := range []bool{false, true} {
+		ev := nextEvent(t, pubEvents)
+		if ev.Source != pushpull.SourceLocal || ev.Kind != pushpull.EventApplied {
+			t.Fatalf("local event %d: %+v", i, ev)
+		}
+		if ev.Tombstone() != wantDel {
+			t.Fatalf("local event %d: tombstone=%v want %v", i, ev.Tombstone(), wantDel)
+		}
+	}
+	// The receiver sees both via push.
+	for i := 0; i < 2; i++ {
+		ev := nextEvent(t, recvEvents)
+		if ev.Source != pushpull.SourcePush || ev.Kind != pushpull.EventApplied {
+			t.Fatalf("push event %d: %+v", i, ev)
+		}
+	}
+
+	// A late joiner reconciles by pull; its watch reports pull-sourced
+	// events for the same updates.
+	late := openHubNode(t, hub, "late", 3)
+	lateEvents, err := late.Watch(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	late.AddPeers("publisher")
+	if err := late.Pull(ctx); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for seen < 2 {
+		ev := nextEvent(t, lateEvents)
+		if ev.Source != pushpull.SourcePull {
+			t.Fatalf("late event: %+v", ev)
+		}
+		if ev.Kind == pushpull.EventApplied {
+			seen++
+		}
+	}
+
+	// Watch channels close when their context ends or the node closes.
+	if err := late.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-lateEvents:
+		if ok {
+			t.Fatal("expected closed channel after node close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("watch channel not closed")
+	}
+}
+
+// TestWatchConflict drives two isolated writers into concurrent revisions of
+// one key and checks the merge surfaces as a conflict event.
+func TestWatchConflict(t *testing.T) {
+	hub := pushpull.NewHub()
+	ctx := context.Background()
+	a := openHubNode(t, hub, "writer-a", 1)
+	b := openHubNode(t, hub, "writer-b", 2)
+
+	// Independent writes to the same key: concurrent version branches.
+	if _, err := a.Publish(ctx, "contact", []byte("from-a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(ctx, "contact", []byte("from-b")); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := b.Watch(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AddPeers("writer-a")
+	if err := b.Pull(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ev := nextEvent(t, events)
+	if ev.Source != pushpull.SourcePull || !ev.Conflict() {
+		t.Fatalf("merge event: %+v", ev)
+	}
+	if ev.Branches != 2 {
+		t.Fatalf("branches = %d, want 2", ev.Branches)
+	}
+}
+
+// TestSnapshotRoundTrip checks Node → WriteSnapshot → fresh Node →
+// snapshot restore preserves vector clocks and revisions exactly, and that
+// Watch streams observe post-restore updates.
+func TestSnapshotRoundTrip(t *testing.T) {
+	hub := pushpull.NewHub()
+	ctx := context.Background()
+	orig := openHubNode(t, hub, "orig", 1)
+
+	if _, err := orig.Publish(ctx, "alice", []byte("alice@example.org")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orig.Publish(ctx, "bob", []byte("bob@example.org")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orig.Publish(ctx, "alice", []byte("alice@new.org")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orig.Delete(ctx, "bob"); err != nil {
+		t.Fatal(err)
+	}
+
+	var snap bytes.Buffer
+	if err := orig.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := pushpull.Open(
+		pushpull.WithHub(hub, "restored"),
+		pushpull.WithSeed(2),
+		pushpull.WithSnapshot(&snap),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close(ctx)
+
+	if !reflect.DeepEqual(orig.Clock(), restored.Clock()) {
+		t.Fatalf("clocks differ: %v vs %v", orig.Clock(), restored.Clock())
+	}
+	if !orig.Store().Equal(restored.Store()) {
+		t.Fatal("restored store state differs")
+	}
+	for _, key := range []string{"alice", "bob"} {
+		a, b := orig.Store().Versions(key), restored.Store().Versions(key)
+		if len(a) != len(b) {
+			t.Fatalf("revisions of %q differ: %v vs %v", key, a, b)
+		}
+		for i := range a {
+			// Stamps compare via Equal: the original carries a monotonic
+			// clock reading that does not survive serialisation.
+			if !reflect.DeepEqual(a[i].Version, b[i].Version) ||
+				!bytes.Equal(a[i].Value, b[i].Value) ||
+				a[i].Deleted != b[i].Deleted || !a[i].Stamp.Equal(b[i].Stamp) {
+				t.Fatalf("revision %d of %q differs: %v vs %v", i, key, a[i], b[i])
+			}
+		}
+	}
+
+	// Post-restore updates flow through Watch: one created locally, one
+	// pulled from the original node.
+	events, err := restored.Watch(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Publish(ctx, "carol", []byte("carol@example.org")); err != nil {
+		t.Fatal(err)
+	}
+	ev := nextEvent(t, events)
+	if ev.Source != pushpull.SourceLocal || ev.Update.Key != "carol" {
+		t.Fatalf("post-restore local event: %+v", ev)
+	}
+	if _, err := orig.Publish(ctx, "dave", []byte("dave@example.org")); err != nil {
+		t.Fatal(err)
+	}
+	restored.AddPeers("orig")
+	if err := restored.Pull(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ev := nextEvent(t, events)
+		if ev.Update.Key == "dave" {
+			if ev.Source != pushpull.SourcePull || ev.Kind != pushpull.EventApplied {
+				t.Fatalf("post-restore pull event: %+v", ev)
+			}
+			break
+		}
+	}
+
+	// The restored writer must not reuse sequence numbers.
+	u, err := restored.Publish(ctx, "erin", []byte("erin@example.org"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Origin != "restored" || u.Seq == 0 {
+		t.Fatalf("post-restore update: %+v", u)
+	}
+}
+
+func TestNodeMetrics(t *testing.T) {
+	hub := pushpull.NewHub()
+	ctx := context.Background()
+	reg := pushpull.NewMetrics()
+	a := openHubNode(t, hub, "metrics-a", 1,
+		pushpull.WithMetrics(reg), pushpull.WithPeers("metrics-b"))
+	b := openHubNode(t, hub, "metrics-b", 2, pushpull.WithMetrics(reg))
+
+	events, err := b.Watch(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Publish(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	nextEvent(t, events)
+
+	for _, name := range []string{
+		pushpull.MetricPushSent,
+		pushpull.MetricPushReceived,
+		pushpull.MetricApplied,
+		pushpull.MetricStoreApplied,
+		pushpull.MetricWatchEvents,
+	} {
+		if reg.Counter(name) == 0 {
+			t.Fatalf("counter %s not incremented; counters: %v", name, reg.Counters())
+		}
+	}
+}
+
+func nextEvent(t *testing.T, ch <-chan pushpull.Event) pushpull.Event {
+	t.Helper()
+	select {
+	case ev, ok := <-ch:
+		if !ok {
+			t.Fatal("watch channel closed early")
+		}
+		return ev
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for event")
+		return pushpull.Event{}
+	}
+}

@@ -1,0 +1,213 @@
+package pushpull
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/p2pgossip/update/internal/live"
+	"github.com/p2pgossip/update/internal/metrics"
+)
+
+// Metrics is a registry of named counters and series; pass one to Open with
+// WithMetrics to receive the node's operational counters (see the
+// pushpull.Metric* constants for the names reported).
+type Metrics = metrics.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
+
+// Counter names reported by an instrumented Node, re-exported from the live
+// runtime plus the node-level ones.
+const (
+	// MetricPushSent counts push envelopes sent (including forwards).
+	MetricPushSent = live.MetricPushSent
+	// MetricPushReceived counts push envelopes received.
+	MetricPushReceived = live.MetricPushReceived
+	// MetricPushDuplicate counts received pushes already known locally.
+	MetricPushDuplicate = live.MetricPushDuplicate
+	// MetricApplied counts updates that changed the local store.
+	MetricApplied = live.MetricApplied
+	// MetricObsolete counts updates dominated by existing revisions.
+	MetricObsolete = live.MetricObsolete
+	// MetricPullRequests counts pull requests sent.
+	MetricPullRequests = live.MetricPullRequests
+	// MetricPullServed counts pull requests answered for peers.
+	MetricPullServed = live.MetricPullServed
+	// MetricPullUpdates counts updates received in pull responses.
+	MetricPullUpdates = live.MetricPullUpdates
+	// MetricAckSent counts acknowledgements sent (§6).
+	MetricAckSent = live.MetricAckSent
+	// MetricAckReceived counts acknowledgements received (§6).
+	MetricAckReceived = live.MetricAckReceived
+	// MetricSuspects counts peers promoted to suspected-offline (§6).
+	MetricSuspects = live.MetricSuspects
+	// MetricQuerySent counts query envelopes sent (§4.4).
+	MetricQuerySent = live.MetricQuerySent
+	// MetricQueryServed counts queries answered for peers (§4.4).
+	MetricQueryServed = live.MetricQueryServed
+	// MetricWatchEvents counts events delivered to Watch subscribers.
+	MetricWatchEvents = "node.watch.events"
+	// MetricWatchDropped counts events dropped because a Watch subscriber's
+	// buffer was full.
+	MetricWatchDropped = "node.watch.dropped"
+)
+
+// defaultWatchBuffer is the per-subscriber event buffer; see WithWatchBuffer.
+const defaultWatchBuffer = 256
+
+// nodeOptions collects everything Open needs to assemble a Node.
+type nodeOptions struct {
+	cfg           live.Config
+	transports    int // how many transport options were supplied
+	makeTransport func() (live.Transport, error)
+	given         live.Transport // caller-supplied via WithTransport; owned by Open
+	peers         []string
+	metrics       *Metrics
+	snapshot      io.Reader
+	watchBuffer   int
+	err           error // first option-time error, surfaced by Open
+}
+
+func defaultNodeOptions() *nodeOptions {
+	return &nodeOptions{
+		cfg:         live.DefaultReplicaConfig(),
+		watchBuffer: defaultWatchBuffer,
+	}
+}
+
+func (o *nodeOptions) fail(err error) {
+	if o.err == nil {
+		o.err = err
+	}
+}
+
+// Option configures a Node under construction; pass Options to Open.
+type Option func(*nodeOptions)
+
+// WithTCP listens on addr with the production TCP transport ("host:0" picks
+// a free port). Exactly one of WithTCP, WithHub, or WithTransport must be
+// given.
+func WithTCP(addr string) Option {
+	return func(o *nodeOptions) {
+		o.transports++
+		o.makeTransport = func() (live.Transport, error) { return live.ListenTCP(addr) }
+	}
+}
+
+// WithHub attaches the node to an in-memory Hub under the given address —
+// the transport of choice for tests and single-process examples. Exactly one
+// of WithTCP, WithHub, or WithTransport must be given.
+func WithHub(hub *Hub, addr string) Option {
+	return func(o *nodeOptions) {
+		o.transports++
+		if hub == nil {
+			o.fail(fmt.Errorf("%w: WithHub(nil, %q)", ErrInvalidConfig, addr))
+			return
+		}
+		o.makeTransport = func() (live.Transport, error) { return hub.Attach(addr) }
+	}
+}
+
+// WithTransport runs the node on a caller-supplied Transport. Open takes
+// ownership immediately: the transport is closed on Close, and also when
+// Open fails for any reason. Exactly one of WithTCP, WithHub, or
+// WithTransport must be given.
+func WithTransport(tr Transport) Option {
+	return func(o *nodeOptions) {
+		o.transports++
+		if tr == nil {
+			o.fail(fmt.Errorf("%w: WithTransport(nil)", ErrInvalidConfig))
+			return
+		}
+		o.given = tr
+		o.makeTransport = func() (live.Transport, error) { return tr, nil }
+	}
+}
+
+// WithFanout sets the number of peers each push targets (the paper's R·f_r).
+func WithFanout(n int) Option {
+	return func(o *nodeOptions) { o.cfg.Fanout = n }
+}
+
+// WithPF sets the forwarding-probability schedule constructor, called once
+// per distinct update (the paper's PF(t)). nil means PF(t) = 1.
+func WithPF(newPF func() PFFunc) Option {
+	return func(o *nodeOptions) { o.cfg.NewPF = newPF }
+}
+
+// WithAcks toggles the §6 acknowledgement optimisation: receivers ack the
+// first copy of each update; senders prefer acking peers and temporarily
+// skip suspected-offline ones.
+func WithAcks(enabled bool) Option {
+	return func(o *nodeOptions) { o.cfg.Acks = enabled }
+}
+
+// WithPullInterval sets the period of background anti-entropy pulls; 0
+// disables periodic pulling (the eager pull at startup still happens).
+func WithPullInterval(d time.Duration) Option {
+	return func(o *nodeOptions) { o.cfg.PullInterval = d }
+}
+
+// WithPullAttempts sets the number of peers contacted per pull batch.
+func WithPullAttempts(n int) Option {
+	return func(o *nodeOptions) { o.cfg.PullAttempts = n }
+}
+
+// WithListMax caps the number of addresses carried per push (the live
+// analogue of the paper's L_thr·R); 0 means unlimited.
+func WithListMax(n int) Option {
+	return func(o *nodeOptions) {
+		o.cfg.PartialList = true
+		o.cfg.ListMax = n
+	}
+}
+
+// WithSeed seeds the node's random source, making peer sampling and
+// forwarding decisions reproducible. 0 (the default) draws a seed from
+// crypto/rand.
+func WithSeed(seed int64) Option {
+	return func(o *nodeOptions) { o.cfg.Seed = seed }
+}
+
+// WithMetrics directs the node's operational counters into reg.
+func WithMetrics(reg *Metrics) Option {
+	return func(o *nodeOptions) {
+		if reg == nil {
+			o.fail(fmt.Errorf("%w: WithMetrics(nil)", ErrInvalidConfig))
+			return
+		}
+		o.metrics = reg
+	}
+}
+
+// WithPeers teaches the node the given replica addresses at startup.
+func WithPeers(addrs ...string) Option {
+	return func(o *nodeOptions) { o.peers = append(o.peers, addrs...) }
+}
+
+// WithSnapshot restores the node's store from a snapshot (produced by
+// Node.WriteSnapshot) before the protocol starts, so the first anti-entropy
+// pull already reconciles against the restored state.
+func WithSnapshot(r io.Reader) Option {
+	return func(o *nodeOptions) {
+		if r == nil {
+			o.fail(fmt.Errorf("%w: WithSnapshot(nil)", ErrInvalidConfig))
+			return
+		}
+		o.snapshot = r
+	}
+}
+
+// WithWatchBuffer sets the per-subscriber event buffer for Watch streams
+// (default 256). When a subscriber falls this far behind, further events are
+// dropped for it and counted under MetricWatchDropped.
+func WithWatchBuffer(n int) Option {
+	return func(o *nodeOptions) {
+		if n <= 0 {
+			o.fail(fmt.Errorf("%w: watch buffer %d must be positive", ErrInvalidConfig, n))
+			return
+		}
+		o.watchBuffer = n
+	}
+}
