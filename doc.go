@@ -15,6 +15,10 @@
 //   - The discrete simulator used to cross-validate the model and to
 //     explore parameters (churn processes, failure injection, baselines).
 //
+// The live runtime and the simulator are thin adapters over one shared
+// protocol engine (internal/engine), so simulated scenarios exercise
+// exactly the state machine that runs in production.
+//
 // The live runtime is driven through Node, a lifecycle-managed handle built
 // with functional options:
 //

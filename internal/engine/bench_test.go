@@ -1,0 +1,161 @@
+package engine
+
+// Benchmarks for the engine hot paths — the repo's first perf baseline for
+// the protocol core now that simulator and live runtime share it. The three
+// surfaces that dominate large runs: push handling (first receipts with
+// carried lists, then the duplicate/merge path), pull reconciliation, and
+// target sampling with the §6 ack preferences.
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/p2pgossip/update/internal/pf"
+	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// newBenchEngine builds an engine with n known peers and a discarding
+// endpoint, so measurements cover the engine, not a transport.
+func newBenchEngine(b *testing.B, n int, cfg Config[int]) (*Engine[int], *testEndpoint) {
+	b.Helper()
+	cfg.Population = n
+	e, ep := newTestEngine(b, 0, cfg, nil)
+	ep.discard = true
+	for i := 1; i <= n; i++ {
+		e.Learn(i)
+	}
+	return e, ep
+}
+
+// benchStamp and benchVersionID are shared by every benchmark update; the
+// stores never compare versions across keys, so one id suffices and keeps
+// id generation out of the measured loop.
+var (
+	benchStamp     = time.Unix(1_700_000_000, 0)
+	benchVersionID = version.NewID(benchStamp, "writer", rand.New(rand.NewSource(1)))
+)
+
+// benchUpdate builds the i-th foreign update, each on its own key so store
+// apply stays on the fresh-key fast path.
+func benchUpdate(i int) store.Update {
+	return store.Update{
+		Origin:  "writer",
+		Seq:     uint64(i + 1),
+		Key:     "key-" + strconv.Itoa(i),
+		Value:   []byte("value"),
+		Version: version.History{benchVersionID},
+		Stamp:   benchStamp,
+	}
+}
+
+// benchRF builds a carried flooding list of k entries.
+func benchRF(k int) []int {
+	rf := make([]int, k)
+	for i := range rf {
+		rf[i] = i + 1
+	}
+	return rf
+}
+
+func BenchmarkHandlePushFirstReceipt(b *testing.B) {
+	for _, listLen := range []int{0, 64, 512} {
+		b.Run(fmt.Sprintf("carried=%d", listLen), func(b *testing.B) {
+			e, _ := newBenchEngine(b, 1024, Config[int]{
+				Fanout:      10,
+				PartialList: true,
+				ListMax:     64,
+				NewPF:       func() pf.Func { return pf.NewAdaptive(0.9) },
+			})
+			rf := benchRF(listLen)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Handle(1, Message[int]{
+					Kind: KindPush, Update: benchUpdate(i), RF: rf, T: 2,
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkHandlePushDuplicate(b *testing.B) {
+	e, _ := newBenchEngine(b, 1024, Config[int]{
+		Fanout:      10,
+		PartialList: true,
+		NewPF:       func() pf.Func { return pf.NewAdaptive(0.9) },
+	})
+	u := benchUpdate(0)
+	rf := benchRF(128)
+	e.Handle(1, Message[int]{Kind: KindPush, Update: u, RF: rf, T: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Same update, same list: the pure duplicate/merge/observe path.
+		e.Handle(2, Message[int]{Kind: KindPush, Update: u, RF: rf, T: 2})
+	}
+}
+
+func BenchmarkPullReconciliation(b *testing.B) {
+	// A replica holding updateCount updates serves a pull request from a
+	// peer missing the newest `missing` of them.
+	const updateCount, missing = 512, 32
+	e, _ := newBenchEngine(b, 64, Config[int]{PullAttempts: 3})
+	for i := 0; i < updateCount; i++ {
+		e.Handle(1, Message[int]{Kind: KindPush, Update: benchUpdate(i), T: 1})
+	}
+	remote := version.NewClock()
+	remote["writer"] = updateCount - missing
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Handle(2, Message[int]{Kind: KindPullReq, Clock: remote})
+	}
+}
+
+func BenchmarkSampleTargets(b *testing.B) {
+	for _, tt := range []struct {
+		name string
+		acks bool
+	}{
+		{"plain", false},
+		{"ack-preferences", true},
+	} {
+		b.Run(tt.name, func(b *testing.B) {
+			cfg := Config[int]{Fanout: 10}
+			if tt.acks {
+				cfg.Acks = true
+				cfg.AckTimeout = 1 << 40
+				cfg.SuspectTTL = 1 << 40
+			}
+			e, _ := newBenchEngine(b, 1024, cfg)
+			if tt.acks {
+				// A quarter of the population has acked; a few suspects.
+				for i := 1; i <= 256; i++ {
+					e.Handle(i, Message[int]{Kind: KindAck, UpdateID: "x"})
+				}
+				for i := 900; i < 916; i++ {
+					e.suspects[i] = 0
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.SamplePeers(10)
+			}
+		})
+	}
+}
+
+func BenchmarkCarriedTruncation(b *testing.B) {
+	e, _ := newBenchEngine(b, 1024, Config[int]{PartialList: true, ListMax: 64})
+	list := benchRF(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Carried(list)
+	}
+}

@@ -1,0 +1,726 @@
+// Package engine implements the paper's hybrid push/pull protocol state
+// machine (§4.1–4.4, §6) exactly once, independent of transport and clock.
+//
+// The engine is generic over the peer identity type and talks to its host
+// through the small Endpoint interface (identity, message delivery, time,
+// randomness). Two adapters run the same state machine:
+//
+//   - internal/gossip drives it from the round-based simulator: int peer
+//     indices, simnet delivery, one round = one tick;
+//   - internal/live drives it in real time: string addresses, wire.Envelope
+//     delivery over a Transport, UnixNano ticks.
+//
+// Because both layers share this code, every behavioural fix — and every
+// §6 self-tuning signal, such as the flooding-list-fraction feedback into
+// the adaptive PF schedule — lands on the simulated and the live path at
+// once, and simulator scenarios exercise exactly the code that ships.
+//
+// The engine is deliberately single-threaded: it never locks, never spawns
+// goroutines, and calls Endpoint.Send and hook callbacks synchronously.
+// Concurrency is the adapter's concern (the simulator is synchronous by
+// construction; the live runtime serialises calls behind a mutex and flushes
+// queued sends after releasing it).
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/p2pgossip/update/internal/pf"
+	"github.com/p2pgossip/update/internal/replicalist"
+	"github.com/p2pgossip/update/internal/store"
+)
+
+// Endpoint is everything the engine needs from its host environment.
+type Endpoint[ID comparable] interface {
+	// Self returns the local peer's identity.
+	Self() ID
+	// Send delivers a protocol message to the given peer, best effort:
+	// sends to offline peers are expected to vanish.
+	Send(to ID, msg Message[ID])
+	// Now returns the current time in ticks. The unit is the adapter's
+	// choice (simulation rounds, nanoseconds); the Config timeouts use the
+	// same unit.
+	Now() int64
+	// Rand returns the deterministic random source for protocol choices.
+	Rand() *rand.Rand
+}
+
+// Hooks observes protocol-level events. All callbacks are optional and run
+// synchronously inside engine calls; adapters that hold locks around the
+// engine should queue the events and act after unlocking.
+type Hooks[ID comparable] struct {
+	// OnApply fires after an update is offered to the local store — created
+	// locally, received by push, or reconciled by pull. branches is the
+	// number of coexisting revisions of the key, counted atomically with
+	// the apply.
+	OnApply func(u store.Update, res store.ApplyResult, src Source, branches int)
+	// OnDuplicate fires when a push arrives for an update already seen
+	// (the §6 local tuning signal). branches is the key's current revision
+	// count.
+	OnDuplicate func(u store.Update, branches int)
+	// OnLearned fires when a flooding list or membership sample taught the
+	// engine count previously unknown replicas (the name-dropper effect).
+	OnLearned func(count int)
+	// OnAck fires when a peer acknowledges an update we pushed (§6).
+	OnAck func(peer ID)
+	// OnSuspect fires when a peer is suspected offline because its ack
+	// never arrived (§6).
+	OnSuspect func(peer ID)
+}
+
+// Config parameterises an engine. Timeouts are in Endpoint.Now ticks.
+type Config[ID comparable] struct {
+	// Fanout is the expected number of peers each push targets (the
+	// paper's R·f_r). Fractional values are honoured by probabilistic
+	// rounding.
+	Fanout float64
+	// NewPF builds the forwarding-probability schedule for one update. A
+	// factory (rather than a shared instance) lets adaptive schedules keep
+	// per-update state. Nil means PF(t) = 1.
+	NewPF func() pf.Func
+	// PartialList enables carrying the flooding list R_f on push messages.
+	PartialList bool
+	// ListMax caps the number of entries carried per push (the paper's
+	// L_thr·R); 0 means unlimited.
+	ListMax int
+	// TruncatePolicy selects which entries to drop when truncating; the
+	// zero value means replicalist.DropRandom.
+	TruncatePolicy replicalist.TruncatePolicy
+	// Population is the total replica count R used to normalise the
+	// flooding-list length for the §6 adaptive-PF feedback. 0 means
+	// dynamic: the membership view size plus one (the live runtime, where
+	// R is not known a priori).
+	Population int
+	// PullAttempts is the number of peers contacted per pull batch. Zero
+	// disables the pull phase entirely.
+	PullAttempts int
+	// LazyPull makes a waking peer wait for gossip instead of pulling
+	// eagerly (§6); it then syncs when a pull request or query reveals it
+	// may be stale.
+	LazyPull bool
+	// PullTimeout is the number of ticks without any received update after
+	// which Tick triggers a pull ("no_updates_since(t)"). Zero disables
+	// timeout-driven pulls.
+	PullTimeout int64
+	// PullGossipSample is the number of peer ids piggybacked on pull
+	// responses; 0 means 16.
+	PullGossipSample int
+	// Acks enables the §6 acknowledgement optimisation: receivers ack the
+	// first copy of each update; senders prefer acking peers and skip
+	// suspected-offline ones.
+	Acks bool
+	// AckTimeout is how many ticks to wait for an ack before suspecting a
+	// peer offline. Required (> 0) when Acks is set.
+	AckTimeout int64
+	// SuspectTTL is how many ticks suspected peers are skipped before
+	// being re-admitted. Required (> 0) when Acks is set.
+	SuspectTTL int64
+	// LazySweep makes ack-deadline and suspect-expiry sweeps run during
+	// peer sampling (the live runtime, which has no Tick). When false the
+	// sweeps run only in Tick (the simulator's per-round model).
+	LazySweep bool
+	// QueryTimeout is the number of ticks after which an unanswered query
+	// is finished with the responses at hand; 0 disables timeout expiry
+	// (the live runtime bounds queries with contexts instead).
+	QueryTimeout int64
+	// QueryLocalVoice makes the local store participate in every query as
+	// one more voice, so a fresh replica never answers worse than Get.
+	QueryLocalVoice bool
+	// ValidID reports whether a peer identity learned from the wire is
+	// usable as a protocol target. Nil accepts every non-self identity;
+	// the live adapter rejects empty addresses, which a zero-valued gob
+	// envelope would otherwise plant in the membership view and re-gossip
+	// cluster-wide.
+	ValidID func(ID) bool
+	// Hooks observes protocol events.
+	Hooks Hooks[ID]
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config[ID]) Validate() error {
+	switch {
+	case c.Fanout < 0:
+		return fmt.Errorf("engine: fanout %g negative", c.Fanout)
+	case c.ListMax < 0:
+		return fmt.Errorf("engine: list max %d negative", c.ListMax)
+	case c.Population < 0:
+		return fmt.Errorf("engine: population %d negative", c.Population)
+	case c.PullAttempts < 0:
+		return fmt.Errorf("engine: pull attempts %d negative", c.PullAttempts)
+	case c.PullTimeout < 0:
+		return fmt.Errorf("engine: pull timeout %d negative", c.PullTimeout)
+	case c.QueryTimeout < 0:
+		return fmt.Errorf("engine: query timeout %d negative", c.QueryTimeout)
+	case c.Acks && c.AckTimeout <= 0:
+		return fmt.Errorf("engine: acks enabled with ack timeout %d", c.AckTimeout)
+	case c.Acks && c.SuspectTTL <= 0:
+		return fmt.Errorf("engine: acks enabled with suspect ttl %d", c.SuspectTTL)
+	default:
+		return nil
+	}
+}
+
+// updateState is the per-update bookkeeping: the accumulated flooding list,
+// the duplicate count (the §6 local tuning metric), and the PF instance that
+// decides forwarding.
+type updateState[ID comparable] struct {
+	rf    *orderedSet[ID]
+	dupes int
+	pfn   pf.Func
+}
+
+// Engine is one replica's instance of the protocol state machine. It is not
+// safe for concurrent use; adapters serialise access.
+type Engine[ID comparable] struct {
+	cfg  Config[ID]
+	ep   Endpoint[ID]
+	self ID
+	st   *store.Store
+	w    *store.Writer
+
+	view   *orderedSet[ID] // known replicas, never containing self
+	states map[string]*updateState[ID]
+
+	// lastReceived is the tick at which the engine last received any update
+	// content (push or pull response), driving "no_updates_since(t)".
+	lastReceived int64
+	// notConfident is set while a lazily-pulling peer has not yet synced
+	// after coming online.
+	notConfident bool
+
+	// §6 ack optimisation state (only used when cfg.Acks).
+	ackedBy     map[ID]int64 // peer → tick of their last ack to us
+	suspects    map[ID]int64 // peer → tick we began suspecting them
+	awaitingAck map[ID]int64 // peer → tick we first pushed to them unacked
+
+	// §4.4 query state.
+	queries      map[int64]*queryState
+	queryCounter int64
+}
+
+// New constructs an engine over the given endpoint, store, and writer. The
+// adapter owns store and writer construction because identity, clocks, and
+// seeding are adapter concerns.
+func New[ID comparable](cfg Config[ID], ep Endpoint[ID], st *store.Store, w *store.Writer) (*Engine[ID], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ep == nil {
+		return nil, fmt.Errorf("engine: nil endpoint")
+	}
+	if st == nil || w == nil {
+		return nil, fmt.Errorf("engine: nil store or writer")
+	}
+	if cfg.TruncatePolicy == 0 {
+		cfg.TruncatePolicy = replicalist.DropRandom
+	}
+	if cfg.PullGossipSample <= 0 {
+		cfg.PullGossipSample = defaultPullGossipSample
+	}
+	return &Engine[ID]{
+		cfg:         cfg,
+		ep:          ep,
+		self:        ep.Self(),
+		st:          st,
+		w:           w,
+		view:        newOrderedSet[ID](16),
+		states:      make(map[string]*updateState[ID]),
+		ackedBy:     make(map[ID]int64),
+		suspects:    make(map[ID]int64),
+		awaitingAck: make(map[ID]int64),
+		queries:     make(map[int64]*queryState),
+	}, nil
+}
+
+// defaultPullGossipSample is the number of peer ids piggybacked on pull
+// responses when the configuration does not say otherwise.
+const defaultPullGossipSample = 16
+
+// Store returns the engine's replica store.
+func (e *Engine[ID]) Store() *store.Store { return e.st }
+
+// Self returns the local peer identity.
+func (e *Engine[ID]) Self() ID { return e.self }
+
+// --- Membership -------------------------------------------------------
+
+// Learn adds id to the membership view (ignoring the peer itself and
+// identities rejected by Config.ValidID) and reports whether it was new.
+func (e *Engine[ID]) Learn(id ID) bool {
+	if id == e.self || !e.validID(id) {
+		return false
+	}
+	return e.view.Add(id)
+}
+
+// validID applies the configured identity filter.
+func (e *Engine[ID]) validID(id ID) bool {
+	return e.cfg.ValidID == nil || e.cfg.ValidID(id)
+}
+
+// learnAll adds every id, firing the OnLearned hook with the number newly
+// learned — the name-dropper effect materialising.
+func (e *Engine[ID]) learnAll(ids []ID) {
+	n := 0
+	for _, id := range ids {
+		if e.Learn(id) {
+			n++
+		}
+	}
+	if n > 0 && e.cfg.Hooks.OnLearned != nil {
+		e.cfg.Hooks.OnLearned(n)
+	}
+}
+
+// Knows reports whether id is in the membership view.
+func (e *Engine[ID]) Knows(id ID) bool { return e.view.Contains(id) }
+
+// KnownPeers returns a copy of the membership view in insertion order.
+func (e *Engine[ID]) KnownPeers() []ID { return e.view.Slice() }
+
+// KnownCount returns the number of known replicas.
+func (e *Engine[ID]) KnownCount() int { return e.view.Len() }
+
+// --- Update bookkeeping ----------------------------------------------
+
+// HasUpdate reports whether the engine has processed the update with the
+// given ID (store.Update.ID()).
+func (e *Engine[ID]) HasUpdate(updateID string) bool {
+	_, ok := e.states[updateID]
+	return ok
+}
+
+// Duplicates returns the duplicate-push count observed for an update.
+func (e *Engine[ID]) Duplicates(updateID string) int {
+	if s, ok := e.states[updateID]; ok {
+		return s.dupes
+	}
+	return 0
+}
+
+// FloodingList returns the accumulated flooding list for an update, in
+// insertion order, or nil if the update is unknown.
+func (e *Engine[ID]) FloodingList(updateID string) []ID {
+	if s, ok := e.states[updateID]; ok {
+		return s.rf.Slice()
+	}
+	return nil
+}
+
+// NotConfident reports whether the engine is waiting to be synchronised
+// after a lazy wake-up (§6).
+func (e *Engine[ID]) NotConfident() bool { return e.notConfident }
+
+func (e *Engine[ID]) newState() *updateState[ID] {
+	s := &updateState[ID]{rf: newOrderedSet[ID](8)}
+	if e.cfg.NewPF != nil {
+		s.pfn = e.cfg.NewPF()
+	} else {
+		s.pfn = pf.Always()
+	}
+	return s
+}
+
+// --- Lifecycle callbacks ---------------------------------------------
+
+// CameOnline is the pull-phase trigger: an eagerly-pulling peer contacts
+// PullAttempts replicas at once; a lazy one (§6) waits for gossip and marks
+// itself not confident.
+func (e *Engine[ID]) CameOnline() {
+	if e.cfg.PullAttempts <= 0 {
+		return
+	}
+	if e.cfg.LazyPull {
+		e.notConfident = true
+		return
+	}
+	e.sendPull()
+}
+
+// Tick runs the periodic sweeps: suspect expiry, ack-deadline detection,
+// query expiry, and the "no_updates_since(t)" timeout pull. Round-driven
+// adapters call it once per round; the live runtime relies on LazySweep and
+// wall-clock schedulers instead.
+func (e *Engine[ID]) Tick() {
+	now := e.ep.Now()
+	e.expireSuspects(now)
+	e.detectMissingAcks(now)
+	e.expireQueries(now)
+	if e.cfg.PullTimeout > 0 && e.cfg.PullAttempts > 0 &&
+		now-e.lastReceived > e.cfg.PullTimeout {
+		e.sendPull()
+		e.lastReceived = now // rate-limit timeout pulls
+	}
+}
+
+// Handle dispatches one inbound protocol message.
+func (e *Engine[ID]) Handle(from ID, m Message[ID]) {
+	switch m.Kind {
+	case KindPush:
+		e.handlePush(from, m)
+	case KindPullReq:
+		e.handlePullReq(from, m)
+	case KindPullResp:
+		e.handlePullResp(from, m)
+	case KindAck:
+		e.handleAck(from)
+	case KindQuery:
+		e.handleQuery(from, m)
+	case KindQueryResp:
+		e.handleQueryResp(m)
+	}
+}
+
+// --- Push phase (§4.1–4.2) -------------------------------------------
+
+// Publish creates an update for key/value and initiates its push phase (the
+// paper's round 0).
+func (e *Engine[ID]) Publish(key string, value []byte) store.Update {
+	u, branches := e.w.PutObserved(key, value)
+	e.fireApply(u, store.Applied, SourceLocal, branches)
+	e.initiate(u)
+	return u
+}
+
+// PublishDelete creates a tombstone update and initiates its push phase.
+func (e *Engine[ID]) PublishDelete(key string) store.Update {
+	u, branches := e.w.DeleteObserved(key)
+	e.fireApply(u, store.Applied, SourceLocal, branches)
+	e.initiate(u)
+	return u
+}
+
+func (e *Engine[ID]) initiate(u store.Update) {
+	state := e.newState()
+	e.states[u.ID()] = state
+	e.lastReceived = e.ep.Now()
+
+	targets := e.sample(e.fanout(), nil)
+	state.rf.AddAll(targets)
+	state.rf.Add(e.self)
+	e.sendPushes(u, targets, state, 0)
+}
+
+func (e *Engine[ID]) handlePush(from ID, m Message[ID]) {
+	// Name-dropper: every push teaches us replicas we did not know.
+	e.learnAll(m.RF)
+	e.Learn(from)
+
+	id := m.Update.ID()
+	if state, ok := e.states[id]; ok {
+		// Duplicate: feed the local tuning metrics (§6) and merge the
+		// incoming list — "it can use the list of 'updated replicas' in
+		// each of those messages" (§4.2).
+		state.dupes++
+		state.rf.AddAll(m.RF)
+		if ad, ok := state.pfn.(*pf.Adaptive); ok {
+			ad.ObserveDuplicate()
+			ad.ObserveListFraction(e.listFraction(state))
+		}
+		if e.cfg.Hooks.OnDuplicate != nil {
+			e.cfg.Hooks.OnDuplicate(m.Update, e.st.BranchCount(m.Update.Key))
+		}
+		return
+	}
+
+	// First receipt: process the update.
+	applied, branches := e.st.ApplyObserved(m.Update)
+	e.lastReceived = e.ep.Now()
+	e.notConfident = false
+	state := e.newState()
+	state.rf.AddAll(m.RF)
+	state.rf.Add(e.self)
+	e.states[id] = state
+
+	if e.cfg.Acks && e.validID(from) {
+		e.ep.Send(from, Message[ID]{Kind: KindAck, UpdateID: id})
+	}
+
+	if ad, ok := state.pfn.(*pf.Adaptive); ok {
+		// §6 speculation: the flooding list on the incoming push estimates
+		// how far the update has already been sent, and unlike duplicate
+		// counts it is available before the forwarding decision below.
+		ad.ObserveListFraction(e.listFraction(state))
+	}
+	e.fireApply(m.Update, applied, SourcePush, branches)
+
+	// Forward with probability PF(t+1). Per the paper, R_p is a *uniform*
+	// random subset of known replicas; the message goes to R_p \ R_f only,
+	// which is where the partial list saves messages (the (1−f_r)^t factor
+	// of the analysis), and the new list is R_f ∪ R_p.
+	t := m.T + 1
+	if e.ep.Rand().Float64() >= state.pfn.P(t) {
+		return
+	}
+	rp := e.sample(e.fanout(), nil)
+	targets := rp[:0:0]
+	for _, candidate := range rp {
+		if !state.rf.Contains(candidate) {
+			targets = append(targets, candidate)
+		}
+	}
+	state.rf.AddAll(rp)
+	e.sendPushes(m.Update, targets, state, t)
+}
+
+func (e *Engine[ID]) sendPushes(u store.Update, targets []ID, state *updateState[ID], t int) {
+	if len(targets) == 0 {
+		return
+	}
+	carried := e.carried(state.rf)
+	now := e.ep.Now()
+	for _, target := range targets {
+		if e.cfg.Acks {
+			if _, pending := e.awaitingAck[target]; !pending {
+				e.awaitingAck[target] = now
+			}
+		}
+		e.ep.Send(target, Message[ID]{Kind: KindPush, Update: u, RF: carried, T: t})
+	}
+}
+
+// carried renders a flooding list for the wire, applying the ListMax
+// truncation (§4.2). The local accumulated list is never truncated — only
+// the transmitted copy.
+func (e *Engine[ID]) carried(rf *orderedSet[ID]) []ID {
+	if !e.cfg.PartialList {
+		return nil
+	}
+	if e.cfg.ListMax > 0 && rf.Len() > e.cfg.ListMax {
+		return rf.Truncated(e.cfg.ListMax, e.cfg.TruncatePolicy, e.ep.Rand())
+	}
+	return rf.Slice()
+}
+
+// Carried renders an arbitrary accumulated list for the wire per the
+// engine's partial-list configuration, for tests and benchmarks.
+func (e *Engine[ID]) Carried(list []ID) []ID {
+	s := newOrderedSet[ID](len(list))
+	s.AddAll(list)
+	return e.carried(s)
+}
+
+// listFraction estimates the fraction of the replica population an update
+// has already been sent to, from its flooding-list length — the paper's
+// normalised list length L(t), the feed-forward signal of the §6 adaptive
+// PF. With a configured Population it is len/R (the simulator's model);
+// otherwise the known population stands in for R (the live runtime).
+func (e *Engine[ID]) listFraction(state *updateState[ID]) float64 {
+	population := e.cfg.Population
+	if population <= 0 {
+		population = e.view.Len() + 1
+	}
+	return float64(state.rf.Len()) / float64(population)
+}
+
+// fanout draws the per-push target count: Fanout with probabilistic rounding
+// so that fractional expected fanouts are honoured. Integer fanouts draw no
+// randomness, keeping adapter streams aligned.
+func (e *Engine[ID]) fanout() int {
+	exact := e.cfg.Fanout
+	k := int(exact)
+	if frac := exact - float64(k); frac > 0 && e.ep.Rand().Float64() < frac {
+		k++
+	}
+	return k
+}
+
+// fireApply reports one apply outcome to the OnApply hook.
+func (e *Engine[ID]) fireApply(u store.Update, res store.ApplyResult, src Source, branches int) {
+	if e.cfg.Hooks.OnApply != nil {
+		e.cfg.Hooks.OnApply(u, res, src, branches)
+	}
+}
+
+// --- Pull phase (§4.3) -----------------------------------------------
+
+// PullNow sends one pull batch immediately: PullAttempts random known
+// replicas receive our vector clock. "it is preferable to contact multiple
+// peers and choose the most up to date peer(s) among them" (§3) — with
+// clock-based diffs, applying all responses is equivalent to choosing the
+// freshest.
+func (e *Engine[ID]) PullNow() { e.sendPull() }
+
+func (e *Engine[ID]) sendPull() {
+	targets := e.sample(e.cfg.PullAttempts, nil)
+	clock := e.st.Clock()
+	for _, target := range targets {
+		e.ep.Send(target, Message[ID]{Kind: KindPullReq, Clock: clock})
+	}
+}
+
+func (e *Engine[ID]) handlePullReq(from ID, m Message[ID]) {
+	e.Learn(from)
+	missing := e.st.MissingFor(m.Clock)
+	sample := e.sample(e.cfg.PullGossipSample, map[ID]struct{}{from: {}})
+	e.ep.Send(from, Message[ID]{Kind: KindPullResp, Updates: missing, Peers: sample})
+
+	// "receives a pull request, but is not sure to have the latest update"
+	// (§3): a stale or lazily-woken peer answers and synchronises itself.
+	now := e.ep.Now()
+	stale := e.cfg.PullTimeout > 0 && now-e.lastReceived > e.cfg.PullTimeout
+	if (e.notConfident || stale) && e.cfg.PullAttempts > 0 {
+		e.sendPull()
+		e.lastReceived = now
+	}
+}
+
+func (e *Engine[ID]) handlePullResp(from ID, m Message[ID]) {
+	e.Learn(from)
+	e.learnAll(m.Peers)
+	gotNew := false
+	for _, u := range m.Updates {
+		applied, branches := e.st.ApplyObserved(u)
+		if applied == store.Applied {
+			gotNew = true
+		}
+		if _, ok := e.states[u.ID()]; !ok {
+			// Updates learned by pull are not re-pushed: the push phase has
+			// already saturated the online population (§4.3's optimism).
+			e.states[u.ID()] = e.newState()
+		}
+		e.fireApply(u, applied, SourcePull, branches)
+	}
+	if gotNew || len(m.Updates) == 0 {
+		// Either fresh data, or confirmation that we were current.
+		e.notConfident = false
+		e.lastReceived = e.ep.Now()
+	}
+}
+
+// --- Acknowledgements (§6) -------------------------------------------
+
+func (e *Engine[ID]) handleAck(from ID) {
+	e.ackedBy[from] = e.ep.Now()
+	delete(e.suspects, from)
+	delete(e.awaitingAck, from)
+	if e.cfg.Hooks.OnAck != nil {
+		e.cfg.Hooks.OnAck(from)
+	}
+}
+
+// detectMissingAcks moves peers whose ack is overdue onto the suspect list
+// (§6: the pusher assumes they are offline and skips them for a while).
+func (e *Engine[ID]) detectMissingAcks(now int64) {
+	if !e.cfg.Acks {
+		return
+	}
+	for peer, sentAt := range e.awaitingAck {
+		if now-sentAt >= e.cfg.AckTimeout {
+			e.suspects[peer] = now
+			delete(e.awaitingAck, peer)
+			if e.cfg.Hooks.OnSuspect != nil {
+				e.cfg.Hooks.OnSuspect(peer)
+			}
+		}
+	}
+}
+
+// expireSuspects re-admits suspects after SuspectTTL ticks — "it is
+// desirable that [the pusher] again forwards updates to [the peer] in remote
+// future" (§6).
+func (e *Engine[ID]) expireSuspects(now int64) {
+	if !e.cfg.Acks {
+		return
+	}
+	for peer, since := range e.suspects {
+		if now-since > e.cfg.SuspectTTL {
+			delete(e.suspects, peer)
+		}
+	}
+}
+
+// Sweep runs the ack-deadline and suspect-expiry sweeps immediately, for
+// adapters and tests that need them outside Tick and sampling.
+func (e *Engine[ID]) Sweep() {
+	now := e.ep.Now()
+	e.detectMissingAcks(now)
+	e.expireSuspects(now)
+}
+
+// Suspects returns the peers currently suspected offline.
+func (e *Engine[ID]) Suspects() []ID {
+	out := make([]ID, 0, len(e.suspects))
+	for peer := range e.suspects {
+		out = append(out, peer)
+	}
+	return out
+}
+
+// AwaitingAck returns the peers with an outstanding ack expectation.
+func (e *Engine[ID]) AwaitingAck() []ID {
+	out := make([]ID, 0, len(e.awaitingAck))
+	for peer := range e.awaitingAck {
+		out = append(out, peer)
+	}
+	return out
+}
+
+// Acked returns the peers that have acknowledged a push.
+func (e *Engine[ID]) Acked() []ID {
+	out := make([]ID, 0, len(e.ackedBy))
+	for peer := range e.ackedBy {
+		out = append(out, peer)
+	}
+	return out
+}
+
+// --- Target selection ------------------------------------------------
+
+// SamplePeers draws up to k distinct known peers with the §6 ack
+// preferences applied, for adapters and tests; it is the same choice the
+// push and pull phases use.
+func (e *Engine[ID]) SamplePeers(k int) []ID { return e.sample(k, nil) }
+
+// sample draws up to k distinct known peers, excluding those in skip. With
+// acks enabled, suspected-offline peers are skipped and recently-acking
+// peers are preferred (§6). It is the "random subset R_p" choice of the
+// push phase and the random peer choice of the pull phase.
+func (e *Engine[ID]) sample(k int, skip map[ID]struct{}) []ID {
+	if k <= 0 || e.view.Len() == 0 {
+		return nil
+	}
+	if e.cfg.Acks && e.cfg.LazySweep {
+		now := e.ep.Now()
+		e.detectMissingAcks(now)
+		e.expireSuspects(now)
+	}
+	rng := e.ep.Rand()
+	var preferred []ID
+	candidates := make([]ID, 0, e.view.Len())
+	for _, id := range e.view.order {
+		if skip != nil {
+			if _, s := skip[id]; s {
+				continue
+			}
+		}
+		if e.cfg.Acks {
+			if _, suspect := e.suspects[id]; suspect {
+				continue
+			}
+			if _, acked := e.ackedBy[id]; acked {
+				preferred = append(preferred, id)
+				continue
+			}
+		}
+		candidates = append(candidates, id)
+	}
+	rng.Shuffle(len(preferred), func(i, j int) {
+		preferred[i], preferred[j] = preferred[j], preferred[i]
+	})
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	out := preferred
+	if len(out) > k {
+		out = out[:k]
+	} else {
+		need := k - len(out)
+		if need > len(candidates) {
+			need = len(candidates)
+		}
+		out = append(out, candidates[:need]...)
+	}
+	return out
+}

@@ -1,0 +1,512 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/p2pgossip/update/internal/pf"
+	"github.com/p2pgossip/update/internal/replicalist"
+	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// sentMsg records one outbound message.
+type sentMsg struct {
+	to  int
+	msg Message[int]
+}
+
+// testNet wires engines together with synchronous delivery, standing in for
+// an adapter's transport.
+type testNet struct {
+	engines map[int]*Engine[int]
+}
+
+// testEndpoint is a controllable Endpoint: time is a settable tick counter,
+// sends are recorded and (when a net is attached) delivered synchronously.
+type testEndpoint struct {
+	id      int
+	now     int64
+	rng     *rand.Rand
+	net     *testNet
+	sent    []sentMsg
+	discard bool
+}
+
+func (ep *testEndpoint) Self() int        { return ep.id }
+func (ep *testEndpoint) Now() int64       { return ep.now }
+func (ep *testEndpoint) Rand() *rand.Rand { return ep.rng }
+func (ep *testEndpoint) Send(to int, m Message[int]) {
+	if !ep.discard {
+		ep.sent = append(ep.sent, sentMsg{to: to, msg: m})
+	}
+	if ep.net != nil {
+		if target, ok := ep.net.engines[to]; ok {
+			target.Handle(ep.id, m)
+		}
+	}
+}
+
+// newTestEngine builds an engine with a deterministic writer clock and RNG.
+func newTestEngine(t testing.TB, id int, cfg Config[int], net *testNet) (*Engine[int], *testEndpoint) {
+	t.Helper()
+	ep := &testEndpoint{id: id, rng: rand.New(rand.NewSource(int64(id) + 1)), net: net}
+	st := store.New()
+	now := func() time.Time { return time.Unix(1_700_000_000+ep.now, 0) }
+	w, err := store.NewWriter(fmt.Sprintf("peer-%d", id), st, now,
+		rand.New(rand.NewSource(int64(id)+100)))
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	e, err := New(cfg, ep, st, w)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if net != nil {
+		net.engines[id] = e
+	}
+	return e, ep
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config[int])
+	}{
+		{"negative fanout", func(c *Config[int]) { c.Fanout = -1 }},
+		{"negative list max", func(c *Config[int]) { c.ListMax = -1 }},
+		{"negative population", func(c *Config[int]) { c.Population = -1 }},
+		{"negative pull attempts", func(c *Config[int]) { c.PullAttempts = -1 }},
+		{"negative pull timeout", func(c *Config[int]) { c.PullTimeout = -1 }},
+		{"negative query timeout", func(c *Config[int]) { c.QueryTimeout = -1 }},
+		{"acks without ack timeout", func(c *Config[int]) { c.Acks = true; c.SuspectTTL = 5 }},
+		{"acks without suspect ttl", func(c *Config[int]) { c.Acks = true; c.AckTimeout = 5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := Config[int]{Fanout: 3}
+			tt.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	st := store.New()
+	w, err := store.NewWriter("x", st, nil, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New[int](Config[int]{Fanout: -1}, &testEndpoint{}, st, w); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := New[int](Config[int]{}, nil, st, w); err == nil {
+		t.Fatal("nil endpoint accepted")
+	}
+	if _, err := New[int](Config[int]{}, &testEndpoint{}, nil, w); err == nil {
+		t.Fatal("nil store accepted")
+	}
+	if _, err := New[int](Config[int]{}, &testEndpoint{}, st, nil); err == nil {
+		t.Fatal("nil writer accepted")
+	}
+}
+
+// testUpdate builds a well-formed foreign update for push delivery.
+func testUpdate(t testing.TB, origin string, seq uint64, key, value string) store.Update {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(seq)))
+	stamp := time.Unix(1_700_000_000, 0)
+	return store.Update{
+		Origin:  origin,
+		Seq:     seq,
+		Key:     key,
+		Value:   []byte(value),
+		Version: version.History{version.NewID(stamp, origin, rng)},
+		Stamp:   stamp,
+	}
+}
+
+// TestListFractionFeedsAdaptivePF is the regression test for the §6
+// feed-forward signal: the flooding-list fraction carried on a push must
+// reach the adaptive PF schedule. Both adapters share this code path, so
+// the simulator's self-tuning now matches the live runtime's by
+// construction (the two hand-rolled copies used to drift here).
+func TestListFractionFeedsAdaptivePF(t *testing.T) {
+	var captured []*pf.Adaptive
+	cfg := Config[int]{
+		Fanout:      0, // no forwarding: the list stays exactly RF ∪ {self}
+		Population:  10,
+		PartialList: true,
+		NewPF: func() pf.Func {
+			a := pf.NewAdaptive(1.0)
+			captured = append(captured, a)
+			return a
+		},
+	}
+	e, _ := newTestEngine(t, 5, cfg, nil)
+	for i := 0; i < 10; i++ {
+		e.Learn(i)
+	}
+
+	u := testUpdate(t, "peer-0", 1, "k", "v")
+	// First receipt carrying a 4-entry list: R_f = {1,2,3,4} ∪ {5}, so
+	// L = 5/10 and PF = Base·(1−L) = 0.5.
+	e.Handle(1, Message[int]{Kind: KindPush, Update: u, RF: []int{1, 2, 3, 4}, T: 1})
+	if len(captured) != 1 {
+		t.Fatalf("adaptive instances = %d, want 1", len(captured))
+	}
+	if got := captured[0].P(2); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("PF after first receipt = %g, want 0.5", got)
+	}
+
+	// A duplicate merging three more ids: L = 8/10, one duplicate, so
+	// PF = 0.7¹·(1−0.8) = 0.14.
+	e.Handle(2, Message[int]{Kind: KindPush, Update: u, RF: []int{6, 7, 8}, T: 2})
+	if got := e.Duplicates(u.ID()); got != 1 {
+		t.Fatalf("duplicates = %d, want 1", got)
+	}
+	if got := captured[0].P(3); math.Abs(got-0.14) > 1e-9 {
+		t.Fatalf("PF after duplicate = %g, want 0.14", got)
+	}
+}
+
+// TestValidIDFiltersLearnedIdentities pins the wire-identity filter: an
+// adapter-supplied ValidID predicate must keep rejected identities out of
+// the membership view, whatever path tries to teach them.
+func TestValidIDFiltersLearnedIdentities(t *testing.T) {
+	cfg := Config[int]{
+		Fanout:  2,
+		ValidID: func(id int) bool { return id >= 0 },
+	}
+	e, _ := newTestEngine(t, 0, cfg, nil)
+	if e.Learn(-1) {
+		t.Fatal("rejected identity learned directly")
+	}
+	u := testUpdate(t, "peer-9", 1, "k", "v")
+	e.Handle(-1, Message[int]{Kind: KindPush, Update: u, RF: []int{-2, 3}, T: 0})
+	if !e.HasUpdate(u.ID()) {
+		t.Fatal("push from rejected identity dropped entirely")
+	}
+	if got := e.KnownPeers(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("KnownPeers = %v, want [3]", got)
+	}
+}
+
+func TestPushForwardsToSampledPeersOutsideList(t *testing.T) {
+	cfg := Config[int]{Fanout: 9, Population: 10, PartialList: true}
+	e, ep := newTestEngine(t, 0, cfg, nil)
+	for i := 1; i <= 9; i++ {
+		e.Learn(i)
+	}
+	u := testUpdate(t, "peer-1", 1, "k", "v")
+	e.Handle(1, Message[int]{Kind: KindPush, Update: u, RF: []int{1, 2, 3}, T: 0})
+
+	if !e.HasUpdate(u.ID()) {
+		t.Fatal("first receipt not recorded")
+	}
+	targets := map[int]bool{}
+	for _, s := range ep.sent {
+		if s.msg.Kind != KindPush {
+			continue
+		}
+		if s.msg.T != 1 {
+			t.Fatalf("forwarded with T = %d, want 1", s.msg.T)
+		}
+		targets[s.to] = true
+	}
+	// PF = 1: the push must go to every known peer outside the carried
+	// list (4..9) and to nobody on it.
+	for peer := 4; peer <= 9; peer++ {
+		if !targets[peer] {
+			t.Fatalf("peer %d outside R_f not pushed to (targets %v)", peer, targets)
+		}
+	}
+	for _, listed := range []int{1, 2, 3} {
+		if targets[listed] {
+			t.Fatalf("peer %d on R_f was pushed to", listed)
+		}
+	}
+}
+
+func TestSuspectExpiry(t *testing.T) {
+	cfg := Config[int]{Fanout: 1, Acks: true, AckTimeout: 2, SuspectTTL: 3}
+	e, ep := newTestEngine(t, 0, cfg, nil)
+	e.suspects[7] = 0
+	ep.now = 2
+	e.Sweep()
+	if len(e.Suspects()) != 1 {
+		t.Fatal("suspect expired too early")
+	}
+	ep.now = 4
+	e.Sweep()
+	if len(e.Suspects()) != 0 {
+		t.Fatal("suspect not expired after TTL")
+	}
+}
+
+func TestAckLifecycle(t *testing.T) {
+	var suspected []int
+	cfg := Config[int]{
+		Fanout: 2, Acks: true, AckTimeout: 2, SuspectTTL: 10,
+		Hooks: Hooks[int]{OnSuspect: func(p int) { suspected = append(suspected, p) }},
+	}
+	e, ep := newTestEngine(t, 0, cfg, nil)
+	e.Learn(1)
+	e.Learn(2)
+
+	e.Publish("k", []byte("v"))
+	if got := len(e.AwaitingAck()); got != 2 {
+		t.Fatalf("awaiting acks = %d, want 2", got)
+	}
+
+	// Peer 1 acks in time; peer 2 never does.
+	ep.now = 1
+	e.Handle(1, Message[int]{Kind: KindAck, UpdateID: "peer-0/1"})
+	if got := e.Acked(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("acked = %v", got)
+	}
+	ep.now = 3
+	e.Tick()
+	if got := e.Suspects(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("suspects = %v, want [2]", got)
+	}
+	if len(suspected) != 1 || suspected[0] != 2 {
+		t.Fatalf("OnSuspect calls = %v", suspected)
+	}
+	// Sampling skips the suspect and returns the acking peer.
+	if got := e.SamplePeers(5); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("sample = %v, want [1]", got)
+	}
+	// A late ack re-admits the suspect immediately.
+	e.Handle(2, Message[int]{Kind: KindAck, UpdateID: "peer-0/1"})
+	if len(e.Suspects()) != 0 {
+		t.Fatal("ack did not clear suspicion")
+	}
+}
+
+func TestAckPreferenceOrdersSample(t *testing.T) {
+	cfg := Config[int]{Fanout: 2, Acks: true, AckTimeout: 100, SuspectTTL: 100}
+	e, _ := newTestEngine(t, 0, cfg, nil)
+	for i := 1; i <= 8; i++ {
+		e.Learn(i)
+	}
+	e.Handle(3, Message[int]{Kind: KindAck, UpdateID: "x"})
+	e.Handle(6, Message[int]{Kind: KindAck, UpdateID: "x"})
+	// Acked peers must fill the sample before any silent peer.
+	for trial := 0; trial < 10; trial++ {
+		got := e.SamplePeers(2)
+		if len(got) != 2 {
+			t.Fatalf("sample = %v", got)
+		}
+		for _, id := range got {
+			if id != 3 && id != 6 {
+				t.Fatalf("sample %v ignored acked peers", got)
+			}
+		}
+	}
+}
+
+func TestCarriedTruncationPolicies(t *testing.T) {
+	list := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tt := range []struct {
+		policy replicalist.TruncatePolicy
+		check  func(t *testing.T, got []int)
+	}{
+		{replicalist.DropTail, func(t *testing.T, got []int) {
+			for i, id := range []int{1, 2, 3} {
+				if got[i] != id {
+					t.Fatalf("drop-tail kept %v", got)
+				}
+			}
+		}},
+		{replicalist.DropHead, func(t *testing.T, got []int) {
+			for i, id := range []int{8, 9, 10} {
+				if got[i] != id {
+					t.Fatalf("drop-head kept %v", got)
+				}
+			}
+		}},
+		{replicalist.DropRandom, func(t *testing.T, got []int) {
+			seen := map[int]bool{}
+			for _, id := range got {
+				if id < 1 || id > 10 || seen[id] {
+					t.Fatalf("drop-random kept %v", got)
+				}
+				seen[id] = true
+			}
+		}},
+	} {
+		t.Run(tt.policy.String(), func(t *testing.T) {
+			cfg := Config[int]{PartialList: true, ListMax: 3, TruncatePolicy: tt.policy}
+			e, _ := newTestEngine(t, 0, cfg, nil)
+			got := e.Carried(list)
+			if len(got) != 3 {
+				t.Fatalf("carried %d entries, want 3", len(got))
+			}
+			tt.check(t, got)
+		})
+	}
+}
+
+func TestCarriedDisabledAndUnlimited(t *testing.T) {
+	e, _ := newTestEngine(t, 0, Config[int]{}, nil)
+	if got := e.Carried([]int{1, 2, 3}); got != nil {
+		t.Fatalf("carried = %v with partial lists disabled", got)
+	}
+	e2, _ := newTestEngine(t, 0, Config[int]{PartialList: true}, nil)
+	if got := e2.Carried([]int{1, 2, 3}); len(got) != 3 {
+		t.Fatalf("carried = %v, want full list", got)
+	}
+}
+
+func TestPullReconciliation(t *testing.T) {
+	net := &testNet{engines: make(map[int]*Engine[int])}
+	cfg := Config[int]{Fanout: 0, PullAttempts: 1}
+	a, _ := newTestEngine(t, 0, cfg, net)
+	b, _ := newTestEngine(t, 1, cfg, net)
+
+	a.Publish("x", []byte("1"))
+	a.Publish("y", []byte("2"))
+	a.PublishDelete("x")
+
+	b.Learn(0)
+	b.PullNow()
+
+	if !b.HasUpdate("peer-0/1") || !b.HasUpdate("peer-0/2") || !b.HasUpdate("peer-0/3") {
+		t.Fatal("pull did not reconcile all updates")
+	}
+	if _, ok := b.Store().Get("x"); ok {
+		t.Fatal("tombstone lost in reconciliation")
+	}
+	rev, ok := b.Store().Get("y")
+	if !ok || string(rev.Value) != "2" {
+		t.Fatalf("y = %v %v", rev, ok)
+	}
+	// Pulled updates must not be re-pushed (§4.3's optimism): b knows a,
+	// so a forward would have been recorded as a push back to a.
+	if got := a.Duplicates("peer-0/1"); got != 0 {
+		t.Fatalf("pulled update was re-pushed (%d duplicates at origin)", got)
+	}
+}
+
+func TestPullReqFromStalePeerTriggersCounterPull(t *testing.T) {
+	net := &testNet{engines: make(map[int]*Engine[int])}
+	cfg := Config[int]{Fanout: 0, PullAttempts: 1, PullTimeout: 5}
+	a, epA := newTestEngine(t, 0, cfg, net)
+	b, _ := newTestEngine(t, 1, cfg, net)
+	a.Learn(1)
+	b.Learn(0)
+
+	b.Publish("k", []byte("fresh"))
+	// a has been silent past its pull timeout; a pull request arriving now
+	// must make it synchronise itself (§3: received_pull ∧ ¬confident).
+	epA.now = 10
+	b.PullNow()
+	if !a.HasUpdate("peer-1/1") {
+		t.Fatal("stale peer did not counter-pull on pull request")
+	}
+}
+
+func TestLazyPullSyncsOnQuery(t *testing.T) {
+	net := &testNet{engines: make(map[int]*Engine[int])}
+	cfg := Config[int]{Fanout: 0, PullAttempts: 1, LazyPull: true}
+	a, _ := newTestEngine(t, 0, cfg, net)
+	b, _ := newTestEngine(t, 1, cfg, net)
+	a.Learn(1)
+	b.Learn(0)
+	b.Publish("k", []byte("v"))
+
+	a.CameOnline()
+	if !a.NotConfident() {
+		t.Fatal("lazy wake-up did not mark the peer unconfident")
+	}
+	if a.HasUpdate("peer-1/1") {
+		t.Fatal("lazy peer pulled eagerly")
+	}
+	// An incoming query forces the sync; the answer is flagged unconfident.
+	a.Handle(1, Message[int]{Kind: KindQuery, QID: 9, Key: "k"})
+	if !a.HasUpdate("peer-1/1") {
+		t.Fatal("query did not trigger the lazy peer's pull")
+	}
+	if a.NotConfident() {
+		t.Fatal("peer still unconfident after syncing")
+	}
+}
+
+func TestQueryLocalVoice(t *testing.T) {
+	cfg := Config[int]{Fanout: 0, QueryLocalVoice: true}
+	e, _ := newTestEngine(t, 0, cfg, nil)
+	e.Publish("k", []byte("here"))
+	notified := 0
+	qid := e.QueryNotify("k", 3, func() { notified++ })
+	res, ok := e.QueryResult(qid)
+	if !ok || !res.Done || !res.Found || string(res.Value) != "here" {
+		t.Fatalf("local-voice query = %+v ok=%v", res, ok)
+	}
+	if notified != 1 {
+		t.Fatalf("notify calls = %d, want 1", notified)
+	}
+	e.EndQuery(qid)
+	if _, ok := e.QueryResult(qid); ok {
+		t.Fatal("ended query still known")
+	}
+}
+
+func TestFresherThan(t *testing.T) {
+	id := func(b byte) version.ID {
+		var v version.ID
+		v[0] = b
+		return v
+	}
+	base := version.History{id(1)}
+	longer := base.Append(id(2))
+	concurrent := base.Append(id(3))
+
+	tests := []struct {
+		name      string
+		candidate version.History
+		best      version.History
+		haveBest  bool
+		want      bool
+	}{
+		{"no best yet", base, nil, false, true},
+		{"causally newer", longer, base, true, true},
+		{"causally older", base, longer, true, false},
+		{"equal", base, base, true, false},
+		{"concurrent longer wins", longer, version.History{id(9)}, true, true},
+		{"concurrent head tiebreak", concurrent, longer, true, true},
+		{"concurrent head tiebreak reverse", longer, concurrent, true, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := fresherThan(tt.candidate, tt.best, tt.haveBest); got != tt.want {
+				t.Fatalf("fresherThan = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestKindAndSourceStrings(t *testing.T) {
+	for kind, want := range map[Kind]string{
+		KindPush: "push", KindPullReq: "pull-req", KindPullResp: "pull-resp",
+		KindAck: "ack", KindQuery: "query", KindQueryResp: "query-resp",
+		Kind(42): "Kind(42)",
+	} {
+		if kind.String() != want {
+			t.Fatalf("Kind %d = %q, want %q", int(kind), kind.String(), want)
+		}
+	}
+	for src, want := range map[Source]string{
+		SourceLocal: "local", SourcePush: "push", SourcePull: "pull",
+		Source(9): "unknown",
+	} {
+		if src.String() != want {
+			t.Fatalf("Source %d = %q, want %q", int(src), src.String(), want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// Kind discriminates protocol messages.
+type Kind int
+
+// Message kinds, mirroring the paper's protocol phases: push (§4.1–4.2),
+// pull request/response (§4.3), acknowledgement (§6), and query (§4.4).
+const (
+	// KindPush carries an update push Push(U, V, R_f, t).
+	KindPush Kind = iota + 1
+	// KindPullReq asks for updates the sender is missing, summarised by its
+	// vector clock.
+	KindPullReq
+	// KindPullResp ships the missing updates plus a membership sample.
+	KindPullResp
+	// KindAck acknowledges the first receipt of an update.
+	KindAck
+	// KindQuery asks a replica for its current revision of a key.
+	KindQuery
+	// KindQueryResp answers a query.
+	KindQueryResp
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPush:
+		return "push"
+	case KindPullReq:
+		return "pull-req"
+	case KindPullResp:
+		return "pull-resp"
+	case KindAck:
+		return "ack"
+	case KindQuery:
+		return "query"
+	case KindQueryResp:
+		return "query-resp"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Message is the engine's transport-independent protocol message. Adapters
+// convert it to and from their wire representation (typed simulator payloads
+// with byte accounting, gob envelopes on TCP). Only the fields relevant to
+// the Kind are set.
+type Message[ID comparable] struct {
+	// Kind selects which fields are meaningful.
+	Kind Kind
+	// Update carries the data item and its version for KindPush.
+	Update store.Update
+	// RF is the partial flooding list for KindPush; nil when the partial
+	// list optimisation is disabled.
+	RF []ID
+	// T is the push round counter for KindPush; the initiator sends T = 0.
+	T int
+	// Clock is the requester's vector clock for KindPullReq.
+	Clock version.Clock
+	// Updates are the missing updates for KindPullResp.
+	Updates []store.Update
+	// Peers is a membership sample piggybacked on KindPullResp — the
+	// name-dropper effect applied to the pull phase.
+	Peers []ID
+	// UpdateID identifies the acknowledged update for KindAck.
+	UpdateID string
+	// QID correlates KindQuery/KindQueryResp pairs.
+	QID int64
+	// Key is the queried key for KindQuery/KindQueryResp.
+	Key string
+	// Found reports whether the responder holds a live revision
+	// (KindQueryResp).
+	Found bool
+	// Value and Version carry the responder's winning revision
+	// (KindQueryResp).
+	Value   []byte
+	Version version.History
+	// Confident is false when the responder suspects it is stale (§6 lazy
+	// pull).
+	Confident bool
+}
+
+// Source identifies how an update reached a replica.
+type Source int
+
+// Update sources.
+const (
+	// SourceLocal marks updates created by this replica's own Publish or
+	// Delete.
+	SourceLocal Source = iota + 1
+	// SourcePush marks updates received through the constrained-flooding
+	// push phase.
+	SourcePush
+	// SourcePull marks updates obtained by anti-entropy pull
+	// reconciliation.
+	SourcePull
+)
+
+// String returns the source name.
+func (s Source) String() string {
+	switch s {
+	case SourceLocal:
+		return "local"
+	case SourcePush:
+		return "push"
+	case SourcePull:
+		return "pull"
+	default:
+		return "unknown"
+	}
+}

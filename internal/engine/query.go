@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"bytes"
+	"time"
+
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// This file implements §4.4 of the paper: servicing requests under updates.
+// A query is sent to several replicas in parallel ("we may define some
+// majority logic, or use a version scheme for identifying latest updates, or
+// a hybrid of the two"); the requester keeps the response with the freshest
+// version. A replica that is not confident of its own freshness (lazy pull,
+// §6) answers with what it has, flags the answer as unconfident, and
+// initiates its own pull.
+
+// QueryResult is the requester-side aggregation of one query.
+type QueryResult struct {
+	// Key is the queried item.
+	Key string
+	// Found reports whether any response carried a live revision.
+	Found bool
+	// Value and Version are the freshest revision seen.
+	Value   []byte
+	Version version.History
+	// Stamp is the freshest revision's timestamp when known (local voice).
+	Stamp time.Time
+	// Responses is the number of answers received so far.
+	Responses int
+	// Unconfident counts answers flagged as possibly stale.
+	Unconfident int
+	// Done is set once the expected number of responses arrived or the
+	// query timed out.
+	Done bool
+}
+
+// queryState is the in-flight bookkeeping for one query.
+type queryState struct {
+	result  QueryResult
+	want    int
+	started int64
+	notify  func()
+}
+
+// Query sends the key to k known replicas and returns a query id to poll
+// with QueryResult. k is capped by the view size; k ≤ 0 defaults to the
+// configured PullAttempts (or 3).
+func (e *Engine[ID]) Query(key string, k int) int64 {
+	return e.QueryNotify(key, k, nil)
+}
+
+// QueryNotify is Query with a callback invoked after every response is
+// aggregated (and immediately when the query resolves locally), so blocking
+// adapters can wait for progress instead of polling.
+func (e *Engine[ID]) QueryNotify(key string, k int, notify func()) int64 {
+	if k <= 0 {
+		k = e.cfg.PullAttempts
+		if k <= 0 {
+			k = 3
+		}
+	}
+	e.queryCounter++
+	qid := e.queryCounter
+	targets := e.sample(k, nil)
+	state := &queryState{
+		result:  QueryResult{Key: key},
+		want:    len(targets),
+		started: e.ep.Now(),
+		notify:  notify,
+	}
+	e.queries[qid] = state
+	if e.cfg.QueryLocalVoice {
+		// The local store participates as one more voice, so a query on a
+		// fresh replica never returns worse data than a plain read.
+		if rev, ok := e.st.Get(key); ok {
+			state.result.Found = true
+			state.result.Value = rev.Value
+			state.result.Version = rev.Version
+			state.result.Stamp = rev.Stamp
+		}
+	}
+	if len(targets) == 0 {
+		// Nobody to ask: answer from local state immediately.
+		if !e.cfg.QueryLocalVoice {
+			e.resolveQueryLocal(state)
+		}
+		state.result.Done = true
+		if notify != nil {
+			notify()
+		}
+		return qid
+	}
+	for _, target := range targets {
+		e.ep.Send(target, Message[ID]{Kind: KindQuery, QID: qid, Key: key})
+	}
+	return qid
+}
+
+// QueryResult returns the current aggregation for a query id. The boolean
+// reports whether the id is known.
+func (e *Engine[ID]) QueryResult(qid int64) (QueryResult, bool) {
+	state, ok := e.queries[qid]
+	if !ok {
+		return QueryResult{}, false
+	}
+	return state.result, true
+}
+
+// EndQuery discards the bookkeeping for a query id; late answers are then
+// ignored.
+func (e *Engine[ID]) EndQuery(qid int64) { delete(e.queries, qid) }
+
+func (e *Engine[ID]) handleQuery(from ID, m Message[ID]) {
+	e.Learn(from)
+	resp := Message[ID]{
+		Kind: KindQueryResp, QID: m.QID, Key: m.Key, Confident: !e.notConfident,
+	}
+	if rev, ok := e.st.Get(m.Key); ok {
+		resp.Found = true
+		resp.Value = rev.Value
+		resp.Version = rev.Version
+	}
+	e.ep.Send(from, resp)
+
+	// §6: a lazily-woken replica cannot trust its answer; the query forces
+	// it to synchronise.
+	if e.notConfident && e.cfg.PullAttempts > 0 {
+		e.sendPull()
+	}
+}
+
+func (e *Engine[ID]) handleQueryResp(m Message[ID]) {
+	state, ok := e.queries[m.QID]
+	if !ok || state.result.Done {
+		return
+	}
+	res := &state.result
+	res.Responses++
+	if !m.Confident {
+		res.Unconfident++
+	}
+	if m.Found && fresherThan(m.Version, res.Version, res.Found) {
+		res.Found = true
+		res.Value = m.Value
+		res.Version = m.Version
+		res.Stamp = time.Time{} // remote answers carry no stamp
+	}
+	if res.Responses >= state.want {
+		res.Done = true
+	}
+	if state.notify != nil {
+		state.notify()
+	}
+}
+
+// expireQueries finishes queries whose responses did not all arrive within
+// the timeout (responders offline).
+func (e *Engine[ID]) expireQueries(now int64) {
+	if e.cfg.QueryTimeout <= 0 {
+		return
+	}
+	for _, state := range e.queries {
+		if !state.result.Done && now-state.started > e.cfg.QueryTimeout {
+			state.result.Done = true
+			if state.notify != nil {
+				state.notify()
+			}
+		}
+	}
+}
+
+// resolveQueryLocal resolves a query against only the local store.
+func (e *Engine[ID]) resolveQueryLocal(state *queryState) {
+	if rev, ok := e.st.Get(state.result.Key); ok {
+		state.result.Found = true
+		state.result.Value = rev.Value
+		state.result.Version = rev.Version
+		state.result.Stamp = rev.Stamp
+	}
+}
+
+// fresherThan reports whether candidate is strictly fresher than the current
+// best (absent best counts as stale). Causally newer wins; concurrent
+// versions fall back to the deterministic rule used by the store: longer
+// history, then larger head identifier.
+func fresherThan(candidate, best version.History, haveBest bool) bool {
+	if !haveBest {
+		return true
+	}
+	switch candidate.Compare(best) {
+	case version.After:
+		return true
+	case version.Before, version.Equal:
+		return false
+	default: // Concurrent
+		if len(candidate) != len(best) {
+			return len(candidate) > len(best)
+		}
+		ch, errC := candidate.Head()
+		bh, errB := best.Head()
+		if errC != nil || errB != nil {
+			return errB != nil && errC == nil
+		}
+		return bytes.Compare(ch[:], bh[:]) > 0
+	}
+}

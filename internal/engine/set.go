@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"math/rand"
+
+	"github.com/p2pgossip/update/internal/replicalist"
+)
+
+// orderedSet is an insertion-ordered set of peer IDs. It backs both the
+// per-update flooding list R_f and the engine's membership view, generic
+// over the adapter's peer identity (int indices in the simulator, string
+// addresses in the live runtime).
+type orderedSet[ID comparable] struct {
+	order []ID
+	seen  map[ID]struct{}
+}
+
+func newOrderedSet[ID comparable](capacity int) *orderedSet[ID] {
+	return &orderedSet[ID]{
+		order: make([]ID, 0, capacity),
+		seen:  make(map[ID]struct{}, capacity),
+	}
+}
+
+func (s *orderedSet[ID]) Len() int { return len(s.order) }
+
+func (s *orderedSet[ID]) Contains(id ID) bool {
+	_, ok := s.seen[id]
+	return ok
+}
+
+// Add inserts id if absent and reports whether it was inserted.
+func (s *orderedSet[ID]) Add(id ID) bool {
+	if _, ok := s.seen[id]; ok {
+		return false
+	}
+	s.seen[id] = struct{}{}
+	s.order = append(s.order, id)
+	return true
+}
+
+// AddAll inserts every id in ids, returning the number inserted.
+func (s *orderedSet[ID]) AddAll(ids []ID) int {
+	n := 0
+	for _, id := range ids {
+		if s.Add(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// Slice returns a copy of the entries in insertion order.
+func (s *orderedSet[ID]) Slice() []ID {
+	return append([]ID(nil), s.order...)
+}
+
+// Truncated returns a copy of at most maxLen entries, dropping the excess
+// per the given policy (§4.2: "discarding either random entries or the head
+// or tail of the partial list"). The set itself is never modified — only the
+// transmitted copy is truncated, so "the nodes which push the update in the
+// next round pay the penalty". The policy semantics live in replicalist so
+// simulator lists and engine lists cannot drift.
+func (s *orderedSet[ID]) Truncated(maxLen int, policy replicalist.TruncatePolicy, rng *rand.Rand) []ID {
+	return replicalist.TruncatedCopy(s.order, maxLen, policy, rng)
+}

@@ -47,7 +47,7 @@ func BuildNetwork(n int, cfg Config, viewSize int, seed int64) (*Network, error)
 		if full {
 			for j := 0; j < n; j++ {
 				if j != i {
-					p.view.Learn(j)
+					p.Learn(j)
 				}
 			}
 			continue
@@ -58,7 +58,7 @@ func BuildNetwork(n int, cfg Config, viewSize int, seed int64) (*Network, error)
 			if j == i {
 				continue
 			}
-			p.view.Learn(j)
+			p.Learn(j)
 			learned++
 			if learned == viewSize {
 				break

@@ -5,435 +5,234 @@ import (
 	"math/rand"
 	"time"
 
-	"github.com/p2pgossip/update/internal/pf"
-	"github.com/p2pgossip/update/internal/replicalist"
+	"github.com/p2pgossip/update/internal/engine"
 	"github.com/p2pgossip/update/internal/simnet"
 	"github.com/p2pgossip/update/internal/store"
 )
 
-// updateState is a peer's per-update bookkeeping: the accumulated flooding
-// list, the duplicate count (the §6 local tuning metric), and the PF
-// instance that decides forwarding.
-type updateState struct {
-	rf     *replicalist.List
-	dupes  int
-	pfn    pf.Func
-	pushed bool
-}
+// Simulator time constants, in rounds (one round = one engine tick).
+const (
+	// ackTimeoutRounds is how long a pushed peer has to ack before being
+	// suspected offline: one round for the push, one for the reply.
+	ackTimeoutRounds = 2
+	// queryTimeoutRounds is how long a query waits for responses before
+	// finishing with what arrived.
+	queryTimeoutRounds = 10
+)
 
-// Peer is one replica running the hybrid push/pull protocol. It implements
-// simnet.Node; the live runtime wraps the same logic behind goroutines.
+// Peer is one replica running the hybrid push/pull protocol in the
+// round-based simulator. It is a thin adapter: the §4/§6 state machine
+// lives in internal/engine, shared verbatim with the live runtime; this
+// type only translates between simnet's message/round model (int peer
+// indices, typed payloads with byte accounting) and the engine.
 type Peer struct {
-	id     int
-	cfg    Config
-	view   *replicalist.View
-	st     *store.Store
-	writer *store.Writer
+	id  int
+	cfg Config
+	eng *engine.Engine[int]
+	st  *store.Store
 
-	states map[string]*updateState
-	// lastReceived is the round in which the peer last received any update
-	// content (push or pull response), driving "no_updates_since(t)".
-	lastReceived int
-	// notConfident is set while a lazily-pulling peer has not yet synced
-	// after coming online.
-	notConfident bool
-
-	// Ack optimisation state (§6).
-	ackedBy     map[int]int // peer → round of their last ack to us
-	suspects    map[int]int // peer → round we began suspecting them
-	awaitingAck map[int]int // peer → round we pushed to them
-
-	// Query state (§4.4).
-	queries      map[int64]*queryState
-	queryCounter int64
-
-	round int // mirror of the engine round, updated on every callback
+	// env is the simulation environment of the callback currently running;
+	// the engine reaches time, randomness, and delivery through it.
+	env *simnet.Env
+	// round mirrors the engine round, updated on every callback; the
+	// writer's simulated clock derives from it.
+	round int
 }
 
 var _ simnet.Node = (*Peer)(nil)
 
+// simEndpoint adapts a Peer to the engine's Endpoint: simulated time is the
+// round number, randomness is the engine-wide deterministic source, and
+// sends become simnet messages with wire-size accounting and metrics.
+type simEndpoint struct{ p *Peer }
+
+func (s simEndpoint) Self() int        { return s.p.id }
+func (s simEndpoint) Now() int64       { return int64(s.p.round) }
+func (s simEndpoint) Rand() *rand.Rand { return s.p.env.RNG() }
+func (s simEndpoint) Send(to int, m engine.Message[int]) {
+	env := s.p.env
+	reg := env.Metrics()
+	switch m.Kind {
+	case engine.KindPush:
+		msg := PushMsg{Update: m.Update, RF: m.RF, T: m.T}
+		env.Send(to, msg, msg.SizeBytes())
+		reg.Inc(MetricPushes)
+	case engine.KindPullReq:
+		msg := PullReq{Clock: m.Clock}
+		env.Send(to, msg, msg.SizeBytes())
+		reg.Inc(MetricPullRequests)
+	case engine.KindPullResp:
+		msg := PullResp{Updates: m.Updates, Peers: m.Peers}
+		env.Send(to, msg, msg.SizeBytes())
+		reg.Inc(MetricPullResponses)
+		reg.Add(MetricPullUpdates, float64(len(m.Updates)))
+	case engine.KindAck:
+		msg := AckMsg{UpdateID: m.UpdateID}
+		env.Send(to, msg, msg.SizeBytes())
+		reg.Inc(MetricAcks)
+	case engine.KindQuery:
+		msg := QueryMsg{QID: m.QID, Key: m.Key}
+		env.Send(to, msg, msg.SizeBytes())
+		reg.Inc(MetricQueries)
+	case engine.KindQueryResp:
+		msg := QueryResp{
+			QID: m.QID, Key: m.Key, Found: m.Found,
+			Value: m.Value, Version: m.Version, Confident: m.Confident,
+		}
+		env.Send(to, msg, msg.SizeBytes())
+		reg.Inc(MetricQueryResponses)
+	}
+}
+
 // NewPeer constructs a peer with the given index and configuration. The view
-// starts empty; populate it via View().Learn or the BuildNetwork helper.
+// starts empty; populate it via Learn or the BuildNetwork helper.
 func NewPeer(id int, cfg Config) (*Peer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	st := store.New()
-	origin := fmt.Sprintf("peer-%d", id)
-	p := &Peer{
-		id:          id,
-		cfg:         cfg,
-		view:        replicalist.NewView(id),
-		st:          st,
-		states:      make(map[string]*updateState),
-		ackedBy:     make(map[int]int),
-		suspects:    make(map[int]int),
-		awaitingAck: make(map[int]int),
-		queries:     make(map[int64]*queryState),
-	}
+	p := &Peer{id: id, cfg: cfg, st: st}
 	now := func() time.Time {
 		// Simulated time: one round = one second, offset into a plausible
 		// epoch so tombstone retention arithmetic behaves.
 		return time.Unix(1_700_000_000+int64(p.round), 0)
 	}
-	w, err := store.NewWriter(origin, st, now, rand.New(rand.NewSource(int64(id)+1)))
+	w, err := store.NewWriter(fmt.Sprintf("peer-%d", id), st, now,
+		rand.New(rand.NewSource(int64(id)+1)))
 	if err != nil {
 		return nil, err
 	}
-	p.writer = w
+	listMax := 0
+	if cfg.ListThreshold > 0 {
+		// L_thr is normalised over R; thresholds below one entry still
+		// carry a single id so the wire list stays meaningful.
+		if listMax = int(cfg.ListThreshold * float64(cfg.R)); listMax < 1 {
+			listMax = 1
+		}
+	}
+	eng, err := engine.New(engine.Config[int]{
+		Fanout:           float64(cfg.R) * cfg.Fr,
+		NewPF:            cfg.NewPF,
+		PartialList:      cfg.PartialList,
+		ListMax:          listMax,
+		TruncatePolicy:   cfg.TruncatePolicy,
+		Population:       cfg.R,
+		PullAttempts:     cfg.PullAttempts,
+		LazyPull:         cfg.LazyPull,
+		PullTimeout:      int64(cfg.PullTimeout),
+		PullGossipSample: pullGossipSample,
+		Acks:             cfg.Ack == AckFirst,
+		AckTimeout:       ackTimeoutRounds,
+		SuspectTTL:       int64(cfg.suspectTTL()),
+		QueryTimeout:     queryTimeoutRounds,
+		Hooks: engine.Hooks[int]{
+			OnLearned: func(n int) {
+				p.env.Metrics().Add(MetricReplicasLearned, float64(n))
+			},
+			OnDuplicate: func(store.Update, int) {
+				p.env.Metrics().Inc(MetricDuplicates)
+			},
+		},
+	}, simEndpoint{p}, st, w)
+	if err != nil {
+		return nil, err
+	}
+	p.eng = eng
 	return p, nil
+}
+
+// bind points the peer at the environment of the callback currently running.
+func (p *Peer) bind(env *simnet.Env) {
+	p.env = env
+	p.round = env.Round()
 }
 
 // ID returns the peer's index.
 func (p *Peer) ID() int { return p.id }
 
-// View returns the peer's membership view.
-func (p *Peer) View() *replicalist.View { return p.view }
-
 // Store returns the peer's replica store.
 func (p *Peer) Store() *store.Store { return p.st }
 
+// Learn adds id to the peer's membership view (ignoring the peer itself)
+// and reports whether it was new.
+func (p *Peer) Learn(id int) bool { return p.eng.Learn(id) }
+
+// Knows reports whether id is in the peer's membership view.
+func (p *Peer) Knows(id int) bool { return p.eng.Knows(id) }
+
+// KnownPeers returns a copy of the membership view in insertion order.
+func (p *Peer) KnownPeers() []int { return p.eng.KnownPeers() }
+
+// KnownCount returns the number of known replicas.
+func (p *Peer) KnownCount() int { return p.eng.KnownCount() }
+
 // HasUpdate reports whether the peer has applied the update with the given
 // ID (store.Update.ID()).
-func (p *Peer) HasUpdate(updateID string) bool {
-	_, ok := p.states[updateID]
-	return ok
-}
+func (p *Peer) HasUpdate(updateID string) bool { return p.eng.HasUpdate(updateID) }
 
 // Duplicates returns the duplicate-push count observed for an update.
-func (p *Peer) Duplicates(updateID string) int {
-	if s, ok := p.states[updateID]; ok {
-		return s.dupes
-	}
-	return 0
-}
+func (p *Peer) Duplicates(updateID string) int { return p.eng.Duplicates(updateID) }
 
 // Init implements simnet.Node.
 func (p *Peer) Init(*simnet.Env) {}
 
 // CameOnline implements simnet.Node: the pull-phase trigger.
 func (p *Peer) CameOnline(env *simnet.Env) {
-	p.round = env.Round()
-	if p.cfg.PullAttempts <= 0 {
-		return
-	}
-	if p.cfg.LazyPull {
-		// §6: wait for gossip; remember we are not confident, so queries
-		// and incoming pull requests trigger a real pull.
-		p.notConfident = true
-		return
-	}
-	p.sendPull(env)
+	p.bind(env)
+	p.eng.CameOnline()
 }
 
 // Tick implements simnet.Node.
 func (p *Peer) Tick(env *simnet.Env) {
-	p.round = env.Round()
-	p.expireSuspects()
-	p.detectMissingAcks(env)
-	p.expireQueries(env.Round())
-	if p.cfg.PullTimeout > 0 && p.cfg.PullAttempts > 0 &&
-		env.Round()-p.lastReceived > p.cfg.PullTimeout {
-		p.sendPull(env)
-		p.lastReceived = env.Round() // rate-limit timeout pulls
-	}
+	p.bind(env)
+	p.eng.Tick()
 }
 
 // HandleMessage implements simnet.Node.
 func (p *Peer) HandleMessage(env *simnet.Env, msg simnet.Message) {
-	p.round = env.Round()
+	p.bind(env)
 	switch m := msg.Payload.(type) {
 	case PushMsg:
-		p.handlePush(env, msg.From, m)
+		p.eng.Handle(msg.From, engine.Message[int]{
+			Kind: engine.KindPush, Update: m.Update, RF: m.RF, T: m.T,
+		})
 	case PullReq:
-		p.handlePullReq(env, msg.From, m)
+		p.eng.Handle(msg.From, engine.Message[int]{
+			Kind: engine.KindPullReq, Clock: m.Clock,
+		})
 	case PullResp:
-		p.handlePullResp(env, m)
+		p.eng.Handle(msg.From, engine.Message[int]{
+			Kind: engine.KindPullResp, Updates: m.Updates, Peers: m.Peers,
+		})
 	case AckMsg:
-		p.handleAck(msg.From)
+		p.eng.Handle(msg.From, engine.Message[int]{
+			Kind: engine.KindAck, UpdateID: m.UpdateID,
+		})
 	case QueryMsg:
-		p.handleQuery(env, msg.From, m)
+		p.eng.Handle(msg.From, engine.Message[int]{
+			Kind: engine.KindQuery, QID: m.QID, Key: m.Key,
+		})
 	case QueryResp:
-		p.handleQueryResp(m)
+		p.eng.Handle(msg.From, engine.Message[int]{
+			Kind: engine.KindQueryResp, QID: m.QID, Key: m.Key,
+			Found: m.Found, Value: m.Value, Version: m.Version,
+			Confident: m.Confident,
+		})
 	}
 }
 
 // Publish creates an update for key/value at this peer and initiates its
 // push phase (the paper's round 0).
 func (p *Peer) Publish(env *simnet.Env, key string, value []byte) store.Update {
-	p.round = env.Round()
-	u := p.writer.Put(key, value)
-	p.initiate(env, u)
-	return u
+	p.bind(env)
+	return p.eng.Publish(key, value)
 }
 
 // PublishDelete creates a tombstone update and initiates its push phase.
 func (p *Peer) PublishDelete(env *simnet.Env, key string) store.Update {
-	p.round = env.Round()
-	u := p.writer.Delete(key)
-	p.initiate(env, u)
-	return u
-}
-
-func (p *Peer) initiate(env *simnet.Env, u store.Update) {
-	state := p.newState()
-	state.pushed = true
-	p.states[u.ID()] = state
-	p.lastReceived = env.Round()
-
-	targets := p.selectTargets(env, p.fanout(env), nil)
-	rf := replicalist.FromSlice(targets)
-	rf.Add(p.id)
-	state.rf = state.rf.Union(rf)
-	p.sendPushes(env, u, targets, rf, 0)
-}
-
-func (p *Peer) handlePush(env *simnet.Env, from int, m PushMsg) {
-	// Name-dropper: every push teaches us replicas we did not know.
-	if learned := p.view.LearnAll(m.RF); learned > 0 {
-		env.Metrics().Add(MetricReplicasLearned, float64(learned))
-	}
-	p.view.Learn(from)
-
-	id := m.Update.ID()
-	if state, ok := p.states[id]; ok {
-		// Duplicate: feed the local tuning metrics (§6) and merge the
-		// incoming list — "it can use the list of 'updated replicas' in
-		// each of those messages" (§4.2).
-		state.dupes++
-		env.Metrics().Inc(MetricDuplicates)
-		state.rf = state.rf.Union(replicalist.FromSlice(m.RF))
-		if ad, ok := state.pfn.(*pf.Adaptive); ok {
-			ad.ObserveDuplicate()
-			ad.ObserveListFraction(state.rf.NormalizedLen(p.cfg.R))
-		}
-		return
-	}
-
-	// First receipt: process the update.
-	p.st.Apply(m.Update)
-	p.lastReceived = env.Round()
-	p.notConfident = false
-	state := p.newState()
-	state.rf = replicalist.FromSlice(m.RF)
-	state.rf.Add(p.id)
-	p.states[id] = state
-
-	if p.cfg.Ack == AckFirst {
-		ack := AckMsg{UpdateID: id}
-		env.Send(from, ack, ack.SizeBytes())
-		env.Metrics().Inc(MetricAcks)
-	}
-
-	if ad, ok := state.pfn.(*pf.Adaptive); ok {
-		ad.ObserveListFraction(state.rf.NormalizedLen(p.cfg.R))
-	}
-
-	// Forward with probability PF(t+1). Per the paper, R_p is a *uniform*
-	// random subset of known replicas; the message goes to R_p \ R_f only,
-	// which is where the partial list saves messages (the (1−f_r)^t factor
-	// of the analysis), and the new list is R_f ∪ R_p.
-	t := m.T + 1
-	if env.RNG().Float64() >= state.pfn.P(t) {
-		return
-	}
-	rp := p.selectTargets(env, p.fanout(env), nil)
-	targets := rp[:0:0]
-	for _, candidate := range rp {
-		if !state.rf.Contains(candidate) {
-			targets = append(targets, candidate)
-		}
-	}
-	state.pushed = true
-	state.rf = state.rf.Union(replicalist.FromSlice(rp))
-	if len(targets) == 0 {
-		return
-	}
-	p.sendPushes(env, m.Update, targets, state.rf, t)
-}
-
-func (p *Peer) sendPushes(env *simnet.Env, u store.Update, targets []int, rf *replicalist.List, t int) {
-	carried := p.carriedList(env, rf)
-	for _, target := range targets {
-		msg := PushMsg{Update: u, RF: carried, T: t}
-		env.Send(target, msg, msg.SizeBytes())
-		env.Metrics().Inc(MetricPushes)
-		if p.cfg.Ack == AckFirst {
-			p.awaitingAck[target] = env.Round()
-		}
-	}
-}
-
-// carriedList renders the flooding list for the wire, applying the L_thr
-// truncation (§4.2). The local accumulated list is never truncated — only
-// the transmitted copy — matching "the nodes which push the update in the
-// next round pay the penalty".
-func (p *Peer) carriedList(env *simnet.Env, rf *replicalist.List) []int {
-	if !p.cfg.PartialList {
-		return nil
-	}
-	if p.cfg.ListThreshold > 0 {
-		maxLen := int(p.cfg.ListThreshold * float64(p.cfg.R))
-		if rf.Len() > maxLen {
-			clone := rf.Clone()
-			clone.Truncate(maxLen, p.cfg.TruncatePolicy, env.RNG())
-			return clone.Slice()
-		}
-	}
-	return rf.Slice()
-}
-
-func (p *Peer) handlePullReq(env *simnet.Env, from int, m PullReq) {
-	p.view.Learn(from)
-	missing := p.st.MissingFor(m.Clock)
-	resp := PullResp{
-		Updates: missing,
-		Peers:   p.view.Sample(pullGossipSample, env.RNG()),
-	}
-	env.Send(from, resp, resp.SizeBytes())
-	env.Metrics().Inc(MetricPullResponses)
-	env.Metrics().Add(MetricPullUpdates, float64(len(missing)))
-
-	// "receives a pull request, but is not sure to have the latest update"
-	// (§3): a stale or lazily-woken peer answers and synchronises itself.
-	stale := p.cfg.PullTimeout > 0 && env.Round()-p.lastReceived > p.cfg.PullTimeout
-	if (p.notConfident || stale) && p.cfg.PullAttempts > 0 {
-		p.sendPull(env)
-		p.lastReceived = env.Round()
-	}
-}
-
-func (p *Peer) handlePullResp(env *simnet.Env, m PullResp) {
-	if learned := p.view.LearnAll(m.Peers); learned > 0 {
-		env.Metrics().Add(MetricReplicasLearned, float64(learned))
-	}
-	gotNew := false
-	for _, u := range m.Updates {
-		if p.st.Apply(u) == store.Applied {
-			gotNew = true
-		}
-		id := u.ID()
-		if _, ok := p.states[id]; !ok {
-			// Updates learned by pull are not re-pushed: the push phase has
-			// already saturated the online population (§4.3's optimism).
-			s := p.newState()
-			s.pushed = true
-			p.states[id] = s
-		}
-	}
-	if gotNew || len(m.Updates) == 0 {
-		// Either fresh data, or confirmation that we were current.
-		p.notConfident = false
-		p.lastReceived = env.Round()
-	}
-}
-
-func (p *Peer) handleAck(from int) {
-	p.ackedBy[from] = p.round
-	delete(p.suspects, from)
-	delete(p.awaitingAck, from)
+	p.bind(env)
+	return p.eng.PublishDelete(key)
 }
 
 // pullGossipSample is the number of peer ids piggybacked on pull responses.
 const pullGossipSample = 16
-
-// sendPull contacts PullAttempts random known replicas with our clock. "it
-// is preferable to contact multiple peers and choose the most up to date
-// peer(s) among them" (§3) — with clock-based diffs, applying all responses
-// is equivalent to choosing the freshest.
-func (p *Peer) sendPull(env *simnet.Env) {
-	targets := p.view.Sample(p.cfg.PullAttempts, env.RNG())
-	clock := p.st.Clock()
-	for _, target := range targets {
-		req := PullReq{Clock: clock}
-		env.Send(target, req, req.SizeBytes())
-		env.Metrics().Inc(MetricPullRequests)
-	}
-}
-
-// selectTargets draws k random known replicas excluding the flooding list,
-// applying the §6 ack preferences: suspects are skipped, recently-acked
-// peers are chosen first.
-func (p *Peer) selectTargets(env *simnet.Env, k int, exclude *replicalist.List) []int {
-	if k <= 0 {
-		return nil
-	}
-	candidates := p.view.SampleExcluding(p.view.Len(), exclude, env.RNG())
-	if p.cfg.Ack != AckFirst {
-		if len(candidates) > k {
-			candidates = candidates[:k]
-		}
-		return candidates
-	}
-	preferred := make([]int, 0, k)
-	normal := make([]int, 0, len(candidates))
-	for _, c := range candidates {
-		if _, suspect := p.suspects[c]; suspect {
-			continue
-		}
-		if _, acked := p.ackedBy[c]; acked {
-			preferred = append(preferred, c)
-		} else {
-			normal = append(normal, c)
-		}
-	}
-	out := preferred
-	if len(out) > k {
-		out = out[:k]
-	} else {
-		need := k - len(out)
-		if need > len(normal) {
-			need = len(normal)
-		}
-		out = append(out, normal[:need]...)
-	}
-	return out
-}
-
-// detectMissingAcks moves peers whose ack is overdue (two rounds: one for
-// the push, one for the reply) onto the suspect list (§6: the pusher assumes
-// they are offline and skips them for a while).
-func (p *Peer) detectMissingAcks(env *simnet.Env) {
-	if p.cfg.Ack != AckFirst {
-		return
-	}
-	for peer, sentAt := range p.awaitingAck {
-		if env.Round()-sentAt >= 2 {
-			p.suspects[peer] = env.Round()
-			delete(p.awaitingAck, peer)
-		}
-	}
-}
-
-// expireSuspects re-admits suspects after SuspectTTL rounds — "it is
-// desirable that [the pusher] again forwards updates to [the peer] in remote
-// future" (§6).
-func (p *Peer) expireSuspects() {
-	ttl := p.cfg.suspectTTL()
-	for peer, since := range p.suspects {
-		if p.round-since > ttl {
-			delete(p.suspects, peer)
-		}
-	}
-}
-
-// fanout draws the per-push target count: R·f_r with probabilistic rounding
-// so that fractional expected fanouts are honoured.
-func (p *Peer) fanout(env *simnet.Env) int {
-	exact := float64(p.cfg.R) * p.cfg.Fr
-	k := int(exact)
-	if env.RNG().Float64() < exact-float64(k) {
-		k++
-	}
-	return k
-}
-
-func (p *Peer) newState() *updateState {
-	s := &updateState{rf: replicalist.New(8)}
-	if p.cfg.NewPF != nil {
-		s.pfn = p.cfg.NewPF()
-	} else {
-		s.pfn = pf.Always()
-	}
-	return s
-}

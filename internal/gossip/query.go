@@ -1,19 +1,14 @@
 package gossip
 
 import (
-	"bytes"
-
+	"github.com/p2pgossip/update/internal/engine"
 	"github.com/p2pgossip/update/internal/simnet"
 	"github.com/p2pgossip/update/internal/version"
 )
 
-// This file implements §4.4 of the paper: servicing requests under updates.
-// A query is sent to several replicas in parallel ("we may define some
-// majority logic, or use a version scheme for identifying latest updates, or
-// a hybrid of the two"); the requester keeps the response with the freshest
-// version. A replica that is not confident of its own freshness (lazy pull,
-// §6) answers with what it has, flags the answer as unconfident, and
-// initiates its own pull.
+// §4.4 query servicing — the aggregation logic (freshest-version voting,
+// unconfident flagging, lazy-pull triggering) lives in internal/engine; this
+// file keeps the simulator's wire messages and the thin Peer entry points.
 
 // Query metric names.
 const (
@@ -56,154 +51,18 @@ func (m QueryResp) SizeBytes() int {
 }
 
 // QueryResult is the requester-side aggregation of one query.
-type QueryResult struct {
-	// Key is the queried item.
-	Key string
-	// Found reports whether any response carried a live revision.
-	Found bool
-	// Value and Version are the freshest revision seen.
-	Value   []byte
-	Version version.History
-	// Responses is the number of answers received so far.
-	Responses int
-	// Unconfident counts answers flagged as possibly stale.
-	Unconfident int
-	// Done is set once the expected number of responses arrived or the
-	// query timed out.
-	Done bool
-}
-
-// queryState is the in-flight bookkeeping for one query.
-type queryState struct {
-	result  QueryResult
-	want    int
-	started int
-}
+type QueryResult = engine.QueryResult
 
 // Query sends the key to k known replicas and returns a query id to poll
 // with QueryResult. k is capped by the view size; k ≤ 0 defaults to the
 // configured PullAttempts (or 3).
 func (p *Peer) Query(env *simnet.Env, key string, k int) int64 {
-	p.round = env.Round()
-	if k <= 0 {
-		k = p.cfg.PullAttempts
-		if k <= 0 {
-			k = 3
-		}
-	}
-	p.queryCounter++
-	qid := p.queryCounter
-	targets := p.view.Sample(k, env.RNG())
-	state := &queryState{
-		result:  QueryResult{Key: key},
-		want:    len(targets),
-		started: env.Round(),
-	}
-	p.queries[qid] = state
-	if len(targets) == 0 {
-		// Nobody to ask: answer from local state immediately.
-		p.finishQueryLocal(state)
-		return qid
-	}
-	for _, target := range targets {
-		msg := QueryMsg{QID: qid, Key: key}
-		env.Send(target, msg, msg.SizeBytes())
-		env.Metrics().Inc(MetricQueries)
-	}
-	return qid
+	p.bind(env)
+	return p.eng.Query(key, k)
 }
 
 // QueryResult returns the current aggregation for a query id. The boolean
 // reports whether the id is known.
 func (p *Peer) QueryResult(qid int64) (QueryResult, bool) {
-	state, ok := p.queries[qid]
-	if !ok {
-		return QueryResult{}, false
-	}
-	return state.result, true
-}
-
-func (p *Peer) handleQuery(env *simnet.Env, from int, m QueryMsg) {
-	p.view.Learn(from)
-	resp := QueryResp{QID: m.QID, Key: m.Key, Confident: !p.notConfident}
-	if rev, ok := p.st.Get(m.Key); ok {
-		resp.Found = true
-		resp.Value = rev.Value
-		resp.Version = rev.Version
-	}
-	env.Send(from, resp, resp.SizeBytes())
-	env.Metrics().Inc(MetricQueryResponses)
-
-	// §6: a lazily-woken replica cannot trust its answer; the query forces
-	// it to synchronise.
-	if p.notConfident && p.cfg.PullAttempts > 0 {
-		p.sendPull(env)
-	}
-}
-
-func (p *Peer) handleQueryResp(m QueryResp) {
-	state, ok := p.queries[m.QID]
-	if !ok || state.result.Done {
-		return
-	}
-	res := &state.result
-	res.Responses++
-	if !m.Confident {
-		res.Unconfident++
-	}
-	if m.Found && fresherThan(m.Version, res.Version, res.Found) {
-		res.Found = true
-		res.Value = m.Value
-		res.Version = m.Version
-	}
-	if res.Responses >= state.want {
-		res.Done = true
-	}
-}
-
-// expireQueries finishes queries whose responses did not all arrive within
-// the timeout (responders offline).
-func (p *Peer) expireQueries(round int) {
-	const queryTimeout = 10
-	for _, state := range p.queries {
-		if !state.result.Done && round-state.started > queryTimeout {
-			state.result.Done = true
-		}
-	}
-}
-
-// finishQueryLocal resolves a query against only the local store.
-func (p *Peer) finishQueryLocal(state *queryState) {
-	if rev, ok := p.st.Get(state.result.Key); ok {
-		state.result.Found = true
-		state.result.Value = rev.Value
-		state.result.Version = rev.Version
-	}
-	state.result.Done = true
-}
-
-// fresherThan reports whether candidate is strictly fresher than the current
-// best (absent best counts as stale). Causally newer wins; concurrent
-// versions fall back to the deterministic rule used by the store: longer
-// history, then larger head identifier.
-func fresherThan(candidate, best version.History, haveBest bool) bool {
-	if !haveBest {
-		return true
-	}
-	switch candidate.Compare(best) {
-	case version.After:
-		return true
-	case version.Before, version.Equal:
-		return false
-	default: // Concurrent
-		if len(candidate) != len(best) {
-			return len(candidate) > len(best)
-		}
-		ch, errC := candidate.Head()
-		bh, errB := best.Head()
-		if errC != nil || errB != nil {
-			return errB != nil && errC == nil
-		}
-		return bytes.Compare(ch[:], bh[:]) > 0
-	}
+	return p.eng.QueryResult(qid)
 }

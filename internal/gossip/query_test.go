@@ -5,7 +5,6 @@ import (
 
 	"github.com/p2pgossip/update/internal/churn"
 	"github.com/p2pgossip/update/internal/simnet"
-	"github.com/p2pgossip/update/internal/version"
 )
 
 func TestQueryReturnsValue(t *testing.T) {
@@ -165,39 +164,5 @@ func TestQueryUnknownID(t *testing.T) {
 	}
 	if _, ok := p.QueryResult(999); ok {
 		t.Fatal("unknown query id reported present")
-	}
-}
-
-func TestFresherThan(t *testing.T) {
-	id := func(b byte) version.ID {
-		var v version.ID
-		v[0] = b
-		return v
-	}
-	base := version.History{id(1)}
-	longer := base.Append(id(2))
-	concurrent := base.Append(id(3))
-
-	tests := []struct {
-		name      string
-		candidate version.History
-		best      version.History
-		haveBest  bool
-		want      bool
-	}{
-		{"no best yet", base, nil, false, true},
-		{"causally newer", longer, base, true, true},
-		{"causally older", base, longer, true, false},
-		{"equal", base, base, true, false},
-		{"concurrent longer wins", longer, version.History{id(9)}, true, true},
-		{"concurrent head tiebreak", concurrent, longer, true, true},
-		{"concurrent head tiebreak reverse", longer, concurrent, true, false},
-	}
-	for _, tt := range tests {
-		t.Run(tt.name, func(t *testing.T) {
-			if got := fresherThan(tt.candidate, tt.best, tt.haveBest); got != tt.want {
-				t.Fatalf("fresherThan = %v, want %v", got, tt.want)
-			}
-		})
 	}
 }

@@ -2,17 +2,13 @@ package live
 
 import (
 	"time"
-
-	"github.com/p2pgossip/update/internal/wire"
 )
 
-// This file implements the §6 acknowledgement optimisation in the live
-// runtime: receivers ack the first copy of an update; senders prefer
-// recently-acking peers as push targets and temporarily suspect peers whose
-// acks never arrive ("they will assume from the lack of an ack that the
-// peer is offline, and hence may decide not to send future updates").
-// Suspects are re-admitted after SuspectTTL — over time every peer is
-// expected online again.
+// The §6 acknowledgement optimisation — receivers ack the first copy of an
+// update; senders prefer recently-acking peers and temporarily suspect peers
+// whose acks never arrive — is implemented once in internal/engine. This
+// file keeps the live runtime's duration defaults and the operational
+// introspection surface.
 
 // defaultAckTimeout is how long a pushed peer has to ack before being
 // suspected offline.
@@ -37,65 +33,10 @@ func (c Config) suspectTTL() time.Duration {
 	return defaultSuspectTTL
 }
 
-// noteAckLocked processes an inbound ack.
-func (r *Replica) noteAckLocked(from string, now time.Time) {
-	r.ackedBy[from] = now
-	delete(r.suspects, from)
-	delete(r.awaitingAck, from)
-}
-
-// expectAckLocked records that a push to addr awaits acknowledgement.
-func (r *Replica) expectAckLocked(addr string, now time.Time) {
-	if !r.cfg.Acks {
-		return
-	}
-	if _, pending := r.awaitingAck[addr]; !pending {
-		r.awaitingAck[addr] = now
-	}
-}
-
-// sweepAcksLocked promotes overdue expectations to suspects and expires old
-// suspects.
-func (r *Replica) sweepAcksLocked(now time.Time) {
-	if !r.cfg.Acks {
-		return
-	}
-	deadline := r.cfg.ackTimeout()
-	for addr, since := range r.awaitingAck {
-		if now.Sub(since) >= deadline {
-			r.suspects[addr] = now
-			delete(r.awaitingAck, addr)
-			r.inc(MetricSuspects)
-			if r.cfg.Hooks.OnSuspect != nil {
-				// Runs with r.mu held — the Hooks contract (no blocking, no
-				// re-entry into the Replica) keeps this safe.
-				r.cfg.Hooks.OnSuspect(addr)
-			}
-		}
-	}
-	ttl := r.cfg.suspectTTL()
-	for addr, since := range r.suspects {
-		if now.Sub(since) >= ttl {
-			delete(r.suspects, addr)
-		}
-	}
-}
-
-// sendAck acknowledges an update to its sender.
-func (r *Replica) sendAck(to, updateID string) {
-	env := wire.Envelope{Kind: wire.KindAck, From: r.Addr(), UpdateID: updateID}
-	r.inc(MetricAckSent)
-	_ = r.transport.Send(to, env) // best effort; a lost ack only costs preference
-}
-
 // Suspects returns the addresses currently suspected offline (for tests and
 // operational introspection).
 func (r *Replica) Suspects() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.suspects))
-	for addr := range r.suspects {
-		out = append(out, addr)
-	}
-	return out
+	return r.eng.Suspects()
 }

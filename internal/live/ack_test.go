@@ -3,7 +3,16 @@ package live
 import (
 	"testing"
 	"time"
+
+	"github.com/p2pgossip/update/internal/engine"
+	"github.com/p2pgossip/update/internal/wire"
 )
+
+// sweep forces the engine's ack-deadline and suspect-expiry sweeps, which
+// normally run lazily during peer sampling.
+func sweep(r *Replica) {
+	r.run(func(e *engine.Engine[string]) { e.Sweep() })
+}
 
 func TestAcksPreferRespondingPeers(t *testing.T) {
 	cfg := Config{
@@ -22,14 +31,17 @@ func TestAcksPreferRespondingPeers(t *testing.T) {
 	replicas[0].Publish("k2", []byte("v2"))
 	time.Sleep(60 * time.Millisecond) // let ack timeouts fire
 
-	// Force a sweep and inspect: if replica 0 ever pushed to replica-5, it
-	// must now be suspected (no ack possible).
-	replicas[0].mu.Lock()
-	replicas[0].sweepAcksLocked(time.Now())
-	_, pushed := replicas[0].awaitingAck["replica-5"]
-	replicas[0].mu.Unlock()
-	if pushed {
-		t.Fatal("awaiting ack entry not swept")
+	// Force a sweep and inspect: if replica 0 ever pushed to replica-5, the
+	// ack expectation must have been promoted to a suspicion by now.
+	var awaiting []string
+	replicas[0].run(func(e *engine.Engine[string]) {
+		e.Sweep()
+		awaiting = e.AwaitingAck()
+	})
+	for _, a := range awaiting {
+		if a == "replica-5" {
+			t.Fatal("awaiting ack entry not swept")
+		}
 	}
 
 	// Publish more updates; every one must reach the responsive replicas.
@@ -53,7 +65,7 @@ func TestSuspectExpiryReadmitsPeer(t *testing.T) {
 	cfg := Config{
 		Fanout: 1, Acks: true,
 		AckTimeout: time.Millisecond,
-		SuspectTTL: 10 * time.Millisecond,
+		SuspectTTL: 50 * time.Millisecond,
 		Seed:       60,
 	}
 	r, err := NewReplica(cfg, tr)
@@ -61,30 +73,23 @@ func TestSuspectExpiryReadmitsPeer(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.AddPeers("ghost")
-	r.mu.Lock()
-	r.expectAckLocked("ghost", time.Now().Add(-time.Second))
-	r.sweepAcksLocked(time.Now())
-	_, suspected := r.suspects["ghost"]
-	r.mu.Unlock()
-	if !suspected {
-		t.Fatal("overdue ack did not create a suspect")
-	}
+	// A push to the unreachable peer leaves an ack expectation that can
+	// only become a suspicion.
+	r.Publish("k", []byte("v"))
+	time.Sleep(10 * time.Millisecond)
+	sweep(r)
 	if got := r.Suspects(); len(got) != 1 || got[0] != "ghost" {
 		t.Fatalf("Suspects = %v", got)
 	}
 	// While suspected, the peer is not sampled.
-	r.mu.Lock()
-	sample := r.sampleLocked(5, nil)
-	r.mu.Unlock()
+	var sample []string
+	r.run(func(e *engine.Engine[string]) { sample = e.SamplePeers(5) })
 	if len(sample) != 0 {
 		t.Fatalf("suspect sampled: %v", sample)
 	}
 	// After the TTL it is re-admitted.
-	time.Sleep(15 * time.Millisecond)
-	r.mu.Lock()
-	r.sweepAcksLocked(time.Now())
-	sample = r.sampleLocked(5, nil)
-	r.mu.Unlock()
+	time.Sleep(60 * time.Millisecond)
+	r.run(func(e *engine.Engine[string]) { sample = e.SamplePeers(5) })
 	if len(sample) != 1 {
 		t.Fatalf("expired suspect not re-admitted: %v", sample)
 	}
@@ -96,20 +101,29 @@ func TestAckRemovesSuspicion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewReplica(Config{Fanout: 1, Acks: true, Seed: 61}, tr)
+	cfg := Config{
+		Fanout: 1, Acks: true,
+		AckTimeout: time.Millisecond,
+		SuspectTTL: time.Minute,
+		Seed:       61,
+	}
+	r, err := NewReplica(cfg, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	r.AddPeers("peer-x")
-	now := time.Now()
-	r.mu.Lock()
-	r.suspects["peer-x"] = now
-	r.noteAckLocked("peer-x", now)
-	_, stillSuspect := r.suspects["peer-x"]
-	_, acked := r.ackedBy["peer-x"]
-	r.mu.Unlock()
-	if stillSuspect || !acked {
-		t.Fatalf("ack processing wrong: suspect=%v acked=%v", stillSuspect, acked)
+	r.Publish("k", []byte("v"))
+	time.Sleep(5 * time.Millisecond)
+	sweep(r)
+	if got := r.Suspects(); len(got) != 1 {
+		t.Fatalf("Suspects = %v, want peer-x suspected", got)
+	}
+	// A (late) ack clears the suspicion and records the acking peer.
+	r.handle(wire.Envelope{Kind: wire.KindAck, From: "peer-x", UpdateID: "k"})
+	var acked []string
+	r.run(func(e *engine.Engine[string]) { acked = e.Acked() })
+	if got := r.Suspects(); len(got) != 0 || len(acked) != 1 || acked[0] != "peer-x" {
+		t.Fatalf("ack processing wrong: suspects=%v acked=%v", got, acked)
 	}
 }
 
@@ -130,9 +144,12 @@ func TestAcksDisabledNoBookkeeping(t *testing.T) {
 		_, ok := replicas[3].Get("k")
 		return ok
 	}, "push failed")
-	replicas[0].mu.Lock()
-	defer replicas[0].mu.Unlock()
-	if len(replicas[0].awaitingAck) != 0 || len(replicas[0].ackedBy) != 0 {
+	var awaiting, acked []string
+	replicas[0].run(func(e *engine.Engine[string]) {
+		awaiting = e.AwaitingAck()
+		acked = e.Acked()
+	})
+	if len(awaiting) != 0 || len(acked) != 0 {
 		t.Fatal("ack bookkeeping active despite Acks=false")
 	}
 }

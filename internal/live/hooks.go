@@ -1,6 +1,9 @@
 package live
 
-import "github.com/p2pgossip/update/internal/store"
+import (
+	"github.com/p2pgossip/update/internal/engine"
+	"github.com/p2pgossip/update/internal/store"
+)
 
 // This file is the observability surface of the live runtime. A replica can
 // be configured with a set of Hooks (structured protocol events: applies,
@@ -9,34 +12,20 @@ import "github.com/p2pgossip/update/internal/store"
 // wires them to its Watch streams and metrics registry.
 
 // Source identifies how an update reached a replica.
-type Source int
+type Source = engine.Source
 
 // Update sources.
 const (
 	// SourceLocal marks updates created by this replica's own Publish or
 	// Delete.
-	SourceLocal Source = iota + 1
+	SourceLocal = engine.SourceLocal
 	// SourcePush marks updates received through the constrained-flooding
 	// push phase.
-	SourcePush
+	SourcePush = engine.SourcePush
 	// SourcePull marks updates obtained by anti-entropy pull
 	// reconciliation.
-	SourcePull
+	SourcePull = engine.SourcePull
 )
-
-// String returns the source name.
-func (s Source) String() string {
-	switch s {
-	case SourceLocal:
-		return "local"
-	case SourcePush:
-		return "push"
-	case SourcePull:
-		return "pull"
-	default:
-		return "unknown"
-	}
-}
 
 // Hooks observes protocol-level events. All callbacks are optional; set
 // callbacks run synchronously on the replica's message paths, so they must
@@ -100,17 +89,10 @@ func (r *Replica) inc(name string) {
 	}
 }
 
-// addMetric adds to a counter if a metrics sink is configured.
-func (r *Replica) addMetric(name string, delta float64) {
-	if r.cfg.Metrics != nil {
-		r.cfg.Metrics.Add(name, delta)
-	}
-}
-
 // fireApply reports one apply outcome to the metrics sink and the OnApply
 // hook. branches must come from the apply itself (Store.ApplyObserved), not
 // a later BranchCount, so concurrent applies to the key cannot skew it.
-// Call without holding r.mu.
+// Called from the post-unlock flush, never with r.mu held.
 func (r *Replica) fireApply(u store.Update, res store.ApplyResult, src Source, branches int) {
 	if r.cfg.Metrics != nil {
 		switch res {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/p2pgossip/update/internal/pf"
+	"github.com/p2pgossip/update/internal/store"
 	"github.com/p2pgossip/update/internal/wire"
 )
 
@@ -246,6 +247,52 @@ func TestReplicaPeersManagement(t *testing.T) {
 	peers := r.Peers()
 	if len(peers) != 2 {
 		t.Fatalf("peers = %v", peers)
+	}
+}
+
+// TestEmptyAddressNotLearned guards the inbound identity filter: a
+// zero-valued gob envelope (From == "") or a flooding list carrying empty
+// strings must not plant "" in the membership view, where it would waste a
+// fanout slot forever and be re-gossiped cluster-wide via pull responses.
+func TestEmptyAddressNotLearned(t *testing.T) {
+	hub := NewHub()
+	tr, err := hub.Attach("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReplica(Config{Fanout: 2, Acks: true, Seed: 80}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := store.New()
+	w, err := store.NewWriter("writer", src, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := w.Put("k", []byte("v"))
+	r.handle(wire.Envelope{
+		Kind: wire.KindPush, From: "", Update: wire.FromStore(u),
+		RF: []string{"", "peer-ok"}, T: 0,
+	})
+	// The update itself is still accepted.
+	if rev, ok := r.Get("k"); !ok || string(rev.Value) != "v" {
+		t.Fatalf("push from empty sender dropped: %v %v", rev, ok)
+	}
+	// Only the valid address was learned.
+	if got := r.Peers(); len(got) != 1 || got[0] != "peer-ok" {
+		t.Fatalf("Peers = %v, want [peer-ok]", got)
+	}
+	// Same filter on pull-response membership samples.
+	r.handle(wire.Envelope{
+		Kind: wire.KindPullResp, From: "", KnownPeers: []string{"", "peer-2"},
+	})
+	if got := r.Peers(); len(got) != 2 {
+		t.Fatalf("Peers = %v, want [peer-ok peer-2]", got)
+	}
+	for _, a := range r.Peers() {
+		if a == "" {
+			t.Fatal("empty address learned")
+		}
 	}
 }
 

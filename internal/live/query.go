@@ -1,22 +1,19 @@
 package live
 
 import (
-	"bytes"
 	"context"
 	"fmt"
-	"sync/atomic"
-	"time"
 
+	"github.com/p2pgossip/update/internal/engine"
 	"github.com/p2pgossip/update/internal/store"
 	"github.com/p2pgossip/update/internal/version"
-	"github.com/p2pgossip/update/internal/wire"
 )
 
-// This file implements §4.4 query servicing in the live runtime: a blocking
-// Query consults k random replicas in parallel, waits for their answers (or
-// the context deadline), and returns the causally freshest revision.
-// Responders that are unsure of their own freshness flag their answers, and
-// unconfident-only results are reported as such so callers can retry.
+// §4.4 query servicing in the live runtime: a blocking Query consults k
+// random replicas in parallel, waits for their answers (or the context
+// deadline), and returns the causally freshest revision. The aggregation —
+// freshest-version voting, the local store as one more voice, unconfident
+// flagging — lives in internal/engine; this file adds the blocking shell.
 
 // QueryOutcome is the result of a remote query.
 type QueryOutcome struct {
@@ -30,142 +27,72 @@ type QueryOutcome struct {
 	Unconfident int
 }
 
-// liveQuery tracks one in-flight query.
-type liveQuery struct {
-	key  string
-	resp chan wire.Envelope
-}
-
 // Query consults k random known replicas for key and blocks until all
 // responses arrive or ctx expires, returning the freshest answer. The local
 // store participates as one more voice, so a query on a fresh replica never
 // returns worse data than Get.
 func (r *Replica) Query(ctx context.Context, key string, k int) (QueryOutcome, error) {
-	if k <= 0 {
-		k = 3
-	}
-	qid := atomic.AddInt64(&r.queryCounter, 1)
-	q := &liveQuery{key: key, resp: make(chan wire.Envelope, k)}
+	signal := make(chan struct{}, 1)
+	var qid int64
+	r.run(func(e *engine.Engine[string]) {
+		qid = e.QueryNotify(key, k, func() {
+			select {
+			case signal <- struct{}{}:
+			default: // a pending signal already covers this progress
+			}
+		})
+	})
+	defer r.run(func(e *engine.Engine[string]) { e.EndQuery(qid) })
 
-	r.mu.Lock()
-	targets := r.sampleLocked(k, nil)
-	if r.queries == nil {
-		r.queries = make(map[int64]*liveQuery)
-	}
-	r.queries[qid] = q
-	r.mu.Unlock()
-	defer func() {
+	for {
 		r.mu.Lock()
-		delete(r.queries, qid)
+		res, _ := r.eng.QueryResult(qid)
 		r.mu.Unlock()
-	}()
-
-	for _, target := range targets {
-		env := wire.Envelope{Kind: wire.KindQuery, From: r.Addr(), QID: qid, Key: key}
-		r.inc(MetricQuerySent)
-		_ = r.transport.Send(target, env) // offline targets simply never answer
-	}
-
-	out := QueryOutcome{}
-	if rev, ok := r.st.Get(key); ok {
-		out.Found = true
-		out.Revision = rev
-	}
-	for received := 0; received < len(targets); received++ {
+		if res.Done {
+			return outcomeFromResult(res), nil
+		}
 		select {
-		case env := <-q.resp:
-			out.Responses++
-			if !env.Confident {
-				out.Unconfident++
-			}
-			if !env.Found {
-				continue
-			}
-			rev, err := revisionFromWire(env)
-			if err != nil {
-				continue // malformed response: skip
-			}
-			if !out.Found || fresher(rev.Version, out.Revision.Version) {
-				out.Found = true
-				out.Revision = rev
-			}
+		case <-signal:
 		case <-ctx.Done():
-			if out.Responses == 0 && !out.Found {
-				return out, fmt.Errorf("live: query %q: %w", key, ctx.Err())
+			r.mu.Lock()
+			res, _ = r.eng.QueryResult(qid)
+			r.mu.Unlock()
+			if res.Responses == 0 && !res.Found {
+				return outcomeFromResult(res), fmt.Errorf("live: query %q: %w", key, ctx.Err())
 			}
-			return out, nil
+			return outcomeFromResult(res), nil
 		}
 	}
-	return out, nil
 }
 
-func (r *Replica) handleQuery(env wire.Envelope) {
-	r.mu.Lock()
-	r.learnLocked(env.From)
-	r.mu.Unlock()
-	r.inc(MetricQueryServed)
-	resp := wire.Envelope{
-		Kind: wire.KindQueryResp, From: r.Addr(),
-		QID: env.QID, Key: env.Key, Confident: true,
+// outcomeFromResult converts the engine's aggregation to the public outcome.
+func outcomeFromResult(res engine.QueryResult) QueryOutcome {
+	out := QueryOutcome{
+		Found:       res.Found,
+		Responses:   res.Responses,
+		Unconfident: res.Unconfident,
 	}
-	if rev, ok := r.st.Get(env.Key); ok {
-		resp.Found = true
-		resp.Value = rev.Value
-		for _, id := range rev.Version {
-			id := id
-			resp.Version = append(resp.Version, id[:])
+	if res.Found {
+		out.Revision = store.Revision{
+			Value:   res.Value,
+			Version: res.Version,
+			Stamp:   res.Stamp,
 		}
 	}
-	_ = r.transport.Send(env.From, resp)
+	return out
 }
 
-func (r *Replica) handleQueryResp(env wire.Envelope) {
-	r.mu.Lock()
-	q, ok := r.queries[env.QID]
-	r.mu.Unlock()
-	if !ok {
-		return // late answer to a finished query
-	}
-	select {
-	case q.resp <- env:
-	default: // channel full: more answers than asked for; drop
-	}
-}
-
-func revisionFromWire(env wire.Envelope) (store.Revision, error) {
-	rev := store.Revision{
-		Value: append([]byte(nil), env.Value...),
-		Stamp: time.Time{},
-	}
-	for _, raw := range env.Version {
-		if len(raw) != version.IDSize {
-			return store.Revision{}, fmt.Errorf("live: bad version id length %d", len(raw))
+// historyFromWire decodes a wire-encoded version history, rejecting
+// malformed entries: silently truncating them would corrupt causality.
+func historyFromWire(raw [][]byte) (version.History, error) {
+	var out version.History
+	for _, b := range raw {
+		if len(b) != version.IDSize {
+			return nil, fmt.Errorf("live: bad version id length %d", len(b))
 		}
 		var id version.ID
-		copy(id[:], raw)
-		rev.Version = append(rev.Version, id)
+		copy(id[:], b)
+		out = append(out, id)
 	}
-	return rev, nil
-}
-
-// fresher reports whether candidate is strictly fresher than best, using the
-// same deterministic rule as the store: causal dominance, then longer
-// history, then larger head id.
-func fresher(candidate, best version.History) bool {
-	switch candidate.Compare(best) {
-	case version.After:
-		return true
-	case version.Before, version.Equal:
-		return false
-	default:
-		if len(candidate) != len(best) {
-			return len(candidate) > len(best)
-		}
-		ch, errC := candidate.Head()
-		bh, errB := best.Head()
-		if errC != nil || errB != nil {
-			return errB != nil && errC == nil
-		}
-		return bytes.Compare(ch[:], bh[:]) > 0
-	}
+	return out, nil
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"github.com/p2pgossip/update/internal/wire"
 )
 
 func TestLiveQueryReturnsFreshest(t *testing.T) {
@@ -91,6 +93,48 @@ func TestLiveQueryTimeoutWithOfflinePeers(t *testing.T) {
 	}
 	if !out.Found || string(out.Revision.Value) != "local" {
 		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+// TestLiveQueryMalformedResponseStillCounts guards query termination: a
+// responder shipping a corrupt version history cannot vote on freshness,
+// but its answer must still count toward the response total — otherwise the
+// query would block until the context deadline.
+func TestLiveQueryMalformedResponseStillCounts(t *testing.T) {
+	hub := NewHub()
+	tr, err := hub.Attach("querier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReplica(Config{Fanout: 0, PullAttempts: 0, Seed: 90}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badTr, err := hub.Attach("bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badTr.SetHandler(func(env wire.Envelope) {
+		if env.Kind != wire.KindQuery {
+			return
+		}
+		_ = badTr.Send(env.From, wire.Envelope{
+			Kind: wire.KindQueryResp, From: "bad", QID: env.QID, Key: env.Key,
+			Found: true, Value: []byte("x"),
+			Version:   [][]byte{{1, 2, 3}}, // wrong id length
+			Confident: true,
+		})
+	})
+	r.AddPeers("bad")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	out, err := r.Query(ctx, "k", 1)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if out.Responses != 1 || out.Found {
+		t.Fatalf("outcome = %+v, want 1 counted response and no value", out)
 	}
 }
 

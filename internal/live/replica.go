@@ -1,15 +1,15 @@
 package live
 
 import (
-	crand "crypto/rand"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"math/rand"
 	"sync"
 	"time"
 
+	"github.com/p2pgossip/update/internal/engine"
 	"github.com/p2pgossip/update/internal/pf"
+	"github.com/p2pgossip/update/internal/replicalist"
 	"github.com/p2pgossip/update/internal/store"
 	"github.com/p2pgossip/update/internal/wire"
 )
@@ -17,15 +17,7 @@ import (
 // cryptoSeed draws a PRNG seed from the system entropy source. Unlike the
 // classic time.Now().UnixNano() fallback it cannot collide across replicas
 // created in the same instant (coarse clocks, VM snapshots, mass restarts).
-func cryptoSeed() int64 {
-	var b [8]byte
-	if _, err := crand.Read(b[:]); err != nil {
-		// Entropy exhaustion is effectively unreachable on supported
-		// platforms; the timestamp keeps the replica functional.
-		return time.Now().UnixNano()
-	}
-	return int64(binary.LittleEndian.Uint64(b[:]))
-}
+func cryptoSeed() int64 { return store.CryptoSeed() }
 
 // Config parameterises a live replica.
 type Config struct {
@@ -96,48 +88,71 @@ func (c Config) Validate() error {
 	}
 }
 
-// replicaState is per-update bookkeeping (mirrors gossip.updateState with
-// addresses instead of indices).
-type replicaState struct {
-	rf     map[string]struct{}
-	rfList []string
-	pfn    pf.Func
-}
-
-func (s *replicaState) add(addr string) {
-	if _, ok := s.rf[addr]; ok {
-		return
-	}
-	s.rf[addr] = struct{}{}
-	s.rfList = append(s.rfList, addr)
-}
-
 // Replica is a live protocol node. Create with NewReplica, then Start; Stop
 // releases the background puller. All methods are safe for concurrent use.
+//
+// Replica is a thin adapter: the §4/§6 state machine lives in
+// internal/engine, shared verbatim with the simulator. This type serialises
+// engine access behind a mutex, converts engine messages to wire envelopes,
+// and — because transports deliver synchronously — queues outbound sends and
+// hook events during each engine call and flushes them after releasing the
+// lock, so no transport or user callback ever runs under the mutex.
 type Replica struct {
 	cfg       Config
 	transport Transport
+	addr      string
 	st        *store.Store
 	writer    *store.Writer
 
-	mu     sync.Mutex
-	peers  map[string]struct{}
-	order  []string
-	states map[string]*replicaState
-	rng    *rand.Rand
-
-	// §6 ack optimisation state (only used when cfg.Acks).
-	ackedBy     map[string]time.Time
-	suspects    map[string]time.Time
-	awaitingAck map[string]time.Time
-
-	// §4.4 query state.
-	queries      map[int64]*liveQuery
-	queryCounter int64
+	mu      sync.Mutex
+	eng     *engine.Engine[string]
+	rng     *rand.Rand
+	outbox  []outboundEnvelope
+	pending []protoEvent
 
 	stop chan struct{}
 	done chan struct{}
 	once sync.Once
+}
+
+// outboundEnvelope is one queued transport send.
+type outboundEnvelope struct {
+	to  string
+	env wire.Envelope
+}
+
+// protoEvent is one queued observability event, fired after the engine call
+// that produced it releases the replica lock.
+type protoEvent struct {
+	kind     protoEventKind
+	u        store.Update
+	res      store.ApplyResult
+	src      Source
+	branches int
+	peer     string
+}
+
+type protoEventKind int
+
+const (
+	evApply protoEventKind = iota + 1
+	evDuplicate
+	evAck
+	evSuspect
+)
+
+// liveEndpoint adapts a Replica to the engine's Endpoint: wall-clock
+// nanoseconds are the tick unit, and sends are queued on the outbox for the
+// post-unlock flush.
+type liveEndpoint struct{ r *Replica }
+
+func (ep liveEndpoint) Self() string     { return ep.r.addr }
+func (ep liveEndpoint) Now() int64       { return time.Now().UnixNano() }
+func (ep liveEndpoint) Rand() *rand.Rand { return ep.r.rng }
+func (ep liveEndpoint) Send(to string, m engine.Message[string]) {
+	ep.r.outbox = append(ep.r.outbox, outboundEnvelope{
+		to: to, env: envelopeFromEngine(ep.r.addr, m),
+	})
 }
 
 // NewReplica builds a replica on the given transport. The transport's
@@ -154,59 +169,239 @@ func NewReplica(cfg Config, transport Transport) (*Replica, error) {
 		seed = cryptoSeed()
 	}
 	r := &Replica{
-		cfg:         cfg,
-		transport:   transport,
-		st:          store.New(),
-		peers:       make(map[string]struct{}),
-		states:      make(map[string]*replicaState),
-		rng:         rand.New(rand.NewSource(seed)),
-		ackedBy:     make(map[string]time.Time),
-		suspects:    make(map[string]time.Time),
-		awaitingAck: make(map[string]time.Time),
-		stop:        make(chan struct{}),
-		done:        make(chan struct{}),
+		cfg:       cfg,
+		transport: transport,
+		addr:      transport.Addr(),
+		st:        store.New(),
+		rng:       rand.New(rand.NewSource(seed)),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
-	w, err := store.NewWriter(transport.Addr(), r.st, time.Now,
+	w, err := store.NewWriter(r.addr, r.st, time.Now,
 		rand.New(rand.NewSource(seed+1)))
 	if err != nil {
 		return nil, err
 	}
 	r.writer = w
+	eng, err := engine.New(engine.Config[string]{
+		Fanout:          float64(cfg.Fanout),
+		NewPF:           cfg.NewPF,
+		PartialList:     cfg.PartialList,
+		ListMax:         cfg.ListMax,
+		TruncatePolicy:  replicalist.DropRandom,
+		PullAttempts:    cfg.PullAttempts,
+		Acks:            cfg.Acks,
+		AckTimeout:      cfg.ackTimeout().Nanoseconds(),
+		SuspectTTL:      cfg.suspectTTL().Nanoseconds(),
+		LazySweep:       true,
+		QueryLocalVoice: true,
+		ValidID:         func(addr string) bool { return addr != "" },
+		Hooks: engine.Hooks[string]{
+			OnApply: func(u store.Update, res store.ApplyResult, src Source, branches int) {
+				r.pending = append(r.pending, protoEvent{
+					kind: evApply, u: u, res: res, src: src, branches: branches,
+				})
+			},
+			OnDuplicate: func(u store.Update, branches int) {
+				r.pending = append(r.pending, protoEvent{
+					kind: evDuplicate, u: u, branches: branches,
+				})
+			},
+			OnAck: func(peer string) {
+				r.pending = append(r.pending, protoEvent{kind: evAck, peer: peer})
+			},
+			OnSuspect: func(peer string) {
+				r.pending = append(r.pending, protoEvent{kind: evSuspect, peer: peer})
+			},
+		},
+	}, liveEndpoint{r}, r.st, w)
+	if err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	r.eng = eng
 	transport.SetHandler(r.handle)
 	return r, nil
 }
 
+// run serialises one engine call and then flushes the sends and events it
+// queued, outside the lock.
+func (r *Replica) run(f func(e *engine.Engine[string])) {
+	r.mu.Lock()
+	f(r.eng)
+	events := r.pending
+	r.pending = nil
+	out := r.outbox
+	r.outbox = nil
+	r.mu.Unlock()
+	r.flush(events, out)
+}
+
+func (r *Replica) flush(events []protoEvent, out []outboundEnvelope) {
+	for _, ev := range events {
+		switch ev.kind {
+		case evApply:
+			r.fireApply(ev.u, ev.res, ev.src, ev.branches)
+		case evDuplicate:
+			r.inc(MetricPushDuplicate)
+			r.fireApply(ev.u, store.Duplicate, SourcePush, ev.branches)
+		case evAck:
+			if r.cfg.Hooks.OnAck != nil {
+				r.cfg.Hooks.OnAck(ev.peer)
+			}
+		case evSuspect:
+			r.inc(MetricSuspects)
+			if r.cfg.Hooks.OnSuspect != nil {
+				r.cfg.Hooks.OnSuspect(ev.peer)
+			}
+		}
+	}
+	for _, o := range out {
+		switch o.env.Kind {
+		case wire.KindPush:
+			r.inc(MetricPushSent)
+		case wire.KindPullReq:
+			r.inc(MetricPullRequests)
+		case wire.KindPullResp:
+			r.inc(MetricPullServed)
+		case wire.KindAck:
+			r.inc(MetricAckSent)
+		case wire.KindQuery:
+			r.inc(MetricQuerySent)
+		}
+		_ = r.transport.Send(o.to, o.env) // offline targets are the normal case
+	}
+}
+
+// handle is the transport's inbound callback: it converts the envelope to
+// an engine message and dispatches it.
+func (r *Replica) handle(env wire.Envelope) {
+	switch env.Kind {
+	case wire.KindPush:
+		u, err := env.Update.ToStore()
+		if err != nil {
+			return // malformed update: drop
+		}
+		r.inc(MetricPushReceived)
+		r.run(func(e *engine.Engine[string]) {
+			e.Handle(env.From, engine.Message[string]{
+				Kind: engine.KindPush, Update: u, RF: env.RF, T: env.T,
+			})
+		})
+	case wire.KindPullReq:
+		r.run(func(e *engine.Engine[string]) {
+			e.Handle(env.From, engine.Message[string]{
+				Kind: engine.KindPullReq, Clock: wire.ClockFromWire(env.Clock),
+			})
+		})
+	case wire.KindPullResp:
+		updates := make([]store.Update, 0, len(env.Updates))
+		for _, wu := range env.Updates {
+			u, err := wu.ToStore()
+			if err != nil {
+				continue // malformed update: skip
+			}
+			updates = append(updates, u)
+		}
+		r.run(func(e *engine.Engine[string]) {
+			e.Handle(env.From, engine.Message[string]{
+				Kind: engine.KindPullResp, Updates: updates, Peers: env.KnownPeers,
+			})
+		})
+	case wire.KindAck:
+		r.inc(MetricAckReceived)
+		r.run(func(e *engine.Engine[string]) {
+			e.Handle(env.From, engine.Message[string]{
+				Kind: engine.KindAck, UpdateID: env.UpdateID,
+			})
+		})
+	case wire.KindQuery:
+		r.inc(MetricQueryServed)
+		r.run(func(e *engine.Engine[string]) {
+			e.Handle(env.From, engine.Message[string]{
+				Kind: engine.KindQuery, QID: env.QID, Key: env.Key,
+			})
+		})
+	case wire.KindQueryResp:
+		ver, err := historyFromWire(env.Version)
+		found := env.Found
+		if err != nil {
+			// A malformed history cannot vote on freshness, but the answer
+			// must still count toward the response total or the query would
+			// block until its deadline.
+			ver, found = nil, false
+		}
+		r.run(func(e *engine.Engine[string]) {
+			e.Handle(env.From, engine.Message[string]{
+				Kind: engine.KindQueryResp, QID: env.QID, Key: env.Key,
+				Found: found, Value: env.Value, Version: ver,
+				Confident: env.Confident,
+			})
+		})
+	}
+}
+
+// envelopeFromEngine converts an engine message to its wire form.
+func envelopeFromEngine(from string, m engine.Message[string]) wire.Envelope {
+	env := wire.Envelope{From: from}
+	switch m.Kind {
+	case engine.KindPush:
+		env.Kind = wire.KindPush
+		env.Update = wire.FromStore(m.Update)
+		env.RF = m.RF
+		env.T = m.T
+	case engine.KindPullReq:
+		env.Kind = wire.KindPullReq
+		env.Clock = wire.ClockToWire(m.Clock)
+	case engine.KindPullResp:
+		env.Kind = wire.KindPullResp
+		env.Updates = make([]wire.Update, len(m.Updates))
+		for i, u := range m.Updates {
+			env.Updates[i] = wire.FromStore(u)
+		}
+		env.KnownPeers = m.Peers
+	case engine.KindAck:
+		env.Kind = wire.KindAck
+		env.UpdateID = m.UpdateID
+	case engine.KindQuery:
+		env.Kind = wire.KindQuery
+		env.QID = m.QID
+		env.Key = m.Key
+	case engine.KindQueryResp:
+		env.Kind = wire.KindQueryResp
+		env.QID = m.QID
+		env.Key = m.Key
+		env.Found = m.Found
+		env.Value = m.Value
+		env.Confident = m.Confident
+		for _, id := range m.Version {
+			id := id // copy array
+			env.Version = append(env.Version, id[:])
+		}
+	}
+	return env
+}
+
 // Addr returns the replica's address.
-func (r *Replica) Addr() string { return r.transport.Addr() }
+func (r *Replica) Addr() string { return r.addr }
 
 // Store returns the replica's data store.
 func (r *Replica) Store() *store.Store { return r.st }
 
-// AddPeers teaches the replica about other replica addresses.
+// AddPeers teaches the replica about other replica addresses. Empty
+// addresses and the replica's own are ignored.
 func (r *Replica) AddPeers(addrs ...string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, a := range addrs {
-		r.learnLocked(a)
+		r.eng.Learn(a)
 	}
-}
-
-func (r *Replica) learnLocked(addr string) {
-	if addr == "" || addr == r.transport.Addr() {
-		return
-	}
-	if _, ok := r.peers[addr]; ok {
-		return
-	}
-	r.peers[addr] = struct{}{}
-	r.order = append(r.order, addr)
 }
 
 // Peers returns a copy of the known replica addresses.
 func (r *Replica) Peers() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]string(nil), r.order...)
+	return r.eng.KnownPeers()
 }
 
 // PeerCount returns the number of known replica addresses without copying
@@ -214,7 +409,22 @@ func (r *Replica) Peers() []string {
 func (r *Replica) PeerCount() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.order)
+	return r.eng.KnownCount()
+}
+
+// HasUpdate reports whether the replica has processed the update with the
+// given ID (store.Update.ID()).
+func (r *Replica) HasUpdate(updateID string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eng.HasUpdate(updateID)
+}
+
+// Duplicates returns the duplicate-push count observed for an update.
+func (r *Replica) Duplicates(updateID string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eng.Duplicates(updateID)
 }
 
 // Start launches the background puller and performs the coming-online pull.
@@ -254,17 +464,15 @@ func (r *Replica) pullLoop() {
 
 // Publish creates and pushes an update for key.
 func (r *Replica) Publish(key string, value []byte) store.Update {
-	u, branches := r.writer.PutObserved(key, value)
-	r.fireApply(u, store.Applied, SourceLocal, branches)
-	r.initiate(u)
+	var u store.Update
+	r.run(func(e *engine.Engine[string]) { u = e.Publish(key, value) })
 	return u
 }
 
 // Delete creates and pushes a tombstone for key.
 func (r *Replica) Delete(key string) store.Update {
-	u, branches := r.writer.DeleteObserved(key)
-	r.fireApply(u, store.Applied, SourceLocal, branches)
-	r.initiate(u)
+	var u store.Update
+	r.run(func(e *engine.Engine[string]) { u = e.PublishDelete(key) })
 	return u
 }
 
@@ -273,265 +481,7 @@ func (r *Replica) Get(key string) (store.Revision, bool) { return r.st.Get(key) 
 
 // PullNow performs one pull batch immediately.
 func (r *Replica) PullNow() {
-	r.mu.Lock()
-	targets := r.sampleLocked(r.cfg.PullAttempts, nil)
-	clock := wire.ClockToWire(r.st.Clock())
-	r.mu.Unlock()
-	for _, t := range targets {
-		env := wire.Envelope{Kind: wire.KindPullReq, From: r.Addr(), Clock: clock}
-		r.inc(MetricPullRequests)
-		_ = r.transport.Send(t, env) // offline peers are expected; pull retries later
-	}
-}
-
-func (r *Replica) initiate(u store.Update) {
-	r.mu.Lock()
-	state := r.newStateLocked()
-	r.states[u.ID()] = state
-	targets := r.sampleLocked(r.cfg.Fanout, nil)
-	state.add(r.Addr())
-	for _, t := range targets {
-		state.add(t)
-	}
-	carried := r.carriedLocked(state)
-	r.mu.Unlock()
-	r.sendPushes(u, targets, carried, 0)
-}
-
-func (r *Replica) handle(env wire.Envelope) {
-	switch env.Kind {
-	case wire.KindPush:
-		r.handlePush(env)
-	case wire.KindPullReq:
-		r.handlePullReq(env)
-	case wire.KindPullResp:
-		r.handlePullResp(env)
-	case wire.KindAck:
-		r.mu.Lock()
-		r.noteAckLocked(env.From, time.Now())
-		r.mu.Unlock()
-		r.inc(MetricAckReceived)
-		if r.cfg.Hooks.OnAck != nil {
-			r.cfg.Hooks.OnAck(env.From)
-		}
-	case wire.KindQuery:
-		r.handleQuery(env)
-	case wire.KindQueryResp:
-		r.handleQueryResp(env)
-	}
-}
-
-func (r *Replica) handlePush(env wire.Envelope) {
-	u, err := env.Update.ToStore()
-	if err != nil {
-		return // malformed update: drop
-	}
-	id := u.ID()
-	r.inc(MetricPushReceived)
-
-	r.mu.Lock()
-	r.learnLocked(env.From)
-	for _, a := range env.RF {
-		r.learnLocked(a)
-	}
-	if state, seen := r.states[id]; seen {
-		// Duplicate: merge lists, feed adaptive PF.
-		for _, a := range env.RF {
-			state.add(a)
-		}
-		if ad, ok := state.pfn.(*pf.Adaptive); ok {
-			ad.ObserveDuplicate()
-			ad.ObserveListFraction(r.listFractionLocked(state))
-		}
-		r.mu.Unlock()
-		r.inc(MetricPushDuplicate)
-		// Nothing was applied; a point-in-time branch count is the best
-		// available description of the key's state.
-		r.fireApply(u, store.Duplicate, SourcePush, r.st.BranchCount(u.Key))
-		return
-	}
-	state := r.newStateLocked()
-	for _, a := range env.RF {
-		state.add(a)
-	}
-	state.add(r.Addr())
-	r.states[id] = state
-	if ad, ok := state.pfn.(*pf.Adaptive); ok {
-		// §6 speculation: the flooding list on the incoming push estimates
-		// how far the update has already been sent, and unlike duplicate
-		// counts it is available before the forwarding decision below.
-		ad.ObserveListFraction(r.listFractionLocked(state))
-	}
-	applied, branches := r.st.ApplyObserved(u)
-	sendAck := r.cfg.Acks
-	from := env.From
-
-	t := env.T + 1
-	forward := r.rng.Float64() < state.pfn.P(t)
-	var targets []string
-	var carried []string
-	if forward && r.cfg.Fanout > 0 {
-		rp := r.sampleLocked(r.cfg.Fanout, nil)
-		for _, a := range rp {
-			if _, listed := state.rf[a]; !listed {
-				targets = append(targets, a)
-			}
-			state.add(a)
-		}
-		carried = r.carriedLocked(state)
-	}
-	r.mu.Unlock()
-
-	r.fireApply(u, applied, SourcePush, branches)
-	if sendAck && from != "" {
-		r.sendAck(from, id)
-	}
-	if len(targets) > 0 {
-		r.sendPushes(u, targets, carried, t)
-	}
-}
-
-func (r *Replica) sendPushes(u store.Update, targets, carried []string, t int) {
-	wu := wire.FromStore(u)
-	now := time.Now()
-	r.mu.Lock()
-	for _, target := range targets {
-		r.expectAckLocked(target, now)
-	}
-	r.mu.Unlock()
-	for _, target := range targets {
-		env := wire.Envelope{
-			Kind: wire.KindPush, From: r.Addr(), Update: wu, RF: carried, T: t,
-		}
-		r.inc(MetricPushSent)
-		_ = r.transport.Send(target, env) // offline targets are the normal case
-	}
-}
-
-// pullGossipSample is the number of known peer addresses piggybacked on a
-// pull response (membership gossip for bootstrap).
-const pullGossipSample = 16
-
-func (r *Replica) handlePullReq(env wire.Envelope) {
-	r.mu.Lock()
-	r.learnLocked(env.From)
-	sample := r.sampleLocked(pullGossipSample, map[string]struct{}{env.From: {}})
-	r.mu.Unlock()
-	missing := r.st.MissingFor(wire.ClockFromWire(env.Clock))
-	updates := make([]wire.Update, len(missing))
-	for i, u := range missing {
-		updates[i] = wire.FromStore(u)
-	}
-	resp := wire.Envelope{
-		Kind: wire.KindPullResp, From: r.Addr(),
-		Updates: updates, KnownPeers: sample,
-	}
-	r.inc(MetricPullServed)
-	_ = r.transport.Send(env.From, resp)
-}
-
-func (r *Replica) handlePullResp(env wire.Envelope) {
-	r.mu.Lock()
-	r.learnLocked(env.From)
-	for _, a := range env.KnownPeers {
-		r.learnLocked(a)
-	}
-	r.mu.Unlock()
-	for _, wu := range env.Updates {
-		u, err := wu.ToStore()
-		if err != nil {
-			continue
-		}
-		applied, branches := r.st.ApplyObserved(u)
-		r.mu.Lock()
-		if _, ok := r.states[u.ID()]; !ok {
-			// Pulled updates are not re-pushed (§4.3's optimism).
-			r.states[u.ID()] = r.newStateLocked()
-		}
-		r.mu.Unlock()
-		r.fireApply(u, applied, SourcePull, branches)
-	}
-}
-
-// sampleLocked draws up to k distinct known peers, excluding those in skip.
-// With acks enabled, suspected-offline peers are skipped and recently-acking
-// peers are preferred (§6).
-func (r *Replica) sampleLocked(k int, skip map[string]struct{}) []string {
-	if k <= 0 || len(r.order) == 0 {
-		return nil
-	}
-	r.sweepAcksLocked(time.Now())
-	preferred := make([]string, 0, k)
-	candidates := make([]string, 0, len(r.order))
-	for _, a := range r.order {
-		if skip != nil {
-			if _, s := skip[a]; s {
-				continue
-			}
-		}
-		if r.cfg.Acks {
-			if _, suspect := r.suspects[a]; suspect {
-				continue
-			}
-			if _, acked := r.ackedBy[a]; acked {
-				preferred = append(preferred, a)
-				continue
-			}
-		}
-		candidates = append(candidates, a)
-	}
-	r.rng.Shuffle(len(preferred), func(i, j int) {
-		preferred[i], preferred[j] = preferred[j], preferred[i]
-	})
-	r.rng.Shuffle(len(candidates), func(i, j int) {
-		candidates[i], candidates[j] = candidates[j], candidates[i]
-	})
-	out := preferred
-	if len(out) > k {
-		out = out[:k]
-	} else {
-		need := k - len(out)
-		if need > len(candidates) {
-			need = len(candidates)
-		}
-		out = append(out, candidates[:need]...)
-	}
-	return out
-}
-
-// carriedLocked renders a state's flooding list for the wire, honouring
-// ListMax by dropping random entries (the default truncation policy).
-func (r *Replica) carriedLocked(state *replicaState) []string {
-	if !r.cfg.PartialList {
-		return nil
-	}
-	out := append([]string(nil), state.rfList...)
-	if r.cfg.ListMax > 0 && len(out) > r.cfg.ListMax {
-		r.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
-		out = out[:r.cfg.ListMax]
-	}
-	return out
-}
-
-// listFractionLocked estimates the fraction of the known population an
-// update has already been sent to, from its flooding-list length (the live
-// analogue of the simulator's NormalizedLen over R).
-func (r *Replica) listFractionLocked(state *replicaState) float64 {
-	population := len(r.peers) + 1
-	if population == 0 {
-		return 0
-	}
-	return float64(len(state.rf)) / float64(population)
-}
-
-func (r *Replica) newStateLocked() *replicaState {
-	s := &replicaState{rf: make(map[string]struct{}, 8)}
-	if r.cfg.NewPF != nil {
-		s.pfn = r.cfg.NewPF()
-	} else {
-		s.pfn = pf.Always()
-	}
-	return s
+	r.run(func(e *engine.Engine[string]) { e.PullNow() })
 }
 
 // WriteSnapshot serialises the replica's full update log to w, for restarts.

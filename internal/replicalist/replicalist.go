@@ -171,6 +171,35 @@ func (l *List) NormalizedLen(totalReplicas int) float64 {
 	return float64(l.Len()) / float64(totalReplicas)
 }
 
+// TruncatedCopy returns a copy of list with at most maxLen entries, dropping
+// the excess per the given policy. It is the single implementation of the
+// §4.2 truncation semantics, shared by List and by the protocol engine's
+// generic flooding lists. rng is required only for DropRandom (nil falls
+// back to DropTail); an unknown policy keeps everything. The input is never
+// modified.
+func TruncatedCopy[T any](list []T, maxLen int, policy TruncatePolicy, rng *rand.Rand) []T {
+	if maxLen < 0 || len(list) <= maxLen {
+		return append([]T(nil), list...)
+	}
+	switch policy {
+	case DropTail:
+		return append([]T(nil), list[:maxLen]...)
+	case DropHead:
+		return append([]T(nil), list[len(list)-maxLen:]...)
+	case DropRandom:
+		if rng == nil {
+			// Deterministic fallback keeps behaviour defined without a
+			// random source.
+			return append([]T(nil), list[:maxLen]...)
+		}
+		out := append([]T(nil), list...)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out[:maxLen]
+	default:
+		return append([]T(nil), list...)
+	}
+}
+
 // Truncate drops entries until the list has at most maxLen entries, using the
 // given policy. rng is required only for DropRandom. It returns the number of
 // entries dropped.
@@ -178,35 +207,17 @@ func (l *List) Truncate(maxLen int, policy TruncatePolicy, rng *rand.Rand) int {
 	if l == nil || maxLen < 0 || l.Len() <= maxLen {
 		return 0
 	}
-	drop := l.Len() - maxLen
-	switch policy {
-	case DropTail:
-		for _, id := range l.order[maxLen:] {
-			delete(l.seen, id)
-		}
-		l.order = l.order[:maxLen]
-	case DropHead:
-		for _, id := range l.order[:drop] {
-			delete(l.seen, id)
-		}
-		l.order = append(l.order[:0], l.order[drop:]...)
-	case DropRandom:
-		if rng == nil {
-			// Deterministic fallback keeps behaviour defined without a
-			// random source.
-			return l.Truncate(maxLen, DropTail, nil)
-		}
-		rng.Shuffle(len(l.order), func(i, j int) {
-			l.order[i], l.order[j] = l.order[j], l.order[i]
-		})
-		for _, id := range l.order[maxLen:] {
-			delete(l.seen, id)
-		}
-		l.order = l.order[:maxLen]
-	default:
-		return 0
+	kept := TruncatedCopy(l.order, maxLen, policy, rng)
+	dropped := l.Len() - len(kept)
+	if dropped == 0 {
+		return 0 // unknown policy keeps everything
 	}
-	return drop
+	l.order = kept
+	l.seen = make(map[int]struct{}, len(kept))
+	for _, id := range kept {
+		l.seen[id] = struct{}{}
+	}
+	return dropped
 }
 
 // View is a peer's local membership view: the set of replicas it knows for

@@ -1,12 +1,28 @@
 package store
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"github.com/p2pgossip/update/internal/version"
 )
+
+// CryptoSeed draws a PRNG seed from the system entropy source. Unlike the
+// classic time.Now().UnixNano() fallback it cannot collide across writers
+// or replicas created in the same instant (coarse clocks, VM snapshots,
+// mass restarts).
+func CryptoSeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable on supported
+		// platforms; the timestamp keeps the caller functional.
+		return time.Now().UnixNano()
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]))
+}
 
 // Writer creates well-formed updates on behalf of one replica: it assigns
 // per-origin sequence numbers, extends the item's current version history
@@ -21,8 +37,8 @@ type Writer struct {
 }
 
 // NewWriter returns a Writer for the given origin writing through st.
-// now and rng may be nil, in which case wall-clock time and a time-seeded
-// source are used; simulations inject deterministic ones.
+// now and rng may be nil, in which case wall-clock time and a
+// crypto-seeded source are used; simulations inject deterministic ones.
 func NewWriter(origin string, st *Store, now func() time.Time, rng *rand.Rand) (*Writer, error) {
 	if origin == "" {
 		return nil, fmt.Errorf("store: writer origin must be non-empty")
@@ -34,7 +50,9 @@ func NewWriter(origin string, st *Store, now func() time.Time, rng *rand.Rand) (
 		now = time.Now
 	}
 	if rng == nil {
-		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		// The same collision class as replica seeding: two writers created
+		// in the same instant must not draw identical version-ID streams.
+		rng = rand.New(rand.NewSource(CryptoSeed()))
 	}
 	w := &Writer{origin: origin, store: st, now: now, rng: rng}
 	// Resume the sequence after a restart from the store's clock.
