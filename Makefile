@@ -1,0 +1,28 @@
+# Developer entry points. CI runs the same commands; see
+# .github/workflows/ci.yml.
+
+# The perf-trajectory file emitted by `make bench` (one per perf PR).
+BENCH_PR ?= 3
+BENCH_TIME ?= 300ms
+
+.PHONY: build test race bench bench-smoke
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race . ./internal/live/... ./internal/gossip/... ./internal/engine/...
+
+# bench runs the engine/store/wire/live hot-path benchmarks and writes the
+# machine-readable trajectory file BENCH_$(BENCH_PR).json.
+bench:
+	go run ./cmd/benchjson -benchtime $(BENCH_TIME) -out BENCH_$(BENCH_PR).json
+
+# bench-smoke is the CI guard: every benchmark compiles and runs once,
+# race-enabled, so the perf baseline cannot rot.
+bench-smoke:
+	go test -race -run '^$$' -bench . -benchtime=1x \
+		./internal/engine/ ./internal/store/ ./internal/wire/ ./internal/live/ .

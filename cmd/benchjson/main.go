@@ -1,0 +1,156 @@
+// Command benchjson runs the protocol hot-path benchmarks and emits a
+// machine-readable perf-trajectory file (BENCH_<pr>.json, committed per
+// perf PR), so regressions are visible as diffs rather than folklore.
+//
+//	go run ./cmd/benchjson -out BENCH_3.json
+//	make bench
+//
+// The tool shells out to `go test -bench` per package and parses the
+// standard benchmark output, including -benchmem columns.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Package    string  `json:"package"`
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are -1 when the benchmark did not report
+	// allocations.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// File is the schema of the emitted trajectory file.
+type File struct {
+	Schema    int      `json:"schema"`
+	Generated string   `json:"generated"`
+	GoVersion string   `json:"go"`
+	GoOS      string   `json:"goos"`
+	GoArch    string   `json:"goarch"`
+	BenchTime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	benchtime := flag.String("benchtime", "300ms", "go test -benchtime value")
+	pattern := flag.String("bench", ".", "go test -bench pattern")
+	pkgs := flag.String("packages",
+		"./internal/engine,./internal/store,./internal/wire,./internal/live",
+		"comma-separated packages to benchmark")
+	flag.Parse()
+
+	file := File{
+		Schema:    1,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		BenchTime: *benchtime,
+	}
+	for _, pkg := range strings.Split(*pkgs, ",") {
+		pkg = strings.TrimSpace(pkg)
+		if pkg == "" {
+			continue
+		}
+		results, err := runPackage(pkg, *pattern, *benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
+		file.Results = append(file.Results, results...)
+	}
+
+	raw, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(file.Results))
+}
+
+func runPackage(pkg, pattern, benchtime string) ([]Result, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", pattern, "-benchmem", "-benchtime", benchtime, pkg)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test: %w", err)
+	}
+	return parseBenchOutput(pkg, string(outBytes)), nil
+}
+
+// parseBenchOutput extracts benchmark lines from `go test -bench` output.
+// Lines look like:
+//
+//	BenchmarkName/case-8  12345  411.4 ns/op  80 B/op  1 allocs/op
+//
+// Unknown unit columns (custom b.ReportMetric units) are ignored.
+func parseBenchOutput(pkg, out string) []Result {
+	var results []Result
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{
+			Package:     pkg,
+			Name:        trimProcSuffix(fields[0]),
+			Iterations:  iters,
+			BytesPerOp:  -1,
+			AllocsPerOp: -1,
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			value, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				res.NsPerOp, _ = strconv.ParseFloat(value, 64)
+			case "B/op":
+				res.BytesPerOp, _ = strconv.ParseInt(value, 10, 64)
+			case "allocs/op":
+				res.AllocsPerOp, _ = strconv.ParseInt(value, 10, 64)
+			}
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// trimProcSuffix drops the trailing -<GOMAXPROCS> go test appends to
+// benchmark names, keeping names stable across machines.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

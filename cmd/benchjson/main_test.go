@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: example.com/x
+cpu: Intel(R) Xeon(R)
+BenchmarkSampleTargets/plain-8         	  883305	       411.4 ns/op	      80 B/op	       1 allocs/op
+BenchmarkHandlePushDuplicate-8         	  155725	      2314 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem 	    2000	     24003 ns/op
+BenchmarkCustomMetric-8 	 100	 50737 ns/op	 12.5 msgs/peer	 9606 B/op	 24 allocs/op
+PASS
+`
+	got := parseBenchOutput("./internal/engine", out)
+	if len(got) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(got))
+	}
+	first := got[0]
+	if first.Name != "BenchmarkSampleTargets/plain" || first.Iterations != 883305 ||
+		first.NsPerOp != 411.4 || first.BytesPerOp != 80 || first.AllocsPerOp != 1 {
+		t.Fatalf("first = %+v", first)
+	}
+	if got[1].AllocsPerOp != 0 || got[1].BytesPerOp != 0 {
+		t.Fatalf("zero-alloc line = %+v", got[1])
+	}
+	noMem := got[2]
+	if noMem.Name != "BenchmarkNoMem" || noMem.BytesPerOp != -1 || noMem.AllocsPerOp != -1 {
+		t.Fatalf("no-benchmem line = %+v", noMem)
+	}
+	custom := got[3]
+	if custom.NsPerOp != 50737 || custom.BytesPerOp != 9606 || custom.AllocsPerOp != 24 {
+		t.Fatalf("custom-metric line = %+v", custom)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":            "BenchmarkX",
+		"BenchmarkX":              "BenchmarkX",
+		"BenchmarkX/sub-16":       "BenchmarkX/sub",
+		"BenchmarkX/case-a":       "BenchmarkX/case-a",
+		"BenchmarkY/carried=64-4": "BenchmarkY/carried=64",
+	} {
+		if got := trimProcSuffix(in); got != want {
+			t.Fatalf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

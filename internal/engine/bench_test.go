@@ -135,10 +135,10 @@ func BenchmarkSampleTargets(b *testing.B) {
 			if tt.acks {
 				// A quarter of the population has acked; a few suspects.
 				for i := 1; i <= 256; i++ {
-					e.Handle(i, Message[int]{Kind: KindAck, UpdateID: "x"})
+					e.Handle(i, Message[int]{Kind: KindAck})
 				}
 				for i := 900; i < 916; i++ {
-					e.suspects[i] = 0
+					e.suspect(i, 0)
 				}
 			}
 			b.ReportAllocs()

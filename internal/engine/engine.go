@@ -170,6 +170,53 @@ type updateState[ID comparable] struct {
 	pfn   pf.Func
 }
 
+// deadline is one entry of a deadline queue: a peer and the tick the entry
+// was created. Both the ack-await and the suspect bookkeeping push entries
+// with monotone ticks, so each queue is processed strictly front to back.
+type deadline[ID comparable] struct {
+	peer ID
+	at   int64
+}
+
+// deadlineQueue is a FIFO of (peer, tick) entries with amortised O(1) pop.
+// It makes timeout sweeps proportional to the number of expired entries —
+// not to the map size — and deterministic in order (insertion order, rather
+// than map iteration luck).
+type deadlineQueue[ID comparable] struct {
+	items []deadline[ID]
+	head  int
+}
+
+func (q *deadlineQueue[ID]) push(peer ID, at int64) {
+	q.items = append(q.items, deadline[ID]{peer: peer, at: at})
+}
+
+func (q *deadlineQueue[ID]) peek() (deadline[ID], bool) {
+	if q.head >= len(q.items) {
+		return deadline[ID]{}, false
+	}
+	return q.items[q.head], true
+}
+
+func (q *deadlineQueue[ID]) pop() {
+	q.head++
+	if q.head == len(q.items) {
+		// Fully drained: recycle the backing array.
+		q.items = q.items[:0]
+		q.head = 0
+		return
+	}
+	// Reclaim the consumed prefix once it dominates the backing array, so a
+	// queue that is never fully drained (a busy pusher always has a pending
+	// ack deadline) still stays proportional to its live entries. The copy
+	// is amortised O(1) per pop.
+	if q.head >= 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+}
+
 // Engine is one replica's instance of the protocol state machine. It is not
 // safe for concurrent use; adapters serialise access.
 type Engine[ID comparable] struct {
@@ -179,8 +226,12 @@ type Engine[ID comparable] struct {
 	st   *store.Store
 	w    *store.Writer
 
-	view   *orderedSet[ID] // known replicas, never containing self
-	states map[string]*updateState[ID]
+	view   *peerView[ID] // known replicas, never containing self
+	states map[store.Ref]*updateState[ID]
+
+	// scratch is the reusable peer-sampling buffer; sample takes it and
+	// releaseScratch returns it, so the steady path allocates nothing.
+	scratch []ID
 
 	// lastReceived is the tick at which the engine last received any update
 	// content (push or pull response), driving "no_updates_since(t)".
@@ -189,10 +240,15 @@ type Engine[ID comparable] struct {
 	// after coming online.
 	notConfident bool
 
-	// §6 ack optimisation state (only used when cfg.Acks).
-	ackedBy     map[ID]int64 // peer → tick of their last ack to us
-	suspects    map[ID]int64 // peer → tick we began suspecting them
-	awaitingAck map[ID]int64 // peer → tick we first pushed to them unacked
+	// §6 ack optimisation state (only used when cfg.Acks). The maps are the
+	// source of truth; the queues order the timeout sweeps and the acked
+	// insertion list gives Acked a stable order.
+	ackedBy     map[ID]int64      // peer → tick of their last ack to us
+	ackedOrder  []ID              // peers in first-ack order
+	suspects    map[ID]int64      // peer → tick we began suspecting them
+	suspectQ    deadlineQueue[ID] // suspicion entries in creation order
+	awaitingAck map[ID]int64      // peer → tick we first pushed to them unacked
+	ackWaitQ    deadlineQueue[ID] // await entries in creation order
 
 	// §4.4 query state.
 	queries      map[int64]*queryState
@@ -224,8 +280,9 @@ func New[ID comparable](cfg Config[ID], ep Endpoint[ID], st *store.Store, w *sto
 		self:        ep.Self(),
 		st:          st,
 		w:           w,
-		view:        newOrderedSet[ID](16),
-		states:      make(map[string]*updateState[ID]),
+		view:        newPeerView[ID](16),
+		states:      make(map[store.Ref]*updateState[ID]),
+		scratch:     make([]ID, 0, 16),
 		ackedBy:     make(map[ID]int64),
 		suspects:    make(map[ID]int64),
 		awaitingAck: make(map[ID]int64),
@@ -251,7 +308,19 @@ func (e *Engine[ID]) Learn(id ID) bool {
 	if id == e.self || !e.validID(id) {
 		return false
 	}
-	return e.view.Add(id)
+	if !e.view.Add(id) {
+		return false
+	}
+	if e.cfg.Acks {
+		// Place the newcomer in the segment its ack history demands: a peer
+		// can ack (or be suspected) before the membership view learns it.
+		if _, suspected := e.suspects[id]; suspected {
+			e.view.suspend(id)
+		} else if _, acked := e.ackedBy[id]; acked {
+			e.view.promote(id)
+		}
+	}
+	return true
 }
 
 // validID applies the configured identity filter.
@@ -276,7 +345,8 @@ func (e *Engine[ID]) learnAll(ids []ID) {
 // Knows reports whether id is in the membership view.
 func (e *Engine[ID]) Knows(id ID) bool { return e.view.Contains(id) }
 
-// KnownPeers returns a copy of the membership view in insertion order.
+// KnownPeers returns a copy of the membership view. The order is
+// unspecified: the view is kept partitioned for O(k) sampling, not sorted.
 func (e *Engine[ID]) KnownPeers() []ID { return e.view.Slice() }
 
 // KnownCount returns the number of known replicas.
@@ -285,15 +355,30 @@ func (e *Engine[ID]) KnownCount() int { return e.view.Len() }
 // --- Update bookkeeping ----------------------------------------------
 
 // HasUpdate reports whether the engine has processed the update with the
-// given ID (store.Update.ID()).
+// given ID (store.Update.ID()). Internally per-update state is keyed by the
+// comparable store.Ref; the string form exists only on this public surface.
 func (e *Engine[ID]) HasUpdate(updateID string) bool {
-	_, ok := e.states[updateID]
+	ref, err := store.ParseRef(updateID)
+	if err != nil {
+		return false
+	}
+	return e.HasRef(ref)
+}
+
+// HasRef reports whether the engine has processed the update with the given
+// reference.
+func (e *Engine[ID]) HasRef(ref store.Ref) bool {
+	_, ok := e.states[ref]
 	return ok
 }
 
 // Duplicates returns the duplicate-push count observed for an update.
 func (e *Engine[ID]) Duplicates(updateID string) int {
-	if s, ok := e.states[updateID]; ok {
+	ref, err := store.ParseRef(updateID)
+	if err != nil {
+		return 0
+	}
+	if s, ok := e.states[ref]; ok {
 		return s.dupes
 	}
 	return 0
@@ -302,7 +387,11 @@ func (e *Engine[ID]) Duplicates(updateID string) int {
 // FloodingList returns the accumulated flooding list for an update, in
 // insertion order, or nil if the update is unknown.
 func (e *Engine[ID]) FloodingList(updateID string) []ID {
-	if s, ok := e.states[updateID]; ok {
+	ref, err := store.ParseRef(updateID)
+	if err != nil {
+		return nil
+	}
+	if s, ok := e.states[ref]; ok {
 		return s.rf.Slice()
 	}
 	return nil
@@ -393,13 +482,14 @@ func (e *Engine[ID]) PublishDelete(key string) store.Update {
 
 func (e *Engine[ID]) initiate(u store.Update) {
 	state := e.newState()
-	e.states[u.ID()] = state
+	e.states[u.Ref()] = state
 	e.lastReceived = e.ep.Now()
 
-	targets := e.sample(e.fanout(), nil)
+	targets := e.sample(e.fanout())
 	state.rf.AddAll(targets)
 	state.rf.Add(e.self)
 	e.sendPushes(u, targets, state, 0)
+	e.releaseScratch(targets)
 }
 
 func (e *Engine[ID]) handlePush(from ID, m Message[ID]) {
@@ -407,8 +497,8 @@ func (e *Engine[ID]) handlePush(from ID, m Message[ID]) {
 	e.learnAll(m.RF)
 	e.Learn(from)
 
-	id := m.Update.ID()
-	if state, ok := e.states[id]; ok {
+	ref := m.Update.Ref()
+	if state, ok := e.states[ref]; ok {
 		// Duplicate: feed the local tuning metrics (§6) and merge the
 		// incoming list — "it can use the list of 'updated replicas' in
 		// each of those messages" (§4.2).
@@ -431,10 +521,10 @@ func (e *Engine[ID]) handlePush(from ID, m Message[ID]) {
 	state := e.newState()
 	state.rf.AddAll(m.RF)
 	state.rf.Add(e.self)
-	e.states[id] = state
+	e.states[ref] = state
 
 	if e.cfg.Acks && e.validID(from) {
-		e.ep.Send(from, Message[ID]{Kind: KindAck, UpdateID: id})
+		e.ep.Send(from, Message[ID]{Kind: KindAck, UpdateRef: ref})
 	}
 
 	if ad, ok := state.pfn.(*pf.Adaptive); ok {
@@ -453,27 +543,33 @@ func (e *Engine[ID]) handlePush(from ID, m Message[ID]) {
 	if e.ep.Rand().Float64() >= state.pfn.P(t) {
 		return
 	}
-	rp := e.sample(e.fanout(), nil)
-	targets := rp[:0:0]
+	rp := e.sample(e.fanout())
+	// Merge R_p into R_f and keep R_p \ R_f(old) in one pass: Add reports
+	// exactly "was not in R_f", and a sample has no repeats, so the kept
+	// prefix is the old filter-then-union without a second buffer.
+	targets := rp[:0]
 	for _, candidate := range rp {
-		if !state.rf.Contains(candidate) {
+		if state.rf.Add(candidate) {
 			targets = append(targets, candidate)
 		}
 	}
-	state.rf.AddAll(rp)
 	e.sendPushes(m.Update, targets, state, t)
+	e.releaseScratch(rp)
 }
 
 func (e *Engine[ID]) sendPushes(u store.Update, targets []ID, state *updateState[ID], t int) {
 	if len(targets) == 0 {
 		return
 	}
+	// Render the carried list once per push batch; every target gets the
+	// same copy.
 	carried := e.carried(state.rf)
 	now := e.ep.Now()
 	for _, target := range targets {
 		if e.cfg.Acks {
 			if _, pending := e.awaitingAck[target]; !pending {
 				e.awaitingAck[target] = now
+				e.ackWaitQ.push(target, now)
 			}
 		}
 		e.ep.Send(target, Message[ID]{Kind: KindPush, Update: u, RF: carried, T: t})
@@ -482,7 +578,9 @@ func (e *Engine[ID]) sendPushes(u store.Update, targets []ID, state *updateState
 
 // carried renders a flooding list for the wire, applying the ListMax
 // truncation (§4.2). The local accumulated list is never truncated — only
-// the transmitted copy.
+// the transmitted copy. When no truncation applies the backing slice is
+// shared rather than copied: an orderedSet only ever appends, so an aliased
+// prefix stays valid even as the set keeps growing.
 func (e *Engine[ID]) carried(rf *orderedSet[ID]) []ID {
 	if !e.cfg.PartialList {
 		return nil
@@ -490,15 +588,21 @@ func (e *Engine[ID]) carried(rf *orderedSet[ID]) []ID {
 	if e.cfg.ListMax > 0 && rf.Len() > e.cfg.ListMax {
 		return rf.Truncated(e.cfg.ListMax, e.cfg.TruncatePolicy, e.ep.Rand())
 	}
-	return rf.Slice()
+	return rf.View()
 }
 
 // Carried renders an arbitrary accumulated list for the wire per the
-// engine's partial-list configuration, for tests and benchmarks.
+// engine's partial-list configuration, for tests and benchmarks. The input
+// stands in for an accumulated flooding list, so it is assumed free of
+// duplicates.
 func (e *Engine[ID]) Carried(list []ID) []ID {
-	s := newOrderedSet[ID](len(list))
-	s.AddAll(list)
-	return e.carried(s)
+	if !e.cfg.PartialList {
+		return nil
+	}
+	if e.cfg.ListMax > 0 && len(list) > e.cfg.ListMax {
+		return replicalist.TruncatedCopy(list, e.cfg.ListMax, e.cfg.TruncatePolicy, e.ep.Rand())
+	}
+	return list
 }
 
 // listFraction estimates the fraction of the replica population an update
@@ -543,18 +647,30 @@ func (e *Engine[ID]) fireApply(u store.Update, res store.ApplyResult, src Source
 func (e *Engine[ID]) PullNow() { e.sendPull() }
 
 func (e *Engine[ID]) sendPull() {
-	targets := e.sample(e.cfg.PullAttempts, nil)
+	targets := e.sample(e.cfg.PullAttempts)
+	if len(targets) == 0 {
+		e.releaseScratch(targets)
+		return
+	}
 	clock := e.st.Clock()
 	for _, target := range targets {
 		e.ep.Send(target, Message[ID]{Kind: KindPullReq, Clock: clock})
 	}
+	e.releaseScratch(targets)
 }
 
 func (e *Engine[ID]) handlePullReq(from ID, m Message[ID]) {
 	e.Learn(from)
 	missing := e.st.MissingFor(m.Clock)
-	sample := e.sample(e.cfg.PullGossipSample, map[ID]struct{}{from: {}})
-	e.ep.Send(from, Message[ID]{Kind: KindPullResp, Updates: missing, Peers: sample})
+	sample := e.sampleExcluding(e.cfg.PullGossipSample, from)
+	// The sample aliases the engine's scratch buffer; the message escapes to
+	// the adapter, so it gets its own copy.
+	var peers []ID
+	if len(sample) > 0 {
+		peers = append([]ID(nil), sample...)
+	}
+	e.releaseScratch(sample)
+	e.ep.Send(from, Message[ID]{Kind: KindPullResp, Updates: missing, Peers: peers})
 
 	// "receives a pull request, but is not sure to have the latest update"
 	// (§3): a stale or lazily-woken peer answers and synchronises itself.
@@ -575,10 +691,10 @@ func (e *Engine[ID]) handlePullResp(from ID, m Message[ID]) {
 		if applied == store.Applied {
 			gotNew = true
 		}
-		if _, ok := e.states[u.ID()]; !ok {
+		if _, ok := e.states[u.Ref()]; !ok {
 			// Updates learned by pull are not re-pushed: the push phase has
 			// already saturated the online population (§4.3's optimism).
-			e.states[u.ID()] = e.newState()
+			e.states[u.Ref()] = e.newState()
 		}
 		e.fireApply(u, applied, SourcePull, branches)
 	}
@@ -592,41 +708,74 @@ func (e *Engine[ID]) handlePullResp(from ID, m Message[ID]) {
 // --- Acknowledgements (§6) -------------------------------------------
 
 func (e *Engine[ID]) handleAck(from ID) {
+	if _, seen := e.ackedBy[from]; !seen {
+		e.ackedOrder = append(e.ackedOrder, from)
+	}
 	e.ackedBy[from] = e.ep.Now()
 	delete(e.suspects, from)
 	delete(e.awaitingAck, from)
+	if e.cfg.Acks {
+		e.view.promote(from)
+	}
 	if e.cfg.Hooks.OnAck != nil {
 		e.cfg.Hooks.OnAck(from)
 	}
 }
 
+// suspect marks a peer as suspected offline: recorded in the suspect map and
+// expiry queue, and moved to the view's suspended segment so sampling skips
+// it without scanning.
+func (e *Engine[ID]) suspect(peer ID, now int64) {
+	e.suspects[peer] = now
+	e.suspectQ.push(peer, now)
+	e.view.suspend(peer)
+	if e.cfg.Hooks.OnSuspect != nil {
+		e.cfg.Hooks.OnSuspect(peer)
+	}
+}
+
 // detectMissingAcks moves peers whose ack is overdue onto the suspect list
-// (§6: the pusher assumes they are offline and skips them for a while).
+// (§6: the pusher assumes they are offline and skips them for a while). The
+// await queue is in creation order with monotone ticks, so the sweep pops
+// expired entries from the front and stops at the first live one — O(1) per
+// call plus O(1) amortised per expiry, instead of a full map scan.
 func (e *Engine[ID]) detectMissingAcks(now int64) {
 	if !e.cfg.Acks {
 		return
 	}
-	for peer, sentAt := range e.awaitingAck {
-		if now-sentAt >= e.cfg.AckTimeout {
-			e.suspects[peer] = now
-			delete(e.awaitingAck, peer)
-			if e.cfg.Hooks.OnSuspect != nil {
-				e.cfg.Hooks.OnSuspect(peer)
-			}
+	for {
+		head, ok := e.ackWaitQ.peek()
+		if !ok || now-head.at < e.cfg.AckTimeout {
+			return
+		}
+		e.ackWaitQ.pop()
+		// Stale entries — the peer acked, or was re-pushed after an earlier
+		// resolution — no longer match the map and are skipped.
+		if sentAt, pending := e.awaitingAck[head.peer]; pending && sentAt == head.at {
+			delete(e.awaitingAck, head.peer)
+			e.suspect(head.peer, now)
 		}
 	}
 }
 
 // expireSuspects re-admits suspects after SuspectTTL ticks — "it is
 // desirable that [the pusher] again forwards updates to [the peer] in remote
-// future" (§6).
+// future" (§6). Like the ack sweep it pops the queue front instead of
+// scanning the map.
 func (e *Engine[ID]) expireSuspects(now int64) {
 	if !e.cfg.Acks {
 		return
 	}
-	for peer, since := range e.suspects {
-		if now-since > e.cfg.SuspectTTL {
-			delete(e.suspects, peer)
+	for {
+		head, ok := e.suspectQ.peek()
+		if !ok || now-head.at <= e.cfg.SuspectTTL {
+			return
+		}
+		e.suspectQ.pop()
+		if since, suspected := e.suspects[head.peer]; suspected && since == head.at {
+			delete(e.suspects, head.peer)
+			_, acked := e.ackedBy[head.peer]
+			e.view.release(head.peer, acked)
 		}
 	}
 }
@@ -639,31 +788,42 @@ func (e *Engine[ID]) Sweep() {
 	e.expireSuspects(now)
 }
 
-// Suspects returns the peers currently suspected offline.
+// Suspects returns the peers currently suspected offline, in the order the
+// suspicions were raised.
 func (e *Engine[ID]) Suspects() []ID {
-	out := make([]ID, 0, len(e.suspects))
-	for peer := range e.suspects {
-		out = append(out, peer)
-	}
-	return out
+	return liveQueueEntries(&e.suspectQ, e.suspects)
 }
 
-// AwaitingAck returns the peers with an outstanding ack expectation.
+// AwaitingAck returns the peers with an outstanding ack expectation, in the
+// order the expectations were created.
 func (e *Engine[ID]) AwaitingAck() []ID {
-	out := make([]ID, 0, len(e.awaitingAck))
-	for peer := range e.awaitingAck {
-		out = append(out, peer)
+	return liveQueueEntries(&e.ackWaitQ, e.awaitingAck)
+}
+
+// liveQueueEntries walks a deadline queue in insertion order and keeps each
+// peer whose live map entry matches the queued tick, once. The dedup
+// matters when an entry is resolved and recreated within the same tick
+// (synchronous adapters, coarse clocks): both queue entries then match the
+// map, but the peer has only one live expectation.
+func liveQueueEntries[ID comparable](q *deadlineQueue[ID], live map[ID]int64) []ID {
+	out := make([]ID, 0, len(live))
+	seen := make(map[ID]struct{}, len(live))
+	for _, entry := range q.items[q.head:] {
+		if at, ok := live[entry.peer]; !ok || at != entry.at {
+			continue
+		}
+		if _, dup := seen[entry.peer]; dup {
+			continue
+		}
+		seen[entry.peer] = struct{}{}
+		out = append(out, entry.peer)
 	}
 	return out
 }
 
-// Acked returns the peers that have acknowledged a push.
+// Acked returns the peers that have acknowledged a push, in first-ack order.
 func (e *Engine[ID]) Acked() []ID {
-	out := make([]ID, 0, len(e.ackedBy))
-	for peer := range e.ackedBy {
-		out = append(out, peer)
-	}
-	return out
+	return append([]ID(nil), e.ackedOrder...)
 }
 
 // --- Target selection ------------------------------------------------
@@ -671,13 +831,61 @@ func (e *Engine[ID]) Acked() []ID {
 // SamplePeers draws up to k distinct known peers with the §6 ack
 // preferences applied, for adapters and tests; it is the same choice the
 // push and pull phases use.
-func (e *Engine[ID]) SamplePeers(k int) []ID { return e.sample(k, nil) }
+func (e *Engine[ID]) SamplePeers(k int) []ID {
+	out := e.sample(k)
+	if out == nil {
+		return nil
+	}
+	// The internal sample aliases the engine's scratch buffer; public
+	// callers get a copy they may keep.
+	kept := append([]ID(nil), out...)
+	e.releaseScratch(out)
+	return kept
+}
 
-// sample draws up to k distinct known peers, excluding those in skip. With
-// acks enabled, suspected-offline peers are skipped and recently-acking
-// peers are preferred (§6). It is the "random subset R_p" choice of the
-// push phase and the random peer choice of the pull phase.
-func (e *Engine[ID]) sample(k int, skip map[ID]struct{}) []ID {
+// takeScratch claims the engine's reusable sampling buffer. A reentrant
+// engine call (a synchronous adapter delivering a reply mid-send-loop) finds
+// the buffer already claimed and falls back to a fresh allocation, which the
+// matching releaseScratch then adopts for future calls.
+func (e *Engine[ID]) takeScratch() []ID {
+	buf := e.scratch
+	e.scratch = nil
+	if buf == nil {
+		buf = make([]ID, 0, 16)
+	}
+	return buf[:0]
+}
+
+// releaseScratch returns a buffer obtained from sample/sampleExcluding.
+func (e *Engine[ID]) releaseScratch(buf []ID) {
+	if buf != nil {
+		e.scratch = buf
+	}
+}
+
+// sample draws up to k distinct known peers. With acks enabled,
+// suspected-offline peers are skipped and recently-acking peers are
+// preferred (§6). It is the "random subset R_p" choice of the push phase and
+// the random peer choice of the pull phase.
+//
+// The result aliases the engine's scratch buffer: callers use it and hand it
+// back with releaseScratch, copying first if it escapes the engine. The view
+// keeps preferred/available/suspended peers in contiguous segments, so a
+// draw is a partial Fisher–Yates costing O(k) — independent of the view size
+// — and allocation-free on the steady path.
+func (e *Engine[ID]) sample(k int) []ID {
+	var zero ID
+	return e.sampleFrom(k, zero, false)
+}
+
+// sampleExcluding is sample with one peer excluded — the pull-response path,
+// which must not gossip the requester back to itself. The exclusion is a
+// constant-time segment shrink, not a per-candidate filter.
+func (e *Engine[ID]) sampleExcluding(k int, exclude ID) []ID {
+	return e.sampleFrom(k, exclude, true)
+}
+
+func (e *Engine[ID]) sampleFrom(k int, exclude ID, haveExclude bool) []ID {
 	if k <= 0 || e.view.Len() == 0 {
 		return nil
 	}
@@ -686,41 +894,6 @@ func (e *Engine[ID]) sample(k int, skip map[ID]struct{}) []ID {
 		e.detectMissingAcks(now)
 		e.expireSuspects(now)
 	}
-	rng := e.ep.Rand()
-	var preferred []ID
-	candidates := make([]ID, 0, e.view.Len())
-	for _, id := range e.view.order {
-		if skip != nil {
-			if _, s := skip[id]; s {
-				continue
-			}
-		}
-		if e.cfg.Acks {
-			if _, suspect := e.suspects[id]; suspect {
-				continue
-			}
-			if _, acked := e.ackedBy[id]; acked {
-				preferred = append(preferred, id)
-				continue
-			}
-		}
-		candidates = append(candidates, id)
-	}
-	rng.Shuffle(len(preferred), func(i, j int) {
-		preferred[i], preferred[j] = preferred[j], preferred[i]
-	})
-	rng.Shuffle(len(candidates), func(i, j int) {
-		candidates[i], candidates[j] = candidates[j], candidates[i]
-	})
-	out := preferred
-	if len(out) > k {
-		out = out[:k]
-	} else {
-		need := k - len(out)
-		if need > len(candidates) {
-			need = len(candidates)
-		}
-		out = append(out, candidates[:need]...)
-	}
-	return out
+	out := e.takeScratch()
+	return e.view.sampleInto(out, k, e.ep.Rand(), exclude, haveExclude)
 }

@@ -236,7 +236,7 @@ func TestPushForwardsToSampledPeersOutsideList(t *testing.T) {
 func TestSuspectExpiry(t *testing.T) {
 	cfg := Config[int]{Fanout: 1, Acks: true, AckTimeout: 2, SuspectTTL: 3}
 	e, ep := newTestEngine(t, 0, cfg, nil)
-	e.suspects[7] = 0
+	e.suspect(7, 0)
 	ep.now = 2
 	e.Sweep()
 	if len(e.Suspects()) != 1 {
@@ -266,7 +266,7 @@ func TestAckLifecycle(t *testing.T) {
 
 	// Peer 1 acks in time; peer 2 never does.
 	ep.now = 1
-	e.Handle(1, Message[int]{Kind: KindAck, UpdateID: "peer-0/1"})
+	e.Handle(1, Message[int]{Kind: KindAck, UpdateRef: store.Ref{Origin: "peer-0", Seq: 1}})
 	if got := e.Acked(); len(got) != 1 || got[0] != 1 {
 		t.Fatalf("acked = %v", got)
 	}
@@ -283,7 +283,7 @@ func TestAckLifecycle(t *testing.T) {
 		t.Fatalf("sample = %v, want [1]", got)
 	}
 	// A late ack re-admits the suspect immediately.
-	e.Handle(2, Message[int]{Kind: KindAck, UpdateID: "peer-0/1"})
+	e.Handle(2, Message[int]{Kind: KindAck, UpdateRef: store.Ref{Origin: "peer-0", Seq: 1}})
 	if len(e.Suspects()) != 0 {
 		t.Fatal("ack did not clear suspicion")
 	}
@@ -295,8 +295,8 @@ func TestAckPreferenceOrdersSample(t *testing.T) {
 	for i := 1; i <= 8; i++ {
 		e.Learn(i)
 	}
-	e.Handle(3, Message[int]{Kind: KindAck, UpdateID: "x"})
-	e.Handle(6, Message[int]{Kind: KindAck, UpdateID: "x"})
+	e.Handle(3, Message[int]{Kind: KindAck})
+	e.Handle(6, Message[int]{Kind: KindAck})
 	// Acked peers must fill the sample before any silent peer.
 	for trial := 0; trial < 10; trial++ {
 		got := e.SamplePeers(2)

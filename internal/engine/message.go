@@ -69,8 +69,10 @@ type Message[ID comparable] struct {
 	// Peers is a membership sample piggybacked on KindPullResp — the
 	// name-dropper effect applied to the pull phase.
 	Peers []ID
-	// UpdateID identifies the acknowledged update for KindAck.
-	UpdateID string
+	// UpdateRef identifies the acknowledged update for KindAck. The
+	// comparable form keeps the ack path allocation-free; adapters render
+	// the "origin/seq" string only at their wire boundary.
+	UpdateRef store.Ref
 	// QID correlates KindQuery/KindQueryResp pairs.
 	QID int64
 	// Key is the queried key for KindQuery/KindQueryResp.

@@ -62,7 +62,7 @@ func (e *Engine[ID]) QueryNotify(key string, k int, notify func()) int64 {
 	}
 	e.queryCounter++
 	qid := e.queryCounter
-	targets := e.sample(k, nil)
+	targets := e.sample(k)
 	state := &queryState{
 		result:  QueryResult{Key: key},
 		want:    len(targets),
@@ -81,6 +81,7 @@ func (e *Engine[ID]) QueryNotify(key string, k int, notify func()) int64 {
 		}
 	}
 	if len(targets) == 0 {
+		e.releaseScratch(targets)
 		// Nobody to ask: answer from local state immediately.
 		if !e.cfg.QueryLocalVoice {
 			e.resolveQueryLocal(state)
@@ -94,6 +95,7 @@ func (e *Engine[ID]) QueryNotify(key string, k int, notify func()) int64 {
 	for _, target := range targets {
 		e.ep.Send(target, Message[ID]{Kind: KindQuery, QID: qid, Key: key})
 	}
+	e.releaseScratch(targets)
 	return qid
 }
 

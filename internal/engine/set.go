@@ -55,6 +55,14 @@ func (s *orderedSet[ID]) Slice() []ID {
 	return append([]ID(nil), s.order...)
 }
 
+// View returns the entries in insertion order without copying. The returned
+// slice is capacity-clamped and the set only ever appends — existing entries
+// are never reordered or rewritten — so the view stays valid (and stays at
+// its length) while the set keeps growing. Callers must not mutate it.
+func (s *orderedSet[ID]) View() []ID {
+	return s.order[:len(s.order):len(s.order)]
+}
+
 // Truncated returns a copy of at most maxLen entries, dropping the excess
 // per the given policy (§4.2: "discarding either random entries or the head
 // or tail of the partial list"). The set itself is never modified — only the

@@ -211,34 +211,54 @@ func TestSimulationMatchesAnalyticModel(t *testing.T) {
 	// The core validation: the stochastic simulator and the recursion agree
 	// on message cost and coverage for the paper's parameter regime
 	// (scaled to R=2000 to keep the test fast).
+	//
+	// Single trajectories are noisy — under a decaying PF the push phase's
+	// extinction time varies by several messages per peer from seed to seed
+	// — so each case averages three independent seeds and the tolerance is
+	// on the mean, keeping the assertion about the model rather than about
+	// one seed's luck.
 	cases := []struct {
 		name string
 		p    SimParams
+		tol  float64
 	}{
 		{"plain sigma=0.95", SimParams{
 			R: 2000, ROn0: 200, Sigma: 0.95, Fr: 0.05, Seed: 1,
-		}},
+		}, 0.30},
 		{"partial list", SimParams{
 			R: 2000, ROn0: 200, Sigma: 0.95, Fr: 0.05, PartialList: true, Seed: 2,
-		}},
+		}, 0.30},
+		// The decaying-PF regime sits furthest from the analytic recursion
+		// (the recursion keeps spending messages long after the stochastic
+		// cascade has died out), so it gets the same headroom the Table 2
+		// comparisons use.
 		{"decaying pf", SimParams{
 			R: 2000, ROn0: 200, Sigma: 0.9, Fr: 0.05, PartialList: true,
 			NewPF: func() pf.Func { return pf.Geometric{Base: 0.9} }, Seed: 3,
-		}},
+		}, 0.35},
 	}
+	const seedRuns = 3
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			anaMsgs, simMsgs, anaAware, simAware, err := CrossCheck(tc.p)
-			if err != nil {
-				t.Fatal(err)
+			var anaMsgs, anaAware, simMsgs, simAware float64
+			for i := 0; i < seedRuns; i++ {
+				p := tc.p
+				p.Seed = tc.p.Seed + int64(i*100)
+				ana, sim, anaAw, simAw, err := CrossCheck(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				anaMsgs, anaAware = ana, anaAw // analytic: seed-independent
+				simMsgs += sim / seedRuns
+				simAware += simAw / seedRuns
 			}
 			msgGap := math.Abs(anaMsgs-simMsgs) / anaMsgs
-			if msgGap > 0.30 {
-				t.Errorf("message gap %0.f%%: analytic %g vs sim %g",
+			if msgGap > tc.tol {
+				t.Errorf("message gap %0.f%%: analytic %g vs sim mean %g",
 					msgGap*100, anaMsgs, simMsgs)
 			}
 			if math.Abs(anaAware-simAware) > 0.15 {
-				t.Errorf("awareness gap: analytic %g vs sim %g", anaAware, simAware)
+				t.Errorf("awareness gap: analytic %g vs sim mean %g", anaAware, simAware)
 			}
 		})
 	}

@@ -67,7 +67,7 @@ func (s simEndpoint) Send(to int, m engine.Message[int]) {
 		reg.Inc(MetricPullResponses)
 		reg.Add(MetricPullUpdates, float64(len(m.Updates)))
 	case engine.KindAck:
-		msg := AckMsg{UpdateID: m.UpdateID}
+		msg := AckMsg{UpdateID: m.UpdateRef.String()}
 		env.Send(to, msg, msg.SizeBytes())
 		reg.Inc(MetricAcks)
 	case engine.KindQuery:
@@ -205,8 +205,11 @@ func (p *Peer) HandleMessage(env *simnet.Env, msg simnet.Message) {
 			Kind: engine.KindPullResp, Updates: m.Updates, Peers: m.Peers,
 		})
 	case AckMsg:
+		// A malformed id yields the zero Ref; the engine's ack handling is
+		// keyed by the sender, not the update, so nothing is lost.
+		ref, _ := store.ParseRef(m.UpdateID)
 		p.eng.Handle(msg.From, engine.Message[int]{
-			Kind: engine.KindAck, UpdateID: m.UpdateID,
+			Kind: engine.KindAck, UpdateRef: ref,
 		})
 	case QueryMsg:
 		p.eng.Handle(msg.From, engine.Message[int]{

@@ -1,0 +1,103 @@
+package live
+
+// Benchmarks for the live wire path. The round-trip benchmark is the
+// transport-level hot path: one envelope to a peer and the peer's reply —
+// the shape of every push/ack and pull-request/pull-response exchange.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/p2pgossip/update/internal/wire"
+)
+
+// BenchmarkTCPRoundTrip measures one request envelope sent to a peer plus the
+// peer's response envelope, over real TCP on loopback. With the pooled
+// streaming transport both directions reuse an established connection and a
+// warm gob codec; the pre-pool transport paid a dial plus a cold encoder per
+// envelope.
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	peer, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer peer.Close()
+
+	// The peer answers every pull request with a small pull response; the
+	// requester signals each completed round trip.
+	done := make(chan struct{}, 1)
+	peer.SetHandler(func(env wire.Envelope) {
+		if env.Kind == wire.KindPullReq {
+			_ = peer.Send(env.From, wire.Envelope{
+				Kind: wire.KindPullResp, From: peer.Addr(),
+				Updates: []wire.Update{{
+					Origin: "writer", Seq: 1, Key: "key", Value: []byte("value"),
+				}},
+			})
+		}
+	})
+	a.SetHandler(func(env wire.Envelope) {
+		if env.Kind == wire.KindPullResp {
+			done <- struct{}{}
+		}
+	})
+
+	req := wire.Envelope{
+		Kind: wire.KindPullReq, From: a.Addr(),
+		Clock: map[string]uint64{"writer": 0},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(peer.Addr(), req); err != nil {
+			b.Fatalf("send: %v", err)
+		}
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			b.Fatal("round trip timed out")
+		}
+	}
+}
+
+// BenchmarkTCPSendBurst measures a one-way burst of push envelopes to a
+// single peer, the shape of the push phase's fanout loop.
+func BenchmarkTCPSendBurst(b *testing.B) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	peer, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer peer.Close()
+
+	received := make(chan struct{}, 1024)
+	peer.SetHandler(func(wire.Envelope) { received <- struct{}{} })
+
+	env := wire.Envelope{
+		Kind: wire.KindPush, From: a.Addr(),
+		Update: wire.Update{Origin: "writer", Seq: 1, Key: "key", Value: []byte("value")},
+		RF:     []string{"peer-1", "peer-2", "peer-3"},
+		T:      1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(peer.Addr(), env); err != nil {
+			b.Fatalf("send: %v", err)
+		}
+		select {
+		case <-received:
+		case <-time.After(5 * time.Second):
+			b.Fatal("delivery timed out")
+		}
+	}
+}

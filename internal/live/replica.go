@@ -309,9 +309,12 @@ func (r *Replica) handle(env wire.Envelope) {
 		})
 	case wire.KindAck:
 		r.inc(MetricAckReceived)
+		// A malformed id yields the zero Ref; the engine's ack handling is
+		// keyed by the sender, not the update, so nothing is lost.
+		ref, _ := store.ParseRef(env.UpdateID)
 		r.run(func(e *engine.Engine[string]) {
 			e.Handle(env.From, engine.Message[string]{
-				Kind: engine.KindAck, UpdateID: env.UpdateID,
+				Kind: engine.KindAck, UpdateRef: ref,
 			})
 		})
 	case wire.KindQuery:
@@ -361,7 +364,7 @@ func envelopeFromEngine(from string, m engine.Message[string]) wire.Envelope {
 		env.KnownPeers = m.Peers
 	case engine.KindAck:
 		env.Kind = wire.KindAck
-		env.UpdateID = m.UpdateID
+		env.UpdateID = m.UpdateRef.String()
 	case engine.KindQuery:
 		env.Kind = wire.KindQuery
 		env.QID = m.QID

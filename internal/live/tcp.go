@@ -1,9 +1,9 @@
 package live
 
 import (
-	"encoding/binary"
+	"bufio"
+	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
@@ -11,17 +11,40 @@ import (
 	"github.com/p2pgossip/update/internal/wire"
 )
 
-// maxFrameBytes bounds a single envelope frame (16 MiB) so a corrupt or
-// hostile peer cannot force unbounded allocation.
-const maxFrameBytes = 16 << 20
-
 // dialTimeout bounds connection establishment to an (often offline) peer.
 const dialTimeout = 2 * time.Second
 
-// TCPTransport sends and receives envelopes over TCP. Each envelope travels
-// as a length-prefixed gob frame on a fresh connection: replicas in the
-// target environment are mostly offline, so long-lived connections would
-// mostly be dead weight; an update burst is a handful of messages.
+// writeTimeout bounds one envelope write on a pooled connection. A peer that
+// keeps the connection open but stops reading (stalled process, dead NAT
+// entry) would otherwise block the sender forever once the TCP window fills
+// — with the per-connection mutex held, wedging every goroutine sending to
+// that peer. The deadline turns the stall into a write error, and the
+// connection is then evicted like any other dead one.
+const writeTimeout = 10 * time.Second
+
+// errConnDead marks a pooled connection another sender already failed on.
+var errConnDead = errors.New("live: pooled connection dead")
+
+// maxPooledConns caps the outbound connection pool, and maxInboundConns the
+// accepted-connection set, so a node that has exchanged traffic with a large
+// population does not hold a socket (and, inbound, a goroutine) per peer it
+// ever met — replicas in the target environment are mostly offline, and file
+// descriptors are the scarce resource. At the cap an arbitrary entry is
+// evicted; the evicted peer simply pays one redial on its next exchange.
+const (
+	maxPooledConns  = 256
+	maxInboundConns = 512
+)
+
+// TCPTransport sends and receives envelopes over TCP. Connections to each
+// destination are pooled and carry a stream of length-prefixed gob frames
+// (the format lives in wire.FrameWriter/FrameReader): the dial, the TCP
+// handshake, and the gob type dictionary are paid once per peer instead of
+// once per envelope, which is what turns an update burst (a push plus its
+// ack, a pull request plus its response) from four dials into writes on two
+// warm connections. Failed dials stay cheap (one timeout), and a send to a
+// peer whose pooled connection has died redials once before reporting the
+// error.
 type TCPTransport struct {
 	listener net.Listener
 
@@ -29,9 +52,50 @@ type TCPTransport struct {
 	handler Handler
 	closed  bool
 	wg      sync.WaitGroup
+	// inbound tracks accepted connections so Close (and the cap) can
+	// unblock their serve loops; they are long-lived now that each carries
+	// a stream.
+	inbound map[net.Conn]struct{}
+
+	// poolMu guards pool and poolClosed. poolClosed mirrors closed so the
+	// pool's own lifecycle decisions need no second lock (and no race
+	// between a Send pooling a fresh dial and Close draining the pool).
+	poolMu     sync.Mutex
+	pool       map[string]*pooledConn
+	poolClosed bool
 }
 
 var _ Transport = (*TCPTransport)(nil)
+
+// pooledConn is one outbound connection with its persistent frame-writer
+// (gob encoder) state.
+type pooledConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	fw   *wire.FrameWriter
+	dead bool
+}
+
+func newPooledConn(conn net.Conn) *pooledConn {
+	return &pooledConn{conn: conn, fw: wire.NewFrameWriter(conn)}
+}
+
+// writeEnvelope writes one frame under the connection's mutex and write
+// deadline, marking the connection dead on any failure (the frame stream
+// cannot be resynchronised after a partial write or a skipped frame).
+func (pc *pooledConn) writeEnvelope(env wire.Envelope) error {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.dead {
+		return errConnDead
+	}
+	pc.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	err := pc.fw.WriteEnvelope(env)
+	if err != nil {
+		pc.dead = true
+	}
+	return err
+}
 
 // ListenTCP starts a transport on the given address ("127.0.0.1:0" picks a
 // free port).
@@ -40,7 +104,11 @@ func ListenTCP(addr string) (*TCPTransport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
 	}
-	t := &TCPTransport{listener: ln}
+	t := &TCPTransport{
+		listener: ln,
+		inbound:  make(map[net.Conn]struct{}),
+		pool:     make(map[string]*pooledConn),
+	}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -56,7 +124,14 @@ func (t *TCPTransport) SetHandler(h Handler) {
 	t.handler = h
 }
 
-// Send implements Transport.
+// Send implements Transport: one frame on the pooled connection to the
+// destination. A stale pooled connection (peer restarted, idle reset,
+// stalled past the write deadline) is detected by the write failing; the
+// envelope is then retried once on a guaranteed-fresh dial, so a single
+// peer outage costs one redial rather than a lost message. Envelope-level
+// failures (an encoding above wire.MaxFrameBytes) still cost the connection
+// — the persistent encoder state is no longer trustworthy — but are not
+// retried: they would fail identically on any stream.
 func (t *TCPTransport) Send(to string, env wire.Envelope) error {
 	t.mu.RLock()
 	closed := t.closed
@@ -64,28 +139,103 @@ func (t *TCPTransport) Send(to string, env wire.Envelope) error {
 	if closed {
 		return fmt.Errorf("live: transport closed")
 	}
-	conn, err := net.DialTimeout("tcp", to, dialTimeout)
-	if err != nil {
-		return fmt.Errorf("live: dial %s: %w", to, err)
-	}
-	defer conn.Close()
-	raw, err := wire.Encode(env)
+	pc, fresh, err := t.conn(to)
 	if err != nil {
 		return err
 	}
-	var lenbuf [4]byte
-	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(raw)))
-	if _, err := conn.Write(lenbuf[:]); err != nil {
-		return fmt.Errorf("live: write frame length to %s: %w", to, err)
+	err = pc.writeEnvelope(env)
+	if err == nil {
+		return nil
 	}
-	if _, err := conn.Write(raw); err != nil {
-		return fmt.Errorf("live: write frame to %s: %w", to, err)
+	t.evict(to, pc)
+	if errors.Is(err, wire.ErrFrameTooLarge) || fresh {
+		return fmt.Errorf("live: send to %s: %w", to, err)
+	}
+	// The pooled connection was stale (or a racing sender had already
+	// broken it): retry exactly once on a connection this call dialled
+	// itself, so the retry cannot land on another goroutine's corpse.
+	pc, err = t.dialAndPool(to, true)
+	if err != nil {
+		return err
+	}
+	if err := pc.writeEnvelope(env); err != nil {
+		t.evict(to, pc)
+		return fmt.Errorf("live: send to %s: %w", to, err)
 	}
 	return nil
 }
 
-// Close implements Transport: stops accepting and waits for in-flight
-// deliveries.
+// conn returns the pooled connection to `to`, dialling one if absent. The
+// boolean reports whether this call created it.
+func (t *TCPTransport) conn(to string) (*pooledConn, bool, error) {
+	t.poolMu.Lock()
+	pc, ok := t.pool[to]
+	t.poolMu.Unlock()
+	if ok {
+		return pc, false, nil
+	}
+	pc, err := t.dialAndPool(to, false)
+	if err != nil {
+		return nil, false, err
+	}
+	return pc, true, nil
+}
+
+// dialAndPool dials `to` and installs the connection in the pool. With
+// replace set an existing entry is displaced (the retry path, which must
+// not reuse a possibly-dead pooled connection); without it a concurrently
+// pooled connection wins and the fresh dial is discarded.
+func (t *TCPTransport) dialAndPool(to string, replace bool) (*pooledConn, error) {
+	raw, err := net.DialTimeout("tcp", to, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("live: dial %s: %w", to, err)
+	}
+	pc := newPooledConn(raw)
+	t.poolMu.Lock()
+	if t.poolClosed {
+		t.poolMu.Unlock()
+		raw.Close()
+		return nil, fmt.Errorf("live: transport closed")
+	}
+	var displaced []*pooledConn
+	if existing, ok := t.pool[to]; ok {
+		if !replace {
+			// A concurrent Send won the race; keep its connection.
+			t.poolMu.Unlock()
+			raw.Close()
+			return existing, nil
+		}
+		displaced = append(displaced, existing)
+		delete(t.pool, to)
+	}
+	if len(t.pool) >= maxPooledConns {
+		for victim, vc := range t.pool {
+			delete(t.pool, victim)
+			displaced = append(displaced, vc)
+			break
+		}
+	}
+	t.pool[to] = pc
+	t.poolMu.Unlock()
+	for _, vc := range displaced {
+		vc.conn.Close()
+	}
+	return pc, nil
+}
+
+// evict drops a dead connection from the pool (only if it is still the one
+// pooled — a racing Send may already have replaced it).
+func (t *TCPTransport) evict(to string, pc *pooledConn) {
+	t.poolMu.Lock()
+	if t.pool[to] == pc {
+		delete(t.pool, to)
+	}
+	t.poolMu.Unlock()
+	pc.conn.Close()
+}
+
+// Close implements Transport: stops accepting, closes pooled and inbound
+// connections, and waits for in-flight deliveries.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -93,7 +243,19 @@ func (t *TCPTransport) Close() error {
 		return nil
 	}
 	t.closed = true
+	for conn := range t.inbound {
+		conn.Close() // unblock the serve loops
+	}
 	t.mu.Unlock()
+
+	t.poolMu.Lock()
+	t.poolClosed = true
+	for to, pc := range t.pool {
+		pc.conn.Close()
+		delete(t.pool, to)
+	}
+	t.poolMu.Unlock()
+
 	err := t.listener.Close()
 	t.wg.Wait()
 	return err
@@ -106,37 +268,53 @@ func (t *TCPTransport) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if len(t.inbound) >= maxInboundConns {
+			for victim := range t.inbound {
+				victim.Close() // its serve loop exits and deregisters
+				break
+			}
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
 		t.wg.Add(1)
 		go func() {
 			defer t.wg.Done()
 			t.serveConn(conn)
+			t.mu.Lock()
+			delete(t.inbound, conn)
+			t.mu.Unlock()
 		}()
 	}
 }
 
+// serveConn decodes a stream of envelope frames from one inbound
+// connection, dispatching each to the handler, until the peer closes or an
+// error makes the stream unsafe to continue. One decoder serves the whole
+// connection, so gob type information is parsed once per peer rather than
+// once per message.
 func (t *TCPTransport) serveConn(conn net.Conn) {
 	defer conn.Close()
-	var lenbuf [4]byte
-	if _, err := io.ReadFull(conn, lenbuf[:]); err != nil {
-		return
-	}
-	n := binary.BigEndian.Uint32(lenbuf[:])
-	if n == 0 || n > maxFrameBytes {
-		return
-	}
-	raw := make([]byte, n)
-	if _, err := io.ReadFull(conn, raw); err != nil {
-		return
-	}
-	env, err := wire.Decode(raw)
-	if err != nil {
-		return
-	}
-	t.mu.RLock()
-	handler := t.handler
-	closed := t.closed
-	t.mu.RUnlock()
-	if handler != nil && !closed {
-		handler(env)
+	fr := wire.NewFrameReader(bufio.NewReader(conn))
+	for {
+		env, err := fr.ReadEnvelope()
+		if err != nil {
+			return // EOF, peer reset, or a corrupt stream: drop the connection
+		}
+		t.mu.RLock()
+		handler := t.handler
+		closed := t.closed
+		t.mu.RUnlock()
+		if closed {
+			return
+		}
+		if handler != nil {
+			handler(env)
+		}
 	}
 }

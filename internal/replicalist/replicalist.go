@@ -192,8 +192,13 @@ func TruncatedCopy[T any](list []T, maxLen int, policy TruncatePolicy, rng *rand
 			// random source.
 			return append([]T(nil), list[:maxLen]...)
 		}
+		// Partial Fisher–Yates: maxLen draws instead of a full shuffle of
+		// the (much longer) input. The kept subset is still uniform.
 		out := append([]T(nil), list...)
-		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		for i := 0; i < maxLen; i++ {
+			j := i + rng.Intn(len(out)-i)
+			out[i], out[j] = out[j], out[i]
+		}
 		return out[:maxLen]
 	default:
 		return append([]T(nil), list...)

@@ -1,0 +1,109 @@
+package store
+
+// Benchmarks for the store hot paths: log apply (push ingest) and the
+// anti-entropy diff that serves every pull request.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/p2pgossip/update/internal/version"
+)
+
+func benchStore(b *testing.B, origins, perOrigin int) *Store {
+	b.Helper()
+	s := New()
+	stamp := time.Unix(1_700_000_000, 0)
+	vid := version.NewID(stamp, "w", rand.New(rand.NewSource(1)))
+	for o := 0; o < origins; o++ {
+		origin := fmt.Sprintf("origin-%02d", o)
+		for i := 0; i < perOrigin; i++ {
+			s.Apply(Update{
+				Origin:  origin,
+				Seq:     uint64(i + 1),
+				Key:     fmt.Sprintf("key-%d-%d", o, i),
+				Value:   []byte("value"),
+				Version: version.History{vid},
+				Stamp:   stamp,
+			})
+		}
+	}
+	return s
+}
+
+// BenchmarkMissingForTail is the steady-state pull: the requester is only a
+// few updates behind on each of many origins.
+func BenchmarkMissingForTail(b *testing.B) {
+	const origins, perOrigin, behind = 16, 256, 4
+	s := benchStore(b, origins, perOrigin)
+	remote := version.NewClock()
+	for o := 0; o < origins; o++ {
+		remote[fmt.Sprintf("origin-%02d", o)] = perOrigin - behind
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.MissingFor(remote); len(got) != origins*behind {
+			b.Fatalf("missing %d, want %d", len(got), origins*behind)
+		}
+	}
+}
+
+// BenchmarkMissingForCurrent is the no-op pull: the requester is already
+// up to date and the response must be empty (and allocation-free).
+func BenchmarkMissingForCurrent(b *testing.B) {
+	const origins, perOrigin = 16, 256
+	s := benchStore(b, origins, perOrigin)
+	remote := s.Clock()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.MissingFor(remote); got != nil {
+			b.Fatalf("missing %d, want none", len(got))
+		}
+	}
+}
+
+// BenchmarkApplyFresh measures ingesting new updates on fresh keys — the
+// first-receipt push path's store half.
+func BenchmarkApplyFresh(b *testing.B) {
+	s := New()
+	stamp := time.Unix(1_700_000_000, 0)
+	vid := version.NewID(stamp, "w", rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := s.Apply(Update{
+			Origin:  "writer",
+			Seq:     uint64(i + 1),
+			Key:     "key-" + fmt.Sprint(i),
+			Value:   []byte("value"),
+			Version: version.History{vid},
+			Stamp:   stamp,
+		})
+		if res != Applied {
+			b.Fatalf("apply = %v", res)
+		}
+	}
+}
+
+// BenchmarkApplyDuplicate measures re-ingesting a known update — the
+// duplicate-push path's store half, pure log lookup.
+func BenchmarkApplyDuplicate(b *testing.B) {
+	s := benchStore(b, 1, 512)
+	u := Update{
+		Origin: "origin-00", Seq: 256, Key: "key-0-255", Value: []byte("value"),
+		Version: version.History{version.NewID(time.Unix(1_700_000_000, 0), "w",
+			rand.New(rand.NewSource(1)))},
+		Stamp: time.Unix(1_700_000_000, 0),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := s.Apply(u); res != Duplicate {
+			b.Fatalf("apply = %v", res)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package store
+
+// Property tests pinning the indexed anti-entropy diff against a naive
+// reference implementation, and the Ref round-trip.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// naiveMissingFor is the pre-index reference implementation: re-sort the
+// origins and linearly scan every per-origin log.
+func naiveMissingFor(s *Store, remote version.Clock) []Update {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	origins := make([]string, 0, len(s.log))
+	for o := range s.log {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	var out []Update
+	for _, o := range origins {
+		have := remote.Get(o)
+		for _, u := range s.log[o] {
+			if u.Seq > have {
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// TestMissingForMatchesNaiveReference builds random logs — random origin
+// sets, random sequence subsets applied in random order, so the logs have
+// gaps — and compares the binary-searched MissingFor against the linear
+// reference for random remote clocks.
+func TestMissingForMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	stamp := time.Unix(1_700_000_000, 0)
+	vid := version.NewID(stamp, "w", rng)
+	for trial := 0; trial < 200; trial++ {
+		s := New()
+		originCount := rng.Intn(6) // sometimes zero: the empty-store case
+		for o := 0; o < originCount; o++ {
+			origin := fmt.Sprintf("origin-%d", rng.Intn(8))
+			// A random subset of sequence numbers, applied shuffled, so the
+			// log is Seq-sorted but gapped.
+			maxSeq := rng.Intn(30) + 1
+			seqs := rng.Perm(maxSeq)
+			keep := rng.Intn(len(seqs) + 1)
+			for _, seq := range seqs[:keep] {
+				s.Apply(Update{
+					Origin:  origin,
+					Seq:     uint64(seq + 1),
+					Key:     fmt.Sprintf("key-%d", rng.Intn(10)),
+					Value:   []byte{byte(seq)},
+					Version: version.History{vid},
+					Stamp:   stamp,
+				})
+			}
+		}
+		for probe := 0; probe < 5; probe++ {
+			remote := version.NewClock()
+			for o := 0; o < 8; o++ {
+				if rng.Intn(2) == 0 {
+					remote[fmt.Sprintf("origin-%d", o)] = uint64(rng.Intn(35))
+				}
+			}
+			got := s.MissingFor(remote)
+			want := naiveMissingFor(s, remote)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %d updates, reference %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Ref() != want[i].Ref() {
+					t.Fatalf("trial %d: position %d is %v, reference %v",
+						trial, i, got[i].Ref(), want[i].Ref())
+				}
+			}
+		}
+	}
+}
+
+func TestRefStringRoundTrip(t *testing.T) {
+	for _, ref := range []Ref{
+		{Origin: "peer-0", Seq: 1},
+		{Origin: "127.0.0.1:9000", Seq: 18446744073709551615},
+		{Origin: "with/slash", Seq: 7},
+	} {
+		back, err := ParseRef(ref.String())
+		if err != nil {
+			t.Fatalf("ParseRef(%q): %v", ref.String(), err)
+		}
+		if back != ref {
+			t.Fatalf("round trip %q → %+v, want %+v", ref.String(), back, ref)
+		}
+	}
+	u := Update{Origin: "peer-3", Seq: 12}
+	if u.ID() != "peer-3/12" || u.Ref().String() != u.ID() {
+		t.Fatalf("ID/Ref disagree: %q vs %q", u.ID(), u.Ref().String())
+	}
+	for _, bad := range []string{"", "no-seq", "origin/", "origin/notanumber", "origin/-1"} {
+		if _, err := ParseRef(bad); err == nil {
+			t.Fatalf("ParseRef(%q) accepted", bad)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"github.com/p2pgossip/update/internal/version"
@@ -115,10 +116,17 @@ func (s *Store) Replace(other *Store) {
 	retain := other.tombRetain
 	other.mu.RUnlock()
 
+	origins := make([]string, 0, len(log))
+	for origin := range log {
+		origins = append(origins, origin)
+	}
+	sort.Strings(origins)
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.items = items
 	s.log = log
+	s.origins = origins
 	s.clock = clock
 	s.tombRetain = retain
 }

@@ -20,6 +20,8 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -47,8 +49,42 @@ type Update struct {
 	Stamp time.Time
 }
 
-// ID returns the unique update identifier (origin, seq).
-func (u Update) ID() string { return fmt.Sprintf("%s/%d", u.Origin, u.Seq) }
+// Ref is the comparable identity of an update: the (origin, seq) pair. It is
+// the map key the protocol engine uses for per-update state, so building one
+// must not allocate — unlike the string form, which exists for hooks, logs,
+// and the public API.
+type Ref struct {
+	// Origin identifies the replica that created the update.
+	Origin string
+	// Seq is the origin's sequence number.
+	Seq uint64
+}
+
+// String renders the canonical "origin/seq" form.
+func (r Ref) String() string {
+	return r.Origin + "/" + strconv.FormatUint(r.Seq, 10)
+}
+
+// ParseRef parses the canonical "origin/seq" form produced by Ref.String and
+// Update.ID. The split is on the last slash, so origins containing slashes
+// round-trip.
+func ParseRef(id string) (Ref, error) {
+	i := strings.LastIndexByte(id, '/')
+	if i < 0 {
+		return Ref{}, fmt.Errorf("store: update id %q has no sequence", id)
+	}
+	seq, err := strconv.ParseUint(id[i+1:], 10, 64)
+	if err != nil {
+		return Ref{}, fmt.Errorf("store: update id %q: %w", id, err)
+	}
+	return Ref{Origin: id[:i], Seq: seq}, nil
+}
+
+// Ref returns the update's comparable identity without allocating.
+func (u Update) Ref() Ref { return Ref{Origin: u.Origin, Seq: u.Seq} }
+
+// ID returns the unique update identifier "origin/seq".
+func (u Update) ID() string { return u.Ref().String() }
 
 // SizeBytes estimates the wire size of the update: key, value, and the
 // version history (IDSize bytes per entry), plus a small fixed header.
@@ -103,8 +139,11 @@ type Store struct {
 	// items maps key → coexisting revisions.
 	items map[string][]Revision
 	// log holds every applied update per origin, ordered by Seq, backing
-	// anti-entropy diffs.
+	// anti-entropy diffs. Logged updates are immutable once appended.
 	log map[string][]Update
+	// origins is the sorted list of log keys, maintained incrementally so
+	// MissingFor does not re-sort on every pull request.
+	origins []string
 	// clock summarises the applied updates.
 	clock version.Clock
 	// tombRetain is how long tombstones are kept before GC.
@@ -189,14 +228,14 @@ func (s *Store) applyLocked(u Update) ApplyResult {
 	s.appendLogLocked(u)
 	// The clock advances only over the contiguous prefix of received
 	// sequence numbers; a gap (update lost in flight) keeps the clock low so
-	// that a later pull re-fetches the hole.
+	// that a later pull re-fetches the hole. The log is Seq-sorted, so the
+	// walk starts at the binary-searched frontier and covers only the newly
+	// contiguous run — in-order delivery advances in O(log n) + O(1) instead
+	// of rescanning the whole log.
 	cur := s.clock.Get(u.Origin)
-	for _, logged := range s.log[u.Origin] {
-		if logged.Seq == cur+1 {
-			cur++
-		} else if logged.Seq > cur+1 {
-			break
-		}
+	log := s.log[u.Origin]
+	for i := seqSearch(log, cur+1); i < len(log) && log[i].Seq == cur+1; i++ {
+		cur++
 	}
 	if cur > s.clock.Get(u.Origin) {
 		s.clock[u.Origin] = cur
@@ -227,17 +266,24 @@ func (s *Store) applyLocked(u Update) ApplyResult {
 }
 
 func (s *Store) haveUpdateLocked(origin string, seq uint64) bool {
-	for _, u := range s.log[origin] {
-		if u.Seq == seq {
-			return true
-		}
-	}
-	return false
+	log := s.log[origin]
+	idx := seqSearch(log, seq)
+	return idx < len(log) && log[idx].Seq == seq
+}
+
+// seqSearch returns the index of the first entry with Seq >= seq. Logs are
+// Seq-ordered, so this is the binary-searched frontier of an anti-entropy
+// diff when called with seq = remote+1.
+func seqSearch(log []Update, seq uint64) int {
+	return sort.Search(len(log), func(i int) bool { return log[i].Seq >= seq })
 }
 
 func (s *Store) appendLogLocked(u Update) {
-	log := s.log[u.Origin]
-	idx := sort.Search(len(log), func(i int) bool { return log[i].Seq >= u.Seq })
+	log, known := s.log[u.Origin]
+	if !known {
+		s.insertOriginLocked(u.Origin)
+	}
+	idx := seqSearch(log, u.Seq)
 	if idx < len(log) && log[idx].Seq == u.Seq {
 		return
 	}
@@ -245,6 +291,14 @@ func (s *Store) appendLogLocked(u Update) {
 	copy(log[idx+1:], log[idx:])
 	log[idx] = u
 	s.log[u.Origin] = log
+}
+
+// insertOriginLocked adds a newly seen origin to the sorted origin index.
+func (s *Store) insertOriginLocked(origin string) {
+	idx := sort.SearchStrings(s.origins, origin)
+	s.origins = append(s.origins, "")
+	copy(s.origins[idx+1:], s.origins[idx:])
+	s.origins[idx] = origin
 }
 
 // Get returns the winning revision for key. When concurrent branches
@@ -299,22 +353,26 @@ func (s *Store) Clock() version.Clock {
 
 // MissingFor returns every logged update the remote clock has not seen,
 // ordered by origin then sequence. It is the payload of a pull response.
+//
+// Logged updates are immutable, so the result shares their Value and Version
+// backing with the log instead of deep-copying; callers must treat the
+// returned updates as read-only. Each per-origin log is Seq-ordered, so the
+// remote's frontier is found by binary search and the result is allocated at
+// its exact final size.
 func (s *Store) MissingFor(remote version.Clock) []Update {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	origins := make([]string, 0, len(s.log))
-	for o := range s.log {
-		origins = append(origins, o)
+	total := 0
+	for _, o := range s.origins {
+		total += len(s.log[o]) - seqSearch(s.log[o], remote.Get(o)+1)
 	}
-	sort.Strings(origins)
-	var out []Update
-	for _, o := range origins {
-		have := remote.Get(o)
-		for _, u := range s.log[o] {
-			if u.Seq > have {
-				out = append(out, cloneUpdate(u))
-			}
-		}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Update, 0, total)
+	for _, o := range s.origins {
+		log := s.log[o]
+		out = append(out, log[seqSearch(log, remote.Get(o)+1):]...)
 	}
 	return out
 }

@@ -1,0 +1,52 @@
+package wire
+
+// Benchmarks for the envelope codec — the per-message CPU cost under any
+// transport. The pooled TCP transport amortises the gob type dictionary
+// across a connection; these measure the standalone (cold-codec) path that
+// Encode/Decode expose.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/p2pgossip/update/internal/store"
+)
+
+func benchEnvelope() Envelope {
+	u := store.Update{
+		Origin: "peer-0", Seq: 42, Key: "key", Value: []byte("value-payload"),
+		Stamp: time.Unix(1_700_000_000, 0),
+	}
+	return Envelope{
+		Kind:   KindPush,
+		From:   "127.0.0.1:9000",
+		Update: FromStore(u),
+		RF:     []string{"127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"},
+		T:      2,
+	}
+}
+
+func BenchmarkEnvelopeEncode(b *testing.B) {
+	env := benchEnvelope()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnvelopeDecode(b *testing.B) {
+	raw, err := Encode(benchEnvelope())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file is the single definition of the streaming frame format the TCP
+// transport speaks: a connection carries a sequence of frames, each a 4-byte
+// big-endian length followed by exactly one gob-encoded Envelope. The gob
+// encoder and decoder persist for the life of the stream, so type
+// definitions travel only in the first frame; the length prefix exists to
+// bound per-frame allocation against corrupt or hostile peers. Encode and
+// Decode remain the standalone (one-shot) codec for tools and tests.
+
+// MaxFrameBytes bounds a single envelope frame (16 MiB) so a corrupt or
+// hostile peer cannot force unbounded allocation.
+const MaxFrameBytes = 16 << 20
+
+// ErrFrameTooLarge reports an envelope whose encoding exceeds MaxFrameBytes.
+// It is deterministic for a given envelope: retrying the same envelope — on
+// this or any fresh stream — fails identically, so transports should report
+// it rather than redial. Match with errors.Is.
+var ErrFrameTooLarge = errors.New("wire: envelope frame exceeds maximum size")
+
+// FrameWriter renders envelopes as length-prefixed frames on one stream.
+// It is not safe for concurrent use; callers serialise.
+type FrameWriter struct {
+	w   io.Writer
+	buf bytes.Buffer
+	enc *gob.Encoder
+}
+
+// NewFrameWriter starts a frame stream on w.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	f := &FrameWriter{w: w}
+	f.enc = gob.NewEncoder(&f.buf)
+	return f
+}
+
+// WriteEnvelope writes env as exactly one frame. After any error the stream
+// must be abandoned: the persistent encoder's type-dictionary state may be
+// ahead of what the receiver has actually been sent.
+func (f *FrameWriter) WriteEnvelope(env Envelope) error {
+	f.buf.Reset()
+	if err := f.enc.Encode(env); err != nil {
+		return fmt.Errorf("wire: encode envelope: %w", err)
+	}
+	if f.buf.Len() > MaxFrameBytes {
+		return fmt.Errorf("%w: %d bytes > %d", ErrFrameTooLarge, f.buf.Len(), MaxFrameBytes)
+	}
+	var lenbuf [4]byte
+	binary.BigEndian.PutUint32(lenbuf[:], uint32(f.buf.Len()))
+	if _, err := f.w.Write(lenbuf[:]); err != nil {
+		return err
+	}
+	_, err := f.w.Write(f.buf.Bytes())
+	return err
+}
+
+// FrameReader decodes the envelope stream produced by a FrameWriter,
+// enforcing the per-frame size bound and the one-envelope-per-frame
+// alignment. It is not safe for concurrent use.
+type FrameReader struct {
+	fr  deframer
+	dec *gob.Decoder
+}
+
+// NewFrameReader starts reading a frame stream from r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	f := &FrameReader{}
+	f.fr.r = r
+	f.dec = gob.NewDecoder(&f.fr)
+	return f
+}
+
+// ReadEnvelope reads the next envelope. Any error — io.EOF included — means
+// the stream is unusable and must be dropped: gob decoder state cannot be
+// resynchronised mid-stream.
+func (f *FrameReader) ReadEnvelope() (Envelope, error) {
+	var env Envelope
+	if err := f.dec.Decode(&env); err != nil {
+		return Envelope{}, err
+	}
+	if f.fr.remaining != 0 {
+		// The writer emits exactly one envelope per frame; leftover bytes
+		// mean a confused or hostile peer.
+		return Envelope{}, fmt.Errorf("wire: %d stray bytes after envelope", f.fr.remaining)
+	}
+	return env, nil
+}
+
+// deframer adapts the inbound length-prefixed byte stream to the io.Reader
+// the persistent gob decoder consumes. It implements io.ByteReader so the
+// decoder does not wrap it in its own bufio.Reader — read-ahead across frame
+// boundaries would both double-buffer and blind the alignment check in
+// ReadEnvelope. Callers wanting buffering pass a bufio.Reader as r.
+type deframer struct {
+	r         io.Reader
+	remaining int
+}
+
+func (f *deframer) ReadByte() (byte, error) {
+	var b [1]byte
+	for {
+		n, err := f.Read(b[:])
+		if n == 1 {
+			return b[0], nil
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+func (f *deframer) Read(p []byte) (int, error) {
+	if f.remaining == 0 {
+		var lenbuf [4]byte
+		if _, err := io.ReadFull(f.r, lenbuf[:]); err != nil {
+			return 0, err
+		}
+		n := binary.BigEndian.Uint32(lenbuf[:])
+		if n == 0 || n > MaxFrameBytes {
+			return 0, fmt.Errorf("wire: frame of %d bytes out of bounds", n)
+		}
+		f.remaining = int(n)
+	}
+	if len(p) > f.remaining {
+		p = p[:f.remaining]
+	}
+	n, err := f.r.Read(p)
+	f.remaining -= n
+	return n, err
+}

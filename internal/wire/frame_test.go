@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// TestFrameStreamRoundTrip pins the streaming frame format: several
+// envelopes on one stream share the writer's and reader's persistent gob
+// state, and later frames are smaller than the first (the type dictionary
+// travels once).
+func TestFrameStreamRoundTrip(t *testing.T) {
+	var stream bytes.Buffer
+	fw := NewFrameWriter(&stream)
+	envs := []Envelope{
+		{Kind: KindPush, From: "a:1", Update: Update{Origin: "a:1", Seq: 1, Key: "k", Value: []byte("v")}, RF: []string{"b:2"}, T: 1},
+		{Kind: KindAck, From: "b:2", UpdateID: "a:1/1"},
+		{Kind: KindPullReq, From: "c:3", Clock: map[string]uint64{"a:1": 1}},
+	}
+	var sizes []int
+	for _, env := range envs {
+		before := stream.Len()
+		if err := fw.WriteEnvelope(env); err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, stream.Len()-before)
+	}
+	if sizes[1] >= sizes[0] {
+		t.Fatalf("second frame (%dB) not smaller than first (%dB): type dictionary re-sent?",
+			sizes[1], sizes[0])
+	}
+
+	fr := NewFrameReader(&stream)
+	for i, want := range envs {
+		got, err := fr.ReadEnvelope()
+		if err != nil {
+			t.Fatalf("envelope %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.From != want.From {
+			t.Fatalf("envelope %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := fr.ReadEnvelope(); err == nil {
+		t.Fatal("read past end of stream succeeded")
+	}
+}
+
+func TestFrameReaderRejectsOversizeFrame(t *testing.T) {
+	var stream bytes.Buffer
+	var lenbuf [4]byte
+	binary.BigEndian.PutUint32(lenbuf[:], MaxFrameBytes+1)
+	stream.Write(lenbuf[:])
+	stream.WriteString("x")
+	if _, err := NewFrameReader(&stream).ReadEnvelope(); err == nil ||
+		!strings.Contains(err.Error(), "out of bounds") {
+		t.Fatalf("oversize frame err = %v", err)
+	}
+}
+
+func TestFrameReaderRejectsStrayBytes(t *testing.T) {
+	// One frame carrying an envelope plus trailing garbage: the reader must
+	// refuse to continue the stream.
+	raw, err := Encode(Envelope{Kind: KindAck, From: "a:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	var lenbuf [4]byte
+	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(raw)+3))
+	stream.Write(lenbuf[:])
+	stream.Write(raw)
+	stream.WriteString("pad")
+	if _, err := NewFrameReader(&stream).ReadEnvelope(); err == nil ||
+		!strings.Contains(err.Error(), "stray") {
+		t.Fatalf("stray-byte err = %v", err)
+	}
+}

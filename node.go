@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 
@@ -201,8 +202,14 @@ func (n *Node) Pull(ctx context.Context) error {
 // AddPeers teaches the node about other replica addresses.
 func (n *Node) AddPeers(addrs ...string) { n.replica.AddPeers(addrs...) }
 
-// Peers returns a copy of the known replica addresses.
-func (n *Node) Peers() []string { return n.replica.Peers() }
+// Peers returns a copy of the known replica addresses, sorted. (The engine
+// keeps its membership view in sampling order, which is not meaningful to
+// callers.)
+func (n *Node) Peers() []string {
+	peers := n.replica.Peers()
+	sort.Strings(peers)
+	return peers
+}
 
 // Watch subscribes to the node's apply stream: every update offered to the
 // local store — created locally, received by push, or reconciled by pull —
