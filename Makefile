@@ -4,8 +4,11 @@
 # The perf-trajectory file emitted by `make bench` (one per perf PR).
 BENCH_PR ?= 3
 BENCH_TIME ?= 300ms
+# bench-compare reruns the baseline's benchmarks at this benchtime; short
+# keeps the CI gate fast, the 25% threshold absorbs the extra noise.
+COMPARE_TIME ?= 200ms
 
-.PHONY: build test race bench bench-smoke
+.PHONY: build test race bench bench-smoke bench-compare scenarios
 
 build:
 	go build ./...
@@ -26,3 +29,14 @@ bench:
 bench-smoke:
 	go test -race -run '^$$' -bench . -benchtime=1x \
 		./internal/engine/ ./internal/store/ ./internal/wire/ ./internal/live/ .
+
+# bench-compare is the CI perf gate: rerun the committed baseline's
+# benchmarks and fail if ns/op or allocs/op regress more than 25% anywhere.
+bench-compare:
+	go run ./cmd/benchjson compare -baseline BENCH_$(BENCH_PR).json \
+		-benchtime $(COMPARE_TIME)
+
+# scenarios runs the deterministic fault-injection matrix across the CI
+# seeds, failing on any invariant violation.
+scenarios:
+	go run ./cmd/scenarios -seeds 1,2,3 -out scenario-results

@@ -5,6 +5,13 @@
 //	go run ./cmd/benchjson -out BENCH_3.json
 //	make bench
 //
+// The compare subcommand reruns the benchmarks recorded in a committed
+// trajectory file and fails when ns/op or allocs/op regress beyond a
+// threshold (default 25%) on any of them — the CI perf gate:
+//
+//	go run ./cmd/benchjson compare -baseline BENCH_3.json
+//	make bench-compare
+//
 // The tool shells out to `go test -bench` per package and parses the
 // standard benchmark output, including -benchmem columns.
 package main
@@ -45,6 +52,9 @@ type File struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	out := flag.String("out", "", "output file (default stdout)")
 	benchtime := flag.String("benchtime", "300ms", "go test -benchtime value")
 	pattern := flag.String("bench", ".", "go test -bench pattern")

@@ -48,3 +48,65 @@ func TestTrimProcSuffix(t *testing.T) {
 		}
 	}
 }
+
+func TestCompareResults(t *testing.T) {
+	baseline := []Result{
+		{Package: "p", Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 4},
+		{Package: "p", Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: 0},
+		{Package: "q", Name: "BenchmarkC", NsPerOp: 100, AllocsPerOp: -1},
+		{Package: "q", Name: "BenchmarkGone", NsPerOp: 10, AllocsPerOp: 1},
+	}
+	fresh := []Result{
+		// A: ns within threshold, allocs regressed (4 → 6 is +50%).
+		{Package: "p", Name: "BenchmarkA", NsPerOp: 120, AllocsPerOp: 6},
+		// B: ns regressed, allocs stayed at zero.
+		{Package: "p", Name: "BenchmarkB", NsPerOp: 130, AllocsPerOp: 0},
+		// C: faster, and no alloc data on either side.
+		{Package: "q", Name: "BenchmarkC", NsPerOp: 80, AllocsPerOp: -1},
+		// New benchmark without a baseline entry: ignored.
+		{Package: "q", Name: "BenchmarkNew", NsPerOp: 1, AllocsPerOp: 0},
+	}
+	regs, missing := compareResults(baseline, fresh, 0.25)
+	if len(missing) != 1 || missing[0] != "q BenchmarkGone" {
+		t.Fatalf("missing = %v", missing)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v", regs)
+	}
+	if regs[0].Name != "BenchmarkA" || regs[0].Metric != "allocs/op" {
+		t.Fatalf("first regression = %+v", regs[0])
+	}
+	if regs[1].Name != "BenchmarkB" || regs[1].Metric != "ns/op" {
+		t.Fatalf("second regression = %+v", regs[1])
+	}
+}
+
+func TestCompareResultsZeroAllocRegression(t *testing.T) {
+	// A zero-alloc hot path is a load-bearing claim: any new allocation
+	// regresses it, whatever the threshold.
+	baseline := []Result{{Package: "p", Name: "BenchmarkZ", NsPerOp: 10, AllocsPerOp: 0}}
+	fresh := []Result{{Package: "p", Name: "BenchmarkZ", NsPerOp: 10, AllocsPerOp: 1}}
+	regs, _ := compareResults(baseline, fresh, 0.25)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regressions = %v", regs)
+	}
+	if got := regs[0].String(); got == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestPackagesOf(t *testing.T) {
+	results := []Result{
+		{Package: "a"}, {Package: "b"}, {Package: "a"}, {Package: "c"},
+	}
+	got := packagesOf(results)
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("packages = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("packages = %v, want %v", got, want)
+		}
+	}
+}

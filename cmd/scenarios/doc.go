@@ -1,0 +1,25 @@
+// Command scenarios executes the deterministic fault-injection scenario
+// matrix (internal/scenario) and emits one JSON document per run.
+//
+// Usage:
+//
+//	go run ./cmd/scenarios [flags]
+//
+//	-seed S        run every scenario under seed S (default 1)
+//	-seeds 1,2,3   run every scenario under each listed seed (overrides -seed)
+//	-scenario X    run only the named scenario
+//	-out DIR       write one <scenario>-seed<S>.json per run into DIR
+//	               (created if missing); default prints documents to stdout
+//	-list          print the catalog (name and description) and exit
+//
+// The process exits 0 when every invariant of every run passed and 1
+// otherwise, with a summary line per failed run on stderr — the CI gate.
+// Results are deterministic: the same binary, scenario, and seed produce
+// byte-identical JSON, so scenario output can be diffed across commits.
+//
+// Examples:
+//
+//	go run ./cmd/scenarios -list
+//	go run ./cmd/scenarios -scenario split-brain-and-heal -seed 7
+//	go run ./cmd/scenarios -seeds 1,2,3 -out scenario-results
+package main

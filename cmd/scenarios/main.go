@@ -1,0 +1,126 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/p2pgossip/update/internal/scenario"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and status code, for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "seed for every scenario run")
+	seeds := fs.String("seeds", "", "comma-separated seeds (overrides -seed)")
+	only := fs.String("scenario", "", "run only the named scenario")
+	outDir := fs.String("out", "", "directory for per-run JSON files (default: stdout)")
+	list := fs.Bool("list", false, "list the scenario catalog and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	catalog := scenario.Catalog()
+	if *list {
+		for _, sc := range catalog {
+			fmt.Fprintf(stdout, "%-22s %s\n", sc.Name, sc.Description)
+		}
+		return 0
+	}
+	if *only != "" {
+		sc, ok := scenario.Find(*only)
+		if !ok {
+			fmt.Fprintf(stderr, "scenarios: unknown scenario %q (use -list)\n", *only)
+			return 2
+		}
+		catalog = []scenario.Scenario{sc}
+	}
+	seedList, err := parseSeeds(*seeds, *seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "scenarios: %v\n", err)
+		return 2
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "scenarios: %v\n", err)
+			return 2
+		}
+	}
+
+	failed := 0
+	for _, sc := range catalog {
+		for _, s := range seedList {
+			res, err := scenario.Run(sc, s)
+			if err != nil {
+				fmt.Fprintf(stderr, "scenarios: %s seed %d: %v\n", sc.Name, s, err)
+				return 2
+			}
+			raw, err := res.JSON()
+			if err != nil {
+				fmt.Fprintf(stderr, "scenarios: %s seed %d: %v\n", sc.Name, s, err)
+				return 2
+			}
+			if *outDir == "" {
+				if _, err := stdout.Write(raw); err != nil {
+					fmt.Fprintf(stderr, "scenarios: %v\n", err)
+					return 2
+				}
+			} else {
+				name := filepath.Join(*outDir, fmt.Sprintf("%s-seed%d.json", sc.Name, s))
+				if err := os.WriteFile(name, raw, 0o644); err != nil {
+					fmt.Fprintf(stderr, "scenarios: %v\n", err)
+					return 2
+				}
+			}
+			if !res.Passed {
+				failed++
+				for _, inv := range res.Invariants {
+					if !inv.Passed {
+						fmt.Fprintf(stderr, "FAIL %s seed %d: %s: %s\n",
+							sc.Name, s, inv.Name, inv.Detail)
+					}
+				}
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "scenarios: %d run(s) violated invariants\n", failed)
+		return 1
+	}
+	fmt.Fprintf(stderr, "scenarios: %d scenario(s) × %d seed(s) all green\n",
+		len(catalog), len(seedList))
+	return 0
+}
+
+// parseSeeds parses the -seeds list, falling back to the single -seed value.
+func parseSeeds(list string, fallback int64) ([]int64, error) {
+	if list == "" {
+		return []int64{fallback}, nil
+	}
+	parts := strings.Split(list, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		s, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %v", p, err)
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty seed list %q", list)
+	}
+	return out, nil
+}

@@ -182,7 +182,8 @@ func (nu NonUniform) String() string {
 // Fraction of the population (chosen per-peer with independent coin flips).
 // It is used by the failure-injection tests: the paper argues the push phase
 // is robust unless "there is any kind of catastrophic failure" (§4.1), and we
-// verify that the pull phase recovers afterwards.
+// verify that the pull phase recovers afterwards. Schedule generalises it to
+// arbitrary sequences of knockout and revival events.
 type Catastrophe struct {
 	// Base is the underlying availability process.
 	Base Process
@@ -208,6 +209,16 @@ func (c *Catastrophe) Next(peer int, current State, rng *rand.Rand) State {
 
 // BeginRound informs the process which round is being computed.
 func (c *Catastrophe) BeginRound(round int) { c.round = round }
+
+// LastEventRound implements EventSource: the catastrophe round, plus any
+// events of the base process.
+func (c *Catastrophe) LastEventRound() int {
+	last := c.At
+	if es, ok := c.Base.(EventSource); ok && es.LastEventRound() > last {
+		last = es.LastEventRound()
+	}
+	return last
+}
 
 // String implements Process.
 func (c *Catastrophe) String() string {
@@ -291,8 +302,8 @@ func (p *Population) SetOnline(i int, online bool) {
 // peers that came online this round (for the pull phase) — the returned slice
 // is valid until the next Step call.
 func (p *Population) Step(round int) (cameOnline []int) {
-	if c, ok := p.proc.(*Catastrophe); ok {
-		c.BeginRound(round)
+	if ra, ok := p.proc.(RoundAware); ok {
+		ra.BeginRound(round)
 	}
 	online := 0
 	for i, cur := range p.states {

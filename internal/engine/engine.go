@@ -300,6 +300,37 @@ func (e *Engine[ID]) Store() *store.Store { return e.st }
 // Self returns the local peer identity.
 func (e *Engine[ID]) Self() ID { return e.self }
 
+// Restart resets the engine to what a freshly exec'd process attached to the
+// same (restored) store would hold: membership view, per-update flooding
+// lists and PF state, ack/suspect bookkeeping, and pending queries are all
+// wiped; the store and writer — the durable state — are kept. Every update
+// already in the store is re-registered so re-pushed copies count as
+// duplicates instead of initiating a second flood, and the bootstrap peers
+// are re-learned (the seed list a restarting replica reads from its config).
+//
+// Adapters restore the store from its snapshot *before* calling Restart, and
+// resync their writer afterwards, so the re-registration sees the recovered
+// log.
+func (e *Engine[ID]) Restart(bootstrap []ID) {
+	e.view = newPeerView[ID](16)
+	e.states = make(map[store.Ref]*updateState[ID])
+	e.ackedBy = make(map[ID]int64)
+	e.ackedOrder = nil
+	e.suspects = make(map[ID]int64)
+	e.suspectQ = deadlineQueue[ID]{}
+	e.awaitingAck = make(map[ID]int64)
+	e.ackWaitQ = deadlineQueue[ID]{}
+	e.queries = make(map[int64]*queryState)
+	e.notConfident = false
+	e.lastReceived = e.ep.Now()
+	for _, u := range e.st.MissingFor(nil) {
+		e.states[u.Ref()] = e.newState()
+	}
+	for _, id := range bootstrap {
+		e.Learn(id)
+	}
+}
+
 // --- Membership -------------------------------------------------------
 
 // Learn adds id to the membership view (ignoring the peer itself and

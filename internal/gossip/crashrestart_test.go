@@ -1,0 +1,65 @@
+package gossip
+
+import (
+	"testing"
+
+	"github.com/p2pgossip/update/internal/pf"
+	"github.com/p2pgossip/update/internal/simnet"
+)
+
+// TestCrashRestartRecoversFromSnapshot crashes a peer mid-gossip, publishes
+// more updates while it is down, restarts it, and asserts it holds the
+// pre-crash state immediately (snapshot restore) and reconverges on the rest
+// via pull anti-entropy.
+func TestCrashRestartRecoversFromSnapshot(t *testing.T) {
+	const n, victim = 40, 7
+	cfg := DefaultConfig(n)
+	cfg.Fr = 0.1
+	cfg.NewPF = func() pf.Func { return pf.Geometric{Base: 0.9} }
+	cfg.PullTimeout = 8
+	net, err := BuildNetwork(n, cfg, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Peers[victim].SetBootstrap(0, 1, 2)
+
+	plane := simnet.NewFaultPlane().AddCrash(victim, 6, 20)
+	en, err := simnet.NewEngine(simnet.Config{
+		Nodes: net.Nodes, InitialOnline: n, Seed: 1, Faults: plane,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	en.Step() // round 0
+	before := net.Peers[0].Publish(simnet.NewTestEnv(en, 0), "pre", []byte("1"))
+	for en.Round() < 10 {
+		en.Step()
+	}
+	if !en.Crashed(victim) {
+		t.Fatal("victim not crashed at round 10")
+	}
+	during := net.Peers[1].Publish(simnet.NewTestEnv(en, 1), "mid", []byte("2"))
+	for en.Round() < 20 {
+		en.Step()
+	}
+	// Restart fired this round: the pre-crash update must already be back
+	// from the snapshot, before any pull response can arrive.
+	if !net.Peers[victim].HasUpdate(before.ID()) {
+		t.Fatal("pre-crash update lost across restart")
+	}
+	for en.Round() < 60 && !net.Peers[victim].HasUpdate(during.ID()) {
+		en.Step()
+	}
+	if !net.Peers[victim].HasUpdate(during.ID()) {
+		t.Fatal("update published while down never recovered by pull")
+	}
+	if rev, ok := net.Peers[victim].Store().Get("mid"); !ok || string(rev.Value) != "2" {
+		t.Fatalf("recovered value = %v %v", rev, ok)
+	}
+	// The restarted peer rejoined the membership fabric: its view regrew
+	// beyond the bootstrap seeds via pull gossip and flooding lists.
+	if got := net.Peers[victim].KnownCount(); got <= 3 {
+		t.Fatalf("view size %d after recovery, want growth beyond 3 bootstrap seeds", got)
+	}
+}

@@ -1,6 +1,7 @@
 package gossip
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"time"
@@ -30,6 +31,7 @@ type Peer struct {
 	cfg Config
 	eng *engine.Engine[int]
 	st  *store.Store
+	w   *store.Writer
 
 	// env is the simulation environment of the callback currently running;
 	// the engine reaches time, randomness, and delivery through it.
@@ -37,9 +39,19 @@ type Peer struct {
 	// round mirrors the engine round, updated on every callback; the
 	// writer's simulated clock derives from it.
 	round int
+
+	// snapshot is the durable image captured at crash time; Restart
+	// recovers from it. bootstrap is the seed peer list a restarted
+	// process re-learns (its config file); nil means the membership view
+	// held at crash time (a persisted peer cache).
+	snapshot  []byte
+	bootstrap []int
 }
 
-var _ simnet.Node = (*Peer)(nil)
+var (
+	_ simnet.Node        = (*Peer)(nil)
+	_ simnet.Restartable = (*Peer)(nil)
+)
 
 // simEndpoint adapts a Peer to the engine's Endpoint: simulated time is the
 // round number, randomness is the engine-wide deterministic source, and
@@ -138,7 +150,51 @@ func NewPeer(id int, cfg Config) (*Peer, error) {
 		return nil, err
 	}
 	p.eng = eng
+	p.w = w
 	return p, nil
+}
+
+// SetBootstrap configures the peer list re-learned after a crash/restart —
+// the static seed addresses a real deployment reads from its config. Without
+// it, Restart falls back to the membership view held at crash time.
+func (p *Peer) SetBootstrap(ids ...int) {
+	p.bootstrap = append([]int(nil), ids...)
+}
+
+// Crash implements simnet.Restartable: the process dies. The update log —
+// the durable state — is captured as a snapshot; everything volatile (the
+// in-memory store image, flooding lists, PF state, ack/suspect bookkeeping,
+// membership view) is wiped.
+func (p *Peer) Crash(env *simnet.Env) {
+	p.bind(env)
+	if p.bootstrap == nil {
+		// No configured seed list: model a persisted peer cache by
+		// remembering the view held at crash time.
+		p.bootstrap = p.eng.KnownPeers()
+	}
+	var buf bytes.Buffer
+	if err := p.st.WriteSnapshot(&buf); err == nil {
+		p.snapshot = buf.Bytes()
+	} else {
+		p.snapshot = nil // disk died with the process
+	}
+	p.st.Replace(store.New())
+	p.eng.Restart(nil)
+}
+
+// Restart implements simnet.Restartable: the process comes back, restores
+// the store from the crash-time snapshot, resyncs the writer's sequence
+// counter, and re-learns the bootstrap peers. Updates missed while down
+// arrive through pull anti-entropy once the engine's CameOnline fires.
+func (p *Peer) Restart(env *simnet.Env) {
+	p.bind(env)
+	if p.snapshot != nil {
+		// Restore failures leave an empty store: the peer rejoins as a
+		// fresh replica and recovers everything by pulling.
+		_ = p.st.RestoreSnapshot(bytes.NewReader(p.snapshot))
+	}
+	p.w.Resync()
+	p.eng.Restart(p.bootstrap)
 }
 
 // bind points the peer at the environment of the callback currently running.

@@ -497,11 +497,9 @@ func (r *Replica) WriteSnapshot(w io.Writer) error {
 // sequence counter advances so new updates never reuse sequence numbers.
 // Call before Start.
 func (r *Replica) RestoreSnapshot(rd io.Reader) error {
-	restored, err := store.ReadSnapshot(rd, store.DefaultTombstoneRetention)
-	if err != nil {
+	if err := r.st.RestoreSnapshot(rd); err != nil {
 		return err
 	}
-	r.st.Replace(restored)
 	r.writer.Resync()
 	return nil
 }

@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/p2pgossip/update/internal/analytic"
+	"github.com/p2pgossip/update/internal/gossip"
+	"github.com/p2pgossip/update/internal/simnet"
+	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// checkInvariants evaluates the four scenario invariants. All iteration is
+// over slices in fixed order so the rendered details are deterministic.
+func checkInvariants(sc Scenario, net *gossip.Network, en *simnet.Engine,
+	published []store.Update, applied map[applyKey]int, pushes int64) []InvariantResult {
+	online := make([]int, 0, sc.N)
+	for i := range net.Peers {
+		if en.Population().Online(i) {
+			online = append(online, i)
+		}
+	}
+	return []InvariantResult{
+		checkDelivery(net, online, published),
+		checkConvergence(net, online),
+		checkNoDuplicateApplication(net, published, applied),
+		checkPushOverhead(sc, len(published), pushes),
+	}
+}
+
+// checkDelivery: every published update (tombstones included — death
+// certificates must propagate) reached every final-online peer.
+func checkDelivery(net *gossip.Network, online []int, published []store.Update) InvariantResult {
+	missing := 0
+	first := ""
+	for _, u := range published {
+		id := u.ID()
+		for _, peer := range online {
+			if !net.Peers[peer].HasUpdate(id) {
+				missing++
+				if first == "" {
+					first = fmt.Sprintf("update %s missing at peer %d", id, peer)
+				}
+			}
+		}
+	}
+	if missing > 0 {
+		return InvariantResult{
+			Name: "eventual-delivery",
+			Detail: fmt.Sprintf("%d (update, peer) deliveries missing; first: %s",
+				missing, first),
+		}
+	}
+	return InvariantResult{
+		Name:   "eventual-delivery",
+		Passed: true,
+		Detail: fmt.Sprintf("%d updates delivered to all %d final-online peers", len(published), len(online)),
+	}
+}
+
+// checkConvergence: final-online peers agree on vector clocks and live state.
+func checkConvergence(net *gossip.Network, online []int) InvariantResult {
+	if len(online) == 0 {
+		return InvariantResult{Name: "convergence", Detail: "no final-online peers"}
+	}
+	ref := net.Peers[online[0]]
+	refClock := ref.Store().Clock()
+	for _, peer := range online[1:] {
+		clock := net.Peers[peer].Store().Clock()
+		if refClock.Compare(clock) != version.Equal {
+			return InvariantResult{
+				Name: "convergence",
+				Detail: fmt.Sprintf("vector clock of peer %d differs from peer %d",
+					peer, online[0]),
+			}
+		}
+		if !ref.Store().Equal(net.Peers[peer].Store()) {
+			return InvariantResult{
+				Name: "convergence",
+				Detail: fmt.Sprintf("store of peer %d differs from peer %d",
+					peer, online[0]),
+			}
+		}
+	}
+	return InvariantResult{
+		Name:   "convergence",
+		Passed: true,
+		Detail: fmt.Sprintf("%d final-online peers share one clock and store", len(online)),
+	}
+}
+
+// checkNoDuplicateApplication: no peer applied any update more than once —
+// the store's (origin, seq) idempotence held under loss, reordering, and
+// crash-restart replays.
+func checkNoDuplicateApplication(net *gossip.Network, published []store.Update,
+	applied map[applyKey]int) InvariantResult {
+	dupes := 0
+	first := ""
+	for _, u := range published {
+		for peer := range net.Peers {
+			if n := applied[applyKey{peer: peer, ref: u.Ref()}]; n > 1 {
+				dupes++
+				if first == "" {
+					first = fmt.Sprintf("update %s applied %d times at peer %d", u.ID(), n, peer)
+				}
+			}
+		}
+	}
+	if dupes > 0 {
+		return InvariantResult{
+			Name:   "no-duplicate-application",
+			Detail: fmt.Sprintf("%d double applications; first: %s", dupes, first),
+		}
+	}
+	return InvariantResult{
+		Name:   "no-duplicate-application",
+		Passed: true,
+		Detail: "every (update, peer) application happened at most once",
+	}
+}
+
+// checkPushOverhead: push messages stay within OverheadFactor × the analytic
+// push-phase expectation (§4.2's M(t) recursion) per published update. This
+// is the tripwire for dedup or flooding-list regressions, which show up as
+// message blowups long before they break convergence.
+func checkPushOverhead(sc Scenario, published int, pushes int64) InvariantResult {
+	params := analytic.PushParams{
+		R:             sc.N,
+		ROn0:          sc.InitialOnline,
+		Sigma:         sc.AnalyticSigma,
+		Fr:            sc.Config.Fr,
+		PartialList:   sc.Config.PartialList,
+		ListThreshold: sc.Config.ListThreshold,
+	}
+	if sc.Config.NewPF != nil {
+		params.PF = sc.Config.NewPF()
+	}
+	res, err := analytic.Push(params)
+	if err != nil {
+		return InvariantResult{
+			Name:   "bounded-push-overhead",
+			Detail: fmt.Sprintf("analytic model rejected parameters: %v", err),
+		}
+	}
+	perUpdate := res.TotalMessages()
+	bound := sc.OverheadFactor * perUpdate * float64(published)
+	detail := fmt.Sprintf("%d pushes vs bound %.0f (%.1f analytic msgs/update × %d updates × factor %g)",
+		pushes, bound, perUpdate, published, sc.OverheadFactor)
+	return InvariantResult{
+		Name:   "bounded-push-overhead",
+		Passed: float64(pushes) <= bound,
+		Detail: detail,
+	}
+}

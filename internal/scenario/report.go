@@ -1,0 +1,15 @@
+package scenario
+
+import "encoding/json"
+
+// JSON renders the result as an indented JSON document with a trailing
+// newline. Field order is fixed by the struct and no field depends on wall
+// clock or map iteration, so the same scenario and seed yield byte-identical
+// documents — the determinism contract cmd/scenarios and CI rely on.
+func (r Result) JSON() ([]byte, error) {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}

@@ -1,0 +1,365 @@
+package simnet
+
+import (
+	"testing"
+
+	"github.com/p2pgossip/update/internal/churn"
+)
+
+// pingNode sends one message from peer 0 to every other peer each round, and
+// records the order in which deliveries arrive.
+type pingNode struct {
+	id       int
+	received []int // sender round of each delivery, in arrival order
+	arrivals []int // round at which each delivery arrived
+}
+
+func (n *pingNode) Init(*Env) {}
+func (n *pingNode) HandleMessage(env *Env, msg Message) {
+	n.received = append(n.received, msg.SentAt)
+	n.arrivals = append(n.arrivals, env.Round())
+}
+func (n *pingNode) Tick(env *Env) {
+	if n.id == 0 {
+		for to := 1; to < env.N(); to++ {
+			env.Send(to, env.Round(), 8)
+		}
+	}
+}
+func (n *pingNode) CameOnline(*Env) {}
+
+func newPingNet(t *testing.T, n int, plane *FaultPlane) (*Engine, []*pingNode) {
+	t.Helper()
+	raw := make([]*pingNode, n)
+	nodes := make([]Node, n)
+	for i := range nodes {
+		raw[i] = &pingNode{id: i}
+		nodes[i] = raw[i]
+	}
+	en, err := NewEngine(Config{
+		Nodes: nodes, InitialOnline: n, Seed: 11, Faults: plane,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return en, raw
+}
+
+func TestFaultPlaneValidation(t *testing.T) {
+	cases := []*FaultPlane{
+		NewFaultPlane().SetDefault(EdgeFault{Drop: 1.5}),
+		NewFaultPlane().SetEdge(0, 9, EdgeFault{}),
+		NewFaultPlane().SetEdge(0, 1, EdgeFault{Delay: -1}),
+		NewFaultPlane().SetEdge(0, 1, EdgeFault{Jitter: -2}),
+		NewFaultPlane().AddPartition(Partition{From: 10, Until: 5, A: []int{0}, B: []int{1}}),
+		NewFaultPlane().AddPartition(Partition{A: []int{0}, B: []int{0, 1}}),
+		NewFaultPlane().AddPartition(Partition{A: []int{7}, B: []int{1}}),
+		NewFaultPlane().AddCrash(9, 1, 2),
+		NewFaultPlane().AddCrash(0, -1, 2),
+		NewFaultPlane().AddCrash(0, 5, 5),
+	}
+	for i, plane := range cases {
+		nodes, _ := newChain(3)
+		if _, err := NewEngine(Config{Nodes: nodes, InitialOnline: 3, Faults: plane}); err == nil {
+			t.Fatalf("case %d: invalid plane accepted", i)
+		}
+	}
+}
+
+func TestFaultPlaneEdgeDrop(t *testing.T) {
+	plane := NewFaultPlane().SetEdge(0, 1, EdgeFault{Drop: 1})
+	en, raw := newPingNet(t, 3, plane)
+	for i := 0; i < 5; i++ {
+		en.Step()
+	}
+	if got := len(raw[1].received); got != 0 {
+		t.Fatalf("peer 1 received %d messages over a fully lossy edge", got)
+	}
+	if got := len(raw[2].received); got == 0 {
+		t.Fatal("peer 2 starved by an unrelated edge fault")
+	}
+	if got := en.Metrics().Counter(MetricMessagesDropped); got == 0 {
+		t.Fatal("edge drops not counted")
+	}
+}
+
+func TestFaultPlaneDefaultAppliesToAllEdges(t *testing.T) {
+	plane := NewFaultPlane().SetDefault(EdgeFault{Drop: 1})
+	en, raw := newPingNet(t, 3, plane)
+	for i := 0; i < 5; i++ {
+		en.Step()
+	}
+	if len(raw[1].received)+len(raw[2].received) != 0 {
+		t.Fatal("default drop did not apply to every edge")
+	}
+}
+
+func TestFaultPlaneDelay(t *testing.T) {
+	plane := NewFaultPlane().SetEdge(0, 1, EdgeFault{Delay: 3})
+	en, raw := newPingNet(t, 2, plane)
+	en.Step() // round 0: send
+	en.Step() // round 1: would arrive on a clean link
+	if len(raw[1].received) != 0 {
+		t.Fatal("delayed message arrived early")
+	}
+	en.Step()
+	en.Step()
+	en.Step() // round 4 = 0 + 1 + 3
+	if len(raw[1].arrivals) == 0 || raw[1].arrivals[0] != 4 {
+		t.Fatalf("arrivals = %v, want first at round 4", raw[1].arrivals)
+	}
+}
+
+func TestFaultPlaneJitterBoundsAndDeterminism(t *testing.T) {
+	run := func() []int {
+		plane := NewFaultPlane().SetEdge(0, 1, EdgeFault{Delay: 1, Jitter: 2})
+		en, raw := newPingNet(t, 2, plane)
+		for i := 0; i < 12; i++ {
+			en.Step()
+		}
+		return append([]int(nil), raw[1].arrivals...)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	// Latency per message stays within [2, 4] rounds (1 base + 1 delay +
+	// jitter in [0,2]).
+	for i, arrived := range a {
+		lat := arrived - i // message i was sent in round i
+		if lat < 2 || lat > 4 {
+			t.Fatalf("message %d latency %d out of [2,4]", i, lat)
+		}
+	}
+}
+
+func TestFaultPlaneReorderPermutesOnlyMarkedEdges(t *testing.T) {
+	// All 0→1 messages are marked for reordering: a burst sent in one round
+	// arrives permuted. Peer 2's edge is untouched and must stay in order.
+	plane := NewFaultPlane().SetEdge(0, 1, EdgeFault{Reorder: true})
+	raw := []*seqRecorder{nil, {}, {}}
+	nodes := []Node{&burstSender{}, raw[1], raw[2]}
+	en, err := NewEngine(Config{Nodes: nodes, InitialOnline: 3, Seed: 3, Faults: plane})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en.Run(5)
+	if got := raw[2].seqs; !isSorted(got) {
+		t.Fatalf("clean edge delivered out of order: %v", got)
+	}
+	if got := raw[1].seqs; isSorted(got) {
+		t.Fatalf("reordering edge delivered in order %v (seed should permute)", got)
+	}
+}
+
+// seqRecorder records the integer payloads it receives, in arrival order.
+type seqRecorder struct{ seqs []int }
+
+func (r *seqRecorder) Init(*Env)       {}
+func (r *seqRecorder) Tick(*Env)       {}
+func (r *seqRecorder) CameOnline(*Env) {}
+func (r *seqRecorder) HandleMessage(_ *Env, msg Message) {
+	r.seqs = append(r.seqs, msg.Payload.(int))
+}
+
+// burstSender sends sequence-numbered messages to peers 1 and 2 in round 0.
+type burstSender struct{}
+
+func (s *burstSender) Init(*Env)                   {}
+func (s *burstSender) HandleMessage(*Env, Message) {}
+func (s *burstSender) CameOnline(*Env)             {}
+func (s *burstSender) Tick(env *Env) {
+	if env.Round() == 0 {
+		for seq := 0; seq < 6; seq++ {
+			env.Send(1, seq, 4)
+			env.Send(2, seq, 4)
+		}
+	}
+}
+
+func isSorted(xs []int) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFaultPlanePartitionAndHeal(t *testing.T) {
+	// Two-way cut between {0} and {1} for rounds 2..5; peer 2 is unaffected.
+	plane := NewFaultPlane().AddPartition(Partition{
+		From: 2, Until: 6, A: []int{0}, B: []int{1},
+	})
+	en, raw := newPingNet(t, 3, plane)
+	for en.Round() < 10 {
+		en.Step()
+	}
+	// Peer 1 misses exactly the messages sent in rounds 2..5.
+	got := raw[1].received
+	for _, sentAt := range got {
+		if sentAt >= 2 && sentAt < 6 {
+			t.Fatalf("message sent at %d crossed an active partition", sentAt)
+		}
+	}
+	if len(got) != len(raw[2].received)-4 {
+		t.Fatalf("peer 1 got %d, peer 2 got %d (want exactly 4 fewer)",
+			len(got), len(raw[2].received))
+	}
+}
+
+func TestFaultPlaneOneWayPartition(t *testing.T) {
+	// One-way cut {1}→{0}: peer 0's pings still reach peer 1.
+	plane := NewFaultPlane().AddPartition(Partition{
+		From: 0, A: []int{1}, B: []int{0}, OneWay: true,
+	})
+	en, raw := newPingNet(t, 2, plane)
+	for i := 0; i < 5; i++ {
+		en.Step()
+	}
+	if len(raw[1].received) == 0 {
+		t.Fatal("reverse direction of a one-way cut blocked")
+	}
+}
+
+// crashNode tracks crash/restart callbacks and counts deliveries, carrying a
+// volatile counter that a crash must reset.
+type crashNode struct {
+	pingNode
+	volatile int
+	crashes  int
+	restarts int
+}
+
+func (n *crashNode) HandleMessage(env *Env, msg Message) {
+	n.pingNode.HandleMessage(env, msg)
+	n.volatile++
+}
+func (n *crashNode) Crash(*Env)   { n.crashes++; n.volatile = 0 }
+func (n *crashNode) Restart(*Env) { n.restarts++ }
+
+func TestFaultPlaneCrashRestart(t *testing.T) {
+	plane := NewFaultPlane().AddCrash(1, 2, 6)
+	sender := &pingNode{id: 0}
+	victim := &crashNode{pingNode: pingNode{id: 1}}
+	en, err := NewEngine(Config{
+		Nodes: []Node{sender, victim}, InitialOnline: 2, Seed: 5, Faults: plane,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for en.Round() < 9 {
+		en.Step()
+	}
+	if victim.crashes != 1 || victim.restarts != 1 {
+		t.Fatalf("crashes/restarts = %d/%d, want 1/1", victim.crashes, victim.restarts)
+	}
+	// Down for rounds 2..5: messages sent in rounds 1..4 are lost to the
+	// offline window; everything after the restart flows again.
+	for _, sentAt := range victim.received {
+		if sentAt >= 1 && sentAt < 5 {
+			t.Fatalf("message sent at round %d delivered to a crashed peer", sentAt)
+		}
+	}
+	if len(victim.received) == 0 {
+		t.Fatal("no deliveries after restart")
+	}
+	if en.Metrics().Counter(MetricMessagesOffline) == 0 {
+		t.Fatal("down-window sends not counted as offline")
+	}
+}
+
+func TestFaultPlaneCrashOverridesChurn(t *testing.T) {
+	// Churn would keep everyone online; the crash forces peer 1 down with no
+	// restart, and it must stay down.
+	plane := NewFaultPlane().AddCrash(1, 1, 0)
+	nodes, _ := newChain(2)
+	en, err := NewEngine(Config{
+		Nodes: nodes, InitialOnline: 2,
+		Churn:  churn.Bernoulli{Sigma: 1, POn: 1},
+		Faults: plane, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for en.Round() < 6 {
+		en.Step()
+	}
+	if en.Population().Online(1) {
+		t.Fatal("crashed peer revived by churn")
+	}
+	if !en.Crashed(1) {
+		t.Fatal("Crashed(1) = false")
+	}
+}
+
+func TestRunDoesNotIdleOutBeforeScheduledEvents(t *testing.T) {
+	// Nothing is ever sent, but a restart is scheduled at round 8: Run must
+	// not stop at the two-idle-round mark.
+	plane := NewFaultPlane().AddCrash(0, 2, 8)
+	nodes, _ := newChain(2)
+	en, err := NewEngine(Config{Nodes: nodes, InitialOnline: 2, Faults: plane})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := en.Run(20); got < 9 {
+		t.Fatalf("run idled out after %d rounds with events pending at 8", got)
+	}
+}
+
+func TestFaultPlaneRejectsOverlappingCrashWindows(t *testing.T) {
+	cases := []*FaultPlane{
+		// Second crash while still down.
+		NewFaultPlane().AddCrash(0, 10, 30).AddCrash(0, 20, 25),
+		// Crash after a crash the peer never restarts from.
+		NewFaultPlane().AddCrash(0, 10, 0).AddCrash(0, 20, 25),
+	}
+	for i, plane := range cases {
+		nodes, _ := newChain(2)
+		if _, err := NewEngine(Config{Nodes: nodes, InitialOnline: 2, Faults: plane}); err == nil {
+			t.Fatalf("case %d: overlapping crash windows accepted", i)
+		}
+	}
+	// Back-to-back windows (restart and next crash on the same round) are a
+	// legal restart-into-crash: both events execute.
+	plane := NewFaultPlane().AddCrash(0, 2, 4).AddCrash(0, 4, 6)
+	victim := &crashNode{pingNode: pingNode{id: 0}}
+	en, err := NewEngine(Config{Nodes: []Node{victim, &pingNode{id: 1}},
+		InitialOnline: 2, Faults: plane})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for en.Round() < 8 {
+		en.Step()
+	}
+	if victim.crashes != 2 || victim.restarts != 2 {
+		t.Fatalf("crashes/restarts = %d/%d, want 2/2", victim.crashes, victim.restarts)
+	}
+}
+
+func TestRunDoesNotIdleOutBeforeScheduleEvents(t *testing.T) {
+	// No traffic at all, but the churn schedule revives everyone at round
+	// 9: Run must keep stepping until the event has fired.
+	sched, err := churn.NewSchedule(churn.Static{},
+		churn.Event{Round: 9, Kind: churn.Revive, Fraction: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, raw := newChain(3)
+	en, err := NewEngine(Config{Nodes: nodes, InitialOnline: 0, Churn: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := en.Run(20); got < 10 {
+		t.Fatalf("run idled out after %d rounds with a revival scheduled at 9", got)
+	}
+	if raw[0].cameUp != 1 {
+		t.Fatalf("scheduled revival never fired (cameUp = %d)", raw[0].cameUp)
+	}
+}

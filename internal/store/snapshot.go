@@ -90,6 +90,24 @@ func ReadSnapshot(r io.Reader, retain time.Duration) (*Store, error) {
 	return st, nil
 }
 
+// RestoreSnapshot replaces the store's contents with a snapshot previously
+// produced by WriteSnapshot, keeping the store pointer — and any registered
+// apply hook — stable for the engines and writers wired to it. The store's
+// current tombstone retention is kept. It is the restart path: a recovering
+// replica restores its durable log here, then resyncs its Writer so new
+// updates never reuse sequence numbers.
+func (s *Store) RestoreSnapshot(r io.Reader) error {
+	s.mu.RLock()
+	retain := s.tombRetain
+	s.mu.RUnlock()
+	restored, err := ReadSnapshot(r, retain)
+	if err != nil {
+		return err
+	}
+	s.Replace(restored)
+	return nil
+}
+
 // Replace swaps the store's contents for those of other. It backs restores
 // into an already-wired store (the live runtime hands its store to the
 // writer and transport handlers at construction time, so the pointer must

@@ -110,3 +110,56 @@ func TestWriterResyncAfterRestore(t *testing.T) {
 		t.Fatalf("post-restore Seq = %d, want 3", u.Seq)
 	}
 }
+
+// TestRestoreSnapshotInPlace checks the restart path: RestoreSnapshot swaps
+// the contents of an already-wired store (pointer and apply hook stable) and
+// keeps the store's own tombstone retention.
+func TestRestoreSnapshotInPlace(t *testing.T) {
+	src := New()
+	w := testWriter(t, "a", src, 41)
+	w.Put("x", []byte("1"))
+	w.Delete("x")
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+
+	dst := NewWithRetention(time.Hour)
+	hooked := 0
+	dst.SetApplyHook(func(Update, ApplyResult, int) { hooked++ })
+	testWriter(t, "b", dst, 42).Put("old", []byte("gone"))
+	preHooks := hooked
+	if err := dst.RestoreSnapshot(&buf); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if !dst.Equal(src) {
+		t.Fatal("restored store differs from source")
+	}
+	if _, ok := dst.Get("old"); ok {
+		t.Fatal("pre-restore state survived")
+	}
+	if hooked != preHooks {
+		t.Fatal("restore replay fired the apply hook")
+	}
+	// The hook must remain wired for post-restore traffic.
+	testWriter(t, "c", dst, 43).Put("new", []byte("1"))
+	if hooked != preHooks+1 {
+		t.Fatal("apply hook lost across restore")
+	}
+	// Retention stays the destination's: an expired tombstone under the
+	// 1-hour retention is collected even though the source used the default.
+	if got := dst.GCTombstones(time.Unix(1_700_000_000, 0).Add(48 * time.Hour)); got != 1 {
+		t.Fatalf("GC collected %d tombstones, want 1 (retention not kept)", got)
+	}
+}
+
+func TestRestoreSnapshotGarbage(t *testing.T) {
+	st := New()
+	testWriter(t, "a", st, 44).Put("x", []byte("1"))
+	if err := st.RestoreSnapshot(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+	if _, ok := st.Get("x"); !ok {
+		t.Fatal("failed restore clobbered the store")
+	}
+}
