@@ -129,6 +129,19 @@ func (r PushResult) TotalMessages() float64 {
 	return r.Rounds[len(r.Rounds)-1].CumMessages
 }
 
+// TotalBytes returns the total expected push-phase traffic in bytes: the
+// per-round product of expected messages M(t) and message size S_M(t),
+// summed over the recursion. It is linear in Params.UpdateBytes, so callers
+// can evaluate once with UpdateBytes = 0 to isolate the flooding-list term
+// (γ·R·L(t)) and add U·TotalMessages per payload size U.
+func (r PushResult) TotalBytes() float64 {
+	total := 0.0
+	for _, round := range r.Rounds {
+		total += round.Messages * round.MessageBytes
+	}
+	return total
+}
+
 // MessagesPerOnlinePeer is the paper's headline metric: total messages
 // divided by the initial online population.
 func (r PushResult) MessagesPerOnlinePeer() float64 {

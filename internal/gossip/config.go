@@ -133,6 +133,10 @@ func (c Config) suspectTTL() int {
 const (
 	// MetricPushes counts push messages sent.
 	MetricPushes = "gossip_push_sent"
+	// MetricPushBytes accumulates the binary-encoded bytes of push messages
+	// sent — the §4.2 traffic metric the scenario byte-overhead invariant
+	// checks.
+	MetricPushBytes = "gossip_push_bytes"
 	// MetricDuplicates counts duplicate pushes received.
 	MetricDuplicates = "gossip_duplicates"
 	// MetricPullRequests counts pull requests sent.

@@ -1,10 +1,55 @@
 package gossip
 
 import (
-	"github.com/p2pgossip/update/internal/replicalist"
 	"github.com/p2pgossip/update/internal/store"
 	"github.com/p2pgossip/update/internal/version"
+	"github.com/p2pgossip/update/internal/wire"
 )
+
+// Byte accounting. Every message type's SizeBytes returns the number of
+// payload bytes the live runtime's binary codec (internal/wire) would
+// produce for the equivalent envelope — computed with the codec's own
+// exported size functions, so simulated traffic totals cannot drift from
+// the real wire format. Peer indices stand in for the canonical simulator
+// address "peer-<index>" (the same identity the store writers use), and the
+// per-frame fixed costs (length prefix, format version, kind, sender
+// address) are added at the send site, which knows the sender.
+
+// peerAddrSize returns the encoded size of the canonical simulator address
+// "peer-<id>" without formatting it: the 5-byte prefix plus the decimal
+// digits, behind a string-length varint.
+func peerAddrSize(id int) int {
+	digits := 1
+	for v := id; v >= 10; v /= 10 {
+		digits++
+	}
+	return wire.UvarintSize(uint64(5+digits)) + 5 + digits
+}
+
+// peerListSize returns the encoded size of a peer-index list (count varint
+// plus one address per entry).
+func peerListSize(ids []int) int {
+	n := wire.UvarintSize(uint64(len(ids)))
+	for _, id := range ids {
+		n += peerAddrSize(id)
+	}
+	return n
+}
+
+// frameBytes is the fixed per-message cost: the frame overhead (length
+// prefix, format version, kind) plus the sender's address.
+func frameBytes(from int) int {
+	return wire.FrameOverhead + peerAddrSize(from)
+}
+
+// PushBaseBytes returns the binary-encoded size of a push message carrying
+// u with an empty flooding list, as sent by peer index `from` — the U term
+// of the §4.2 message-size model S_M(t) = U + γ·R·L(t). The flooding-list
+// term is charged separately (γ per carried entry).
+func PushBaseBytes(u store.Update, from int) int {
+	msg := PushMsg{Update: u, T: 3} // a typical 1-byte round counter
+	return frameBytes(from) + msg.SizeBytes()
+}
 
 // PushMsg is the paper's Push(U, V, R_f, t): one update, the partial
 // flooding list of peers the update has already been sent to, and the push
@@ -19,10 +64,11 @@ type PushMsg struct {
 	T int
 }
 
-// SizeBytes accounts the wire size: update payload plus γ per list entry
-// plus the round counter.
+// SizeBytes is the payload's binary-encoded size: the update record, the
+// flooding list, and the round counter.
 func (m PushMsg) SizeBytes() int {
-	return m.Update.SizeBytes() + len(m.RF)*replicalist.EntryBytes + 4
+	return wire.StoreUpdateSize(m.Update) + peerListSize(m.RF) +
+		wire.UvarintSize(uint64(m.T))
 }
 
 // PullReq asks a peer for updates the sender is missing, summarised by the
@@ -33,9 +79,9 @@ type PullReq struct {
 	Clock version.Clock
 }
 
-// SizeBytes estimates the wire size of the clock (origin string + counter
-// per component, ≈ 16 bytes each) plus framing.
-func (m PullReq) SizeBytes() int { return 8 + 16*len(m.Clock) }
+// SizeBytes is the clock's binary-encoded size. Clock origins are the
+// writers' "peer-<id>" strings, so no index translation is needed.
+func (m PullReq) SizeBytes() int { return wire.ClockSize(m.Clock) }
 
 // PullResp ships the updates the requester was missing, plus a membership
 // sample (the name-dropper effect applied to the pull phase).
@@ -46,21 +92,25 @@ type PullResp struct {
 	Peers []int
 }
 
-// SizeBytes sums the update sizes plus the peer sample plus framing.
+// SizeBytes sums the encoded update records and the peer sample.
 func (m PullResp) SizeBytes() int {
-	n := 8 + len(m.Peers)*replicalist.EntryBytes
+	n := wire.UvarintSize(uint64(len(m.Updates)))
 	for _, u := range m.Updates {
-		n += u.SizeBytes()
+		n += wire.StoreUpdateSize(u)
 	}
-	return n
+	return n + peerListSize(m.Peers)
 }
 
 // AckMsg acknowledges the receipt of an update (§6): the sender gains
-// preference as a future push target.
+// preference as a future push target. It carries the comparable (origin,
+// seq) reference — like the live wire format, no "origin/seq" string is
+// formatted or parsed on the ack path.
 type AckMsg struct {
-	// UpdateID identifies the acknowledged update.
-	UpdateID string
+	// Ref identifies the acknowledged update.
+	Ref store.Ref
 }
 
-// SizeBytes is the id plus framing.
-func (m AckMsg) SizeBytes() int { return 8 + len(m.UpdateID) }
+// SizeBytes is the reference's binary-encoded size.
+func (m AckMsg) SizeBytes() int {
+	return wire.StringSize(m.Ref.Origin) + wire.UvarintSize(m.Ref.Seq)
+}

@@ -55,7 +55,9 @@ var (
 
 // simEndpoint adapts a Peer to the engine's Endpoint: simulated time is the
 // round number, randomness is the engine-wide deterministic source, and
-// sends become simnet messages with wire-size accounting and metrics.
+// sends become simnet messages charged with the byte size the live binary
+// codec would put on the wire (payload plus the per-frame fixed costs; see
+// messages.go).
 type simEndpoint struct{ p *Peer }
 
 func (s simEndpoint) Self() int        { return s.p.id }
@@ -64,34 +66,37 @@ func (s simEndpoint) Rand() *rand.Rand { return s.p.env.RNG() }
 func (s simEndpoint) Send(to int, m engine.Message[int]) {
 	env := s.p.env
 	reg := env.Metrics()
+	frame := frameBytes(s.p.id)
 	switch m.Kind {
 	case engine.KindPush:
 		msg := PushMsg{Update: m.Update, RF: m.RF, T: m.T}
-		env.Send(to, msg, msg.SizeBytes())
+		bytes := frame + msg.SizeBytes()
+		env.Send(to, msg, bytes)
 		reg.Inc(MetricPushes)
+		reg.Add(MetricPushBytes, float64(bytes))
 	case engine.KindPullReq:
 		msg := PullReq{Clock: m.Clock}
-		env.Send(to, msg, msg.SizeBytes())
+		env.Send(to, msg, frame+msg.SizeBytes())
 		reg.Inc(MetricPullRequests)
 	case engine.KindPullResp:
 		msg := PullResp{Updates: m.Updates, Peers: m.Peers}
-		env.Send(to, msg, msg.SizeBytes())
+		env.Send(to, msg, frame+msg.SizeBytes())
 		reg.Inc(MetricPullResponses)
 		reg.Add(MetricPullUpdates, float64(len(m.Updates)))
 	case engine.KindAck:
-		msg := AckMsg{UpdateID: m.UpdateRef.String()}
-		env.Send(to, msg, msg.SizeBytes())
+		msg := AckMsg{Ref: m.UpdateRef}
+		env.Send(to, msg, frame+msg.SizeBytes())
 		reg.Inc(MetricAcks)
 	case engine.KindQuery:
 		msg := QueryMsg{QID: m.QID, Key: m.Key}
-		env.Send(to, msg, msg.SizeBytes())
+		env.Send(to, msg, frame+msg.SizeBytes())
 		reg.Inc(MetricQueries)
 	case engine.KindQueryResp:
 		msg := QueryResp{
 			QID: m.QID, Key: m.Key, Found: m.Found,
 			Value: m.Value, Version: m.Version, Confident: m.Confident,
 		}
-		env.Send(to, msg, msg.SizeBytes())
+		env.Send(to, msg, frame+msg.SizeBytes())
 		reg.Inc(MetricQueryResponses)
 	}
 }
@@ -261,11 +266,8 @@ func (p *Peer) HandleMessage(env *simnet.Env, msg simnet.Message) {
 			Kind: engine.KindPullResp, Updates: m.Updates, Peers: m.Peers,
 		})
 	case AckMsg:
-		// A malformed id yields the zero Ref; the engine's ack handling is
-		// keyed by the sender, not the update, so nothing is lost.
-		ref, _ := store.ParseRef(m.UpdateID)
 		p.eng.Handle(msg.From, engine.Message[int]{
-			Kind: engine.KindAck, UpdateRef: ref,
+			Kind: engine.KindAck, UpdateRef: m.Ref,
 		})
 	case QueryMsg:
 		p.eng.Handle(msg.From, engine.Message[int]{

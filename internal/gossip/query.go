@@ -4,6 +4,7 @@ import (
 	"github.com/p2pgossip/update/internal/engine"
 	"github.com/p2pgossip/update/internal/simnet"
 	"github.com/p2pgossip/update/internal/version"
+	"github.com/p2pgossip/update/internal/wire"
 )
 
 // §4.4 query servicing — the aggregation logic (freshest-version voting,
@@ -26,8 +27,9 @@ type QueryMsg struct {
 	Key string
 }
 
-// SizeBytes is the key plus framing.
-func (m QueryMsg) SizeBytes() int { return 16 + len(m.Key) }
+// SizeBytes is the payload's binary-encoded size: the query id plus the
+// key.
+func (m QueryMsg) SizeBytes() int { return 8 + wire.StringSize(m.Key) }
 
 // QueryResp carries one replica's answer.
 type QueryResp struct {
@@ -45,9 +47,11 @@ type QueryResp struct {
 	Confident bool
 }
 
-// SizeBytes approximates the response's wire size.
+// SizeBytes is the payload's binary-encoded size: query id, key, flags,
+// value, and version history.
 func (m QueryResp) SizeBytes() int {
-	return 24 + len(m.Key) + len(m.Value) + len(m.Version)*version.IDSize
+	return 8 + wire.StringSize(m.Key) + 1 + wire.BlobSize(m.Value) +
+		wire.HistorySize(len(m.Version))
 }
 
 // QueryResult is the requester-side aggregation of one query.

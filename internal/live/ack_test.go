@@ -118,8 +118,10 @@ func TestAckRemovesSuspicion(t *testing.T) {
 	if got := r.Suspects(); len(got) != 1 {
 		t.Fatalf("Suspects = %v, want peer-x suspected", got)
 	}
-	// A (late) ack clears the suspicion and records the acking peer.
-	r.handle(wire.Envelope{Kind: wire.KindAck, From: "peer-x", UpdateID: "k"})
+	// A (late) ack clears the suspicion and records the acking peer. Even a
+	// zero update reference works: the engine's ack handling is keyed by the
+	// sender, not the update.
+	r.handle(wire.Envelope{Kind: wire.KindAck, From: "peer-x"})
 	var acked []string
 	r.run(func(e *engine.Engine[string]) { acked = e.Acked() })
 	if got := r.Suspects(); len(got) != 0 || len(acked) != 1 || acked[0] != "peer-x" {

@@ -6,7 +6,6 @@ import (
 
 	"github.com/p2pgossip/update/internal/engine"
 	"github.com/p2pgossip/update/internal/store"
-	"github.com/p2pgossip/update/internal/version"
 )
 
 // §4.4 query servicing in the live runtime: a blocking Query consults k
@@ -80,19 +79,4 @@ func outcomeFromResult(res engine.QueryResult) QueryOutcome {
 		}
 	}
 	return out
-}
-
-// historyFromWire decodes a wire-encoded version history, rejecting
-// malformed entries: silently truncating them would corrupt causality.
-func historyFromWire(raw [][]byte) (version.History, error) {
-	var out version.History
-	for _, b := range raw {
-		if len(b) != version.IDSize {
-			return nil, fmt.Errorf("live: bad version id length %d", len(b))
-		}
-		var id version.ID
-		copy(id[:], b)
-		out = append(out, id)
-	}
-	return out, nil
 }

@@ -96,11 +96,14 @@ func TestLiveQueryTimeoutWithOfflinePeers(t *testing.T) {
 	}
 }
 
-// TestLiveQueryMalformedResponseStillCounts guards query termination: a
-// responder shipping a corrupt version history cannot vote on freshness,
-// but its answer must still count toward the response total — otherwise the
-// query would block until the context deadline.
-func TestLiveQueryMalformedResponseStillCounts(t *testing.T) {
+// TestLiveQueryEmptyResponseStillCounts guards query termination: a
+// responder with nothing to offer (not found, no history) cannot vote on
+// freshness, but its answer must still count toward the response total —
+// otherwise the query would block until the context deadline. (Responses
+// with corrupt version histories no longer reach this layer at all: the
+// binary decoder rejects the frame and the connection is dropped, which the
+// wire and TCP tests pin.)
+func TestLiveQueryEmptyResponseStillCounts(t *testing.T) {
 	hub := NewHub()
 	tr, err := hub.Attach("querier")
 	if err != nil {
@@ -120,9 +123,7 @@ func TestLiveQueryMalformedResponseStillCounts(t *testing.T) {
 		}
 		_ = badTr.Send(env.From, wire.Envelope{
 			Kind: wire.KindQueryResp, From: "bad", QID: env.QID, Key: env.Key,
-			Found: true, Value: []byte("x"),
-			Version:   [][]byte{{1, 2, 3}}, // wrong id length
-			Confident: true,
+			Found: false, Confident: true,
 		})
 	})
 	r.AddPeers("bad")

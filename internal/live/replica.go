@@ -107,7 +107,7 @@ type Replica struct {
 	mu      sync.Mutex
 	eng     *engine.Engine[string]
 	rng     *rand.Rand
-	outbox  []outboundEnvelope
+	outbox  []outboundBatch
 	pending []protoEvent
 
 	stop chan struct{}
@@ -115,9 +115,13 @@ type Replica struct {
 	once sync.Once
 }
 
-// outboundEnvelope is one queued transport send.
-type outboundEnvelope struct {
-	to  string
+// outboundBatch is one queued transport send: one envelope bound for one or
+// more destinations. The engine's push fanout emits the same message to k
+// peers back to back; the endpoint coalesces those into a single batch so
+// the flush encodes the envelope once and reuses the bytes for every
+// destination (via FrameSender when the transport offers it).
+type outboundBatch struct {
+	tos []string
 	env wire.Envelope
 }
 
@@ -150,9 +154,30 @@ func (ep liveEndpoint) Self() string     { return ep.r.addr }
 func (ep liveEndpoint) Now() int64       { return time.Now().UnixNano() }
 func (ep liveEndpoint) Rand() *rand.Rand { return ep.r.rng }
 func (ep liveEndpoint) Send(to string, m engine.Message[string]) {
-	ep.r.outbox = append(ep.r.outbox, outboundEnvelope{
-		to: to, env: envelopeFromEngine(ep.r.addr, m),
+	r := ep.r
+	if m.Kind == engine.KindPush && len(r.outbox) > 0 {
+		// The engine's sendPushes loop emits one identical message per
+		// target: same update, same round counter, and the same carried-list
+		// slice (compared by identity — the engine renders it once per
+		// batch). Fold consecutive targets into the previous batch.
+		last := &r.outbox[len(r.outbox)-1]
+		if last.env.Kind == wire.KindPush && last.env.T == m.T &&
+			last.env.Update.Origin == m.Update.Origin &&
+			last.env.Update.Seq == m.Update.Seq &&
+			sameSlice(last.env.RF, m.RF) {
+			last.tos = append(last.tos, to)
+			return
+		}
+	}
+	r.outbox = append(r.outbox, outboundBatch{
+		tos: []string{to}, env: envelopeFromEngine(r.addr, m),
 	})
+}
+
+// sameSlice reports whether two slices are the same view of the same
+// backing array (identity, not element comparison).
+func sameSlice(a, b []string) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 }
 
 // NewReplica builds a replica on the given transport. The transport's
@@ -236,7 +261,7 @@ func (r *Replica) run(f func(e *engine.Engine[string])) {
 	r.flush(events, out)
 }
 
-func (r *Replica) flush(events []protoEvent, out []outboundEnvelope) {
+func (r *Replica) flush(events []protoEvent, out []outboundBatch) {
 	for _, ev := range events {
 		switch ev.kind {
 		case evApply:
@@ -255,32 +280,56 @@ func (r *Replica) flush(events []protoEvent, out []outboundEnvelope) {
 			}
 		}
 	}
-	for _, o := range out {
-		switch o.env.Kind {
-		case wire.KindPush:
-			r.inc(MetricPushSent)
-		case wire.KindPullReq:
-			r.inc(MetricPullRequests)
-		case wire.KindPullResp:
-			r.inc(MetricPullServed)
-		case wire.KindAck:
-			r.inc(MetricAckSent)
-		case wire.KindQuery:
-			r.inc(MetricQuerySent)
+	fs, _ := r.transport.(FrameSender)
+	for i := range out {
+		b := &out[i]
+		if r.cfg.Metrics != nil {
+			var name string
+			switch b.env.Kind {
+			case wire.KindPush:
+				name = MetricPushSent
+			case wire.KindPullReq:
+				name = MetricPullRequests
+			case wire.KindPullResp:
+				name = MetricPullServed
+			case wire.KindAck:
+				name = MetricAckSent
+			case wire.KindQuery:
+				name = MetricQuerySent
+			}
+			if name != "" {
+				r.cfg.Metrics.Add(name, float64(len(b.tos)))
+			}
 		}
-		_ = r.transport.Send(o.to, o.env) // offline targets are the normal case
+		// Offline targets are the normal case; send errors are dropped.
+		if fs != nil && len(b.tos) > 1 {
+			// Fanout fast path: encode once, hand the same frame to every
+			// destination's writer.
+			if f, err := wire.NewFrame(&b.env); err == nil {
+				for _, to := range b.tos {
+					_ = fs.SendFrame(to, f)
+				}
+				f.Release()
+				continue
+			}
+		}
+		for _, to := range b.tos {
+			_ = r.transport.Send(to, b.env)
+		}
 	}
 }
 
-// handle is the transport's inbound callback: it converts the envelope to
-// an engine message and dispatches it.
+// handle is the transport's inbound callback. The conversion from wire to
+// engine form — including the per-update store conversions of a pull
+// response — runs here, outside the replica mutex; only the engine step
+// itself (r.run) is serialised. The transport decodes frames into reused
+// envelope structs, so container fields must be consumed before returning;
+// everything handed to the engine that outlives this call (update values,
+// version histories, strings) is decoder-fresh.
 func (r *Replica) handle(env wire.Envelope) {
 	switch env.Kind {
 	case wire.KindPush:
-		u, err := env.Update.ToStore()
-		if err != nil {
-			return // malformed update: drop
-		}
+		u := env.Update.ToStore()
 		r.inc(MetricPushReceived)
 		r.run(func(e *engine.Engine[string]) {
 			e.Handle(env.From, engine.Message[string]{
@@ -290,17 +339,13 @@ func (r *Replica) handle(env wire.Envelope) {
 	case wire.KindPullReq:
 		r.run(func(e *engine.Engine[string]) {
 			e.Handle(env.From, engine.Message[string]{
-				Kind: engine.KindPullReq, Clock: wire.ClockFromWire(env.Clock),
+				Kind: engine.KindPullReq, Clock: env.Clock,
 			})
 		})
 	case wire.KindPullResp:
-		updates := make([]store.Update, 0, len(env.Updates))
-		for _, wu := range env.Updates {
-			u, err := wu.ToStore()
-			if err != nil {
-				continue // malformed update: skip
-			}
-			updates = append(updates, u)
+		updates := make([]store.Update, len(env.Updates))
+		for i := range env.Updates {
+			updates[i] = env.Updates[i].ToStore()
 		}
 		r.run(func(e *engine.Engine[string]) {
 			e.Handle(env.From, engine.Message[string]{
@@ -309,12 +354,9 @@ func (r *Replica) handle(env wire.Envelope) {
 		})
 	case wire.KindAck:
 		r.inc(MetricAckReceived)
-		// A malformed id yields the zero Ref; the engine's ack handling is
-		// keyed by the sender, not the update, so nothing is lost.
-		ref, _ := store.ParseRef(env.UpdateID)
 		r.run(func(e *engine.Engine[string]) {
 			e.Handle(env.From, engine.Message[string]{
-				Kind: engine.KindAck, UpdateRef: ref,
+				Kind: engine.KindAck, UpdateRef: env.UpdateRef,
 			})
 		})
 	case wire.KindQuery:
@@ -325,18 +367,10 @@ func (r *Replica) handle(env wire.Envelope) {
 			})
 		})
 	case wire.KindQueryResp:
-		ver, err := historyFromWire(env.Version)
-		found := env.Found
-		if err != nil {
-			// A malformed history cannot vote on freshness, but the answer
-			// must still count toward the response total or the query would
-			// block until its deadline.
-			ver, found = nil, false
-		}
 		r.run(func(e *engine.Engine[string]) {
 			e.Handle(env.From, engine.Message[string]{
 				Kind: engine.KindQueryResp, QID: env.QID, Key: env.Key,
-				Found: found, Value: env.Value, Version: ver,
+				Found: env.Found, Value: env.Value, Version: env.Version,
 				Confident: env.Confident,
 			})
 		})
@@ -354,7 +388,7 @@ func envelopeFromEngine(from string, m engine.Message[string]) wire.Envelope {
 		env.T = m.T
 	case engine.KindPullReq:
 		env.Kind = wire.KindPullReq
-		env.Clock = wire.ClockToWire(m.Clock)
+		env.Clock = m.Clock
 	case engine.KindPullResp:
 		env.Kind = wire.KindPullResp
 		env.Updates = make([]wire.Update, len(m.Updates))
@@ -364,7 +398,7 @@ func envelopeFromEngine(from string, m engine.Message[string]) wire.Envelope {
 		env.KnownPeers = m.Peers
 	case engine.KindAck:
 		env.Kind = wire.KindAck
-		env.UpdateID = m.UpdateRef.String()
+		env.UpdateRef = m.UpdateRef
 	case engine.KindQuery:
 		env.Kind = wire.KindQuery
 		env.QID = m.QID
@@ -376,10 +410,7 @@ func envelopeFromEngine(from string, m engine.Message[string]) wire.Envelope {
 		env.Found = m.Found
 		env.Value = m.Value
 		env.Confident = m.Confident
-		for _, id := range m.Version {
-			id := id // copy array
-			env.Version = append(env.Version, id[:])
-		}
+		env.Version = m.Version
 	}
 	return env
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/p2pgossip/update/internal/wire"
@@ -14,21 +15,20 @@ import (
 // dialTimeout bounds connection establishment to an (often offline) peer.
 const dialTimeout = 2 * time.Second
 
-// writeTimeout bounds one envelope write on a pooled connection. A peer that
-// keeps the connection open but stops reading (stalled process, dead NAT
-// entry) would otherwise block the sender forever once the TCP window fills
-// — with the per-connection mutex held, wedging every goroutine sending to
-// that peer. The deadline turns the stall into a write error, and the
-// connection is then evicted like any other dead one.
+// writeTimeout bounds the delivery of one outbound batch. A peer that keeps
+// the connection open but stops reading (stalled process, dead NAT entry)
+// would otherwise let the queue and then the TCP window absorb traffic
+// forever; the deadline turns the stall into a write error and the
+// connection is evicted like any other dead one.
 const writeTimeout = 10 * time.Second
 
-// errConnDead marks a pooled connection another sender already failed on.
+// errConnDead marks a pooled connection whose writer has already failed.
 var errConnDead = errors.New("live: pooled connection dead")
 
 // maxPooledConns caps the outbound connection pool, and maxInboundConns the
 // accepted-connection set, so a node that has exchanged traffic with a large
-// population does not hold a socket (and, inbound, a goroutine) per peer it
-// ever met — replicas in the target environment are mostly offline, and file
+// population does not hold a socket (and a goroutine) per peer it ever met —
+// replicas in the target environment are mostly offline, and file
 // descriptors are the scarce resource. At the cap an arbitrary entry is
 // evicted; the evicted peer simply pays one redial on its next exchange.
 const (
@@ -36,65 +36,212 @@ const (
 	maxInboundConns = 512
 )
 
+// outboundQueueLen is the per-connection frame queue. It only needs to
+// absorb bursts between writer wakeups; a full queue applies backpressure
+// to senders (bounded by writeTimeout).
+const outboundQueueLen = 256
+
+// connBufBytes sizes the per-connection read and write buffers.
+const connBufBytes = 32 << 10
+
 // TCPTransport sends and receives envelopes over TCP. Connections to each
-// destination are pooled and carry a stream of length-prefixed gob frames
-// (the format lives in wire.FrameWriter/FrameReader): the dial, the TCP
-// handshake, and the gob type dictionary are paid once per peer instead of
-// once per envelope, which is what turns an update burst (a push plus its
-// ack, a pull request plus its response) from four dials into writes on two
-// warm connections. Failed dials stay cheap (one timeout), and a send to a
-// peer whose pooled connection has died redials once before reporting the
-// error.
+// destination are pooled; each pooled connection runs a writer goroutine
+// draining a queue of pre-encoded frames (wire.Frame), so a send is one
+// encode — shared across an entire fanout via SendFrame — plus one queue
+// hop, and consecutive frames to the same peer coalesce into a single
+// buffered write and flush. Failed dials stay cheap (one timeout, reported
+// synchronously); when a pooled connection turns out to be stale the writer
+// redials once and replays the unflushed frames, so a single peer outage
+// costs one redial rather than a lost batch.
 type TCPTransport struct {
 	listener net.Listener
 
 	mu      sync.RWMutex
 	handler Handler
-	closed  bool
-	wg      sync.WaitGroup
+	// handlerAtomic mirrors handler for the per-frame fast path in
+	// serveConn (no read lock per inbound message).
+	handlerAtomic atomic.Value // of Handler
+	closed        bool
+	closedAtomic  atomic.Bool
+	wg            sync.WaitGroup
 	// inbound tracks accepted connections so Close (and the cap) can
-	// unblock their serve loops; they are long-lived now that each carries
-	// a stream.
+	// unblock their serve loops; they are long-lived, each carrying a frame
+	// stream.
 	inbound map[net.Conn]struct{}
 
 	// poolMu guards pool and poolClosed. poolClosed mirrors closed so the
 	// pool's own lifecycle decisions need no second lock (and no race
-	// between a Send pooling a fresh dial and Close draining the pool).
+	// between a send pooling a fresh dial and Close draining the pool).
 	poolMu     sync.Mutex
 	pool       map[string]*pooledConn
 	poolClosed bool
 }
 
-var _ Transport = (*TCPTransport)(nil)
+var (
+	_ Transport   = (*TCPTransport)(nil)
+	_ FrameSender = (*TCPTransport)(nil)
+)
 
-// pooledConn is one outbound connection with its persistent frame-writer
-// (gob encoder) state.
+// pooledConn is one outbound connection: an inline fast path plus a frame
+// queue drained by a writer goroutine. At any moment at most one goroutine
+// owns the socket (writing == true): a sender that finds the connection
+// idle writes its frame inline — no handoff, minimum latency — while
+// senders arriving during a write queue their frames for the writer
+// goroutine, which drains the whole backlog as one buffered write and a
+// single flush. The queue is bounded; a full queue blocks senders up to
+// writeTimeout (backpressure) before the connection is declared stalled.
 type pooledConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	fw   *wire.FrameWriter
-	dead bool
+	to string
+
+	mu      sync.Mutex
+	cond    sync.Cond
+	buf     []*wire.Frame // queued frames, each retained by the queue
+	writing bool          // some goroutine owns the socket right now
+	dead    bool          // terminal: no further sends accepted
+	stopped bool          // shutdown requested (Close, eviction)
+
+	// conn and bw are used by the current owner; the mutex only guards the
+	// pointer swaps (the owner's one redial, shutdown's unblocking Close).
+	conn     net.Conn
+	bw       *bufio.Writer
+	redialed bool
+	// lastArm is when the write deadline was last armed (UnixNano). Arming
+	// costs a runtime timer update per call, so the owner re-arms only once
+	// the previous arm has aged writeTimeout/2 — stall detection within
+	// 1.5× writeTimeout instead of 1×, for one fewer fixed cost on the
+	// per-batch hot path.
+	lastArm int64
 }
 
-func newPooledConn(conn net.Conn) *pooledConn {
-	return &pooledConn{conn: conn, fw: wire.NewFrameWriter(conn)}
+func newPooledConn(to string, conn net.Conn) *pooledConn {
+	pc := &pooledConn{
+		to:   to,
+		conn: conn,
+		bw:   bufio.NewWriterSize(conn, connBufBytes),
+	}
+	pc.cond.L = &pc.mu
+	return pc
 }
 
-// writeEnvelope writes one frame under the connection's mutex and write
-// deadline, marking the connection dead on any failure (the frame stream
-// cannot be resynchronised after a partial write or a skipped frame).
-func (pc *pooledConn) writeEnvelope(env wire.Envelope) error {
+// shutdown asks the writer to exit and unblocks any in-flight write;
+// idempotent.
+func (pc *pooledConn) shutdown() {
 	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if pc.dead {
+	pc.stopped = true
+	pc.conn.Close()
+	pc.cond.Broadcast()
+	pc.mu.Unlock()
+}
+
+// send delivers one frame: inline when the connection is idle, queued for
+// the writer goroutine otherwise.
+func (pc *pooledConn) send(f *wire.Frame) error {
+	pc.mu.Lock()
+	if pc.dead || pc.stopped {
+		pc.mu.Unlock()
 		return errConnDead
 	}
-	pc.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-	err := pc.fw.WriteEnvelope(env)
-	if err != nil {
-		pc.dead = true
+	if !pc.writing && len(pc.buf) == 0 {
+		// Idle connection: own the socket and write without a handoff.
+		pc.writing = true
+		pc.mu.Unlock()
+		one := [1]*wire.Frame{f}
+		err := pc.writeOwned(one[:])
+		pc.mu.Lock()
+		pc.writing = false
+		if err != nil {
+			pc.dead = true
+		}
+		if len(pc.buf) > 0 || pc.dead {
+			pc.cond.Broadcast() // hand queued frames (or cleanup) to the writer
+		}
+		pc.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		return nil
 	}
-	return err
+	// Busy connection: queue for the writer's next batch, blocking only
+	// when the queue is full.
+	if len(pc.buf) >= outboundQueueLen {
+		var timedOut atomic.Bool
+		timer := time.AfterFunc(writeTimeout, func() {
+			timedOut.Store(true)
+			pc.mu.Lock()
+			pc.cond.Broadcast()
+			pc.mu.Unlock()
+		})
+		for len(pc.buf) >= outboundQueueLen && !pc.dead && !pc.stopped && !timedOut.Load() {
+			pc.cond.Wait()
+		}
+		timer.Stop()
+		if len(pc.buf) >= outboundQueueLen && !pc.dead && !pc.stopped {
+			// The peer absorbed nothing for a whole writeTimeout: stalled.
+			pc.dead = true
+			pc.cond.Broadcast()
+			pc.mu.Unlock()
+			return fmt.Errorf("live: send queue to %s stalled", pc.to)
+		}
+	}
+	if pc.dead || pc.stopped {
+		pc.mu.Unlock()
+		return errConnDead
+	}
+	f.Retain()
+	pc.buf = append(pc.buf, f)
+	pc.cond.Broadcast()
+	pc.mu.Unlock()
+	return nil
+}
+
+// writeOwned writes one batch as the socket's current owner, redialling
+// once on failure and replaying the batch on the fresh connection (the
+// receiver dedups any envelope that did arrive before the failure). The
+// redial allowance renews with every successful batch, so each distinct
+// outage gets exactly one.
+func (pc *pooledConn) writeOwned(batch []*wire.Frame) error {
+	pc.mu.Lock()
+	conn, bw := pc.conn, pc.bw
+	stopped := pc.stopped
+	pc.mu.Unlock()
+	if stopped {
+		return errConnDead
+	}
+	if err := pc.writeBatch(conn, bw, batch); err == nil {
+		pc.mu.Lock()
+		pc.redialed = false
+		pc.mu.Unlock()
+		return nil
+	} else {
+		pc.mu.Lock()
+		// dead counts like stopped: a queue-stall verdict means writeLoop
+		// has (or will have) torn the connection down — installing a fresh
+		// socket into the evicted pooledConn would leak it.
+		if pc.stopped || pc.dead || pc.redialed {
+			pc.mu.Unlock()
+			return err
+		}
+		pc.redialed = true
+		pc.mu.Unlock()
+	}
+	fresh, derr := net.DialTimeout("tcp", pc.to, dialTimeout)
+	if derr != nil {
+		return derr
+	}
+	pc.mu.Lock()
+	if pc.stopped || pc.dead {
+		pc.mu.Unlock()
+		fresh.Close()
+		return errConnDead
+	}
+	old := pc.conn
+	pc.conn = fresh
+	fbw := bufio.NewWriterSize(fresh, connBufBytes)
+	pc.bw = fbw
+	pc.lastArm = 0
+	pc.mu.Unlock()
+	old.Close()
+	return pc.writeBatch(fresh, fbw, batch)
 }
 
 // ListenTCP starts a transport on the given address ("127.0.0.1:0" picks a
@@ -122,75 +269,74 @@ func (t *TCPTransport) SetHandler(h Handler) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.handler = h
+	t.handlerAtomic.Store(h)
 }
 
-// Send implements Transport: one frame on the pooled connection to the
-// destination. A stale pooled connection (peer restarted, idle reset,
-// stalled past the write deadline) is detected by the write failing; the
-// envelope is then retried once on a guaranteed-fresh dial, so a single
-// peer outage costs one redial rather than a lost message. Envelope-level
-// failures (an encoding above wire.MaxFrameBytes) still cost the connection
-// — the persistent encoder state is no longer trustworthy — but are not
-// retried: they would fail identically on any stream.
+// Send implements Transport: encode once, queue on the destination's
+// connection.
 func (t *TCPTransport) Send(to string, env wire.Envelope) error {
+	f, err := wire.NewFrame(&env)
+	if err != nil {
+		return fmt.Errorf("live: send to %s: %w", to, err)
+	}
+	defer f.Release()
+	return t.SendFrame(to, f)
+}
+
+// SendFrame implements FrameSender: queue a pre-encoded frame on the pooled
+// connection to the destination, dialling one if absent (dial failures are
+// reported synchronously). The frame is retained for as long as the
+// transport needs it; the caller keeps its own reference. A connection whose
+// writer has already died is replaced by one guaranteed-fresh dial before
+// the send is reported failed.
+func (t *TCPTransport) SendFrame(to string, f *wire.Frame) error {
 	t.mu.RLock()
 	closed := t.closed
 	t.mu.RUnlock()
 	if closed {
 		return fmt.Errorf("live: transport closed")
 	}
-	pc, fresh, err := t.conn(to)
+	pc, err := t.conn(to)
 	if err != nil {
 		return err
 	}
-	err = pc.writeEnvelope(env)
-	if err == nil {
+	if err := pc.send(f); err == nil {
 		return nil
 	}
-	t.evict(to, pc)
-	if errors.Is(err, wire.ErrFrameTooLarge) || fresh {
-		return fmt.Errorf("live: send to %s: %w", to, err)
-	}
-	// The pooled connection was stale (or a racing sender had already
-	// broken it): retry exactly once on a connection this call dialled
-	// itself, so the retry cannot land on another goroutine's corpse.
+	// The pooled connection died under us (its writer failed or a racing
+	// sender stalled it): retry exactly once on a connection this call
+	// dialled itself.
 	pc, err = t.dialAndPool(to, true)
 	if err != nil {
 		return err
 	}
-	if err := pc.writeEnvelope(env); err != nil {
-		t.evict(to, pc)
+	if err := pc.send(f); err != nil {
 		return fmt.Errorf("live: send to %s: %w", to, err)
 	}
 	return nil
 }
 
-// conn returns the pooled connection to `to`, dialling one if absent. The
-// boolean reports whether this call created it.
-func (t *TCPTransport) conn(to string) (*pooledConn, bool, error) {
+// conn returns the pooled connection to `to`, dialling one if absent.
+func (t *TCPTransport) conn(to string) (*pooledConn, error) {
 	t.poolMu.Lock()
 	pc, ok := t.pool[to]
 	t.poolMu.Unlock()
 	if ok {
-		return pc, false, nil
+		return pc, nil
 	}
-	pc, err := t.dialAndPool(to, false)
-	if err != nil {
-		return nil, false, err
-	}
-	return pc, true, nil
+	return t.dialAndPool(to, false)
 }
 
-// dialAndPool dials `to` and installs the connection in the pool. With
-// replace set an existing entry is displaced (the retry path, which must
-// not reuse a possibly-dead pooled connection); without it a concurrently
-// pooled connection wins and the fresh dial is discarded.
+// dialAndPool dials `to`, installs the connection in the pool, and starts
+// its writer. With replace set an existing entry is displaced (the retry
+// path, which must not reuse a possibly-dead pooled connection); without it
+// a concurrently pooled connection wins and the fresh dial is discarded.
 func (t *TCPTransport) dialAndPool(to string, replace bool) (*pooledConn, error) {
 	raw, err := net.DialTimeout("tcp", to, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("live: dial %s: %w", to, err)
 	}
-	pc := newPooledConn(raw)
+	pc := newPooledConn(to, raw)
 	t.poolMu.Lock()
 	if t.poolClosed {
 		t.poolMu.Unlock()
@@ -200,7 +346,7 @@ func (t *TCPTransport) dialAndPool(to string, replace bool) (*pooledConn, error)
 	var displaced []*pooledConn
 	if existing, ok := t.pool[to]; ok {
 		if !replace {
-			// A concurrent Send won the race; keep its connection.
+			// A concurrent send won the race; keep its connection.
 			t.poolMu.Unlock()
 			raw.Close()
 			return existing, nil
@@ -216,26 +362,95 @@ func (t *TCPTransport) dialAndPool(to string, replace bool) (*pooledConn, error)
 		}
 	}
 	t.pool[to] = pc
+	t.wg.Add(1)
 	t.poolMu.Unlock()
+	go t.writeLoop(pc)
 	for _, vc := range displaced {
-		vc.conn.Close()
+		vc.shutdown()
 	}
 	return pc, nil
 }
 
-// evict drops a dead connection from the pool (only if it is still the one
-// pooled — a racing Send may already have replaced it).
-func (t *TCPTransport) evict(to string, pc *pooledConn) {
+// evictConn drops a connection from the pool if it is still the pooled one
+// (a racing send may already have replaced it).
+func (t *TCPTransport) evictConn(pc *pooledConn) {
 	t.poolMu.Lock()
-	if t.pool[to] == pc {
-		delete(t.pool, to)
+	if t.pool[pc.to] == pc {
+		delete(t.pool, pc.to)
 	}
 	t.poolMu.Unlock()
-	pc.conn.Close()
 }
 
-// Close implements Transport: stops accepting, closes pooled and inbound
-// connections, and waits for in-flight deliveries.
+// writeLoop drains one connection's backlog: each wakeup takes every queued
+// frame, writes the whole batch through one buffered writer, and ends with
+// a single flush — a fanout burst to the same peer is one syscall, not one
+// per envelope. Idle-connection sends bypass the loop entirely (the inline
+// path in pooledConn.send); the loop exists for what arrives while the
+// socket is busy.
+func (t *TCPTransport) writeLoop(pc *pooledConn) {
+	defer t.wg.Done()
+	for {
+		pc.mu.Lock()
+		for !pc.dead && !pc.stopped && (len(pc.buf) == 0 || pc.writing) {
+			pc.cond.Wait()
+		}
+		if pc.dead || pc.stopped {
+			// Terminal: mark dead under the lock so no sender queues behind
+			// this drain, then release the backlog and the socket.
+			pc.dead = true
+			buf := pc.buf
+			pc.buf = nil
+			conn := pc.conn
+			pc.cond.Broadcast()
+			pc.mu.Unlock()
+			for _, f := range buf {
+				f.Release()
+			}
+			conn.Close()
+			t.evictConn(pc)
+			return
+		}
+		batch := pc.buf
+		pc.buf = nil
+		pc.writing = true
+		pc.cond.Broadcast() // queue space freed: unblock backpressured senders
+		pc.mu.Unlock()
+		err := pc.writeOwned(batch)
+		for _, f := range batch {
+			f.Release()
+		}
+		pc.mu.Lock()
+		pc.writing = false
+		if err != nil {
+			pc.dead = true
+		}
+		pc.cond.Broadcast()
+		pc.mu.Unlock()
+	}
+}
+
+// writeBatch writes the frames through bw and flushes once. The write
+// deadline is re-armed whenever the current one has aged past half its
+// span — checked per frame, so a large batch trickling over a slow but
+// healthy link keeps extending its deadline with progress (only a link
+// absorbing nothing for writeTimeout fails), while the fast path pays one
+// clock read per frame and a timer update only every writeTimeout/2.
+func (pc *pooledConn) writeBatch(conn net.Conn, bw *bufio.Writer, frames []*wire.Frame) error {
+	for _, f := range frames {
+		now := time.Now()
+		if now.UnixNano()-pc.lastArm > int64(writeTimeout/2) {
+			conn.SetWriteDeadline(now.Add(writeTimeout))
+			pc.lastArm = now.UnixNano()
+		}
+		if _, err := bw.Write(f.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Close implements Transport: stops accepting, tears down pooled and
+// inbound connections, and waits for the writer and serve goroutines.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -243,6 +458,7 @@ func (t *TCPTransport) Close() error {
 		return nil
 	}
 	t.closed = true
+	t.closedAtomic.Store(true)
 	for conn := range t.inbound {
 		conn.Close() // unblock the serve loops
 	}
@@ -250,11 +466,15 @@ func (t *TCPTransport) Close() error {
 
 	t.poolMu.Lock()
 	t.poolClosed = true
+	conns := make([]*pooledConn, 0, len(t.pool))
 	for to, pc := range t.pool {
-		pc.conn.Close()
+		conns = append(conns, pc)
 		delete(t.pool, to)
 	}
 	t.poolMu.Unlock()
+	for _, pc := range conns {
+		pc.shutdown() // also closes the socket: unblocks mid-batch writes
+	}
 
 	err := t.listener.Close()
 	t.wg.Wait()
@@ -293,27 +513,24 @@ func (t *TCPTransport) acceptLoop() {
 	}
 }
 
-// serveConn decodes a stream of envelope frames from one inbound
+// serveConn decodes a stream of binary envelope frames from one inbound
 // connection, dispatching each to the handler, until the peer closes or an
-// error makes the stream unsafe to continue. One decoder serves the whole
-// connection, so gob type information is parsed once per peer rather than
-// once per message.
+// error — a truncated frame, a bad length, a malformed body — makes the
+// stream unsafe to continue. The envelope is decoded once into a reusable
+// struct outside any replica lock; per the Handler contract its containers
+// are valid only for the duration of the call.
 func (t *TCPTransport) serveConn(conn net.Conn) {
 	defer conn.Close()
-	fr := wire.NewFrameReader(bufio.NewReader(conn))
+	fr := wire.NewFrameReader(bufio.NewReaderSize(conn, connBufBytes))
+	var env wire.Envelope
 	for {
-		env, err := fr.ReadEnvelope()
-		if err != nil {
+		if err := fr.ReadEnvelope(&env); err != nil {
 			return // EOF, peer reset, or a corrupt stream: drop the connection
 		}
-		t.mu.RLock()
-		handler := t.handler
-		closed := t.closed
-		t.mu.RUnlock()
-		if closed {
+		if t.closedAtomic.Load() {
 			return
 		}
-		if handler != nil {
+		if handler, _ := t.handlerAtomic.Load().(Handler); handler != nil {
 			handler(env)
 		}
 	}

@@ -3,8 +3,9 @@
 // pull phase is scheduled by wall-clock timers instead of simulation rounds.
 //
 // Two transports ship with the package: an in-memory hub for tests and
-// examples, and a TCP transport (gob framing) for actual deployments — the
-// paper's position that the physical layer is orthogonal (§1) made concrete.
+// examples, and a TCP transport (length-prefixed binary framing, see
+// internal/wire) for actual deployments — the paper's position that the
+// physical layer is orthogonal (§1) made concrete.
 package live
 
 import (
@@ -15,7 +16,11 @@ import (
 )
 
 // Handler consumes inbound envelopes. Implementations must be safe for
-// concurrent calls.
+// concurrent calls. The envelope's container fields (RF, Updates,
+// KnownPeers, Clock) may be backed by per-connection storage the transport
+// reuses for the next message: a handler must finish with them before
+// returning. Strings, update values, and version histories are fresh per
+// message and may be retained.
 type Handler func(wire.Envelope)
 
 // Transport moves envelopes between replica addresses.
@@ -30,6 +35,15 @@ type Transport interface {
 	SetHandler(h Handler)
 	// Close releases resources and stops inbound delivery.
 	Close() error
+}
+
+// FrameSender is implemented by transports that accept pre-encoded binary
+// frames. A push fanout encodes its envelope once (wire.NewFrame) and hands
+// the same frame to every destination; the transport retains the frame for
+// as long as its queues need it. Transports without this fast path receive
+// the envelope through Send once per destination instead.
+type FrameSender interface {
+	SendFrame(to string, f *wire.Frame) error
 }
 
 // Hub is an in-memory message fabric connecting MemTransports. It supports

@@ -10,21 +10,23 @@ import (
 	"github.com/p2pgossip/update/internal/version"
 )
 
-// checkInvariants evaluates the four scenario invariants. All iteration is
+// checkInvariants evaluates the five scenario invariants. All iteration is
 // over slices in fixed order so the rendered details are deterministic.
 func checkInvariants(sc Scenario, net *gossip.Network, en *simnet.Engine,
-	published []store.Update, applied map[applyKey]int, pushes int64) []InvariantResult {
+	published []store.Update, applied map[applyKey]int, pushes, pushBytes int64) []InvariantResult {
 	online := make([]int, 0, sc.N)
 	for i := range net.Peers {
 		if en.Population().Online(i) {
 			online = append(online, i)
 		}
 	}
+	msgBound, byteBound := checkPushOverhead(sc, published, pushes, pushBytes)
 	return []InvariantResult{
 		checkDelivery(net, online, published),
 		checkConvergence(net, online),
 		checkNoDuplicateApplication(net, published, applied),
-		checkPushOverhead(sc, len(published), pushes),
+		msgBound,
+		byteBound,
 	}
 }
 
@@ -119,11 +121,16 @@ func checkNoDuplicateApplication(net *gossip.Network, published []store.Update,
 	}
 }
 
-// checkPushOverhead: push messages stay within OverheadFactor × the analytic
-// push-phase expectation (§4.2's M(t) recursion) per published update. This
-// is the tripwire for dedup or flooding-list regressions, which show up as
-// message blowups long before they break convergence.
-func checkPushOverhead(sc Scenario, published int, pushes int64) InvariantResult {
+// checkPushOverhead: push messages stay within OverheadFactor × the
+// analytic push-phase expectation (§4.2's M(t) recursion) per published
+// update, and push traffic stays within the same factor of the analytic
+// byte cost Σ M(t)·S_M(t) — evaluated against the real binary-encoded sizes
+// the simulator now charges (the U term is each update's actual encoded
+// push message; the γ·R·L(t) list term uses γ = replicalist.EntryBytes,
+// an upper bound on an encoded "peer-<id>" entry). These are the tripwires
+// for dedup, flooding-list, and codec-bloat regressions, which show up as
+// traffic blowups long before they break convergence.
+func checkPushOverhead(sc Scenario, published []store.Update, pushes, pushBytes int64) (InvariantResult, InvariantResult) {
 	params := analytic.PushParams{
 		R:             sc.N,
 		ROn0:          sc.InitialOnline,
@@ -131,24 +138,41 @@ func checkPushOverhead(sc Scenario, published int, pushes int64) InvariantResult
 		Fr:            sc.Config.Fr,
 		PartialList:   sc.Config.PartialList,
 		ListThreshold: sc.Config.ListThreshold,
+		// UpdateBytes stays 0: TotalBytes is linear in it, so the per-update
+		// payload term is added per published update below.
 	}
 	if sc.Config.NewPF != nil {
 		params.PF = sc.Config.NewPF()
 	}
 	res, err := analytic.Push(params)
 	if err != nil {
-		return InvariantResult{
-			Name:   "bounded-push-overhead",
-			Detail: fmt.Sprintf("analytic model rejected parameters: %v", err),
-		}
+		detail := fmt.Sprintf("analytic model rejected parameters: %v", err)
+		return InvariantResult{Name: "bounded-push-overhead", Detail: detail},
+			InvariantResult{Name: "bounded-push-bytes", Detail: detail}
 	}
 	perUpdate := res.TotalMessages()
-	bound := sc.OverheadFactor * perUpdate * float64(published)
-	detail := fmt.Sprintf("%d pushes vs bound %.0f (%.1f analytic msgs/update × %d updates × factor %g)",
-		pushes, bound, perUpdate, published, sc.OverheadFactor)
-	return InvariantResult{
+	bound := sc.OverheadFactor * perUpdate * float64(len(published))
+	msgs := InvariantResult{
 		Name:   "bounded-push-overhead",
 		Passed: float64(pushes) <= bound,
-		Detail: detail,
+		Detail: fmt.Sprintf("%d pushes vs bound %.0f (%.1f analytic msgs/update × %d updates × factor %g)",
+			pushes, bound, perUpdate, len(published), sc.OverheadFactor),
 	}
+
+	// Byte bound: per update, the analytic list traffic (UpdateBytes = 0)
+	// plus the update's real encoded payload on every expected message. The
+	// widest sender address bounds the per-message frame cost.
+	payload := 0
+	for _, u := range published {
+		payload += gossip.PushBaseBytes(u, sc.N-1)
+	}
+	listBytes := res.TotalBytes() * float64(len(published))
+	byteBound := sc.OverheadFactor * (perUpdate*float64(payload) + listBytes)
+	bytes := InvariantResult{
+		Name:   "bounded-push-bytes",
+		Passed: float64(pushBytes) <= byteBound,
+		Detail: fmt.Sprintf("%dB pushed vs bound %.0fB (%.1f msgs/update × %dB payloads + %.0fB analytic list traffic, × factor %g)",
+			pushBytes, byteBound, perUpdate, payload, listBytes, sc.OverheadFactor),
+	}
+	return msgs, bytes
 }

@@ -5,7 +5,7 @@
 // the round-based simulator, an availability process, a fault plane (message
 // loss, delay and reordering, scheduled partitions, crash/restart events),
 // and a publish workload. After a faulted phase the network is given a
-// stable settle phase, then four invariants are checked:
+// stable settle phase, then five invariants are checked:
 //
 //   - eventual-delivery: every published update reached every final-online
 //     peer (tombstones included — death certificates must propagate);
@@ -13,7 +13,10 @@
 //     identical live store state;
 //   - no-duplicate-application: no peer applied any update more than once;
 //   - bounded-push-overhead: push messages stay within a scenario-specific
-//     factor of the paper's analytic push-phase cost.
+//     factor of the paper's analytic push-phase cost;
+//   - bounded-push-bytes: push traffic, accounted at the live runtime's
+//     real binary-encoded sizes, stays within the same factor of the
+//     analytic byte cost Σ M(t)·S_M(t).
 //
 // Runs are deterministic: the same scenario and seed produce byte-identical
 // Result JSON. The catalog in catalog.go is executed by cmd/scenarios and by
@@ -128,6 +131,7 @@ type Result struct {
 	MessagesDropped int64             `json:"messages_dropped"`
 	Bytes           int64             `json:"bytes"`
 	Pushes          int64             `json:"pushes"`
+	PushBytes       int64             `json:"push_bytes"`
 	Duplicates      int64             `json:"duplicates"`
 	PullRequests    int64             `json:"pull_requests"`
 	PullUpdates     int64             `json:"pull_updates"`
@@ -280,6 +284,7 @@ func Run(sc Scenario, seed int64) (Result, error) {
 		MessagesDropped: int64(reg.Counter(simnet.MetricMessagesDropped)),
 		Bytes:           int64(reg.Counter(simnet.MetricBytes)),
 		Pushes:          int64(reg.Counter(gossip.MetricPushes)),
+		PushBytes:       int64(reg.Counter(gossip.MetricPushBytes)),
 		Duplicates:      int64(reg.Counter(gossip.MetricDuplicates)),
 		PullRequests:    int64(reg.Counter(gossip.MetricPullRequests)),
 		PullUpdates:     int64(reg.Counter(gossip.MetricPullUpdates)),
@@ -287,7 +292,7 @@ func Run(sc Scenario, seed int64) (Result, error) {
 	for _, u := range published {
 		res.Updates = append(res.Updates, u.ID())
 	}
-	res.Invariants = checkInvariants(sc, net, en, published, applied, res.Pushes)
+	res.Invariants = checkInvariants(sc, net, en, published, applied, res.Pushes, res.PushBytes)
 	res.Passed = true
 	for _, inv := range res.Invariants {
 		res.Passed = res.Passed && inv.Passed

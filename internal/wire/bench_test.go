@@ -1,9 +1,9 @@
 package wire
 
 // Benchmarks for the envelope codec — the per-message CPU cost under any
-// transport. The pooled TCP transport amortises the gob type dictionary
-// across a connection; these measure the standalone (cold-codec) path that
-// Encode/Decode expose.
+// transport. BenchmarkEnvelopeEncode/Decode measure the binary codec the
+// transports speak (buffer and envelope reuse, as the TCP paths run it);
+// the Gob variants measure the compat/reference codec for comparison.
 
 import (
 	"testing"
@@ -28,6 +28,36 @@ func benchEnvelope() Envelope {
 
 func BenchmarkEnvelopeEncode(b *testing.B) {
 	env := benchEnvelope()
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendFrame(buf[:0], &env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnvelopeDecode(b *testing.B) {
+	env := benchEnvelope()
+	body, err := EncodeBinary(&env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out Envelope
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeBody(body, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnvelopeEncodeGob(b *testing.B) {
+	env := benchEnvelope()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -37,7 +67,7 @@ func BenchmarkEnvelopeEncode(b *testing.B) {
 	}
 }
 
-func BenchmarkEnvelopeDecode(b *testing.B) {
+func BenchmarkEnvelopeDecodeGob(b *testing.B) {
 	raw, err := Encode(benchEnvelope())
 	if err != nil {
 		b.Fatal(err)

@@ -1,21 +1,17 @@
 package wire
 
 import (
-	"fmt"
-
 	"github.com/p2pgossip/update/internal/version"
 )
 
-func versionIDFromBytes(raw []byte) (version.ID, error) {
-	var id version.ID
-	if len(raw) != version.IDSize {
-		return id, fmt.Errorf("wire: version id has %d bytes, want %d", len(raw), version.IDSize)
-	}
-	copy(id[:], raw)
-	return id, nil
-}
+// Compat shims. The hot paths carry version.Clock directly on the Envelope
+// (no map copy per message); these helpers survive for callers that need a
+// defensive copy at the API boundary — tools, tests, and code that mutates
+// the wire form after conversion.
 
-// ClockToWire converts a version.Clock to its wire form (a plain map copy).
+// ClockToWire copies a version.Clock into a plain map — the old wire form.
+// Compat only: Envelope.Clock carries version.Clock directly; copy only
+// when the result will be mutated independently.
 func ClockToWire(c version.Clock) map[string]uint64 {
 	out := make(map[string]uint64, len(c))
 	for k, v := range c {
@@ -24,7 +20,9 @@ func ClockToWire(c version.Clock) map[string]uint64 {
 	return out
 }
 
-// ClockFromWire converts a wire clock back to a version.Clock.
+// ClockFromWire copies a plain map back into a version.Clock.
+// Compat only: Envelope.Clock carries version.Clock directly; copy only
+// when the result will be mutated independently.
 func ClockFromWire(m map[string]uint64) version.Clock {
 	out := version.NewClock()
 	for k, v := range m {

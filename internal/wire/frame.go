@@ -1,21 +1,21 @@
 package wire
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 )
 
-// This file is the single definition of the streaming frame format the TCP
-// transport speaks: a connection carries a sequence of frames, each a 4-byte
-// big-endian length followed by exactly one gob-encoded Envelope. The gob
-// encoder and decoder persist for the life of the stream, so type
-// definitions travel only in the first frame; the length prefix exists to
-// bound per-frame allocation against corrupt or hostile peers. Encode and
-// Decode remain the standalone (one-shot) codec for tools and tests.
+// This file is the streaming side of the binary codec: a connection carries
+// a sequence of frames, each a 4-byte big-endian length followed by exactly
+// one binary-encoded envelope body (binary.go). The length prefix bounds
+// per-frame allocation against corrupt or hostile peers; the format-version
+// byte inside the body handles evolution. Frame is the pooled, shareable
+// encoded form a push fanout encodes once and hands to every destination's
+// writer.
 
 // MaxFrameBytes bounds a single envelope frame (16 MiB) so a corrupt or
 // hostile peer cannot force unbounded allocation.
@@ -27,112 +27,126 @@ const MaxFrameBytes = 16 << 20
 // it rather than redial. Match with errors.Is.
 var ErrFrameTooLarge = errors.New("wire: envelope frame exceeds maximum size")
 
-// FrameWriter renders envelopes as length-prefixed frames on one stream.
-// It is not safe for concurrent use; callers serialise.
+// Frame is one encoded envelope — length prefix included — shareable across
+// any number of destinations and goroutines. Frames are reference-counted
+// and pooled: NewFrame hands out a frame with one reference; every holder
+// that passes it elsewhere Retains it first, and Release returns the buffer
+// to the pool when the last reference drops. The bytes are immutable for
+// the frame's lifetime.
+type Frame struct {
+	data []byte
+	refs atomic.Int32
+}
+
+// framePool recycles Frame headers and their byte buffers. Oversized
+// buffers (beyond maxPooledFrame) are dropped on release so one huge
+// pull response does not pin megabytes in the pool.
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+const maxPooledFrame = 64 << 10
+
+// NewFrame encodes env as one pooled frame with a single reference.
+func NewFrame(env *Envelope) (*Frame, error) {
+	f := framePool.Get().(*Frame)
+	data, err := AppendFrame(f.data[:0], env)
+	if err != nil {
+		framePool.Put(f)
+		return nil, err
+	}
+	f.data = data
+	f.refs.Store(1)
+	return f, nil
+}
+
+// Bytes returns the encoded frame, length prefix included. The slice is
+// valid until the caller's reference is released.
+func (f *Frame) Bytes() []byte { return f.data }
+
+// Retain adds a reference, for handing the frame to another holder.
+func (f *Frame) Retain() { f.refs.Add(1) }
+
+// Release drops one reference, recycling the frame when none remain.
+func (f *Frame) Release() {
+	if f.refs.Add(-1) != 0 {
+		return
+	}
+	if cap(f.data) > maxPooledFrame {
+		f.data = nil
+	}
+	framePool.Put(f)
+}
+
+// FrameWriter renders envelopes as length-prefixed binary frames on one
+// stream — the synchronous single-stream shape, used by tests and tools;
+// the TCP transport drives per-connection writer goroutines over Frames
+// instead. It is not safe for concurrent use; callers serialise.
 type FrameWriter struct {
 	w   io.Writer
-	buf bytes.Buffer
-	enc *gob.Encoder
+	buf []byte
 }
 
 // NewFrameWriter starts a frame stream on w.
 func NewFrameWriter(w io.Writer) *FrameWriter {
-	f := &FrameWriter{w: w}
-	f.enc = gob.NewEncoder(&f.buf)
-	return f
+	return &FrameWriter{w: w}
 }
 
-// WriteEnvelope writes env as exactly one frame. After any error the stream
-// must be abandoned: the persistent encoder's type-dictionary state may be
-// ahead of what the receiver has actually been sent.
-func (f *FrameWriter) WriteEnvelope(env Envelope) error {
-	f.buf.Reset()
-	if err := f.enc.Encode(env); err != nil {
-		return fmt.Errorf("wire: encode envelope: %w", err)
-	}
-	if f.buf.Len() > MaxFrameBytes {
-		return fmt.Errorf("%w: %d bytes > %d", ErrFrameTooLarge, f.buf.Len(), MaxFrameBytes)
-	}
-	var lenbuf [4]byte
-	binary.BigEndian.PutUint32(lenbuf[:], uint32(f.buf.Len()))
-	if _, err := f.w.Write(lenbuf[:]); err != nil {
+// WriteEnvelope writes env as exactly one frame in one Write call.
+func (f *FrameWriter) WriteEnvelope(env *Envelope) error {
+	buf, err := AppendFrame(f.buf[:0], env)
+	if err != nil {
 		return err
 	}
-	_, err := f.w.Write(f.buf.Bytes())
+	f.buf = buf
+	_, err = f.w.Write(f.buf)
 	return err
 }
 
-// FrameReader decodes the envelope stream produced by a FrameWriter,
-// enforcing the per-frame size bound and the one-envelope-per-frame
-// alignment. It is not safe for concurrent use.
+// FrameReader decodes the frame stream produced by a FrameWriter or by
+// Frame writes, enforcing the per-frame size bound and the
+// one-envelope-per-frame alignment. It is not safe for concurrent use.
 type FrameReader struct {
-	fr  deframer
-	dec *gob.Decoder
+	r       io.Reader
+	buf     []byte
+	scratch decodeScratch
 }
 
-// NewFrameReader starts reading a frame stream from r.
+// NewFrameReader starts reading a frame stream from r. Callers wanting
+// buffering pass a bufio.Reader.
 func NewFrameReader(r io.Reader) *FrameReader {
-	f := &FrameReader{}
-	f.fr.r = r
-	f.dec = gob.NewDecoder(&f.fr)
-	return f
+	return &FrameReader{r: r}
 }
 
-// ReadEnvelope reads the next envelope. Any error — io.EOF included — means
-// the stream is unusable and must be dropped: gob decoder state cannot be
-// resynchronised mid-stream.
-func (f *FrameReader) ReadEnvelope() (Envelope, error) {
-	var env Envelope
-	if err := f.dec.Decode(&env); err != nil {
-		return Envelope{}, err
+// ReadEnvelope reads the next frame into env (reusing env's container
+// storage; see DecodeBody for the reuse contract). Any error — io.EOF
+// included — means the stream is unusable and must be dropped: frames
+// cannot be resynchronised after a bad length or body.
+func (f *FrameReader) ReadEnvelope(env *Envelope) error {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(f.r, lenbuf[:]); err != nil {
+		return err
 	}
-	if f.fr.remaining != 0 {
-		// The writer emits exactly one envelope per frame; leftover bytes
-		// mean a confused or hostile peer.
-		return Envelope{}, fmt.Errorf("wire: %d stray bytes after envelope", f.fr.remaining)
+	n := binary.BigEndian.Uint32(lenbuf[:])
+	if n < 2 || n > MaxFrameBytes {
+		return fmt.Errorf("wire: frame of %d bytes out of bounds", n)
 	}
-	return env, nil
-}
-
-// deframer adapts the inbound length-prefixed byte stream to the io.Reader
-// the persistent gob decoder consumes. It implements io.ByteReader so the
-// decoder does not wrap it in its own bufio.Reader — read-ahead across frame
-// boundaries would both double-buffer and blind the alignment check in
-// ReadEnvelope. Callers wanting buffering pass a bufio.Reader as r.
-type deframer struct {
-	r         io.Reader
-	remaining int
-}
-
-func (f *deframer) ReadByte() (byte, error) {
-	var b [1]byte
-	for {
-		n, err := f.Read(b[:])
-		if n == 1 {
-			return b[0], nil
-		}
-		if err != nil {
-			return 0, err
-		}
+	buf := f.buf
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
 	}
-}
-
-func (f *deframer) Read(p []byte) (int, error) {
-	if f.remaining == 0 {
-		var lenbuf [4]byte
-		if _, err := io.ReadFull(f.r, lenbuf[:]); err != nil {
-			return 0, err
-		}
-		n := binary.BigEndian.Uint32(lenbuf[:])
-		if n == 0 || n > MaxFrameBytes {
-			return 0, fmt.Errorf("wire: frame of %d bytes out of bounds", n)
-		}
-		f.remaining = int(n)
+	buf = buf[:n]
+	if cap(buf) <= maxPooledFrame {
+		// Retain modest buffers across frames; an oversized one (up to the
+		// 16 MiB frame bound, remote-controlled) is used once and released,
+		// so an idle connection cannot pin megabytes it was sent once.
+		f.buf = buf
+	} else {
+		f.buf = nil
 	}
-	if len(p) > f.remaining {
-		p = p[:f.remaining]
+	if _, err := io.ReadFull(f.r, buf); err != nil {
+		return err
 	}
-	n, err := f.r.Read(p)
-	f.remaining -= n
-	return n, err
+	// The reader owns the decode scratch, so container reuse and the string
+	// caches survive interleaved kinds (a stream mixing pushes, acks, and
+	// pull traffic — the normal case).
+	return decodeBody(buf, env, &f.scratch)
 }

@@ -5,44 +5,43 @@ import (
 	"encoding/binary"
 	"strings"
 	"testing"
+
+	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/version"
 )
 
 // TestFrameStreamRoundTrip pins the streaming frame format: several
-// envelopes on one stream share the writer's and reader's persistent gob
-// state, and later frames are smaller than the first (the type dictionary
-// travels once).
+// envelopes on one stream, each exactly one length-prefixed binary frame,
+// decoded back in order into a reused envelope.
 func TestFrameStreamRoundTrip(t *testing.T) {
 	var stream bytes.Buffer
 	fw := NewFrameWriter(&stream)
 	envs := []Envelope{
 		{Kind: KindPush, From: "a:1", Update: Update{Origin: "a:1", Seq: 1, Key: "k", Value: []byte("v")}, RF: []string{"b:2"}, T: 1},
-		{Kind: KindAck, From: "b:2", UpdateID: "a:1/1"},
-		{Kind: KindPullReq, From: "c:3", Clock: map[string]uint64{"a:1": 1}},
+		{Kind: KindAck, From: "b:2", UpdateRef: store.Ref{Origin: "a:1", Seq: 1}},
+		{Kind: KindPullReq, From: "c:3", Clock: version.Clock{"a:1": 1}},
 	}
-	var sizes []int
-	for _, env := range envs {
+	for i := range envs {
 		before := stream.Len()
-		if err := fw.WriteEnvelope(env); err != nil {
+		if err := fw.WriteEnvelope(&envs[i]); err != nil {
 			t.Fatal(err)
 		}
-		sizes = append(sizes, stream.Len()-before)
-	}
-	if sizes[1] >= sizes[0] {
-		t.Fatalf("second frame (%dB) not smaller than first (%dB): type dictionary re-sent?",
-			sizes[1], sizes[0])
+		if got, want := stream.Len()-before, EncodedSize(&envs[i]); got != want {
+			t.Fatalf("frame %d wrote %dB, EncodedSize says %dB", i, got, want)
+		}
 	}
 
 	fr := NewFrameReader(&stream)
+	var got Envelope
 	for i, want := range envs {
-		got, err := fr.ReadEnvelope()
-		if err != nil {
+		if err := fr.ReadEnvelope(&got); err != nil {
 			t.Fatalf("envelope %d: %v", i, err)
 		}
 		if got.Kind != want.Kind || got.From != want.From {
 			t.Fatalf("envelope %d = %+v, want %+v", i, got, want)
 		}
 	}
-	if _, err := fr.ReadEnvelope(); err == nil {
+	if err := fr.ReadEnvelope(&got); err == nil {
 		t.Fatal("read past end of stream succeeded")
 	}
 }
@@ -53,7 +52,8 @@ func TestFrameReaderRejectsOversizeFrame(t *testing.T) {
 	binary.BigEndian.PutUint32(lenbuf[:], MaxFrameBytes+1)
 	stream.Write(lenbuf[:])
 	stream.WriteString("x")
-	if _, err := NewFrameReader(&stream).ReadEnvelope(); err == nil ||
+	var env Envelope
+	if err := NewFrameReader(&stream).ReadEnvelope(&env); err == nil ||
 		!strings.Contains(err.Error(), "out of bounds") {
 		t.Fatalf("oversize frame err = %v", err)
 	}
@@ -62,18 +62,63 @@ func TestFrameReaderRejectsOversizeFrame(t *testing.T) {
 func TestFrameReaderRejectsStrayBytes(t *testing.T) {
 	// One frame carrying an envelope plus trailing garbage: the reader must
 	// refuse to continue the stream.
-	raw, err := Encode(Envelope{Kind: KindAck, From: "a:1"})
+	body, err := EncodeBinary(&Envelope{Kind: KindAck, From: "a:1"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var stream bytes.Buffer
 	var lenbuf [4]byte
-	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(raw)+3))
+	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(body)+3))
 	stream.Write(lenbuf[:])
-	stream.Write(raw)
+	stream.Write(body)
 	stream.WriteString("pad")
-	if _, err := NewFrameReader(&stream).ReadEnvelope(); err == nil ||
+	var env Envelope
+	if err := NewFrameReader(&stream).ReadEnvelope(&env); err == nil ||
 		!strings.Contains(err.Error(), "stray") {
 		t.Fatalf("stray-byte err = %v", err)
 	}
+}
+
+// TestFrameReaderRejectsTruncatedBody: a frame whose length prefix promises
+// more bytes than the stream delivers must fail cleanly, not block or
+// misparse.
+func TestFrameReaderRejectsTruncatedBody(t *testing.T) {
+	body, err := EncodeBinary(&Envelope{Kind: KindQuery, From: "a:1", QID: 7, Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	var lenbuf [4]byte
+	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(body)))
+	stream.Write(lenbuf[:])
+	stream.Write(body[:len(body)-2]) // connection died mid-frame
+	var env Envelope
+	if err := NewFrameReader(&stream).ReadEnvelope(&env); err == nil {
+		t.Fatal("truncated body decoded")
+	}
+}
+
+// TestFrameRefcount exercises the shared-frame lifecycle: Retain/Release
+// pairs recycle the frame only once the last holder lets go.
+func TestFrameRefcount(t *testing.T) {
+	env := Envelope{Kind: KindAck, From: "a:1", UpdateRef: store.Ref{Origin: "o", Seq: 3}}
+	f, err := NewFrame(&env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), f.Bytes()...)
+	f.Retain()
+	f.Release()
+	if !bytes.Equal(f.Bytes(), want) {
+		t.Fatal("frame bytes changed while a reference was held")
+	}
+	// The frame decodes to the envelope we encoded.
+	got, err := DecodeBinary(f.Bytes()[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != env.Kind || got.UpdateRef != env.UpdateRef {
+		t.Fatalf("frame decoded to %+v", got)
+	}
+	f.Release()
 }

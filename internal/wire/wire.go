@@ -1,10 +1,17 @@
 // Package wire defines the transport-independent message format of the live
-// (asynchronous) runtime, plus gob-based encoding helpers for the TCP
-// transport.
+// (asynchronous) runtime and its codecs.
 //
 // The paper keeps the propagation mechanism orthogonal to the physical
 // network (§1); this package is the concrete boundary: the same envelopes
 // travel over in-memory channels in tests and over TCP in deployments.
+//
+// Two codecs exist. The hand-rolled binary codec (binary.go) is the wire
+// format: length-prefixed frames, varint integers, clocks and update
+// references encoded directly from their protocol types, pooled buffers, so
+// a push fanout encodes its envelope once and reuses the bytes for every
+// destination. The gob codec (Encode/Decode below) is the compat shim and
+// differential-testing reference: it serialises the same Envelope through
+// the standard library, and the fuzzers hold the binary codec to it.
 package wire
 
 import (
@@ -14,6 +21,7 @@ import (
 	"time"
 
 	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/version"
 )
 
 // Kind discriminates envelope payloads.
@@ -33,6 +41,9 @@ const (
 	KindQuery
 	// KindQueryResp answers a query.
 	KindQueryResp
+
+	// kindMax bounds the valid kind range for the binary decoder.
+	kindMax = KindQueryResp
 )
 
 // String names the kind.
@@ -55,55 +66,50 @@ func (k Kind) String() string {
 	}
 }
 
-// Update is the wire form of store.Update. Version histories travel as raw
-// byte slices to keep gob encoding simple and stable.
+// Update is the wire form of store.Update. It differs only in the stamp
+// representation (UnixNano rather than time.Time, so codecs never touch
+// location data); version histories travel as their protocol type and are
+// validated structurally by the binary decoder (16-byte identifiers).
 type Update struct {
 	Origin  string
 	Seq     uint64
 	Key     string
 	Value   []byte
 	Delete  bool
-	Version [][]byte
+	Version version.History
 	Stamp   int64 // UnixNano
 }
 
-// FromStore converts a store.Update to its wire form.
+// FromStore converts a store.Update to its wire form. The version history is
+// aliased, not copied: histories are append-only (version.History.Append is
+// copy-on-write), so a shared backing array stays valid. The value is copied
+// — wire values may outlive the envelope on transport queues, and the
+// store's log entries must stay immutable.
 func FromStore(u store.Update) Update {
-	version := make([][]byte, len(u.Version))
-	for i, id := range u.Version {
-		v := id // copy array
-		version[i] = v[:]
-	}
 	return Update{
 		Origin:  u.Origin,
 		Seq:     u.Seq,
 		Key:     u.Key,
 		Value:   append([]byte(nil), u.Value...),
 		Delete:  u.Delete,
-		Version: version,
+		Version: u.Version,
 		Stamp:   u.Stamp.UnixNano(),
 	}
 }
 
-// ToStore converts back to a store.Update. Malformed version entries are an
-// error: silently truncating them would corrupt causality.
-func (u Update) ToStore() (store.Update, error) {
-	out := store.Update{
-		Origin: u.Origin,
-		Seq:    u.Seq,
-		Key:    u.Key,
-		Value:  append([]byte(nil), u.Value...),
-		Delete: u.Delete,
-		Stamp:  time.Unix(0, u.Stamp),
+// ToStore converts back to a store.Update. The value and version backing is
+// aliased: the binary decoder allocates both freshly per update, so the
+// store adopting them shares memory with nothing that is reused.
+func (u Update) ToStore() store.Update {
+	return store.Update{
+		Origin:  u.Origin,
+		Seq:     u.Seq,
+		Key:     u.Key,
+		Value:   u.Value,
+		Delete:  u.Delete,
+		Version: u.Version,
+		Stamp:   time.Unix(0, u.Stamp),
 	}
-	for _, raw := range u.Version {
-		id, err := versionIDFromBytes(raw)
-		if err != nil {
-			return store.Update{}, err
-		}
-		out.Version = append(out.Version, id)
-	}
-	return out, nil
 }
 
 // Envelope is one transport message.
@@ -118,16 +124,21 @@ type Envelope struct {
 	RF []string
 	// T is the push round counter for KindPush.
 	T int
-	// Clock is the requester's vector clock for KindPullReq.
-	Clock map[string]uint64
+	// Clock is the requester's vector clock for KindPullReq, carried
+	// directly — the hot path pays no map copy (the old ClockToWire /
+	// ClockFromWire round trip survives only as the compat shim in
+	// convert.go).
+	Clock version.Clock
 	// Updates are the missing updates for KindPullResp.
 	Updates []Update
 	// KnownPeers is a membership sample piggybacked on KindPullResp — the
 	// name-dropper effect applied to the pull phase, which bootstraps the
 	// views of freshly joined replicas.
 	KnownPeers []string
-	// UpdateID identifies the acknowledged update for KindAck.
-	UpdateID string
+	// UpdateRef identifies the acknowledged update for KindAck. The
+	// comparable (origin, seq) form travels as-is; no "origin/seq" string is
+	// formatted or parsed on the ack path.
+	UpdateRef store.Ref
 	// QID correlates KindQuery/KindQueryResp pairs.
 	QID int64
 	// Key is the queried key for KindQuery/KindQueryResp.
@@ -138,13 +149,15 @@ type Envelope struct {
 	// Value and Version carry the responder's winning revision
 	// (KindQueryResp).
 	Value []byte
-	// Version is the revision's history, wire-encoded like Update.Version.
-	Version [][]byte
+	// Version is the revision's history.
+	Version version.History
 	// Confident is false when the responder suspects it is stale.
 	Confident bool
 }
 
-// Encode serialises the envelope with gob.
+// Encode serialises the envelope with gob — the compat/reference codec. The
+// transports speak the binary codec; this survives for tools, differential
+// tests, and the fuzzers' oracle.
 func Encode(env Envelope) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
@@ -153,7 +166,7 @@ func Encode(env Envelope) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode deserialises an envelope.
+// Decode deserialises a gob envelope produced by Encode.
 func Decode(raw []byte) (Envelope, error) {
 	var env Envelope
 	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&env); err != nil {
