@@ -8,7 +8,7 @@ BENCH_TIME ?= 300ms
 # keeps the CI gate fast, the 25% threshold absorbs the extra noise.
 COMPARE_TIME ?= 200ms
 
-.PHONY: build test race bench bench-smoke bench-compare scenarios
+.PHONY: build test race bench bench-smoke bench-compare scenarios daemon soak
 
 build:
 	go build ./...
@@ -40,3 +40,16 @@ bench-compare:
 # seeds, failing on any invariant violation.
 scenarios:
 	go run ./cmd/scenarios -seeds 1,2,3 -out scenario-results
+
+# daemon builds the serving binary (HTTP client edge + /metrics over one
+# live replica) into ./bin.
+daemon:
+	go build -o bin/pushpulld ./cmd/pushpulld
+
+# soak is the short multi-process chaos soak CI runs: 3 real pushpulld
+# processes on loopback, sustained HTTP traffic, one SIGKILL +
+# restart-from-snapshot, scraped-state invariants, race-enabled. Set
+# SOAK_OUT=<file> to keep the final scraped states as JSON. Drop -short
+# for the full version (5 processes, 2 kill cycles, a joining member).
+soak:
+	go test -race -short -v -run TestClusterSoak ./internal/cluster/

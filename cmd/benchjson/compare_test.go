@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCompareBaseline exercises only the baseline-loading path — no
+// benchmarks are executed for broken baselines, so these are fast.
+func runCompareBaseline(t *testing.T, path string) (int, string) {
+	t.Helper()
+	var stderr bytes.Buffer
+	code := runCompare([]string{"-baseline", path}, new(bytes.Buffer), &stderr)
+	return code, stderr.String()
+}
+
+func TestCompareBaselineMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.json")
+	code, msg := runCompareBaseline(t, path)
+	if code != exitBaselineBroken {
+		t.Fatalf("exit code %d, want %d", code, exitBaselineBroken)
+	}
+	if !strings.Contains(msg, path) || !strings.Contains(msg, "not found") {
+		t.Fatalf("message does not name the missing file: %q", msg)
+	}
+	if !strings.Contains(msg, "regenerate") {
+		t.Fatalf("message does not say how to recover: %q", msg)
+	}
+}
+
+func TestCompareBaselineMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, msg := runCompareBaseline(t, path)
+	if code != exitBaselineBroken {
+		t.Fatalf("exit code %d, want %d", code, exitBaselineBroken)
+	}
+	if !strings.Contains(msg, "malformed JSON") {
+		t.Fatalf("message does not classify the failure: %q", msg)
+	}
+}
+
+func TestCompareBaselineEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(path, []byte(`{"schema":1,"results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, msg := runCompareBaseline(t, path)
+	if code != exitBaselineBroken {
+		t.Fatalf("exit code %d, want %d", code, exitBaselineBroken)
+	}
+	if !strings.Contains(msg, "no benchmark results") {
+		t.Fatalf("message does not classify the failure: %q", msg)
+	}
+}
+
+func TestCompareUsageErrorsKeepExitTwo(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := runCompare(nil, new(bytes.Buffer), &stderr); code != exitUsage {
+		t.Fatalf("missing -baseline: exit code %d, want %d", code, exitUsage)
+	}
+	if code := runCompare([]string{"-baseline", "x", "-threshold", "-1"},
+		new(bytes.Buffer), &stderr); code != exitUsage {
+		t.Fatalf("negative threshold: exit code %d, want %d", code, exitUsage)
+	}
+}

@@ -1,0 +1,217 @@
+// Command pushpulld is the serving daemon: one live protocol replica
+// (internal/live over TCP) fronted by the HTTP client edge and Prometheus
+// metrics of internal/serve. It is the deployment entry point for the
+// paper's hybrid push/pull dissemination — clients PUT/GET/DELETE and
+// watch through HTTP while replicas gossip among themselves on the wire
+// protocol.
+//
+//	pushpulld -http 127.0.0.1:8080 -gossip 127.0.0.1:7946 \
+//	    -peers 10.0.0.2:7946,10.0.0.3:7946 -snapshot /var/lib/pushpull/snap
+//
+// On startup the daemon restores -snapshot if the file exists (counting
+// the restored updates for /v1/state); on SIGINT/SIGTERM it marks itself
+// unready, writes a fresh snapshot atomically, and drains. The line
+//
+//	pushpulld ready http=HOST:PORT gossip=HOST:PORT
+//
+// is printed to stdout once both listeners are live; the soak harness and
+// the examples parse it to discover ephemeral ports.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	pushpull "github.com/p2pgossip/update"
+	"github.com/p2pgossip/update/internal/pf"
+	"github.com/p2pgossip/update/internal/serve"
+	"github.com/p2pgossip/update/internal/store"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the testable daemon body. When ready is non-nil it receives the
+// bound addresses once serving; the process exits when a signal arrives or
+// stop (if non-nil) closes.
+func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("pushpulld", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		httpAddr     = fs.String("http", "127.0.0.1:8080", "HTTP client-edge listen address")
+		gossipAddr   = fs.String("gossip", "127.0.0.1:0", "replica gossip listen address (TCP)")
+		peers        = fs.String("peers", "", "comma-separated gossip addresses of other replicas")
+		fanout       = fs.Int("fanout", 5, "peers each push targets (the paper's R·f_r)")
+		pfBase       = fs.Float64("pf", 0.9, "geometric forwarding-probability base PF(t)=base^t; >=1 forwards always")
+		pullInterval = fs.Duration("pull-interval", 30*time.Second, "anti-entropy pull period (0 disables)")
+		pullAttempts = fs.Int("pull-attempts", 3, "peers contacted per pull batch")
+		acks         = fs.Bool("acks", false, "enable the §6 acknowledgement optimisation")
+		listMax      = fs.Int("list-max", 0, "cap on flooding-list entries per push (0 = unlimited)")
+		seed         = fs.Int64("seed", 0, "PRNG seed; 0 draws from crypto/rand")
+		snapshotPath = fs.String("snapshot", "", "snapshot file: restored on start if present, written on graceful shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	opts := []pushpull.Option{
+		pushpull.WithTCP(*gossipAddr),
+		pushpull.WithFanout(*fanout),
+		pushpull.WithPullInterval(*pullInterval),
+		pushpull.WithPullAttempts(*pullAttempts),
+		pushpull.WithAcks(*acks),
+		pushpull.WithSeed(*seed),
+	}
+	if *pfBase < 1 {
+		base := *pfBase
+		opts = append(opts, pushpull.WithPF(func() pushpull.PFFunc {
+			return pf.Geometric{Base: base}
+		}))
+	} else {
+		opts = append(opts, pushpull.WithPF(nil)) // PF(t) = 1
+	}
+	if *listMax > 0 {
+		opts = append(opts, pushpull.WithListMax(*listMax))
+	}
+	if addrs := splitPeers(*peers); len(addrs) > 0 {
+		opts = append(opts, pushpull.WithPeers(addrs...))
+	}
+
+	reg := pushpull.NewMetrics()
+	opts = append(opts, pushpull.WithMetrics(reg))
+
+	// Restore a previous incarnation's snapshot, counting the restored
+	// updates so /v1/state can reconcile apply counters across the restart.
+	restored := 0
+	if *snapshotPath != "" {
+		raw, err := os.ReadFile(*snapshotPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// First boot: nothing to restore.
+		case err != nil:
+			fmt.Fprintf(stderr, "pushpulld: read snapshot %s: %v\n", *snapshotPath, err)
+			return 1
+		default:
+			st, err := store.ReadSnapshot(bytes.NewReader(raw), 0)
+			if err != nil {
+				fmt.Fprintf(stderr, "pushpulld: snapshot %s unusable: %v\n", *snapshotPath, err)
+				return 1
+			}
+			restored = st.UpdateCount()
+			opts = append(opts, pushpull.WithSnapshot(bytes.NewReader(raw)))
+		}
+	}
+
+	node, err := pushpull.Open(opts...)
+	if err != nil {
+		fmt.Fprintf(stderr, "pushpulld: open: %v\n", err)
+		return 1
+	}
+
+	srv, err := serve.New(serve.Config{
+		Node:         node,
+		Metrics:      reg,
+		Restored:     restored,
+		StartUnready: true,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "pushpulld: %v\n", err)
+		_ = node.Close(context.Background())
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		fmt.Fprintf(stderr, "pushpulld: listen %s: %v\n", *httpAddr, err)
+		_ = node.Close(context.Background())
+		return 1
+	}
+	httpServer := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.Serve(ln) }()
+
+	srv.SetReady(true)
+	fmt.Fprintf(stdout, "pushpulld ready http=%s gossip=%s\n", ln.Addr(), node.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(stderr, "pushpulld: %v, draining\n", sig)
+	case <-stop:
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "pushpulld: http server: %v\n", err)
+		_ = node.Close(context.Background())
+		return 1
+	}
+
+	// Graceful shutdown: stop advertising readiness, persist the log,
+	// stop the protocol, then drain HTTP.
+	srv.SetReady(false)
+	code := 0
+	if *snapshotPath != "" {
+		if err := writeSnapshotAtomic(node, *snapshotPath); err != nil {
+			fmt.Fprintf(stderr, "pushpulld: %v\n", err)
+			code = 1
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := node.Close(ctx); err != nil {
+		fmt.Fprintf(stderr, "pushpulld: close node: %v\n", err)
+		code = 1
+	}
+	if err := httpServer.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "pushpulld: shutdown http: %v\n", err)
+		code = 1
+	}
+	return code
+}
+
+// writeSnapshotAtomic writes the node's snapshot next to path and renames
+// it into place, so a crash mid-write can never leave a truncated snapshot
+// where the next boot will read it.
+func writeSnapshotAtomic(node *pushpull.Node, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := node.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("write snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("commit snapshot: %w", err)
+	}
+	return nil
+}
+
+// splitPeers parses the -peers flag: comma-separated, blanks ignored.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/p2pgossip/update/internal/serve"
+)
+
+// startDaemon runs the daemon in-process and returns its bound HTTP base
+// URL plus a shutdown function that performs the graceful-drain path.
+func startDaemon(t *testing.T, args ...string) (string, func() int) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	stop := make(chan struct{})
+	code := make(chan int, 1)
+	go func() {
+		code <- run(append([]string{"-http", "127.0.0.1:0", "-gossip", "127.0.0.1:0"}, args...),
+			pw, io.Discard, stop)
+	}()
+	line, err := bufio.NewReader(pr).ReadString('\n')
+	if err != nil {
+		t.Fatalf("daemon never became ready: %v", err)
+	}
+	httpAddr, _, err := parseReadyLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stopped bool
+	shutdown := func() int {
+		if stopped {
+			return 0
+		}
+		stopped = true
+		close(stop)
+		select {
+		case c := <-code:
+			return c
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not drain")
+			return -1
+		}
+	}
+	t.Cleanup(func() { shutdown() })
+	return "http://" + httpAddr, shutdown
+}
+
+func parseReadyLine(line string) (httpAddr, gossipAddr string, err error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	for _, f := range fields {
+		if v, ok := strings.CutPrefix(f, "http="); ok {
+			httpAddr = v
+		}
+		if v, ok := strings.CutPrefix(f, "gossip="); ok {
+			gossipAddr = v
+		}
+	}
+	if httpAddr == "" || gossipAddr == "" {
+		return "", "", fmt.Errorf("malformed ready line %q", line)
+	}
+	return httpAddr, gossipAddr, nil
+}
+
+func TestDaemonServesAndSnapshotsAcrossRestart(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "state.snap")
+	base, shutdown := startDaemon(t, "-snapshot", snap, "-pull-interval", "50ms")
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %d", resp.StatusCode)
+	}
+
+	// Write a key through the edge.
+	req, _ := http.NewRequest(http.MethodPut, base+"/v1/kv/boot/count", bytes.NewReader([]byte("1")))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put: %d", resp.StatusCode)
+	}
+
+	// Graceful shutdown must leave a snapshot behind.
+	if code := shutdown(); code != 0 {
+		t.Fatalf("daemon exit code %d", code)
+	}
+	if fi, err := os.Stat(snap); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+
+	// A new incarnation restores it and reports the restored count.
+	base2, _ := startDaemon(t, "-snapshot", snap)
+	resp, err = http.Get(base2 + "/v1/kv/boot/count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "1" {
+		t.Fatalf("restored get: %d %q", resp.StatusCode, body)
+	}
+	resp, err = http.Get(base2 + "/v1/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state serve.State
+	err = json.NewDecoder(resp.Body).Decode(&state)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Restored != 1 || state.UpdateCount != 1 {
+		t.Fatalf("state after restore = %+v", state)
+	}
+}
+
+func TestDaemonRejectsUnusableSnapshot(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "corrupt.snap")
+	if err := os.WriteFile(bad, []byte("definitely not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code := run([]string{"-http", "127.0.0.1:0", "-gossip", "127.0.0.1:0", "-snapshot", bad},
+		io.Discard, io.Discard, nil)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	if code := run([]string{"-definitely-not-a-flag"}, io.Discard, io.Discard, nil); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestSplitPeers(t *testing.T) {
+	got := splitPeers(" a:1, ,b:2,,")
+	if len(got) != 2 || got[0] != "a:1" || got[1] != "b:2" {
+		t.Fatalf("splitPeers = %v", got)
+	}
+	if splitPeers("") != nil {
+		t.Fatal("splitPeers(\"\") should be nil")
+	}
+}

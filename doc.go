@@ -43,6 +43,14 @@
 // Operational counters flow into a metrics registry passed with
 // WithMetrics; failures are classified by the package-level sentinel errors
 // (ErrClosed, ErrNoPeers, ErrInvalidConfig, ...) and match with errors.Is.
+// MetricNames lists every counter a Node can emit.
+//
+// For deployments that want a process rather than a library, cmd/pushpulld
+// serves the full Node API over HTTP — PUT/GET/DELETE key-value routes, a
+// server-sent-events watch stream, §4.4 queries, snapshot
+// download/restore, and Prometheus /metrics — with graceful
+// snapshot-on-shutdown; see the "Serving surface" section of DESIGN.md and
+// examples/httpcluster for a curl-level session.
 //
 // See the examples/ directory for complete programs, DESIGN.md for the
 // architecture and the migration table from the legacy Replica API, and

@@ -1,0 +1,152 @@
+package live
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/wire"
+)
+
+// recordingMetrics captures every counter name a replica reports.
+type recordingMetrics struct {
+	mu    sync.Mutex
+	names map[string]float64
+}
+
+func (m *recordingMetrics) Inc(name string) { m.Add(name, 1) }
+
+func (m *recordingMetrics) Add(name string, delta float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.names == nil {
+		m.names = make(map[string]float64)
+	}
+	m.names[name] += delta
+}
+
+func (m *recordingMetrics) observed() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]float64, len(m.names))
+	for k, v := range m.names {
+		out[k] = v
+	}
+	return out
+}
+
+func TestCounterNamesHaveNoDuplicates(t *testing.T) {
+	seen := make(map[string]bool, len(CounterNames))
+	for _, name := range CounterNames {
+		if seen[name] {
+			t.Errorf("CounterNames lists %q twice", name)
+		}
+		seen[name] = true
+		if len(name) < len("live.") || name[:len("live.")] != "live." {
+			t.Errorf("counter %q lacks the live. prefix", name)
+		}
+	}
+}
+
+// TestReplicaCountersAreRegistered drives replicas through every protocol
+// path — push, forward-duplicate, ack, suspect, pull, query, and an
+// out-of-order (obsolete) delivery — and asserts the set of counter names
+// reported is exactly live.CounterNames. A counter added to the replica but
+// not to the registry (or vice versa) fails here, so the /metrics exporter
+// can never silently drift from the protocol.
+func TestReplicaCountersAreRegistered(t *testing.T) {
+	rec := &recordingMetrics{}
+	cfg := Config{
+		Fanout:       3,
+		PartialList:  true,
+		Acks:         true,
+		AckTimeout:   time.Millisecond,
+		SuspectTTL:   time.Minute,
+		PullAttempts: 2,
+		Metrics:      rec,
+	}
+	hub, replicas := newCluster(t, 3, cfg)
+
+	// Push + forwards: with fanout 3 over three replicas plus the ghost,
+	// forwarded copies bounce back as duplicates and every first copy is
+	// acked. The ghost never acks, so its entry must become a suspicion.
+	replicas[0].AddPeers("ghost")
+	replicas[0].Publish("k1", []byte("v1"))
+	eventually(t, 2*time.Second, func() bool {
+		for _, r := range replicas {
+			if _, ok := r.Get("k1"); !ok {
+				return false
+			}
+		}
+		return true
+	}, "push did not reach every replica")
+	time.Sleep(5 * time.Millisecond) // let the ghost's ack deadline lapse
+	sweep(replicas[0])
+
+	// Query: replica 1 consults two peers for the key.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := replicas[1].Query(ctx, "k1", 2); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+
+	// Pull: a fresh replica reconciles the published state by anti-entropy.
+	tr, err := hub.Attach("late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := NewReplica(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late.AddPeers("replica-0", "replica-1", "replica-2")
+	late.Start()
+	t.Cleanup(late.Stop)
+	eventually(t, 2*time.Second, func() bool {
+		_, ok := late.Get("k1")
+		return ok
+	}, "pull did not reconcile the late replica")
+
+	// Obsolete: an external origin's second revision of a key delivered
+	// before its first makes the first causally dominated on arrival.
+	ext, err := hub.Attach("ext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := store.New()
+	w, err := store.NewWriter("ext", scratch, time.Now, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1 := w.Put("k2", []byte("old"))
+	u2 := w.Put("k2", []byte("new"))
+	// Delivering u2 twice makes the second copy a push duplicate.
+	for _, u := range []store.Update{u2, u1, u2} {
+		env := wire.Envelope{Kind: wire.KindPush, From: "ext", Update: wire.FromStore(u)}
+		if err := ext.Send("replica-0", env); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	eventually(t, 2*time.Second, func() bool {
+		return replicas[0].HasUpdate(u1.ID())
+	}, "out-of-order push not processed")
+
+	registered := make(map[string]bool, len(CounterNames))
+	for _, name := range CounterNames {
+		registered[name] = true
+	}
+	observed := rec.observed()
+	for name := range observed {
+		if !registered[name] {
+			t.Errorf("replica reported counter %q missing from live.CounterNames", name)
+		}
+	}
+	for _, name := range CounterNames {
+		if observed[name] <= 0 {
+			t.Errorf("workload never exercised counter %q (is it still reported anywhere?)", name)
+		}
+	}
+}

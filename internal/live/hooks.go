@@ -82,6 +82,28 @@ const (
 	MetricQueryServed = "live.query.served"
 )
 
+// CounterNames is the canonical list of every counter name an instrumented
+// replica can report — exactly the "live." constants above, in declaration
+// order. The /metrics exporter and the public pushpull.MetricNames are built
+// from this slice, and TestReplicaCountersAreRegistered drives a replica
+// through every protocol path asserting it never emits a name outside it, so
+// the serving surface cannot silently drift from the protocol counters.
+var CounterNames = []string{
+	MetricPushSent,
+	MetricPushReceived,
+	MetricPushDuplicate,
+	MetricApplied,
+	MetricObsolete,
+	MetricPullRequests,
+	MetricPullServed,
+	MetricPullUpdates,
+	MetricAckSent,
+	MetricAckReceived,
+	MetricSuspects,
+	MetricQuerySent,
+	MetricQueryServed,
+}
+
 // inc bumps a counter if a metrics sink is configured.
 func (r *Replica) inc(name string) {
 	if r.cfg.Metrics != nil {

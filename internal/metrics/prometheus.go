@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Exporter renders a Registry as Prometheus text exposition format
+// (version 0.0.4). It reads a point-in-time copy of the counters via
+// Registry.Counters — one mutex acquisition per scrape, nothing on the
+// protocol hot path — and can additionally publish gauges computed at
+// scrape time (store sizes, peer counts, uptime).
+//
+// Counter names pass through sanitizeMetricName: the registry's dotted
+// names ("live.push.sent") become Prometheus-safe underscored names with
+// the exporter's namespace and a _total suffix
+// ("pushpull_live_push_sent_total").
+type Exporter struct {
+	reg       *Registry
+	namespace string
+
+	mu     sync.Mutex
+	gauges []gauge
+}
+
+// gauge is one scrape-time computed value.
+type gauge struct {
+	name string // already namespaced + sanitized
+	help string
+	fn   func() float64
+}
+
+// NewExporter builds an exporter over reg. namespace prefixes every
+// exported name ("pushpull" is the conventional choice); it may be empty.
+// reg may be nil, in which case only gauges are exported.
+func NewExporter(reg *Registry, namespace string) *Exporter {
+	return &Exporter{reg: reg, namespace: sanitizeMetricName(namespace)}
+}
+
+// AddGauge registers a gauge evaluated at every scrape. The name is
+// sanitized and namespaced like counter names (without the _total suffix).
+// fn must be safe for concurrent use.
+func (e *Exporter) AddGauge(name, help string, fn func() float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.gauges = append(e.gauges, gauge{
+		name: e.qualify(sanitizeMetricName(name)),
+		help: help,
+		fn:   fn,
+	})
+}
+
+// WritePrometheus writes the full exposition: every registry counter as a
+// counter metric and every registered gauge, each with # HELP / # TYPE
+// headers, sorted by exported name so scrapes are diffable.
+func (e *Exporter) WritePrometheus(w io.Writer) error {
+	type sample struct {
+		name  string
+		help  string
+		typ   string
+		value float64
+	}
+	var samples []sample
+	if e.reg != nil {
+		for name, value := range e.reg.Counters() {
+			samples = append(samples, sample{
+				name:  e.qualify(sanitizeMetricName(name)) + "_total",
+				help:  fmt.Sprintf("Counter %q from the pushpull metrics registry.", name),
+				typ:   "counter",
+				value: value,
+			})
+		}
+	}
+	e.mu.Lock()
+	gauges := append([]gauge(nil), e.gauges...)
+	e.mu.Unlock()
+	for _, g := range gauges {
+		samples = append(samples, sample{name: g.name, help: g.help, typ: "gauge", value: g.fn()})
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].name < samples[j].name })
+
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+			s.name, s.help, s.name, s.typ, s.name, formatValue(s.value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// qualify prepends the namespace to an already-sanitized name.
+func (e *Exporter) qualify(name string) string {
+	if e.namespace == "" {
+		return name
+	}
+	return e.namespace + "_" + name
+}
+
+// SanitizeMetricName maps an arbitrary registry counter name to the
+// Prometheus metric-name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*: every run of
+// other characters collapses to one underscore, and a leading digit gains
+// an underscore prefix. The exporter and the tests that assert "/metrics
+// contains counter X" must share this mapping.
+func SanitizeMetricName(name string) string { return sanitizeMetricName(name) }
+
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	lastUnderscore := false
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		alpha := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		digit := c >= '0' && c <= '9'
+		switch {
+		case alpha || (digit && b.Len() > 0):
+			b.WriteByte(c)
+			lastUnderscore = c == '_'
+		case digit: // leading digit: prefix with an underscore
+			b.WriteByte('_')
+			b.WriteByte(c)
+			lastUnderscore = false
+		default:
+			if b.Len() > 0 && !lastUnderscore {
+				b.WriteByte('_')
+				lastUnderscore = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "_")
+}
+
+// formatValue renders a sample value the way Prometheus expects: integers
+// without an exponent, everything else in Go's shortest float form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePrometheusText is a strict reference parser for the subset of the
+// text exposition format the exporter emits: # HELP and # TYPE comments and
+// bare `name value` samples. It fails on anything malformed — out-of-order
+// headers, names outside the metric alphabet, unparsable values — so the
+// exporter tests double as a format-conformance check.
+func parsePrometheusText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	typed := make(map[string]string)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if fields[1] == "TYPE" {
+				if fields[3] != "counter" && fields[3] != "gauge" {
+					t.Fatalf("line %d: unknown type %q", ln+1, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		name := fields[0]
+		if !validMetricName(name) {
+			t.Fatalf("line %d: invalid metric name %q", ln+1, name)
+		}
+		if _, ok := typed[name]; !ok {
+			t.Fatalf("line %d: sample %q has no preceding # TYPE", ln+1, name)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("line %d: unparsable value %q: %v", ln+1, fields[1], err)
+		}
+		if _, dup := samples[name]; dup {
+			t.Fatalf("line %d: duplicate sample for %q", ln+1, name)
+		}
+		samples[name] = v
+	}
+	return samples
+}
+
+func validMetricName(name string) bool {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '_' || c == ':',
+			c >= 'a' && c <= 'z',
+			c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return name != ""
+}
+
+func TestExporterWritesCountersAndGauges(t *testing.T) {
+	reg := NewRegistry()
+	reg.Inc("live.push.sent")
+	reg.Add("live.push.sent", 4)
+	reg.Add("http.latency_ms.kv.get", 12.5)
+	reg.Inc("store.applied")
+
+	e := NewExporter(reg, "pushpull")
+	e.AddGauge("peers", "Known peer addresses.", func() float64 { return 3 })
+	e.AddGauge("store.updates", "Updates in the local log.", func() float64 { return 42 })
+
+	var buf bytes.Buffer
+	if err := e.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePrometheusText(t, buf.String())
+
+	want := map[string]float64{
+		"pushpull_live_push_sent_total":         5,
+		"pushpull_http_latency_ms_kv_get_total": 12.5,
+		"pushpull_store_applied_total":          1,
+		"pushpull_peers":                        3,
+		"pushpull_store_updates":                42,
+	}
+	for name, value := range want {
+		got, ok := samples[name]
+		if !ok {
+			t.Errorf("missing sample %s", name)
+			continue
+		}
+		if got != value {
+			t.Errorf("%s = %g, want %g", name, got, value)
+		}
+	}
+	if len(samples) != len(want) {
+		t.Errorf("got %d samples, want %d: %v", len(samples), len(want), samples)
+	}
+}
+
+func TestExporterOutputIsSorted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Inc("zz.last")
+	reg.Inc("aa.first")
+	reg.Inc("mm.middle")
+	var buf bytes.Buffer
+	if err := NewExporter(reg, "p").WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		names = append(names, strings.Fields(line)[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("samples not sorted: %v", names)
+	}
+}
+
+func TestExporterNilRegistry(t *testing.T) {
+	e := NewExporter(nil, "")
+	e.AddGauge("up", "Always one.", func() float64 { return 1 })
+	var buf bytes.Buffer
+	if err := e.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePrometheusText(t, buf.String())
+	if samples["up"] != 1 {
+		t.Errorf("up = %v, want 1", samples["up"])
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"live.push.sent":     "live_push_sent",
+		"http.latency_ms":    "http_latency_ms",
+		"weird--name..x":     "weird_name_x",
+		"9lives":             "_9lives",
+		"trailing.":          "trailing",
+		"a:b":                "a:b",
+		"":                   "",
+		"UPPER.case":         "UPPER_case",
+		"dots...everywhere!": "dots_everywhere",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestExporterValueFormatting(t *testing.T) {
+	for v, want := range map[float64]string{
+		5:       "5",
+		12.5:    "12.5",
+		0:       "0",
+		1e6:     "1000000",
+		0.00025: "0.00025",
+	} {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func ExampleExporter() {
+	reg := NewRegistry()
+	reg.Add("live.push.sent", 7)
+	e := NewExporter(reg, "pushpull")
+	var buf bytes.Buffer
+	_ = e.WritePrometheus(&buf)
+	fmt.Print(buf.String())
+	// Output:
+	// # HELP pushpull_live_push_sent_total Counter "live.push.sent" from the pushpull metrics registry.
+	// # TYPE pushpull_live_push_sent_total counter
+	// pushpull_live_push_sent_total 7
+}

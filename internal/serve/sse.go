@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// WatchEvent is the JSON payload of one /v1/watch server-sent event. Kind
+// doubles as the SSE event name, so an EventSource can subscribe with
+// addEventListener("applied", ...).
+type WatchEvent struct {
+	Kind      string `json:"kind"`
+	Key       string `json:"key"`
+	Value     []byte `json:"value,omitempty"`
+	Origin    string `json:"origin"`
+	Seq       uint64 `json:"seq"`
+	Source    string `json:"source"`
+	Tombstone bool   `json:"tombstone,omitempty"`
+	Branches  int    `json:"branches"`
+}
+
+// watchHeartbeat is how often an idle stream emits a comment line so
+// intermediaries cannot silently time the connection out.
+const watchHeartbeat = 15 * time.Second
+
+// handleWatch streams the node's apply events for an optional ?prefix= as
+// server-sent events. The subscription lives exactly as long as the
+// request context: client disconnect or node close ends the stream. Events
+// the client cannot keep up with are dropped by the node's watch buffer
+// (counted under node.watch.dropped), never buffered without bound here.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET /v1/watch")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	events, err := s.node.Watch(r.Context(), r.URL.Query().Get("prefix"))
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "watch: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	// An immediate comment unblocks clients waiting for stream start.
+	fmt.Fprint(w, ": watching\n\n")
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(watchHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				return // context cancelled or node closed
+			}
+			payload, err := json.Marshal(WatchEvent{
+				Kind:      ev.Kind.String(),
+				Key:       ev.Update.Key,
+				Value:     ev.Update.Value,
+				Origin:    ev.Update.Origin,
+				Seq:       ev.Update.Seq,
+				Source:    ev.Source.String(),
+				Tombstone: ev.Tombstone(),
+				Branches:  ev.Branches,
+			})
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, payload)
+			flusher.Flush()
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			flusher.Flush()
+		}
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -383,6 +385,113 @@ func TestNodeMetrics(t *testing.T) {
 		if reg.Counter(name) == 0 {
 			t.Fatalf("counter %s not incremented; counters: %v", name, reg.Counters())
 		}
+	}
+}
+
+// TestWatchSlowConsumer pins the slow-consumer contract: sends into a full
+// watch buffer never block the protocol — the event is counted as dropped
+// instead — and the stream stays usable once the consumer drains.
+func TestWatchSlowConsumer(t *testing.T) {
+	hub := pushpull.NewHub()
+	ctx := context.Background()
+	reg := pushpull.NewMetrics()
+	n := openHubNode(t, hub, "slow", 1,
+		pushpull.WithMetrics(reg), pushpull.WithWatchBuffer(1))
+
+	events, err := n.Watch(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local applies fan out synchronously, so five publishes against an
+	// undrained buffer of one give exactly one delivery and four drops —
+	// and none of the publishes may stall.
+	for i := 0; i < 5; i++ {
+		if _, err := n.Publish(ctx, fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter(pushpull.MetricWatchEvents); got != 1 {
+		t.Fatalf("watch events = %v, want 1", got)
+	}
+	if got := reg.Counter(pushpull.MetricWatchDropped); got != 4 {
+		t.Fatalf("watch dropped = %v, want 4", got)
+	}
+	// The surviving event is the oldest, not an arbitrary one.
+	if ev := nextEvent(t, events); ev.Update.Key != "k0" {
+		t.Fatalf("buffered event key = %q, want k0", ev.Update.Key)
+	}
+	// Having drained, the consumer sees new events again.
+	if _, err := n.Publish(ctx, "recovered", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if ev := nextEvent(t, events); ev.Update.Key != "recovered" {
+		t.Fatalf("post-drain event key = %q, want recovered", ev.Update.Key)
+	}
+}
+
+// TestWatchCancelUnderLoad cancels a watcher while a publisher hammers the
+// node: the channel must close promptly, the publisher must never stall,
+// and the removed watcher must stop consuming events (and counters)
+// entirely.
+func TestWatchCancelUnderLoad(t *testing.T) {
+	hub := pushpull.NewHub()
+	reg := pushpull.NewMetrics()
+	n := openHubNode(t, hub, "cancel", 1,
+		pushpull.WithMetrics(reg), pushpull.WithWatchBuffer(4))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events, err := n.Watch(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := n.Publish(context.Background(), "load", []byte{byte(i)}); err != nil {
+				return
+			}
+		}
+	}()
+
+	nextEvent(t, events) // the stream is live before we cut it
+	cancel()
+	deadline := time.After(5 * time.Second)
+	for closed := false; !closed; {
+		select {
+		case _, ok := <-events:
+			closed = !ok // drain buffered events until the close
+		case <-deadline:
+			t.Fatal("watch channel did not close after cancel")
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The watcher is gone: further publishes touch neither watch counter.
+	before := reg.Counter(pushpull.MetricWatchEvents) + reg.Counter(pushpull.MetricWatchDropped)
+	if _, err := n.Publish(context.Background(), "after-cancel", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	after := reg.Counter(pushpull.MetricWatchEvents) + reg.Counter(pushpull.MetricWatchDropped)
+	if after != before {
+		t.Fatalf("cancelled watcher still counted: %v -> %v", before, after)
+	}
+
+	// Watch with an already-cancelled context fails up front.
+	dead, deadCancel := context.WithCancel(context.Background())
+	deadCancel()
+	if _, err := n.Watch(dead, ""); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Watch with cancelled ctx: %v", err)
 	}
 }
 

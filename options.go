@@ -53,6 +53,24 @@ const (
 	MetricWatchDropped = "node.watch.dropped"
 )
 
+// MetricNames returns the canonical list of every counter name an
+// instrumented Node can report: the live protocol counters (kept canonical
+// by live.CounterNames and its registration test), the store apply-outcome
+// counters, and the node-level watch counters. The /metrics exporter in
+// internal/serve iterates this list so the serving surface always exports
+// exactly the counters the protocol emits.
+func MetricNames() []string {
+	names := make([]string, 0, len(live.CounterNames)+5)
+	names = append(names, live.CounterNames...)
+	return append(names,
+		MetricStoreApplied,
+		MetricStoreDuplicate,
+		MetricStoreObsolete,
+		MetricWatchEvents,
+		MetricWatchDropped,
+	)
+}
+
 // defaultWatchBuffer is the per-subscriber event buffer; see WithWatchBuffer.
 const defaultWatchBuffer = 256
 
