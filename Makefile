@@ -2,7 +2,7 @@
 # .github/workflows/ci.yml.
 
 # The perf-trajectory file emitted by `make bench` (one per perf PR).
-BENCH_PR ?= 5
+BENCH_PR ?= 7
 BENCH_TIME ?= 300ms
 # bench-compare reruns the baseline's benchmarks at this benchtime; short
 # keeps the CI gate fast, the 25% threshold absorbs the extra noise.
@@ -16,8 +16,12 @@ build:
 test:
 	go test ./...
 
+# The sharded store's stress/property tests and the live ingest pipeline are
+# the main race surfaces; run them with real scheduler parallelism even on
+# constrained runners.
 race:
-	go test -race . ./internal/live/... ./internal/gossip/... ./internal/engine/...
+	GOMAXPROCS=4 go test -race . ./internal/live/... ./internal/gossip/... \
+		./internal/engine/... ./internal/store/...
 
 # bench runs the engine/store/wire/live hot-path benchmarks and writes the
 # machine-readable trajectory file BENCH_$(BENCH_PR).json.

@@ -223,7 +223,7 @@ type Engine[ID comparable] struct {
 	cfg  Config[ID]
 	ep   Endpoint[ID]
 	self ID
-	st   *store.Store
+	st   store.Backend
 	w    *store.Writer
 
 	view   *peerView[ID] // known replicas, never containing self
@@ -258,7 +258,7 @@ type Engine[ID comparable] struct {
 // New constructs an engine over the given endpoint, store, and writer. The
 // adapter owns store and writer construction because identity, clocks, and
 // seeding are adapter concerns.
-func New[ID comparable](cfg Config[ID], ep Endpoint[ID], st *store.Store, w *store.Writer) (*Engine[ID], error) {
+func New[ID comparable](cfg Config[ID], ep Endpoint[ID], st store.Backend, w *store.Writer) (*Engine[ID], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -295,7 +295,7 @@ func New[ID comparable](cfg Config[ID], ep Endpoint[ID], st *store.Store, w *sto
 const defaultPullGossipSample = 16
 
 // Store returns the engine's replica store.
-func (e *Engine[ID]) Store() *store.Store { return e.st }
+func (e *Engine[ID]) Store() store.Backend { return e.st }
 
 // Self returns the local peer identity.
 func (e *Engine[ID]) Self() ID { return e.self }
@@ -498,17 +498,26 @@ func (e *Engine[ID]) Handle(from ID, m Message[ID]) {
 // paper's round 0).
 func (e *Engine[ID]) Publish(key string, value []byte) store.Update {
 	u, branches := e.w.PutObserved(key, value)
-	e.fireApply(u, store.Applied, SourceLocal, branches)
-	e.initiate(u)
+	e.PublishApplied(u, branches)
 	return u
 }
 
 // PublishDelete creates a tombstone update and initiates its push phase.
 func (e *Engine[ID]) PublishDelete(key string) store.Update {
 	u, branches := e.w.DeleteObserved(key)
+	e.PublishApplied(u, branches)
+	return u
+}
+
+// PublishApplied initiates the push phase for an update the adapter already
+// created through the engine's shared Writer and applied to the store.
+// branches is the revision count from the apply. It is the parallel-ingest
+// half of Publish: the live runtime runs the writer outside its engine lock
+// (the Writer serialises itself, and the sharded store stripes the apply) and
+// enters the engine only for the protocol bookkeeping.
+func (e *Engine[ID]) PublishApplied(u store.Update, branches int) {
 	e.fireApply(u, store.Applied, SourceLocal, branches)
 	e.initiate(u)
-	return u
 }
 
 func (e *Engine[ID]) initiate(u store.Update) {
@@ -523,7 +532,35 @@ func (e *Engine[ID]) initiate(u store.Update) {
 	e.releaseScratch(targets)
 }
 
+// Applied carries the outcome of a store apply the adapter performed before
+// entering the engine — the parallel-ingest contract: connection readers
+// apply to the (sharded, lock-striped) store concurrently, then enter the
+// engine's small critical section with only the result.
+type Applied struct {
+	// Res classifies the store outcome.
+	Res store.ApplyResult
+	// Branches is the key's revision count, counted atomically with the
+	// apply.
+	Branches int
+}
+
+// HandlePushApplied is Handle for a KindPush message whose update the
+// adapter already applied to the store. The engine performs only protocol
+// bookkeeping: membership, duplicate tuning, ack, and the forwarding
+// decision.
+//
+// A racing twin of the same update may have entered the engine first; the
+// message is then treated as a duplicate exactly as if the store had been
+// consulted under the engine's serialisation.
+func (e *Engine[ID]) HandlePushApplied(from ID, m Message[ID], pre Applied) {
+	e.pushReceived(from, m, &pre)
+}
+
 func (e *Engine[ID]) handlePush(from ID, m Message[ID]) {
+	e.pushReceived(from, m, nil)
+}
+
+func (e *Engine[ID]) pushReceived(from ID, m Message[ID], pre *Applied) {
 	// Name-dropper: every push teaches us replicas we did not know.
 	e.learnAll(m.RF)
 	e.Learn(from)
@@ -546,7 +583,13 @@ func (e *Engine[ID]) handlePush(from ID, m Message[ID]) {
 	}
 
 	// First receipt: process the update.
-	applied, branches := e.st.ApplyObserved(m.Update)
+	var applied store.ApplyResult
+	var branches int
+	if pre != nil {
+		applied, branches = pre.Res, pre.Branches
+	} else {
+		applied, branches = e.st.ApplyObserved(m.Update)
+	}
 	e.lastReceived = e.ep.Now()
 	e.notConfident = false
 	state := e.newState()
@@ -713,12 +756,29 @@ func (e *Engine[ID]) handlePullReq(from ID, m Message[ID]) {
 	}
 }
 
+// HandlePullRespApplied is Handle for a KindPullResp message whose updates
+// the adapter already applied to the store, in order; pre[i] is the outcome
+// of m.Updates[i]. See HandlePushApplied.
+func (e *Engine[ID]) HandlePullRespApplied(from ID, m Message[ID], pre []Applied) {
+	e.pullRespReceived(from, m, pre)
+}
+
 func (e *Engine[ID]) handlePullResp(from ID, m Message[ID]) {
+	e.pullRespReceived(from, m, nil)
+}
+
+func (e *Engine[ID]) pullRespReceived(from ID, m Message[ID], pre []Applied) {
 	e.Learn(from)
 	e.learnAll(m.Peers)
 	gotNew := false
-	for _, u := range m.Updates {
-		applied, branches := e.st.ApplyObserved(u)
+	for i, u := range m.Updates {
+		var applied store.ApplyResult
+		var branches int
+		if pre != nil {
+			applied, branches = pre[i].Res, pre[i].Branches
+		} else {
+			applied, branches = e.st.ApplyObserved(u)
+		}
 		if applied == store.Applied {
 			gotNew = true
 		}

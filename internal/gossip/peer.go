@@ -30,7 +30,7 @@ type Peer struct {
 	id  int
 	cfg Config
 	eng *engine.Engine[int]
-	st  *store.Store
+	st  store.Backend
 	w   *store.Writer
 
 	// env is the simulation environment of the callback currently running;
@@ -107,7 +107,12 @@ func NewPeer(id int, cfg Config) (*Peer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	st := store.New()
+	// Peers run the same sharded store as the live runtime — the simulator
+	// is single-threaded, but every deterministic scenario then exercises
+	// the sharded code paths (routing, clock composition, canonical
+	// ordering). The sharded store draws no randomness, so scenario streams
+	// are unaffected.
+	st := store.NewSharded(4)
 	p := &Peer{id: id, cfg: cfg, st: st}
 	now := func() time.Time {
 		// Simulated time: one round = one second, offset into a plausible
@@ -183,7 +188,7 @@ func (p *Peer) Crash(env *simnet.Env) {
 	} else {
 		p.snapshot = nil // disk died with the process
 	}
-	p.st.Replace(store.New())
+	p.st.Reset()
 	p.eng.Restart(nil)
 }
 
@@ -212,7 +217,7 @@ func (p *Peer) bind(env *simnet.Env) {
 func (p *Peer) ID() int { return p.id }
 
 // Store returns the peer's replica store.
-func (p *Peer) Store() *store.Store { return p.st }
+func (p *Peer) Store() store.Backend { return p.st }
 
 // Learn adds id to the peer's membership view (ignoring the peer itself)
 // and reports whether it was new.

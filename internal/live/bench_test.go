@@ -6,10 +6,13 @@ package live
 
 import (
 	"fmt"
+	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"github.com/p2pgossip/update/internal/store"
 	"github.com/p2pgossip/update/internal/version"
 	"github.com/p2pgossip/update/internal/wire"
 )
@@ -125,6 +128,104 @@ func BenchmarkLiveSustainedPublish(b *testing.B) {
 			i++
 		}
 	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+}
+
+// BenchmarkLiveParallelIngest measures one replica absorbing pushes from
+// several TCP peers at once — the multi-core ingest path the sharded store
+// and the pre-apply pipeline exist for. Four senders blast unique pushes
+// (distinct origins, so their applies stripe across log shards) at one
+// target; each connection gets its own reader goroutine, which applies to
+// the lock-striped store before entering the engine's critical section. The
+// sub-benchmarks pin GOMAXPROCS to 1, 2, and 4, and each reports sustained
+// updates/s at the receiver.
+func BenchmarkLiveParallelIngest(b *testing.B) {
+	for _, procs := range []int{1, 2, 4} {
+		// "=" keeps the proc count out of benchjson's GOMAXPROCS-suffix
+		// trimming, so the three sub-benchmarks stay distinct in BENCH_*.json.
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			benchParallelIngest(b, 4)
+		})
+	}
+}
+
+func benchParallelIngest(b *testing.B, senders int) {
+	tr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	var applied atomic.Int64
+	done := make(chan struct{})
+	total := int64(b.N)
+	target, err := NewReplica(Config{
+		// Pure ingest: no forwarding, no pulls, no acks.
+		Fanout:       0,
+		PullAttempts: 0,
+		Seed:         1,
+		Hooks: Hooks{
+			OnApply: func(store.Update, store.ApplyResult, Source, int) {
+				if applied.Add(1) == total {
+					close(done)
+				}
+			},
+		},
+	}, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target.Start()
+	defer target.Stop()
+
+	outs := make([]*TCPTransport, senders)
+	for s := range outs {
+		out, err := ListenTCP("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		outs[s] = out
+		defer out.Close()
+	}
+
+	stamp := time.Unix(1_700_000_000, 0)
+	watchdog := time.NewTimer(time.Minute + time.Duration(b.N)*time.Millisecond)
+	defer watchdog.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for s := 0; s < senders; s++ {
+		count := b.N / senders
+		if s < b.N%senders {
+			count++
+		}
+		go func(s, count int) {
+			out := outs[s]
+			origin := fmt.Sprintf("ingest-%d", s)
+			rng := rand.New(rand.NewSource(int64(s) + 1))
+			env := wire.Envelope{Kind: wire.KindPush, From: out.Addr()}
+			for seq := 1; seq <= count; seq++ {
+				env.Update = wire.Update{
+					Origin:  origin,
+					Seq:     uint64(seq),
+					Key:     fmt.Sprintf("k-%d-%d", s, seq),
+					Value:   []byte("parallel-ingest-payload"),
+					Version: version.History{version.NewID(stamp, origin, rng)},
+					Stamp:   stamp.UnixNano(),
+				}
+				if err := out.Send(tr.Addr(), env); err != nil {
+					b.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s, count)
+	}
+	select {
+	case <-done:
+	case <-watchdog.C:
+		b.Fatalf("ingest stalled at %d/%d applies", applied.Load(), b.N)
+	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
 }

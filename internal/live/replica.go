@@ -49,6 +49,10 @@ type Config struct {
 	// Seed seeds the replica's random source; 0 draws a seed from
 	// crypto/rand so concurrently created replicas cannot collide.
 	Seed int64
+	// Shards is the lock-stripe count of the replica's sharded store; 0
+	// selects store.DefaultShards, other values round up to a power of two.
+	// More shards let more connection readers apply updates concurrently.
+	Shards int
 	// Hooks observes protocol events (applies, acks, suspicions). All
 	// callbacks are optional; see the Hooks type for the contract.
 	Hooks Hooks
@@ -83,6 +87,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("live: ack timeout %v negative", c.AckTimeout)
 	case c.SuspectTTL < 0:
 		return fmt.Errorf("live: suspect ttl %v negative", c.SuspectTTL)
+	case c.Shards < 0:
+		return fmt.Errorf("live: shards %d negative", c.Shards)
 	default:
 		return nil
 	}
@@ -101,7 +107,7 @@ type Replica struct {
 	cfg       Config
 	transport Transport
 	addr      string
-	st        *store.Store
+	st        store.Backend
 	writer    *store.Writer
 
 	mu      sync.Mutex
@@ -197,7 +203,7 @@ func NewReplica(cfg Config, transport Transport) (*Replica, error) {
 		cfg:       cfg,
 		transport: transport,
 		addr:      transport.Addr(),
-		st:        store.New(),
+		st:        store.NewSharded(cfg.Shards),
 		rng:       rand.New(rand.NewSource(seed)),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -320,21 +326,25 @@ func (r *Replica) flush(events []protoEvent, out []outboundBatch) {
 }
 
 // handle is the transport's inbound callback. The conversion from wire to
-// engine form — including the per-update store conversions of a pull
-// response — runs here, outside the replica mutex; only the engine step
-// itself (r.run) is serialised. The transport decodes frames into reused
-// envelope structs, so container fields must be consumed before returning;
-// everything handed to the engine that outlives this call (update values,
-// version histories, strings) is decoder-fresh.
+// engine form — and, for update-carrying messages, the store apply itself —
+// runs here, on the connection-reader goroutine, outside the replica mutex;
+// only the engine's protocol bookkeeping (r.run) is serialised. The sharded
+// store stripes its locks by origin and key, so readers draining different
+// peers apply concurrently and the critical section shrinks to membership,
+// flooding lists, and the forwarding decision. The transport decodes frames
+// into reused envelope structs, so container fields must be consumed before
+// returning; everything handed to the engine that outlives this call (update
+// values, version histories, strings) is decoder-fresh.
 func (r *Replica) handle(env wire.Envelope) {
 	switch env.Kind {
 	case wire.KindPush:
 		u := env.Update.ToStore()
 		r.inc(MetricPushReceived)
+		pre := r.preApply(u)
 		r.run(func(e *engine.Engine[string]) {
-			e.Handle(env.From, engine.Message[string]{
+			e.HandlePushApplied(env.From, engine.Message[string]{
 				Kind: engine.KindPush, Update: u, RF: env.RF, T: env.T,
-			})
+			}, pre)
 		})
 	case wire.KindPullReq:
 		r.run(func(e *engine.Engine[string]) {
@@ -344,13 +354,16 @@ func (r *Replica) handle(env wire.Envelope) {
 		})
 	case wire.KindPullResp:
 		updates := make([]store.Update, len(env.Updates))
+		pre := make([]engine.Applied, len(env.Updates))
 		for i := range env.Updates {
 			updates[i] = env.Updates[i].ToStore()
+			res, branches := r.st.ApplyObserved(updates[i])
+			pre[i] = engine.Applied{Res: res, Branches: branches}
 		}
 		r.run(func(e *engine.Engine[string]) {
-			e.Handle(env.From, engine.Message[string]{
+			e.HandlePullRespApplied(env.From, engine.Message[string]{
 				Kind: engine.KindPullResp, Updates: updates, Peers: env.KnownPeers,
-			})
+			}, pre)
 		})
 	case wire.KindAck:
 		r.inc(MetricAckReceived)
@@ -415,11 +428,24 @@ func envelopeFromEngine(from string, m engine.Message[string]) wire.Envelope {
 	return env
 }
 
+// preApply offers one pushed update to the store on the calling (connection
+// reader) goroutine, before the engine's critical section. Updates the store
+// has already logged skip the write entirely — the same short-circuit the
+// engine's duplicate path provides, done here against the origin's log shard
+// so duplicate floods never contend on item shards.
+func (r *Replica) preApply(u store.Update) engine.Applied {
+	if r.st.Seen(u.Ref()) {
+		return engine.Applied{Res: store.Duplicate, Branches: r.st.BranchCount(u.Key)}
+	}
+	res, branches := r.st.ApplyObserved(u)
+	return engine.Applied{Res: res, Branches: branches}
+}
+
 // Addr returns the replica's address.
 func (r *Replica) Addr() string { return r.addr }
 
 // Store returns the replica's data store.
-func (r *Replica) Store() *store.Store { return r.st }
+func (r *Replica) Store() store.Backend { return r.st }
 
 // AddPeers teaches the replica about other replica addresses. Empty
 // addresses and the replica's own are ignored.
@@ -496,17 +522,20 @@ func (r *Replica) pullLoop() {
 	}
 }
 
-// Publish creates and pushes an update for key.
+// Publish creates and pushes an update for key. The write itself — sequence
+// assignment, version extension, store apply — runs on the calling goroutine
+// through the self-serialising Writer and the lock-striped store; only the
+// push initiation enters the engine's critical section.
 func (r *Replica) Publish(key string, value []byte) store.Update {
-	var u store.Update
-	r.run(func(e *engine.Engine[string]) { u = e.Publish(key, value) })
+	u, branches := r.writer.PutObserved(key, value)
+	r.run(func(e *engine.Engine[string]) { e.PublishApplied(u, branches) })
 	return u
 }
 
 // Delete creates and pushes a tombstone for key.
 func (r *Replica) Delete(key string) store.Update {
-	var u store.Update
-	r.run(func(e *engine.Engine[string]) { u = e.PublishDelete(key) })
+	u, branches := r.writer.DeleteObserved(key)
+	r.run(func(e *engine.Engine[string]) { e.PublishApplied(u, branches) })
 	return u
 }
 

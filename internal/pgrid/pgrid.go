@@ -19,15 +19,24 @@ import (
 	"strings"
 )
 
+// PathBits hashes a key onto the trie's address space: the high bits of the
+// result are the key's partition path (KeyPath renders them as a bit
+// string). The store's shard router uses the same bits, so a shard holds a
+// contiguous run of trie partitions — store sharding aligns with P-Grid
+// partitioning by construction.
+func PathBits(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key)) // fnv hash writes never fail
+	return mix64(h.Sum64())
+}
+
 // KeyPath maps a key to its binary partition path of the given depth, via a
 // stable hash. Peers responsible for the returned path serve the key.
 func KeyPath(key string, depth int) string {
 	if depth <= 0 {
 		return ""
 	}
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(key)) // fnv hash writes never fail
-	v := mix64(h.Sum64())
+	v := PathBits(key)
 	var b strings.Builder
 	b.Grow(depth)
 	for i := 0; i < depth; i++ {

@@ -437,7 +437,7 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 // collide short of SHA-256 breaking. Stamps are included — they are set
 // once by the origin and travel with the update, so replicas agree on
 // them.
-func digest(st *pushpull.Store) string {
+func digest(st pushpull.Store) string {
 	h := sha256.New()
 	var num [8]byte
 	writeBytes := func(b []byte) {

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"time"
+
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// Backend is the store contract the protocol layers program against: the
+// single-lock Store and the lock-striped Sharded both satisfy it. The
+// semantics are fixed by the reference Store — Sharded's property tests hold
+// it to Store outcome-for-outcome on random interleaved workloads — so
+// engines, writers, and the serving surface can swap implementations without
+// observable change.
+type Backend interface {
+	// Apply ingests one update and returns the outcome. Updates may arrive
+	// in any order and repeatedly; Apply is idempotent per (origin, seq).
+	Apply(u Update) ApplyResult
+	// ApplyObserved is Apply returning also the number of coexisting
+	// revisions of the key, counted atomically with the apply.
+	ApplyObserved(u Update) (ApplyResult, int)
+	// Seen reports whether the exact update identified by ref was already
+	// applied. It is a cheap duplicate pre-check; a racing twin that slips
+	// past it is still caught by Apply itself.
+	Seen(ref Ref) bool
+	// SetApplyHook registers a callback observing every subsequent Apply.
+	SetApplyHook(h ApplyHook)
+	// BranchCount returns the number of coexisting revisions of key,
+	// including tombstoned branches.
+	BranchCount(key string) int
+	// Get returns the winning revision for key (see Store.Get).
+	Get(key string) (Revision, bool)
+	// Versions returns copies of all coexisting revisions of key, sorted
+	// deterministically.
+	Versions(key string) []Revision
+	// Keys returns the sorted set of keys with at least one live revision.
+	Keys() []string
+	// Clock returns a copy of the store's vector clock.
+	Clock() version.Clock
+	// MissingFor returns every logged update the remote clock has not seen,
+	// ordered by origin then sequence. Callers must treat the returned
+	// updates as read-only.
+	MissingFor(remote version.Clock) []Update
+	// UpdateCount returns the number of logged updates.
+	UpdateCount() int
+	// GCTombstones drops tombstoned revisions whose retention expired at
+	// now, returning the number collected.
+	GCTombstones(now time.Time) int
+	// WriteSnapshot serialises the full update log to w in canonical
+	// (origin asc, seq asc) order — the bytes depend only on logical
+	// contents, never on internal layout.
+	WriteSnapshot(w io.Writer) error
+	// RestoreSnapshot replaces the contents with a snapshot previously
+	// produced by WriteSnapshot, keeping the receiver pointer stable.
+	RestoreSnapshot(r io.Reader) error
+	// Equal reports whether two stores hold identical live state.
+	Equal(other Backend) bool
+	// Reset clears the store to empty, keeping the pointer, retention, and
+	// any registered hook stable. It models a crash with disk loss.
+	Reset()
+}
+
+// Interface conformance — keep both implementations honest.
+var (
+	_ Backend = (*Store)(nil)
+	_ Backend = (*Sharded)(nil)
+)
+
+// backendEqual is the shared Equal implementation: identical live key sets
+// with byte-equal winning values and Equal winning version histories.
+func backendEqual(a, b Backend) bool {
+	ak, bk := a.Keys(), b.Keys()
+	if len(ak) != len(bk) {
+		return false
+	}
+	for i := range ak {
+		if ak[i] != bk[i] {
+			return false
+		}
+	}
+	for _, k := range ak {
+		ra, okA := a.Get(k)
+		rb, okB := b.Get(k)
+		if okA != okB || !bytes.Equal(ra.Value, rb.Value) ||
+			ra.Version.Compare(rb.Version) != version.Equal {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,166 @@
+package store
+
+import (
+	"sort"
+	"time"
+
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// originLog is the per-origin update log with its sorted origin index and
+// the vector-clock segment summarising it. It is the unit of state a
+// Sharded shard owns exclusively — and that the single-lock Store owns once
+// — so both implementations share the frontier, ordering, and clock-advance
+// semantics exactly. originLog does no locking; the owner serialises access.
+type originLog struct {
+	// log holds every applied update per origin, ordered by Seq, backing
+	// anti-entropy diffs. Logged updates are immutable once appended.
+	log map[string][]Update
+	// origins is the sorted list of log keys, maintained incrementally so
+	// missingFor does not re-sort on every pull request.
+	origins []string
+	// clock summarises the applied updates of this log's origins.
+	clock version.Clock
+}
+
+func newOriginLog() originLog {
+	return originLog{
+		log:   make(map[string][]Update),
+		clock: version.NewClock(),
+	}
+}
+
+// have reports whether the (origin, seq) update is already logged.
+func (l *originLog) have(origin string, seq uint64) bool {
+	log := l.log[origin]
+	idx := seqSearch(log, seq)
+	return idx < len(log) && log[idx].Seq == seq
+}
+
+// record logs one update (idempotently) and advances the origin's clock
+// segment over the contiguous prefix of received sequence numbers. A gap
+// (update lost in flight) keeps the clock low so that a later pull
+// re-fetches the hole. The log is Seq-sorted, so the walk starts at the
+// binary-searched frontier and covers only the newly contiguous run —
+// in-order delivery advances in O(log n) + O(1) instead of rescanning the
+// whole log.
+func (l *originLog) record(u Update) {
+	log, known := l.log[u.Origin]
+	if !known {
+		l.insertOrigin(u.Origin)
+	}
+	idx := seqSearch(log, u.Seq)
+	if idx < len(log) && log[idx].Seq == u.Seq {
+		return
+	}
+	log = append(log, Update{})
+	copy(log[idx+1:], log[idx:])
+	log[idx] = u
+	l.log[u.Origin] = log
+
+	cur := l.clock.Get(u.Origin)
+	for i := seqSearch(log, cur+1); i < len(log) && log[i].Seq == cur+1; i++ {
+		cur++
+	}
+	if cur > l.clock.Get(u.Origin) {
+		l.clock[u.Origin] = cur
+	}
+}
+
+// insertOrigin adds a newly seen origin to the sorted origin index.
+func (l *originLog) insertOrigin(origin string) {
+	idx := sort.SearchStrings(l.origins, origin)
+	l.origins = append(l.origins, "")
+	copy(l.origins[idx+1:], l.origins[idx:])
+	l.origins[idx] = origin
+}
+
+// missingCount returns the number of logged updates the remote clock has
+// not seen.
+func (l *originLog) missingCount(remote version.Clock) int {
+	total := 0
+	for _, o := range l.origins {
+		total += len(l.log[o]) - seqSearch(l.log[o], remote.Get(o)+1)
+	}
+	return total
+}
+
+// appendMissing appends every logged update the remote clock has not seen,
+// ordered by origin then sequence. The result shares Value and Version
+// backing with the log (logged updates are immutable).
+func (l *originLog) appendMissing(out []Update, remote version.Clock) []Update {
+	for _, o := range l.origins {
+		log := l.log[o]
+		out = append(out, log[seqSearch(log, remote.Get(o)+1):]...)
+	}
+	return out
+}
+
+// count returns the number of logged updates.
+func (l *originLog) count() int {
+	n := 0
+	for _, log := range l.log {
+		n += len(log)
+	}
+	return n
+}
+
+// seqSearch returns the index of the first entry with Seq >= seq. Logs are
+// Seq-ordered, so this is the binary-searched frontier of an anti-entropy
+// diff when called with seq = remote+1.
+func seqSearch(log []Update, seq uint64) int {
+	return sort.Search(len(log), func(i int) bool { return log[i].Seq >= seq })
+}
+
+// applyRevision merges one update into a key → revisions map: branches the
+// update causally dominates are dropped, concurrent branches coexist, and an
+// update already covered by an existing branch is Obsolete. This is the
+// item-level half of an apply, shared between Store and Sharded so the
+// domination semantics cannot diverge.
+func applyRevision(items map[string][]Revision, u Update) ApplyResult {
+	revs := items[u.Key]
+	newRev := Revision{Version: u.Version, Value: u.Value, Deleted: u.Delete, Stamp: u.Stamp}
+	kept := revs[:0]
+	dominated := false
+	for _, r := range revs {
+		switch r.Version.Compare(u.Version) {
+		case version.Before:
+			// Existing branch is an ancestor: superseded, drop it.
+		case version.Equal, version.After:
+			// The incoming update is already covered.
+			dominated = true
+			kept = append(kept, r)
+		case version.Concurrent:
+			kept = append(kept, r)
+		}
+	}
+	if dominated {
+		items[u.Key] = kept
+		return Obsolete
+	}
+	items[u.Key] = append(kept, newRev)
+	return Applied
+}
+
+// gcRevisions drops tombstoned revisions whose retention expired, per the
+// GCTombstones contract, from one key → revisions map.
+func gcRevisions(items map[string][]Revision, now time.Time, retain time.Duration) int {
+	collected := 0
+	for key, revs := range items {
+		kept := revs[:0]
+		for _, r := range revs {
+			ts := version.Tombstone{Deleted: r.Version, At: r.Stamp, Retain: retain}
+			if r.Deleted && ts.Expired(now) {
+				collected++
+				continue
+			}
+			kept = append(kept, r)
+		}
+		if len(kept) == 0 {
+			delete(items, key)
+		} else {
+			items[key] = kept
+		}
+	}
+	return collected
+}

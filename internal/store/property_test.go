@@ -18,15 +18,15 @@ import (
 func naiveMissingFor(s *Store, remote version.Clock) []Update {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	origins := make([]string, 0, len(s.log))
-	for o := range s.log {
+	origins := make([]string, 0, len(s.data.log))
+	for o := range s.data.log {
 		origins = append(origins, o)
 	}
 	sort.Strings(origins)
 	var out []Update
 	for _, o := range origins {
 		have := remote.Get(o)
-		for _, u := range s.log[o] {
+		for _, u := range s.data.log[o] {
 			if u.Seq > have {
 				out = append(out, u)
 			}

@@ -1,0 +1,388 @@
+package store
+
+import (
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/p2pgossip/update/internal/pgrid"
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// Sharded is the lock-striped Backend for multi-core ingest. State is split
+// two ways, because the store's two halves have different natural keys:
+//
+//   - log shards, routed by hash of the update's Origin, each own their
+//     slice of the per-origin log, the frontier (origin) index, and the
+//     vector-clock segment summarising it. An origin lives entirely in one
+//     shard, so per-origin invariants (Seq ordering, contiguous-prefix clock
+//     advance, duplicate detection) need no cross-shard coordination.
+//   - item shards, routed by hash of the update's Key, each own their slice
+//     of the key → revision-branches map. A key lives entirely in one shard,
+//     so version domination between concurrent branches of the same key is
+//     still decided under a single lock.
+//
+// Both routers use pgrid.PathBits — the same hash that addresses P-Grid's
+// binary trie — taking the high bits, so a shard corresponds to a contiguous
+// run of trie partitions and store sharding aligns with P-Grid partitioning.
+//
+// Lock ordering: Apply never holds a log-shard and an item-shard lock at the
+// same time (log first, released, then item). Whole-store operations
+// (MissingFor, Clock, Keys, Reset, RestoreSnapshot) lock shards in ascending
+// index order, log shards strictly before item shards. No operation acquires
+// two locks of the same kind out of order, so the store cannot deadlock
+// against itself.
+//
+// The apply window between the log record and the revision merge means a
+// reader can momentarily see an update in the log (clock, MissingFor) before
+// it reaches the revision map. That is indistinguishable from the update
+// having been applied just before the read, and snapshots serialise only the
+// log, so snapshot bytes and anti-entropy stay exact.
+type Sharded struct {
+	logs  []logShard
+	items []itemShard
+	// shift converts pgrid.PathBits' high bits into a shard index:
+	// 64 - log2(shards). A single shard shifts by 64, which Go defines as 0.
+	shift uint
+	// tombRetain is how long tombstones are kept before GC. Immutable after
+	// construction.
+	tombRetain time.Duration
+	// hook observes every Apply outcome; stored atomically so ingest never
+	// takes a store-wide lock to read it.
+	hook atomic.Pointer[ApplyHook]
+}
+
+// logShard is one independently locked slice of the update log.
+type logShard struct {
+	mu   sync.RWMutex
+	data originLog
+}
+
+// itemShard is one independently locked slice of the revision map.
+type itemShard struct {
+	mu    sync.RWMutex
+	items map[string][]Revision
+}
+
+// DefaultShards is the shard count NewSharded(0) uses — enough stripes to
+// keep a fanout of connection readers from colliding, small enough that
+// whole-store operations stay cheap.
+const DefaultShards = 8
+
+// maxShards bounds the stripe count; beyond this, per-shard fixed costs
+// dominate any contention win.
+const maxShards = 256
+
+// NewSharded returns an empty sharded store with the default tombstone
+// retention. shards <= 0 selects DefaultShards; other values are rounded up
+// to the next power of two and capped at maxShards.
+func NewSharded(shards int) *Sharded {
+	return NewShardedWithRetention(shards, DefaultTombstoneRetention)
+}
+
+// NewShardedWithRetention is NewSharded with an explicit tombstone
+// retention.
+func NewShardedWithRetention(shards int, retain time.Duration) *Sharded {
+	n := normalizeShards(shards)
+	s := &Sharded{
+		logs:       make([]logShard, n),
+		items:      make([]itemShard, n),
+		shift:      uint(64 - bits.TrailingZeros(uint(n))),
+		tombRetain: retain,
+	}
+	for i := range s.logs {
+		s.logs[i].data = newOriginLog()
+	}
+	for i := range s.items {
+		s.items[i].items = make(map[string][]Revision)
+	}
+	return s
+}
+
+// normalizeShards maps a requested shard count onto the supported range:
+// a power of two in [1, maxShards], defaulting to DefaultShards.
+func normalizeShards(shards int) int {
+	if shards <= 0 {
+		return DefaultShards
+	}
+	if shards > maxShards {
+		return maxShards
+	}
+	return 1 << uint(bits.Len(uint(shards-1)))
+}
+
+// ShardCount returns the number of stripes (same for logs and items).
+func (s *Sharded) ShardCount() int { return len(s.logs) }
+
+// logFor routes an origin to its log shard.
+func (s *Sharded) logFor(origin string) *logShard {
+	return &s.logs[pgrid.PathBits(origin)>>s.shift]
+}
+
+// itemFor routes a key to its item shard.
+func (s *Sharded) itemFor(key string) *itemShard {
+	return &s.items[pgrid.PathBits(key)>>s.shift]
+}
+
+// SetApplyHook registers a callback observing every subsequent Apply. Pass
+// nil to remove it.
+func (s *Sharded) SetApplyHook(h ApplyHook) {
+	if h == nil {
+		s.hook.Store(nil)
+		return
+	}
+	s.hook.Store(&h)
+}
+
+// Apply ingests one update and returns the outcome. Updates may arrive in
+// any order and repeatedly; Apply is idempotent per (origin, seq), and
+// applies routed to different shards run without contending.
+func (s *Sharded) Apply(u Update) ApplyResult {
+	res, _ := s.ApplyObserved(u)
+	return res
+}
+
+// ApplyObserved is Apply returning also the number of coexisting revisions
+// of the key, counted atomically with the revision merge.
+func (s *Sharded) ApplyObserved(u Update) (ApplyResult, int) {
+	res, branches := s.apply(u)
+	if h := s.hook.Load(); h != nil {
+		(*h)(u, res, branches)
+	}
+	return res, branches
+}
+
+func (s *Sharded) apply(u Update) (ApplyResult, int) {
+	if u.Seq == 0 || u.Origin == "" {
+		// Malformed updates are treated as obsolete noise rather than
+		// panicking; the transport layer validates before this point.
+		return Obsolete, s.BranchCount(u.Key)
+	}
+	ls := s.logFor(u.Origin)
+	ls.mu.Lock()
+	if ls.data.have(u.Origin, u.Seq) {
+		ls.mu.Unlock()
+		return Duplicate, s.BranchCount(u.Key)
+	}
+	ls.data.record(u)
+	ls.mu.Unlock()
+
+	is := s.itemFor(u.Key)
+	is.mu.Lock()
+	res := applyRevision(is.items, u)
+	branches := len(is.items[u.Key])
+	is.mu.Unlock()
+	return res, branches
+}
+
+// Seen reports whether the exact update identified by ref was already
+// applied, touching only the origin's log shard.
+func (s *Sharded) Seen(ref Ref) bool {
+	ls := s.logFor(ref.Origin)
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	return ls.data.have(ref.Origin, ref.Seq)
+}
+
+// BranchCount returns the number of coexisting revisions of key, including
+// tombstoned branches. Zero means the key is unknown.
+func (s *Sharded) BranchCount(key string) int {
+	is := s.itemFor(key)
+	is.mu.RLock()
+	defer is.mu.RUnlock()
+	return len(is.items[key])
+}
+
+// Get returns the winning revision for key (see Store.Get).
+func (s *Sharded) Get(key string) (Revision, bool) {
+	is := s.itemFor(key)
+	is.mu.RLock()
+	defer is.mu.RUnlock()
+	best, ok := winner(is.items[key])
+	if !ok || best.Deleted {
+		return Revision{}, false
+	}
+	return cloneRevision(best), true
+}
+
+// Versions returns copies of all coexisting revisions of key, including
+// tombstoned branches, sorted deterministically.
+func (s *Sharded) Versions(key string) []Revision {
+	is := s.itemFor(key)
+	is.mu.RLock()
+	defer is.mu.RUnlock()
+	revs := is.items[key]
+	out := make([]Revision, len(revs))
+	for i, r := range revs {
+		out[i] = cloneRevision(r)
+	}
+	sortRevisions(out)
+	return out
+}
+
+// Keys returns the sorted set of keys with at least one live revision,
+// gathered under all item-shard read locks (ascending) for a consistent cut.
+func (s *Sharded) Keys() []string {
+	for i := range s.items {
+		s.items[i].mu.RLock()
+	}
+	var keys []string
+	for i := range s.items {
+		for k, revs := range s.items[i].items {
+			if w, ok := winner(revs); ok && !w.Deleted {
+				keys = append(keys, k)
+			}
+		}
+	}
+	for i := len(s.items) - 1; i >= 0; i-- {
+		s.items[i].mu.RUnlock()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clock composes the per-shard vector-clock segments into the global clock.
+// Origins are disjoint across shards, so composition is a union, taken under
+// all log-shard read locks (ascending) for a consistent cut.
+func (s *Sharded) Clock() version.Clock {
+	for i := range s.logs {
+		s.logs[i].mu.RLock()
+	}
+	out := version.NewClock()
+	for i := range s.logs {
+		for origin, seq := range s.logs[i].data.clock {
+			out[origin] = seq
+		}
+	}
+	for i := len(s.logs) - 1; i >= 0; i-- {
+		s.logs[i].mu.RUnlock()
+	}
+	return out
+}
+
+// MissingFor returns every logged update the remote clock has not seen, in
+// the same canonical (origin asc, seq asc) order as the single-lock Store —
+// shard layout never leaks into the result. Taken under all log-shard read
+// locks for a consistent cut; callers must treat the result as read-only.
+func (s *Sharded) MissingFor(remote version.Clock) []Update {
+	for i := range s.logs {
+		s.logs[i].mu.RLock()
+	}
+	defer func() {
+		for i := len(s.logs) - 1; i >= 0; i-- {
+			s.logs[i].mu.RUnlock()
+		}
+	}()
+	total, norigins := 0, 0
+	for i := range s.logs {
+		total += s.logs[i].data.missingCount(remote)
+		norigins += len(s.logs[i].data.origins)
+	}
+	if total == 0 {
+		return nil
+	}
+	// Origins are disjoint across shards and sorted within each, so a global
+	// sort of the union restores the canonical order; each origin's run then
+	// comes whole from its home shard.
+	origins := make([]string, 0, norigins)
+	for i := range s.logs {
+		origins = append(origins, s.logs[i].data.origins...)
+	}
+	sort.Strings(origins)
+	out := make([]Update, 0, total)
+	for _, o := range origins {
+		log := s.logFor(o).data.log[o]
+		out = append(out, log[seqSearch(log, remote.Get(o)+1):]...)
+	}
+	return out
+}
+
+// UpdateCount returns the number of logged updates.
+func (s *Sharded) UpdateCount() int {
+	n := 0
+	for i := range s.logs {
+		s.logs[i].mu.RLock()
+		n += s.logs[i].data.count()
+		s.logs[i].mu.RUnlock()
+	}
+	return n
+}
+
+// GCTombstones drops tombstoned revisions whose retention expired at now,
+// returning the number collected. Shards are collected one at a time; GC
+// needs no cross-shard atomicity.
+func (s *Sharded) GCTombstones(now time.Time) int {
+	collected := 0
+	for i := range s.items {
+		s.items[i].mu.Lock()
+		collected += gcRevisions(s.items[i].items, now, s.tombRetain)
+		s.items[i].mu.Unlock()
+	}
+	return collected
+}
+
+// Equal reports whether the two stores hold identical live state.
+func (s *Sharded) Equal(other Backend) bool {
+	return backendEqual(s, other)
+}
+
+// WriteSnapshot serialises the full update log to w. The stream is
+// byte-identical to the one the single-lock Store produces for the same
+// logical contents, regardless of shard count: both serialise
+// MissingFor(nil), whose order is canonical.
+func (s *Sharded) WriteSnapshot(w io.Writer) error {
+	return encodeSnapshot(w, s.MissingFor(nil))
+}
+
+// RestoreSnapshot replaces the store's contents with a snapshot previously
+// produced by any Backend's WriteSnapshot, keeping the pointer — and any
+// registered apply hook — stable. The current shard count and tombstone
+// retention are kept.
+func (s *Sharded) RestoreSnapshot(r io.Reader) error {
+	updates, err := decodeSnapshot(r)
+	if err != nil {
+		return err
+	}
+	// Build the replacement off to the side with the same shape, then swap
+	// shard contents under the standard whole-store lock order.
+	fresh := NewShardedWithRetention(len(s.logs), s.tombRetain)
+	for _, u := range updates {
+		fresh.Apply(u)
+	}
+	s.replaceFrom(fresh)
+	return nil
+}
+
+// Reset clears the store to empty, keeping shard count, retention, hook,
+// and the pointer stable. It is the simulator's crash-with-disk-loss path.
+func (s *Sharded) Reset() {
+	s.replaceFrom(NewShardedWithRetention(len(s.logs), s.tombRetain))
+}
+
+// replaceFrom adopts the shard contents of fresh, which must have the same
+// shard count and must not be shared with any other goroutine. Locks follow
+// the whole-store order: all log shards ascending, then all item shards
+// ascending.
+func (s *Sharded) replaceFrom(fresh *Sharded) {
+	for i := range s.logs {
+		s.logs[i].mu.Lock()
+	}
+	for i := range s.items {
+		s.items[i].mu.Lock()
+	}
+	for i := range s.logs {
+		s.logs[i].data = fresh.logs[i].data
+	}
+	for i := range s.items {
+		s.items[i].items = fresh.items[i].items
+	}
+	for i := len(s.items) - 1; i >= 0; i-- {
+		s.items[i].mu.Unlock()
+	}
+	for i := len(s.logs) - 1; i >= 0; i-- {
+		s.logs[i].mu.Unlock()
+	}
+}

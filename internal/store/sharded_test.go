@@ -1,0 +1,308 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// genWorkload produces a realistic update stream: several writers extending
+// winning revisions on a scratch store (so version histories dominate and
+// branch the way real replicas produce them), plus malformed noise. The
+// returned slice is in creation order; callers shuffle it.
+func genWorkload(t *testing.T, rng *rand.Rand, writers, updates int) []Update {
+	t.Helper()
+	scratch := New()
+	now := func() time.Time { return time.Unix(1_700_000_000+int64(rng.Intn(1000)), 0) }
+	ws := make([]*Writer, writers)
+	for i := range ws {
+		w, err := NewWriter(fmt.Sprintf("origin-%d", i), scratch, now,
+			rand.New(rand.NewSource(int64(i)+100)))
+		if err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+		ws[i] = w
+	}
+	out := make([]Update, 0, updates)
+	for len(out) < updates {
+		w := ws[rng.Intn(len(ws))]
+		key := fmt.Sprintf("key-%d", rng.Intn(12))
+		switch rng.Intn(10) {
+		case 0:
+			out = append(out, w.Delete(key))
+		case 1:
+			// Malformed noise: both implementations must ignore it.
+			out = append(out, Update{Origin: "", Seq: 9, Key: key})
+		case 2:
+			out = append(out, Update{Origin: "origin-0", Seq: 0, Key: key})
+		default:
+			out = append(out, w.Put(key, []byte(fmt.Sprintf("v-%d", rng.Int()))))
+		}
+	}
+	return out
+}
+
+// TestShardedMatchesReference holds Sharded to the single-lock Store on
+// random interleaved workloads: identical per-apply outcomes (including
+// duplicates from re-applied updates), clocks, logs, live state, and
+// derived queries, across shard counts.
+func TestShardedMatchesReference(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 41))
+		workload := genWorkload(t, rng, 1+rng.Intn(5), 80)
+		// Interleave re-deliveries so Duplicate outcomes are exercised.
+		stream := append([]Update(nil), workload...)
+		for i := 0; i < len(workload)/3; i++ {
+			stream = append(stream, workload[rng.Intn(len(workload))])
+		}
+		rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+
+		ref := New()
+		shards := []int{1, 4, 16}[trial%3]
+		sh := NewSharded(shards)
+		for i, u := range stream {
+			wantRes, wantBranches := ref.ApplyObserved(u)
+			gotRes, gotBranches := sh.ApplyObserved(u)
+			if gotRes != wantRes || gotBranches != wantBranches {
+				t.Fatalf("trial %d shards %d: apply %d (%s): sharded (%v,%d), reference (%v,%d)",
+					trial, shards, i, u.ID(), gotRes, gotBranches, wantRes, wantBranches)
+			}
+		}
+		if !sh.Equal(ref) || !ref.Equal(sh) {
+			t.Fatalf("trial %d: live state diverged", trial)
+		}
+		if got, want := sh.UpdateCount(), ref.UpdateCount(); got != want {
+			t.Fatalf("trial %d: update count %d, want %d", trial, got, want)
+		}
+		if got, want := sh.Clock(), ref.Clock(); got.Compare(want) != version.Equal {
+			t.Fatalf("trial %d: clock %v, want %v", trial, got, want)
+		}
+		// MissingFor must agree for arbitrary remote clocks, including the
+		// full-log nil clock, in exact canonical order.
+		for probe := 0; probe < 10; probe++ {
+			var remote version.Clock
+			if probe > 0 {
+				remote = version.NewClock()
+				for o, seq := range ref.Clock() {
+					remote[o] = uint64(rng.Int63n(int64(seq) + 1))
+				}
+			}
+			got, want := sh.MissingFor(remote), ref.MissingFor(remote)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: missing len %d, want %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Ref() != want[i].Ref() {
+					t.Fatalf("trial %d: missing[%d] = %s, want %s (canonical order broken)",
+						trial, i, got[i].ID(), want[i].ID())
+				}
+			}
+		}
+		for _, k := range ref.Keys() {
+			if got, want := sh.BranchCount(k), ref.BranchCount(k); got != want {
+				t.Fatalf("trial %d: branch count of %q: %d, want %d", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedSnapshotByteIdentical asserts the satellite contract: the same
+// logical contents snapshot to identical bytes regardless of shard count
+// (including the single-lock reference), and the snapshot round-trips into
+// any shard count.
+func TestShardedSnapshotByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	workload := genWorkload(t, rng, 4, 120)
+
+	ref := New()
+	for _, u := range workload {
+		ref.Apply(u)
+	}
+	var want bytes.Buffer
+	if err := ref.WriteSnapshot(&want); err != nil {
+		t.Fatalf("reference snapshot: %v", err)
+	}
+
+	for _, shards := range []int{1, 4, 16} {
+		sh := NewSharded(shards)
+		// Apply in a per-count shuffled order: bytes must not depend on
+		// arrival order either.
+		stream := append([]Update(nil), workload...)
+		rand.New(rand.NewSource(int64(shards))).Shuffle(len(stream),
+			func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+		for _, u := range stream {
+			sh.Apply(u)
+		}
+		var got bytes.Buffer
+		if err := sh.WriteSnapshot(&got); err != nil {
+			t.Fatalf("shards=%d: snapshot: %v", shards, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("shards=%d: snapshot bytes differ from reference (%d vs %d bytes)",
+				shards, got.Len(), want.Len())
+		}
+
+		// Round-trip into a different shard count and back.
+		restored := NewSharded(32 / normalizeShards(shards))
+		if err := restored.RestoreSnapshot(bytes.NewReader(got.Bytes())); err != nil {
+			t.Fatalf("shards=%d: restore: %v", shards, err)
+		}
+		if !restored.Equal(ref) {
+			t.Fatalf("shards=%d: restored state diverged", shards)
+		}
+		var again bytes.Buffer
+		if err := restored.WriteSnapshot(&again); err != nil {
+			t.Fatalf("shards=%d: re-snapshot: %v", shards, err)
+		}
+		if !bytes.Equal(again.Bytes(), want.Bytes()) {
+			t.Fatalf("shards=%d: round-tripped snapshot bytes differ", shards)
+		}
+	}
+}
+
+// TestShardedReset asserts Reset clears state while keeping the hook and
+// accepting new writes, the simulator's crash-with-disk-loss path.
+func TestShardedReset(t *testing.T) {
+	sh := NewSharded(4)
+	hooked := 0
+	sh.SetApplyHook(func(Update, ApplyResult, int) { hooked++ })
+	rng := rand.New(rand.NewSource(3))
+	for _, u := range genWorkload(t, rng, 2, 20) {
+		sh.Apply(u)
+	}
+	sh.Reset()
+	if sh.UpdateCount() != 0 || len(sh.Keys()) != 0 || len(sh.Clock()) != 0 {
+		t.Fatalf("reset left state: %d updates, %d keys", sh.UpdateCount(), len(sh.Keys()))
+	}
+	before := hooked
+	stamp := time.Unix(1_700_000_000, 0)
+	u := Update{Origin: "o", Seq: 1, Key: "k", Value: []byte("v"),
+		Version: version.History{version.NewID(stamp, "o", rng)}, Stamp: stamp}
+	if res := sh.Apply(u); res != Applied {
+		t.Fatalf("post-reset apply = %v", res)
+	}
+	if hooked != before+1 {
+		t.Fatalf("hook lost across reset: %d fires, want %d", hooked, before+1)
+	}
+}
+
+// TestShardedConcurrentStress drives concurrent Apply / MissingFor /
+// Snapshot / reads across shards. Run under -race (the CI race step covers
+// this package) it is the data-race probe for the striped locking; the final
+// assertions check no update was lost or duplicated.
+func TestShardedConcurrentStress(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 150
+	)
+	sh := NewSharded(4)
+	stamp := time.Unix(1_700_000_000, 0)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers: anti-entropy diffs, snapshots, clock/key scans, point reads.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			remote := version.NewClock()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch r {
+				case 0:
+					for _, u := range sh.MissingFor(remote) {
+						remote[u.Origin] = max(remote[u.Origin], u.Seq)
+					}
+				case 1:
+					var buf bytes.Buffer
+					if err := sh.WriteSnapshot(&buf); err != nil {
+						t.Errorf("snapshot: %v", err)
+						return
+					}
+				case 2:
+					sh.Clock()
+					sh.Keys()
+					sh.Get("key-3")
+					sh.GCTombstones(stamp)
+				}
+			}
+		}(r)
+	}
+	// Writers: distinct origins, interleaved keys, occasional duplicate
+	// re-applies — the live ingest shape (one goroutine per connection).
+	var applyWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		applyWG.Add(1)
+		go func(w int) {
+			defer applyWG.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			origin := fmt.Sprintf("writer-%d", w)
+			var history version.History
+			for seq := 1; seq <= perWriter; seq++ {
+				history = history.Append(version.NewID(stamp, origin, rng))
+				u := Update{
+					Origin: origin, Seq: uint64(seq),
+					Key:   fmt.Sprintf("key-%d", rng.Intn(16)),
+					Value: []byte{byte(seq)}, Version: history, Stamp: stamp,
+				}
+				if res := sh.Apply(u); res == Duplicate {
+					t.Errorf("fresh update %s claimed duplicate", u.ID())
+					return
+				}
+				if seq%7 == 0 {
+					if res := sh.Apply(u); res != Duplicate {
+						t.Errorf("re-applied %s = %v, want Duplicate", u.ID(), res)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	applyWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got, want := sh.UpdateCount(), writers*perWriter; got != want {
+		t.Fatalf("update count %d, want %d", got, want)
+	}
+	clock := sh.Clock()
+	for w := 0; w < writers; w++ {
+		if got := clock.Get(fmt.Sprintf("writer-%d", w)); got != perWriter {
+			t.Fatalf("writer-%d clock %d, want %d", w, got, perWriter)
+		}
+	}
+	// The full log must replay into an identical reference store.
+	ref := New()
+	for _, u := range sh.MissingFor(nil) {
+		ref.Apply(u)
+	}
+	if !sh.Equal(ref) {
+		t.Fatal("concurrent state does not replay into the reference store")
+	}
+}
+
+// TestNormalizeShards pins the shard-count rounding rule.
+func TestNormalizeShards(t *testing.T) {
+	cases := map[int]int{
+		-1: DefaultShards, 0: DefaultShards,
+		1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 16: 16, 17: 32,
+		maxShards: maxShards, maxShards + 1: maxShards,
+	}
+	for in, want := range cases {
+		if got := normalizeShards(in); got != want {
+			t.Errorf("normalizeShards(%d) = %d, want %d", in, got, want)
+		}
+	}
+	if got := NewSharded(6).ShardCount(); got != 8 {
+		t.Errorf("ShardCount = %d, want 8", got)
+	}
+}

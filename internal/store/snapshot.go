@@ -36,9 +36,11 @@ type snapshot struct {
 // future layouts.
 const snapshotFormatVersion = 1
 
-// WriteSnapshot serialises the store's full update log to w.
-func (s *Store) WriteSnapshot(w io.Writer) error {
-	updates := s.MissingFor(nil) // everything, in (origin, seq) order
+// encodeSnapshot serialises a complete, canonically ordered update log to w.
+// Store and Sharded both feed it MissingFor(nil), whose (origin asc, seq
+// asc) order is independent of internal layout — so the bytes a snapshot
+// produces depend only on the logical contents, never on shard count.
+func encodeSnapshot(w io.Writer, updates []Update) error {
 	snap := snapshot{
 		FormatVersion: snapshotFormatVersion,
 		Updates:       make([]snapshotUpdate, len(updates)),
@@ -60,9 +62,8 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 	return nil
 }
 
-// ReadSnapshot reconstructs a store from a snapshot written by
-// WriteSnapshot, with the given tombstone retention.
-func ReadSnapshot(r io.Reader, retain time.Duration) (*Store, error) {
+// decodeSnapshot reads a snapshot stream back into its update log.
+func decodeSnapshot(r io.Reader) ([]Update, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("store: read snapshot: %w", err)
@@ -71,8 +72,8 @@ func ReadSnapshot(r io.Reader, retain time.Duration) (*Store, error) {
 		return nil, fmt.Errorf("store: snapshot format %d unsupported (want %d)",
 			snap.FormatVersion, snapshotFormatVersion)
 	}
-	st := NewWithRetention(retain)
-	for _, su := range snap.Updates {
+	updates := make([]Update, len(snap.Updates))
+	for i, su := range snap.Updates {
 		u := Update{
 			Origin: su.Origin, Seq: su.Seq, Key: su.Key, Value: su.Value,
 			Delete: su.Delete, Stamp: time.Unix(0, su.Stamp),
@@ -85,6 +86,25 @@ func ReadSnapshot(r io.Reader, retain time.Duration) (*Store, error) {
 			copy(id[:], raw)
 			u.Version = append(u.Version, id)
 		}
+		updates[i] = u
+	}
+	return updates, nil
+}
+
+// WriteSnapshot serialises the store's full update log to w.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	return encodeSnapshot(w, s.MissingFor(nil)) // everything, in (origin, seq) order
+}
+
+// ReadSnapshot reconstructs a store from a snapshot written by
+// WriteSnapshot, with the given tombstone retention.
+func ReadSnapshot(r io.Reader, retain time.Duration) (*Store, error) {
+	updates, err := decodeSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	st := NewWithRetention(retain)
+	for _, u := range updates {
 		st.Apply(u)
 	}
 	return st, nil
@@ -122,15 +142,15 @@ func (s *Store) Replace(other *Store) {
 		}
 		items[k] = copied
 	}
-	log := make(map[string][]Update, len(other.log))
-	for origin, updates := range other.log {
+	log := make(map[string][]Update, len(other.data.log))
+	for origin, updates := range other.data.log {
 		copied := make([]Update, len(updates))
 		for i, u := range updates {
 			copied[i] = cloneUpdate(u)
 		}
 		log[origin] = copied
 	}
-	clock := other.clock.Clone()
+	clock := other.data.clock.Clone()
 	retain := other.tombRetain
 	other.mu.RUnlock()
 
@@ -143,8 +163,6 @@ func (s *Store) Replace(other *Store) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.items = items
-	s.log = log
-	s.origins = origins
-	s.clock = clock
+	s.data = originLog{log: log, origins: origins, clock: clock}
 	s.tombRetain = retain
 }

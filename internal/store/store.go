@@ -133,19 +133,15 @@ func (r ApplyResult) String() string {
 	}
 }
 
-// Store is a replica's local state. It is safe for concurrent use.
+// Store is a replica's local state under one lock. It is safe for concurrent
+// use; Sharded offers the same contract with lock striping for multi-core
+// ingest. Both satisfy Backend.
 type Store struct {
 	mu sync.RWMutex
 	// items maps key → coexisting revisions.
 	items map[string][]Revision
-	// log holds every applied update per origin, ordered by Seq, backing
-	// anti-entropy diffs. Logged updates are immutable once appended.
-	log map[string][]Update
-	// origins is the sorted list of log keys, maintained incrementally so
-	// MissingFor does not re-sort on every pull request.
-	origins []string
-	// clock summarises the applied updates.
-	clock version.Clock
+	// data is the per-origin update log, origin index, and vector clock.
+	data originLog
 	// tombRetain is how long tombstones are kept before GC.
 	tombRetain time.Duration
 	// hook, when set, observes every Apply outcome.
@@ -170,8 +166,7 @@ func New() *Store { return NewWithRetention(DefaultTombstoneRetention) }
 func NewWithRetention(retain time.Duration) *Store {
 	return &Store{
 		items:      make(map[string][]Revision),
-		log:        make(map[string][]Update),
-		clock:      version.NewClock(),
+		data:       newOriginLog(),
 		tombRetain: retain,
 	}
 }
@@ -221,84 +216,20 @@ func (s *Store) applyLocked(u Update) ApplyResult {
 		// panicking; the transport layer validates before this point.
 		return Obsolete
 	}
-	if s.haveUpdateLocked(u.Origin, u.Seq) {
+	if s.data.have(u.Origin, u.Seq) {
 		return Duplicate
 	}
-
-	s.appendLogLocked(u)
-	// The clock advances only over the contiguous prefix of received
-	// sequence numbers; a gap (update lost in flight) keeps the clock low so
-	// that a later pull re-fetches the hole. The log is Seq-sorted, so the
-	// walk starts at the binary-searched frontier and covers only the newly
-	// contiguous run — in-order delivery advances in O(log n) + O(1) instead
-	// of rescanning the whole log.
-	cur := s.clock.Get(u.Origin)
-	log := s.log[u.Origin]
-	for i := seqSearch(log, cur+1); i < len(log) && log[i].Seq == cur+1; i++ {
-		cur++
-	}
-	if cur > s.clock.Get(u.Origin) {
-		s.clock[u.Origin] = cur
-	}
-
-	revs := s.items[u.Key]
-	newRev := Revision{Version: u.Version, Value: u.Value, Deleted: u.Delete, Stamp: u.Stamp}
-	kept := revs[:0]
-	dominated := false
-	for _, r := range revs {
-		switch r.Version.Compare(u.Version) {
-		case version.Before:
-			// Existing branch is an ancestor: superseded, drop it.
-		case version.Equal, version.After:
-			// The incoming update is already covered.
-			dominated = true
-			kept = append(kept, r)
-		case version.Concurrent:
-			kept = append(kept, r)
-		}
-	}
-	if dominated {
-		s.items[u.Key] = kept
-		return Obsolete
-	}
-	s.items[u.Key] = append(kept, newRev)
-	return Applied
+	s.data.record(u)
+	return applyRevision(s.items, u)
 }
 
-func (s *Store) haveUpdateLocked(origin string, seq uint64) bool {
-	log := s.log[origin]
-	idx := seqSearch(log, seq)
-	return idx < len(log) && log[idx].Seq == seq
-}
-
-// seqSearch returns the index of the first entry with Seq >= seq. Logs are
-// Seq-ordered, so this is the binary-searched frontier of an anti-entropy
-// diff when called with seq = remote+1.
-func seqSearch(log []Update, seq uint64) int {
-	return sort.Search(len(log), func(i int) bool { return log[i].Seq >= seq })
-}
-
-func (s *Store) appendLogLocked(u Update) {
-	log, known := s.log[u.Origin]
-	if !known {
-		s.insertOriginLocked(u.Origin)
-	}
-	idx := seqSearch(log, u.Seq)
-	if idx < len(log) && log[idx].Seq == u.Seq {
-		return
-	}
-	log = append(log, Update{})
-	copy(log[idx+1:], log[idx:])
-	log[idx] = u
-	s.log[u.Origin] = log
-}
-
-// insertOriginLocked adds a newly seen origin to the sorted origin index.
-func (s *Store) insertOriginLocked(origin string) {
-	idx := sort.SearchStrings(s.origins, origin)
-	s.origins = append(s.origins, "")
-	copy(s.origins[idx+1:], s.origins[idx:])
-	s.origins[idx] = origin
+// Seen reports whether the exact update identified by ref was already
+// applied. It is the cheap duplicate pre-check of the live ingest path:
+// a racing twin that slips past it is still caught by Apply itself.
+func (s *Store) Seen(ref Ref) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data.have(ref.Origin, ref.Seq)
 }
 
 // Get returns the winning revision for key. When concurrent branches
@@ -348,7 +279,7 @@ func (s *Store) Keys() []string {
 func (s *Store) Clock() version.Clock {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.clock.Clone()
+	return s.data.clock.Clone()
 }
 
 // MissingFor returns every logged update the remote clock has not seen,
@@ -362,30 +293,18 @@ func (s *Store) Clock() version.Clock {
 func (s *Store) MissingFor(remote version.Clock) []Update {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	total := 0
-	for _, o := range s.origins {
-		total += len(s.log[o]) - seqSearch(s.log[o], remote.Get(o)+1)
-	}
+	total := s.data.missingCount(remote)
 	if total == 0 {
 		return nil
 	}
-	out := make([]Update, 0, total)
-	for _, o := range s.origins {
-		log := s.log[o]
-		out = append(out, log[seqSearch(log, remote.Get(o)+1):]...)
-	}
-	return out
+	return s.data.appendMissing(make([]Update, 0, total), remote)
 }
 
 // UpdateCount returns the number of logged updates.
 func (s *Store) UpdateCount() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	n := 0
-	for _, log := range s.log {
-		n += len(log)
-	}
-	return n
+	return s.data.count()
 }
 
 // GCTombstones drops tombstoned revisions (and their log entries' values)
@@ -395,48 +314,23 @@ func (s *Store) UpdateCount() int {
 func (s *Store) GCTombstones(now time.Time) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	collected := 0
-	for key, revs := range s.items {
-		kept := revs[:0]
-		for _, r := range revs {
-			ts := version.Tombstone{Deleted: r.Version, At: r.Stamp, Retain: s.tombRetain}
-			if r.Deleted && ts.Expired(now) {
-				collected++
-				continue
-			}
-			kept = append(kept, r)
-		}
-		if len(kept) == 0 {
-			delete(s.items, key)
-		} else {
-			s.items[key] = kept
-		}
-	}
-	return collected
+	return gcRevisions(s.items, now, s.tombRetain)
 }
 
 // Equal reports whether two stores hold identical live state (same keys,
 // same winning values). It backs the convergence assertions in the
-// integration tests.
-func (s *Store) Equal(other *Store) bool {
-	ak, bk := s.Keys(), other.Keys()
-	if len(ak) != len(bk) {
-		return false
-	}
-	for i := range ak {
-		if ak[i] != bk[i] {
-			return false
-		}
-	}
-	for _, k := range ak {
-		a, okA := s.Get(k)
-		b, okB := other.Get(k)
-		if okA != okB || !bytes.Equal(a.Value, b.Value) ||
-			a.Version.Compare(b.Version) != version.Equal {
-			return false
-		}
-	}
-	return true
+// integration tests. other may be any Backend implementation.
+func (s *Store) Equal(other Backend) bool {
+	return backendEqual(s, other)
+}
+
+// Reset clears the store to empty, keeping the pointer, retention, and any
+// registered hook stable. It models a crash with disk loss.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = make(map[string][]Revision)
+	s.data = newOriginLog()
 }
 
 func winner(revs []Revision) (Revision, bool) {

@@ -102,7 +102,7 @@ func TestApplyObsolete(t *testing.T) {
 	w.Put("k", []byte("v2"))
 
 	other := New()
-	other.Apply(w.store.log["a"][1]) // apply v2 first
+	other.Apply(st.data.log["a"][1]) // apply v2 first
 	if got := other.Apply(u1); got != Obsolete {
 		t.Fatalf("ancestor update = %v, want Obsolete", got)
 	}

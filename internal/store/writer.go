@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"github.com/p2pgossip/update/internal/version"
@@ -28,9 +29,14 @@ func CryptoSeed() int64 {
 // per-origin sequence numbers, extends the item's current version history
 // (taking the local winning branch as the parent, which is how optimistic
 // replication earns its rare conflicts), and applies the update locally.
+//
+// A Writer is safe for concurrent use: its own mutex serialises sequence
+// assignment and the parent-version read, so two concurrent Puts can never
+// draw the same Seq or both branch from a version one of them supersedes.
 type Writer struct {
 	origin string
-	store  *Store
+	store  Backend
+	mu     sync.Mutex
 	seq    uint64
 	now    func() time.Time
 	rng    *rand.Rand
@@ -39,7 +45,7 @@ type Writer struct {
 // NewWriter returns a Writer for the given origin writing through st.
 // now and rng may be nil, in which case wall-clock time and a
 // crypto-seeded source are used; simulations inject deterministic ones.
-func NewWriter(origin string, st *Store, now func() time.Time, rng *rand.Rand) (*Writer, error) {
+func NewWriter(origin string, st Backend, now func() time.Time, rng *rand.Rand) (*Writer, error) {
 	if origin == "" {
 		return nil, fmt.Errorf("store: writer origin must be non-empty")
 	}
@@ -88,6 +94,8 @@ func (w *Writer) DeleteObserved(key string) (Update, int) {
 }
 
 func (w *Writer) mutate(key string, value []byte, del bool) (Update, int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	now := w.now()
 	parent := version.History(nil)
 	if rev, ok := w.store.Get(key); ok {
@@ -115,6 +123,8 @@ func (w *Writer) mutate(key string, value []byte, del bool) (Update, int) {
 // its origin. Call after restoring the store from a snapshot so that new
 // writes do not reuse sequence numbers.
 func (w *Writer) Resync() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if seq := w.store.Clock().Get(w.origin); seq > w.seq {
 		w.seq = seq
 	}

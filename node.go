@@ -162,7 +162,7 @@ func (n *Node) Clock() Clock { return n.replica.Store().Clock() }
 
 // Store returns the node's underlying versioned store, for read-only
 // introspection (Versions, MissingFor, UpdateCount, ...).
-func (n *Node) Store() *Store { return n.replica.Store() }
+func (n *Node) Store() Store { return n.replica.Store() }
 
 // Query consults k random known replicas for key (§4.4), blocking until
 // their answers arrive or ctx expires, and returns the causally freshest

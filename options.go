@@ -181,6 +181,17 @@ func WithListMax(n int) Option {
 	}
 }
 
+// WithShards sets the node's store shard count, the lock-striping unit of
+// the parallel ingest path: updates route to shards by the P-Grid trie hash
+// of their origin (log, duplicate detection, clock segment) and key (live
+// revisions), so more shards mean less contention between concurrent
+// connections. The count rounds up to a power of two; 0 (the default)
+// selects store.DefaultShards, and 1 degenerates to a single-lock store.
+// Snapshot bytes are independent of the shard count.
+func WithShards(n int) Option {
+	return func(o *nodeOptions) { o.cfg.Shards = n }
+}
+
 // WithSeed seeds the node's random source, making peer sampling and
 // forwarding decisions reproducible. 0 (the default) draws a seed from
 // crypto/rand.
