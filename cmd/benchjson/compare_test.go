@@ -59,6 +59,57 @@ func TestCompareBaselineEmpty(t *testing.T) {
 	}
 }
 
+func TestCompareCustomUnits(t *testing.T) {
+	base := []Result{{
+		Package: "./p", Name: "BenchmarkCatchUp", NsPerOp: 100,
+		BytesPerOp: -1, AllocsPerOp: -1,
+		Extra: map[string]float64{"updates/s": 1000, "bytes/op": 50},
+	}}
+	fresh := func(upd, bytes float64) []Result {
+		return []Result{{
+			Package: "./p", Name: "BenchmarkCatchUp", NsPerOp: 100,
+			BytesPerOp: -1, AllocsPerOp: -1,
+			Extra: map[string]float64{"updates/s": upd, "bytes/op": bytes},
+		}}
+	}
+	if regs, missing := compareResults(base, fresh(950, 55), 0.25); len(regs) != 0 || len(missing) != 0 {
+		t.Fatalf("within threshold flagged: %v %v", regs, missing)
+	}
+	// Throughput units regress downward.
+	regs, _ := compareResults(base, fresh(700, 50), 0.25)
+	if len(regs) != 1 || regs[0].Metric != "updates/s" {
+		t.Fatalf("throughput drop not flagged: %v", regs)
+	}
+	// Cost units regress upward.
+	regs, _ = compareResults(base, fresh(1000, 80), 0.25)
+	if len(regs) != 1 || regs[0].Metric != "bytes/op" {
+		t.Fatalf("cost rise not flagged: %v", regs)
+	}
+	// A unit the fresh run stopped reporting is not a regression.
+	if regs, _ = compareResults(base, []Result{{
+		Package: "./p", Name: "BenchmarkCatchUp", NsPerOp: 100,
+		BytesPerOp: -1, AllocsPerOp: -1,
+	}}, 0.25); len(regs) != 0 {
+		t.Fatalf("missing unit flagged: %v", regs)
+	}
+}
+
+func TestParseBenchOutputCustomUnits(t *testing.T) {
+	out := "BenchmarkCatchUp/snapshot-8  12  95000 ns/op  12345 updates/s  80 B/op  9 allocs/op\n"
+	results := parseBenchOutput("./p", out)
+	if len(results) != 1 {
+		t.Fatalf("parsed %d results", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkCatchUp/snapshot" || r.NsPerOp != 95000 ||
+		r.BytesPerOp != 80 || r.AllocsPerOp != 9 {
+		t.Fatalf("standard columns wrong: %+v", r)
+	}
+	if r.Extra["updates/s"] != 12345 {
+		t.Fatalf("custom unit not captured: %+v", r.Extra)
+	}
+}
+
 func TestCompareUsageErrorsKeepExitTwo(t *testing.T) {
 	var stderr bytes.Buffer
 	if code := runCompare(nil, new(bytes.Buffer), &stderr); code != exitUsage {

@@ -38,6 +38,10 @@ type Result struct {
 	// allocations.
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric columns by unit (e.g. "updates/s").
+	// Units ending in "/s" are throughputs — higher is better — and the
+	// compare gate checks them in that direction.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // File is the schema of the emitted trajectory file.
@@ -117,7 +121,7 @@ func runPackage(pkg, pattern, benchtime string) ([]Result, error) {
 //
 //	BenchmarkName/case-8  12345  411.4 ns/op  80 B/op  1 allocs/op
 //
-// Unknown unit columns (custom b.ReportMetric units) are ignored.
+// Custom unit columns (b.ReportMetric) are collected under Extra.
 func parseBenchOutput(pkg, out string) []Result {
 	var results []Result
 	for _, line := range strings.Split(out, "\n") {
@@ -145,6 +149,15 @@ func parseBenchOutput(pkg, out string) []Result {
 				res.BytesPerOp, _ = strconv.ParseInt(value, 10, 64)
 			case "allocs/op":
 				res.AllocsPerOp, _ = strconv.ParseInt(value, 10, 64)
+			default:
+				v, err := strconv.ParseFloat(value, 64)
+				if err != nil || !strings.Contains(unit, "/") {
+					continue // not a metric column
+				}
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[unit] = v
 			}
 		}
 		results = append(results, res)

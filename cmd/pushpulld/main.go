@@ -62,6 +62,11 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		listMax      = fs.Int("list-max", 0, "cap on flooding-list entries per push (0 = unlimited)")
 		seed         = fs.Int64("seed", 0, "PRNG seed; 0 draws from crypto/rand")
 		snapshotPath = fs.String("snapshot", "", "snapshot file: restored on start if present, written on graceful shutdown")
+
+		janitorInterval = fs.Duration("janitor-interval", time.Minute, "maintenance pass period: TTL expiry, tombstone GC, log compaction (0 disables)")
+		tombstoneTTL    = fs.Duration("tombstone-retention", 0, "how long tombstones outlive their delete before collection (0 = store default)")
+		keyTTL          = fs.Duration("key-ttl", 0, "expire live keys older than this into tombstones (0 disables)")
+		snapCatchUp     = fs.Int("snapshot-catchup", 1024, "pull deltas above this many updates are served as one snapshot frame (0 disables the size trigger)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,6 +79,10 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		pushpull.WithPullAttempts(*pullAttempts),
 		pushpull.WithAcks(*acks),
 		pushpull.WithSeed(*seed),
+		pushpull.WithJanitorInterval(*janitorInterval),
+		pushpull.WithTombstoneRetention(*tombstoneTTL),
+		pushpull.WithKeyTTL(*keyTTL),
+		pushpull.WithSnapshotCatchUp(*snapCatchUp),
 	}
 	if *pfBase < 1 {
 		base := *pfBase

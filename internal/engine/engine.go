@@ -23,12 +23,14 @@
 package engine
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 
 	"github.com/p2pgossip/update/internal/pf"
 	"github.com/p2pgossip/update/internal/replicalist"
 	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/version"
 )
 
 // Endpoint is everything the engine needs from its host environment.
@@ -106,6 +108,18 @@ type Config[ID comparable] struct {
 	// PullGossipSample is the number of peer ids piggybacked on pull
 	// responses; 0 means 16.
 	PullGossipSample int
+	// SnapshotCatchUp is the delta-size threshold of the snapshot catch-up
+	// path: a pull request missing more than this many updates is answered
+	// with a full snapshot frame instead of an entry-by-entry delta. 0
+	// disables the size trigger; a gap below the compaction frontier is
+	// always answered with a snapshot, since the delta no longer exists.
+	SnapshotCatchUp int
+	// FrontierTTL is how many ticks a peer's pull clock stays in the stable-
+	// frontier bookkeeping. Expiring stale clocks lets the frontier advance
+	// past long-gone peers — they are caught up by snapshot on return, which
+	// is exactly what makes compacting their history safe. 0 keeps recorded
+	// clocks forever.
+	FrontierTTL int64
 	// Acks enables the §6 acknowledgement optimisation: receivers ack the
 	// first copy of each update; senders prefer acking peers and skip
 	// suspected-offline ones.
@@ -152,6 +166,10 @@ func (c Config[ID]) Validate() error {
 		return fmt.Errorf("engine: pull timeout %d negative", c.PullTimeout)
 	case c.QueryTimeout < 0:
 		return fmt.Errorf("engine: query timeout %d negative", c.QueryTimeout)
+	case c.SnapshotCatchUp < 0:
+		return fmt.Errorf("engine: snapshot catch-up threshold %d negative", c.SnapshotCatchUp)
+	case c.FrontierTTL < 0:
+		return fmt.Errorf("engine: frontier ttl %d negative", c.FrontierTTL)
 	case c.Acks && c.AckTimeout <= 0:
 		return fmt.Errorf("engine: acks enabled with ack timeout %d", c.AckTimeout)
 	case c.Acks && c.SuspectTTL <= 0:
@@ -168,6 +186,13 @@ type updateState[ID comparable] struct {
 	rf    *orderedSet[ID]
 	dupes int
 	pfn   pf.Func
+}
+
+// pullClock is one entry of the stable-frontier bookkeeping: a peer's last
+// pull-request clock and the tick it was recorded.
+type pullClock struct {
+	clock version.Clock
+	at    int64
 }
 
 // deadline is one entry of a deadline queue: a peer and the tick the entry
@@ -236,6 +261,11 @@ type Engine[ID comparable] struct {
 	// lastReceived is the tick at which the engine last received any update
 	// content (push or pull response), driving "no_updates_since(t)".
 	lastReceived int64
+	// pullClocks is the stable-frontier bookkeeping: the latest vector clock
+	// each peer presented in a pull request, with the tick it arrived. Their
+	// pointwise minimum is the compaction frontier — everything at or below
+	// it is history every recently-heard peer already holds.
+	pullClocks map[ID]pullClock
 	// notConfident is set while a lazily-pulling peer has not yet synced
 	// after coming online.
 	notConfident bool
@@ -282,6 +312,7 @@ func New[ID comparable](cfg Config[ID], ep Endpoint[ID], st store.Backend, w *st
 		w:           w,
 		view:        newPeerView[ID](16),
 		states:      make(map[store.Ref]*updateState[ID]),
+		pullClocks:  make(map[ID]pullClock),
 		scratch:     make([]ID, 0, 16),
 		ackedBy:     make(map[ID]int64),
 		suspects:    make(map[ID]int64),
@@ -321,6 +352,7 @@ func (e *Engine[ID]) Restart(bootstrap []ID) {
 	e.awaitingAck = make(map[ID]int64)
 	e.ackWaitQ = deadlineQueue[ID]{}
 	e.queries = make(map[int64]*queryState)
+	e.pullClocks = make(map[ID]pullClock)
 	e.notConfident = false
 	e.lastReceived = e.ep.Now()
 	for _, u := range e.st.MissingFor(nil) {
@@ -489,6 +521,8 @@ func (e *Engine[ID]) Handle(from ID, m Message[ID]) {
 		e.handleQuery(from, m)
 	case KindQueryResp:
 		e.handleQueryResp(m)
+	case KindSnapshot:
+		e.handleSnapshot(from, m)
 	}
 }
 
@@ -735,7 +769,7 @@ func (e *Engine[ID]) sendPull() {
 
 func (e *Engine[ID]) handlePullReq(from ID, m Message[ID]) {
 	e.Learn(from)
-	missing := e.st.MissingFor(m.Clock)
+	e.recordPullClock(from, m.Clock)
 	sample := e.sampleExcluding(e.cfg.PullGossipSample, from)
 	// The sample aliases the engine's scratch buffer; the message escapes to
 	// the adapter, so it gets its own copy.
@@ -744,7 +778,23 @@ func (e *Engine[ID]) handlePullReq(from ID, m Message[ID]) {
 		peers = append([]ID(nil), sample...)
 	}
 	e.releaseScratch(sample)
-	e.ep.Send(from, Message[ID]{Kind: KindPullResp, Updates: missing, Peers: peers})
+
+	// Snapshot-vs-delta decision: a gap that compaction has dropped can only
+	// be served as a snapshot, and a gap above the configured threshold is
+	// cheaper as one. Everything else ships the exact missing run.
+	missing, complete := e.st.DeltaFor(m.Clock)
+	if !complete || (e.cfg.SnapshotCatchUp > 0 && len(missing) > e.cfg.SnapshotCatchUp) {
+		var buf bytes.Buffer
+		if err := e.st.WriteSnapshot(&buf); err == nil {
+			e.ep.Send(from, Message[ID]{Kind: KindSnapshot, Snapshot: buf.Bytes(), Peers: peers})
+		} else if complete {
+			// Encoding to memory failing is effectively unreachable; keep the
+			// peer live on the delta when we still have one.
+			e.ep.Send(from, Message[ID]{Kind: KindPullResp, Updates: missing, Peers: peers})
+		}
+	} else {
+		e.ep.Send(from, Message[ID]{Kind: KindPullResp, Updates: missing, Peers: peers})
+	}
 
 	// "receives a pull request, but is not sure to have the latest update"
 	// (§3): a stale or lazily-woken peer answers and synchronises itself.
@@ -754,6 +804,87 @@ func (e *Engine[ID]) handlePullReq(from ID, m Message[ID]) {
 		e.sendPull()
 		e.lastReceived = now
 	}
+}
+
+// recordPullClock files the requester's clock into the stable-frontier
+// bookkeeping. The clock is cloned: inbound messages may alias decoder
+// scratch that the adapter reuses for the next frame.
+func (e *Engine[ID]) recordPullClock(from ID, clock version.Clock) {
+	if from == e.self || !e.validID(from) {
+		return
+	}
+	e.pullClocks[from] = pullClock{clock: clock.Clone(), at: e.ep.Now()}
+}
+
+// StableFrontier returns the pointwise minimum clock across every peer whose
+// pull request was heard within FrontierTTL ticks, or nil when none is
+// known. Everything at or below the frontier has been seen by every
+// recently-heard peer, so the store may compact it away; anyone further
+// behind — including peers whose stale clocks FrontierTTL just expired — is
+// caught up by snapshot instead. Expired entries are pruned as a side
+// effect.
+func (e *Engine[ID]) StableFrontier() version.Clock {
+	now := e.ep.Now()
+	var frontier version.Clock
+	for id, pc := range e.pullClocks {
+		if e.cfg.FrontierTTL > 0 && now-pc.at > e.cfg.FrontierTTL {
+			delete(e.pullClocks, id)
+			continue
+		}
+		if frontier == nil {
+			frontier = pc.clock.Clone()
+			continue
+		}
+		for origin := range frontier {
+			if c := pc.clock.Get(origin); c < frontier[origin] {
+				if c == 0 {
+					delete(frontier, origin)
+				} else {
+					frontier[origin] = c
+				}
+			}
+		}
+	}
+	return frontier
+}
+
+// handleSnapshot ingests a snapshot catch-up frame: apply every update it
+// carries (registering engine state so re-pushed copies count as
+// duplicates), then adopt the sender's compacted watermark so our clock
+// jumps the holes its compaction left. The updates count as pull traffic for
+// the hooks — a snapshot is anti-entropy in one frame.
+func (e *Engine[ID]) handleSnapshot(from ID, m Message[ID]) {
+	e.Learn(from)
+	e.learnAll(m.Peers)
+	updates, wm, err := store.DecodeSnapshot(bytes.NewReader(m.Snapshot))
+	if err != nil {
+		return
+	}
+	for _, u := range updates {
+		applied, branches := e.st.ApplyObserved(u)
+		if _, ok := e.states[u.Ref()]; !ok {
+			e.states[u.Ref()] = e.newState()
+		}
+		e.fireApply(u, applied, SourcePull, branches)
+	}
+	e.st.AdoptFrontier(wm)
+	e.notConfident = false
+	e.lastReceived = e.ep.Now()
+}
+
+// HandleSnapshotApplied is Handle for a KindSnapshot message whose payload
+// the adapter already decoded, applied to the store, and adopted; refs
+// identifies every update the snapshot carried. See HandlePushApplied.
+func (e *Engine[ID]) HandleSnapshotApplied(from ID, m Message[ID], refs []store.Ref) {
+	e.Learn(from)
+	e.learnAll(m.Peers)
+	for _, ref := range refs {
+		if _, ok := e.states[ref]; !ok {
+			e.states[ref] = e.newState()
+		}
+	}
+	e.notConfident = false
+	e.lastReceived = e.ep.Now()
 }
 
 // HandlePullRespApplied is Handle for a KindPullResp message whose updates

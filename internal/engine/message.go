@@ -26,6 +26,10 @@ const (
 	KindQuery
 	// KindQueryResp answers a query.
 	KindQueryResp
+	// KindSnapshot answers a pull request whose gap is compacted away (or
+	// exceeds the snapshot threshold) with the responder's entire resident
+	// state in one frame instead of an entry-by-entry delta.
+	KindSnapshot
 )
 
 // String names the kind.
@@ -43,6 +47,8 @@ func (k Kind) String() string {
 		return "query"
 	case KindQueryResp:
 		return "query-resp"
+	case KindSnapshot:
+		return "snapshot"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -66,9 +72,13 @@ type Message[ID comparable] struct {
 	Clock version.Clock
 	// Updates are the missing updates for KindPullResp.
 	Updates []store.Update
-	// Peers is a membership sample piggybacked on KindPullResp — the
-	// name-dropper effect applied to the pull phase.
+	// Peers is a membership sample piggybacked on KindPullResp and
+	// KindSnapshot — the name-dropper effect applied to the pull phase.
 	Peers []ID
+	// Snapshot is the responder's serialised resident state for
+	// KindSnapshot, in the shared store snapshot encoding (resident log plus
+	// compacted watermark).
+	Snapshot []byte
 	// UpdateRef identifies the acknowledged update for KindAck. The
 	// comparable form keeps the ack path allocation-free; adapters render
 	// the "origin/seq" string only at their wire boundary.

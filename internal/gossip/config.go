@@ -85,6 +85,31 @@ type Config struct {
 	// SuspectTTL is how many rounds a non-acking peer is skipped as a push
 	// target under AckFirst. Zero defaults to 10.
 	SuspectTTL int
+	// PullEvery makes every peer pull each time the round number is a
+	// multiple of it — the simulator's analogue of the live runtime's
+	// periodic anti-entropy ticker. Zero disables periodic pulls.
+	PullEvery int
+	// CompactEvery is the janitor cadence in rounds: every multiple, each
+	// peer expires TTL'd keys, collects tombstones past retention, and
+	// compacts its update log up to the stable frontier. Zero disables the
+	// janitor.
+	CompactEvery int
+	// SnapshotCatchUp is the delta-size threshold above which a pull request
+	// is answered with one snapshot frame instead of an entry-by-entry
+	// delta; 0 disables the size trigger (compaction gaps still force
+	// snapshots).
+	SnapshotCatchUp int
+	// KeyTTL expires live revisions older than this many rounds (one round
+	// is one simulated second), converting them to tombstones on the
+	// janitor's schedule. Zero disables expiry.
+	KeyTTL int
+	// TombstoneRetention is how many rounds tombstones outlive their delete
+	// before the janitor collects them. Zero selects the store default.
+	TombstoneRetention int
+	// FrontierTTL bounds how many rounds a peer's last pull clock
+	// participates in the stable compaction frontier. Zero keeps clocks
+	// forever (no expiry).
+	FrontierTTL int
 }
 
 // DefaultConfig returns the configuration used by the paper's headline
@@ -116,6 +141,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gossip: pull attempts = %d negative", c.PullAttempts)
 	case c.PullTimeout < 0:
 		return fmt.Errorf("gossip: pull timeout = %d negative", c.PullTimeout)
+	case c.PullEvery < 0:
+		return fmt.Errorf("gossip: pull every = %d negative", c.PullEvery)
+	case c.CompactEvery < 0:
+		return fmt.Errorf("gossip: compact every = %d negative", c.CompactEvery)
+	case c.SnapshotCatchUp < 0:
+		return fmt.Errorf("gossip: snapshot catch-up = %d negative", c.SnapshotCatchUp)
+	case c.KeyTTL < 0:
+		return fmt.Errorf("gossip: key ttl = %d negative", c.KeyTTL)
+	case c.TombstoneRetention < 0:
+		return fmt.Errorf("gossip: tombstone retention = %d negative", c.TombstoneRetention)
+	case c.FrontierTTL < 0:
+		return fmt.Errorf("gossip: frontier ttl = %d negative", c.FrontierTTL)
 	default:
 		return nil
 	}
@@ -149,4 +186,22 @@ const (
 	MetricAcks = "gossip_acks"
 	// MetricReplicasLearned counts replicas discovered via partial lists.
 	MetricReplicasLearned = "gossip_replicas_learned"
+	// MetricSnapshots counts snapshot catch-up frames sent to peers whose
+	// pull gap was compacted away or exceeded the snapshot threshold.
+	MetricSnapshots = "gossip_snapshots"
+	// MetricSnapshotBytes accumulates the binary-encoded bytes of snapshot
+	// frames sent — the rejoin-cost metric the scenario rejoin-bytes
+	// invariant checks.
+	MetricSnapshotBytes = "gossip_snapshot_bytes"
+	// MetricSnapshotCatchups counts snapshot catch-up frames ingested.
+	MetricSnapshotCatchups = "gossip_snapshot_catchups"
+	// MetricTombstonesGC counts tombstoned revisions collected by the
+	// janitor after their retention expired.
+	MetricTombstonesGC = "gossip_tombstones_gc"
+	// MetricLogCompacted counts update-log entries dropped by frontier
+	// compaction.
+	MetricLogCompacted = "gossip_log_compacted"
+	// MetricKeysExpired counts live revisions the janitor tombstoned because
+	// their TTL lapsed.
+	MetricKeysExpired = "gossip_keys_expired"
 )

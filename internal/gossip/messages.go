@@ -101,6 +101,22 @@ func (m PullResp) SizeBytes() int {
 	return n + peerListSize(m.Peers)
 }
 
+// SnapshotMsg answers a pull request whose gap is compacted away (or exceeds
+// the snapshot threshold) with the responder's entire resident state in one
+// frame, plus the membership sample piggybacked on every pull answer.
+type SnapshotMsg struct {
+	// Data is the serialised resident state (the shared store snapshot
+	// encoding: resident log plus compacted watermark).
+	Data []byte
+	// Peers is a sample of the responder's membership view.
+	Peers []int
+}
+
+// SizeBytes sums the encoded snapshot blob and the peer sample.
+func (m SnapshotMsg) SizeBytes() int {
+	return wire.BlobSize(m.Data) + peerListSize(m.Peers)
+}
+
 // AckMsg acknowledges the receipt of an update (§6): the sender gains
 // preference as a future push target. It carries the comparable (origin,
 // seq) reference — like the live wire format, no "origin/seq" string is

@@ -98,6 +98,12 @@ func (s simEndpoint) Send(to int, m engine.Message[int]) {
 		}
 		env.Send(to, msg, frame+msg.SizeBytes())
 		reg.Inc(MetricQueryResponses)
+	case engine.KindSnapshot:
+		msg := SnapshotMsg{Data: m.Snapshot, Peers: m.Peers}
+		bytes := frame + msg.SizeBytes()
+		env.Send(to, msg, bytes)
+		reg.Inc(MetricSnapshots)
+		reg.Add(MetricSnapshotBytes, float64(bytes))
 	}
 }
 
@@ -112,14 +118,13 @@ func NewPeer(id int, cfg Config) (*Peer, error) {
 	// the sharded code paths (routing, clock composition, canonical
 	// ordering). The sharded store draws no randomness, so scenario streams
 	// are unaffected.
-	st := store.NewSharded(4)
-	p := &Peer{id: id, cfg: cfg, st: st}
-	now := func() time.Time {
-		// Simulated time: one round = one second, offset into a plausible
-		// epoch so tombstone retention arithmetic behaves.
-		return time.Unix(1_700_000_000+int64(p.round), 0)
+	retain := time.Duration(cfg.TombstoneRetention) * time.Second
+	if retain == 0 {
+		retain = store.DefaultTombstoneRetention
 	}
-	w, err := store.NewWriter(fmt.Sprintf("peer-%d", id), st, now,
+	st := store.NewShardedWithRetention(4, retain)
+	p := &Peer{id: id, cfg: cfg, st: st}
+	w, err := store.NewWriter(fmt.Sprintf("peer-%d", id), st, p.now,
 		rand.New(rand.NewSource(int64(id)+1)))
 	if err != nil {
 		return nil, err
@@ -146,6 +151,8 @@ func NewPeer(id int, cfg Config) (*Peer, error) {
 		Acks:             cfg.Ack == AckFirst,
 		AckTimeout:       ackTimeoutRounds,
 		SuspectTTL:       int64(cfg.suspectTTL()),
+		SnapshotCatchUp:  cfg.SnapshotCatchUp,
+		FrontierTTL:      int64(cfg.FrontierTTL),
 		QueryTimeout:     queryTimeoutRounds,
 		Hooks: engine.Hooks[int]{
 			OnLearned: func(n int) {
@@ -213,6 +220,13 @@ func (p *Peer) bind(env *simnet.Env) {
 	p.round = env.Round()
 }
 
+// now is the peer's simulated wall clock: one round = one second, offset
+// into a plausible epoch so tombstone retention arithmetic behaves. The
+// writer stamps updates with it and the janitor measures TTLs against it.
+func (p *Peer) now() time.Time {
+	return time.Unix(1_700_000_000+int64(p.round), 0)
+}
+
 // ID returns the peer's index.
 func (p *Peer) ID() int { return p.id }
 
@@ -248,10 +262,41 @@ func (p *Peer) CameOnline(env *simnet.Env) {
 	p.eng.CameOnline()
 }
 
-// Tick implements simnet.Node.
+// Tick implements simnet.Node. Beyond the engine tick it drives the two
+// periodic maintenance cadences: anti-entropy pulls every PullEvery rounds
+// and the janitor every CompactEvery rounds.
 func (p *Peer) Tick(env *simnet.Env) {
 	p.bind(env)
 	p.eng.Tick()
+	if every := p.cfg.PullEvery; every > 0 && p.round > 0 && p.round%every == 0 {
+		p.eng.PullNow()
+	}
+	if every := p.cfg.CompactEvery; every > 0 && p.round > 0 && p.round%every == 0 {
+		p.runJanitor()
+	}
+}
+
+// runJanitor performs one maintenance pass: expire TTL'd keys into
+// tombstones, collect tombstones past retention, and compact the update log
+// up to the stable frontier (the pointwise-minimum clock across recently
+// pulling peers).
+func (p *Peer) runJanitor() {
+	reg := p.env.Metrics()
+	now := p.now()
+	if p.cfg.KeyTTL > 0 {
+		ttl := time.Duration(p.cfg.KeyTTL) * time.Second
+		if n := p.st.ExpireTTL(now, ttl); n > 0 {
+			reg.Add(MetricKeysExpired, float64(n))
+		}
+	}
+	if n := p.st.GCTombstones(now); n > 0 {
+		reg.Add(MetricTombstonesGC, float64(n))
+	}
+	if frontier := p.eng.StableFrontier(); frontier != nil {
+		if n := p.st.CompactLog(frontier); n > 0 {
+			reg.Add(MetricLogCompacted, float64(n))
+		}
+	}
 }
 
 // HandleMessage implements simnet.Node.
@@ -284,6 +329,14 @@ func (p *Peer) HandleMessage(env *simnet.Env, msg simnet.Message) {
 			Found: m.Found, Value: m.Value, Version: m.Version,
 			Confident: m.Confident,
 		})
+	case SnapshotMsg:
+		p.eng.Handle(msg.From, engine.Message[int]{
+			Kind: engine.KindSnapshot, Snapshot: m.Data, Peers: m.Peers,
+		})
+		// The snapshot may carry this peer's own origin past the writer's
+		// counter (rejoin after disk loss); never reuse sequence numbers.
+		p.w.Resync()
+		env.Metrics().Inc(MetricSnapshotCatchups)
 	}
 }
 

@@ -66,7 +66,13 @@ func TestReplicaCountersAreRegistered(t *testing.T) {
 		AckTimeout:   time.Millisecond,
 		SuspectTTL:   time.Minute,
 		PullAttempts: 2,
-		Metrics:      rec,
+		// Janitor knobs: tiny retention and TTL so the manual RunJanitor
+		// passes below observe expiry and collection without long sleeps. The
+		// background janitor stays off (JanitorInterval 0) so maintenance
+		// only happens when the test drives it.
+		TombstoneRetention: time.Millisecond,
+		KeyTTL:             time.Millisecond,
+		Metrics:            rec,
 	}
 	hub, replicas := newCluster(t, 3, cfg)
 
@@ -133,6 +139,48 @@ func TestReplicaCountersAreRegistered(t *testing.T) {
 	eventually(t, 2*time.Second, func() bool {
 		return replicas[0].HasUpdate(u1.ID())
 	}, "out-of-order push not processed")
+
+	// Janitor: a delete past retention plus TTL'd live keys give the
+	// maintenance pass tombstones to collect and revisions to expire; a pull
+	// request carrying replica-0's own clock records a stable frontier, so
+	// compaction can drop the log entries the GC orphaned.
+	replicas[0].Delete("k1")
+	time.Sleep(5 * time.Millisecond) // let retention and TTL lapse
+	eventually(t, 4*time.Second, func() bool {
+		// Refresh the frontier: every peer re-pulls so replica-0 records
+		// caught-up clocks (the eager pulls at Start recorded empty ones,
+		// pinning the pointwise minimum at zero), and ext files replica-0's
+		// own clock directly.
+		replicas[1].PullNow()
+		replicas[2].PullNow()
+		late.PullNow()
+		_ = ext.Send("replica-0", wire.Envelope{
+			Kind: wire.KindPullReq, From: "ext", Clock: replicas[0].Store().Clock(),
+		})
+		replicas[0].RunJanitor()
+		o := rec.observed()
+		return o[MetricTombstonesGC] > 0 && o[MetricKeysExpired] > 0 &&
+			o[MetricLogCompacted] > 0
+	}, "janitor pass never expired, collected, and compacted")
+
+	// Snapshot catch-up: a replica joining with an empty clock pulls from
+	// the now-compacted replica-0, whose delta is gone — the response must
+	// be one snapshot frame.
+	str, err := hub.Attach("snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := NewReplica(cfg, str)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.AddPeers("replica-0")
+	snap.Start()
+	t.Cleanup(snap.Stop)
+	eventually(t, 2*time.Second, func() bool {
+		o := rec.observed()
+		return o[MetricSnapshotServed] > 0 && o[MetricSnapshotCatchups] > 0
+	}, "compacted replica did not serve a snapshot catch-up")
 
 	registered := make(map[string]bool, len(CounterNames))
 	for _, name := range CounterNames {

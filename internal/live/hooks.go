@@ -80,6 +80,20 @@ const (
 	MetricQuerySent = "live.query.sent"
 	// MetricQueryServed counts queries answered for peers (§4.4).
 	MetricQueryServed = "live.query.served"
+	// MetricSnapshotServed counts snapshot catch-up frames sent to peers
+	// whose pull gap was compacted away or exceeded the snapshot threshold.
+	MetricSnapshotServed = "live.snapshot.served"
+	// MetricSnapshotCatchups counts snapshot catch-up frames ingested.
+	MetricSnapshotCatchups = "live.snapshot.catchups"
+	// MetricTombstonesGC counts tombstoned revisions collected by the
+	// janitor after their retention expired.
+	MetricTombstonesGC = "live.janitor.tombstones_gc"
+	// MetricLogCompacted counts update-log entries dropped by frontier
+	// compaction.
+	MetricLogCompacted = "live.janitor.log_compacted"
+	// MetricKeysExpired counts live revisions the janitor tombstoned because
+	// their TTL lapsed.
+	MetricKeysExpired = "live.janitor.keys_expired"
 )
 
 // CounterNames is the canonical list of every counter name an instrumented
@@ -102,12 +116,24 @@ var CounterNames = []string{
 	MetricSuspects,
 	MetricQuerySent,
 	MetricQueryServed,
+	MetricSnapshotServed,
+	MetricSnapshotCatchups,
+	MetricTombstonesGC,
+	MetricLogCompacted,
+	MetricKeysExpired,
 }
 
 // inc bumps a counter if a metrics sink is configured.
 func (r *Replica) inc(name string) {
 	if r.cfg.Metrics != nil {
 		r.cfg.Metrics.Inc(name)
+	}
+}
+
+// add bumps a counter by n if a metrics sink is configured.
+func (r *Replica) add(name string, n int) {
+	if r.cfg.Metrics != nil {
+		r.cfg.Metrics.Add(name, float64(n))
 	}
 }
 

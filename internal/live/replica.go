@@ -1,6 +1,7 @@
 package live
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -46,6 +47,25 @@ type Config struct {
 	AckTimeout time.Duration
 	// SuspectTTL is how long suspected peers are skipped; 0 means 1m.
 	SuspectTTL time.Duration
+	// SnapshotCatchUp is the delta-size threshold above which a pull request
+	// is answered with one snapshot frame instead of an entry-by-entry delta;
+	// 0 disables the size trigger (compaction gaps still force snapshots).
+	SnapshotCatchUp int
+	// FrontierTTL bounds how long a peer's last pull clock participates in
+	// the stable compaction frontier; 0 means 10 minutes.
+	FrontierTTL time.Duration
+	// JanitorInterval is the period of the background janitor that GCs
+	// expired tombstones, expires TTL'd keys, and compacts the update log up
+	// to the stable frontier; 0 disables the janitor.
+	JanitorInterval time.Duration
+	// TombstoneRetention is how long tombstones outlive their delete before
+	// the janitor collects them; 0 selects store.DefaultTombstoneRetention.
+	TombstoneRetention time.Duration
+	// KeyTTL expires live revisions whose write stamp is at least this old,
+	// converting them to tombstones on the janitor's schedule; 0 disables
+	// expiry. The decision depends only on the replicated stamp and the
+	// shared policy, so replicas expire deterministically.
+	KeyTTL time.Duration
 	// Seed seeds the replica's random source; 0 draws a seed from
 	// crypto/rand so concurrently created replicas cannot collide.
 	Seed int64
@@ -61,14 +81,16 @@ type Config struct {
 }
 
 // DefaultReplicaConfig returns a production-ish configuration: fanout 5,
-// PF(t)=0.9^t, partial lists, eager + periodic pull.
+// PF(t)=0.9^t, partial lists, eager + periodic pull, and a minutely janitor
+// keeping resident state bounded.
 func DefaultReplicaConfig() Config {
 	return Config{
-		Fanout:       5,
-		NewPF:        func() pf.Func { return pf.Geometric{Base: 0.9} },
-		PartialList:  true,
-		PullAttempts: 3,
-		PullInterval: 30 * time.Second,
+		Fanout:          5,
+		NewPF:           func() pf.Func { return pf.Geometric{Base: 0.9} },
+		PartialList:     true,
+		PullAttempts:    3,
+		PullInterval:    30 * time.Second,
+		JanitorInterval: time.Minute,
 	}
 }
 
@@ -87,6 +109,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("live: ack timeout %v negative", c.AckTimeout)
 	case c.SuspectTTL < 0:
 		return fmt.Errorf("live: suspect ttl %v negative", c.SuspectTTL)
+	case c.SnapshotCatchUp < 0:
+		return fmt.Errorf("live: snapshot catch-up threshold %d negative", c.SnapshotCatchUp)
+	case c.FrontierTTL < 0:
+		return fmt.Errorf("live: frontier ttl %v negative", c.FrontierTTL)
+	case c.JanitorInterval < 0:
+		return fmt.Errorf("live: janitor interval %v negative", c.JanitorInterval)
+	case c.TombstoneRetention < 0:
+		return fmt.Errorf("live: tombstone retention %v negative", c.TombstoneRetention)
+	case c.KeyTTL < 0:
+		return fmt.Errorf("live: key ttl %v negative", c.KeyTTL)
 	case c.Shards < 0:
 		return fmt.Errorf("live: shards %d negative", c.Shards)
 	default:
@@ -117,7 +149,7 @@ type Replica struct {
 	pending []protoEvent
 
 	stop chan struct{}
-	done chan struct{}
+	bg   sync.WaitGroup
 	once sync.Once
 }
 
@@ -199,14 +231,17 @@ func NewReplica(cfg Config, transport Transport) (*Replica, error) {
 	if seed == 0 {
 		seed = cryptoSeed()
 	}
+	retain := cfg.TombstoneRetention
+	if retain == 0 {
+		retain = store.DefaultTombstoneRetention
+	}
 	r := &Replica{
 		cfg:       cfg,
 		transport: transport,
 		addr:      transport.Addr(),
-		st:        store.NewSharded(cfg.Shards),
+		st:        store.NewShardedWithRetention(cfg.Shards, retain),
 		rng:       rand.New(rand.NewSource(seed)),
 		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
 	}
 	w, err := store.NewWriter(r.addr, r.st, time.Now,
 		rand.New(rand.NewSource(seed+1)))
@@ -224,6 +259,8 @@ func NewReplica(cfg Config, transport Transport) (*Replica, error) {
 		Acks:            cfg.Acks,
 		AckTimeout:      cfg.ackTimeout().Nanoseconds(),
 		SuspectTTL:      cfg.suspectTTL().Nanoseconds(),
+		SnapshotCatchUp: cfg.SnapshotCatchUp,
+		FrontierTTL:     cfg.frontierTTL().Nanoseconds(),
 		LazySweep:       true,
 		QueryLocalVoice: true,
 		ValidID:         func(addr string) bool { return addr != "" },
@@ -302,6 +339,8 @@ func (r *Replica) flush(events []protoEvent, out []outboundBatch) {
 				name = MetricAckSent
 			case wire.KindQuery:
 				name = MetricQuerySent
+			case wire.KindSnapshot:
+				name = MetricSnapshotServed
 			}
 			if name != "" {
 				r.cfg.Metrics.Add(name, float64(len(b.tos)))
@@ -387,6 +426,31 @@ func (r *Replica) handle(env wire.Envelope) {
 				Confident: env.Confident,
 			})
 		})
+	case wire.KindSnapshot:
+		// The whole catch-up — decode, apply, frontier adoption — runs on the
+		// reader goroutine; only the engine bookkeeping is serialised. Apply
+		// order: updates first, then the watermark, so entries the sender
+		// retained below its watermark are not rejected as duplicates.
+		updates, wm, err := store.DecodeSnapshot(bytes.NewReader(env.Snapshot))
+		if err != nil {
+			return
+		}
+		r.inc(MetricSnapshotCatchups)
+		refs := make([]store.Ref, len(updates))
+		for i, u := range updates {
+			res, branches := r.st.ApplyObserved(u)
+			refs[i] = u.Ref()
+			r.fireApply(u, res, SourcePull, branches)
+		}
+		r.st.AdoptFrontier(wm)
+		// The snapshot may carry our own origin past the writer's counter
+		// (restart after disk loss); never reuse sequence numbers.
+		r.writer.Resync()
+		r.run(func(e *engine.Engine[string]) {
+			e.HandleSnapshotApplied(env.From, engine.Message[string]{
+				Kind: engine.KindSnapshot, Peers: env.KnownPeers,
+			}, refs)
+		})
 	}
 }
 
@@ -424,6 +488,10 @@ func envelopeFromEngine(from string, m engine.Message[string]) wire.Envelope {
 		env.Value = m.Value
 		env.Confident = m.Confident
 		env.Version = m.Version
+	case engine.KindSnapshot:
+		env.Kind = wire.KindSnapshot
+		env.Snapshot = m.Snapshot
+		env.KnownPeers = m.Peers
 	}
 	return env
 }
@@ -487,27 +555,31 @@ func (r *Replica) Duplicates(updateID string) int {
 	return r.eng.Duplicates(updateID)
 }
 
-// Start launches the background puller and performs the coming-online pull.
+// Start launches the background puller and janitor and performs the
+// coming-online pull.
 func (r *Replica) Start() {
-	go r.pullLoop()
+	if r.cfg.PullInterval > 0 {
+		r.bg.Add(1)
+		go r.pullLoop()
+	}
+	if r.cfg.JanitorInterval > 0 {
+		r.bg.Add(1)
+		go r.janitorLoop()
+	}
 	if r.cfg.PullAttempts > 0 {
 		r.PullNow()
 	}
 }
 
-// Stop terminates the background puller and waits for it to exit. It is
-// idempotent.
+// Stop terminates the background goroutines and waits for them to exit. It
+// is idempotent.
 func (r *Replica) Stop() {
 	r.once.Do(func() { close(r.stop) })
-	<-r.done
+	r.bg.Wait()
 }
 
 func (r *Replica) pullLoop() {
-	defer close(r.done)
-	if r.cfg.PullInterval <= 0 {
-		<-r.stop
-		return
-	}
+	defer r.bg.Done()
 	ticker := time.NewTicker(r.cfg.PullInterval)
 	defer ticker.Stop()
 	for {
@@ -518,6 +590,45 @@ func (r *Replica) pullLoop() {
 			}
 		case <-r.stop:
 			return
+		}
+	}
+}
+
+func (r *Replica) janitorLoop() {
+	defer r.bg.Done()
+	ticker := time.NewTicker(r.cfg.JanitorInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			r.RunJanitor()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// RunJanitor performs one maintenance pass: expire TTL'd keys into
+// tombstones, collect tombstones past retention, and compact the update log
+// up to the stable frontier (the pointwise-minimum clock across recently
+// pulling peers). The janitor ticker calls it on JanitorInterval; tests and
+// operators may call it directly.
+func (r *Replica) RunJanitor() {
+	now := time.Now()
+	if r.cfg.KeyTTL > 0 {
+		if n := r.st.ExpireTTL(now, r.cfg.KeyTTL); n > 0 {
+			r.add(MetricKeysExpired, n)
+		}
+	}
+	if n := r.st.GCTombstones(now); n > 0 {
+		r.add(MetricTombstonesGC, n)
+	}
+	r.mu.Lock()
+	frontier := r.eng.StableFrontier()
+	r.mu.Unlock()
+	if frontier != nil {
+		if n := r.st.CompactLog(frontier); n > 0 {
+			r.add(MetricLogCompacted, n)
 		}
 	}
 }

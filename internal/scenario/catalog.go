@@ -70,6 +70,8 @@ func Catalog() []Scenario {
 		massCrashRestart(),
 		slowLinkSkew(),
 		combinedChaos(),
+		longAbsentRejoiner(),
+		unboundedHistorySoak(),
 	}
 }
 
@@ -260,6 +262,99 @@ func massCrashRestart() Scenario {
 		Workload:       w,
 		OverheadFactor: 8,
 		AnalyticSigma:  1,
+	}
+}
+
+// overwrites schedules `count` writes cycling over `keys` hot keys, one per
+// round from round 0, with the writing peer hopping across the population but
+// never landing on `avoid`.
+func overwrites(count, keys, n, avoid int) []Publish {
+	out := make([]Publish, count)
+	for i := range out {
+		peer := (i*7 + 1) % n
+		if peer == avoid {
+			peer = (peer + 1) % n
+		}
+		out[i] = Publish{
+			Round: i,
+			Peer:  peer,
+			Key:   fmt.Sprintf("hot%02d", i%keys),
+			Value: fmt.Sprintf("v%03d", i),
+		}
+	}
+	return out
+}
+
+// retentionConfig layers the janitor and snapshot knobs onto the base
+// catalog configuration: periodic pulls feed the stable frontier, the
+// janitor compacts on a fixed cadence, stale pull clocks age out of the
+// frontier (so one long-dead peer cannot pin compaction forever), and a
+// pull gap past the threshold — or past the compaction watermark — is
+// answered with one snapshot frame.
+func retentionConfig(n int) gossip.Config {
+	cfg := baseConfig(n)
+	cfg.PullEvery = 6
+	cfg.CompactEvery = 10
+	cfg.FrontierTTL = 24
+	cfg.SnapshotCatchUp = 40
+	return cfg
+}
+
+// longAbsentRejoiner crashes one peer for nearly the whole run while the
+// rest of the population overwrites a small key set and compacts the
+// history away. The rejoiner's pull gap is below every surviving delta, so
+// it must be caught up by exactly one snapshot, whose size is bounded by
+// the live state — not by the ~50 updates it slept through.
+func longAbsentRejoiner() Scenario {
+	n := catalogN
+	cfg := retentionConfig(n)
+	// One pull target per wave: the rejoiner's catch-up must be a single
+	// snapshot transfer, not one per contacted peer. Timeout pulls stay off
+	// for the same reason; periodic pulls cover the stragglers.
+	cfg.PullAttempts = 1
+	cfg.PullTimeout = 0
+	return Scenario{
+		Name:          "long-absent-rejoiner",
+		Description:   "peer 7 crashed rounds 2..56 rejoins via one snapshot catch-up",
+		N:             n,
+		InitialOnline: n,
+		FaultRounds:   58,
+		SettleRounds:  30,
+		Config:        cfg,
+		NewFaults: func(int) *simnet.FaultPlane {
+			return simnet.NewFaultPlane().AddCrash(7, 2, 56)
+		},
+		Workload:         overwrites(50, 10, n, 7),
+		OverheadFactor:   6,
+		AnalyticSigma:    1,
+		LogBoundFactor:   3,
+		RejoinByteFactor: 3,
+		ExpectSnapshots:  1,
+	}
+}
+
+// unboundedHistorySoak hammers a handful of hot keys with sustained
+// overwrites — 15× more updates than keys — and requires every peer's
+// resident log to stay proportional to the live key count. Without frontier
+// compaction this workload grows the log linearly forever.
+func unboundedHistorySoak() Scenario {
+	n := catalogN
+	cfg := retentionConfig(n)
+	cfg.PullEvery = 5
+	cfg.CompactEvery = 8
+	cfg.FrontierTTL = 20
+	return Scenario{
+		Name:           "unbounded-history-soak",
+		Description:    "120 overwrites of 8 hot keys; resident log stays O(live keys)",
+		N:              n,
+		InitialOnline:  n,
+		FaultRounds:    122,
+		SettleRounds:   30,
+		Config:         cfg,
+		Workload:       overwrites(120, 8, n, -1),
+		OverheadFactor: 6,
+		AnalyticSigma:  1,
+		LogBoundFactor: 4,
 	}
 }
 

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"bytes"
 	"fmt"
 
 	"github.com/p2pgossip/update/internal/analytic"
@@ -10,35 +11,51 @@ import (
 	"github.com/p2pgossip/update/internal/version"
 )
 
-// checkInvariants evaluates the five scenario invariants. All iteration is
-// over slices in fixed order so the rendered details are deterministic.
+// checkInvariants evaluates the five core scenario invariants, plus the
+// retention invariants a scenario opts into (LogBoundFactor, ExpectSnapshots,
+// RejoinByteFactor). All iteration is over slices in fixed order so the
+// rendered details are deterministic.
 func checkInvariants(sc Scenario, net *gossip.Network, en *simnet.Engine,
-	published []store.Update, applied map[applyKey]int, pushes, pushBytes int64) []InvariantResult {
+	published []store.Update, applied map[applyKey]int, res Result) []InvariantResult {
 	online := make([]int, 0, sc.N)
 	for i := range net.Peers {
 		if en.Population().Online(i) {
 			online = append(online, i)
 		}
 	}
-	msgBound, byteBound := checkPushOverhead(sc, published, pushes, pushBytes)
-	return []InvariantResult{
+	msgBound, byteBound := checkPushOverhead(sc, published, res.Pushes, res.PushBytes)
+	invs := []InvariantResult{
 		checkDelivery(net, online, published),
 		checkConvergence(net, online),
 		checkNoDuplicateApplication(net, published, applied),
 		msgBound,
 		byteBound,
 	}
+	if sc.LogBoundFactor > 0 {
+		invs = append(invs, checkLogBound(sc, net, online))
+	}
+	if sc.ExpectSnapshots > 0 {
+		invs = append(invs, checkSnapshotCount(sc, res))
+	}
+	if sc.RejoinByteFactor > 0 {
+		invs = append(invs, checkRejoinBytes(sc, net, online, res))
+	}
+	return invs
 }
 
 // checkDelivery: every published update (tombstones included — death
-// certificates must propagate) reached every final-online peer.
+// certificates must propagate) reached every final-online peer. A peer whose
+// vector clock covers the update counts as delivered even without an
+// individual engine state: a snapshot catch-up ships superseded, compacted
+// history as clock coverage rather than entry by entry.
 func checkDelivery(net *gossip.Network, online []int, published []store.Update) InvariantResult {
 	missing := 0
 	first := ""
-	for _, u := range published {
-		id := u.ID()
-		for _, peer := range online {
-			if !net.Peers[peer].HasUpdate(id) {
+	for _, peer := range online {
+		clock := net.Peers[peer].Store().Clock()
+		for _, u := range published {
+			id := u.ID()
+			if !net.Peers[peer].HasUpdate(id) && clock.Get(u.Origin) < u.Seq {
 				missing++
 				if first == "" {
 					first = fmt.Sprintf("update %s missing at peer %d", id, peer)
@@ -118,6 +135,75 @@ func checkNoDuplicateApplication(net *gossip.Network, published []store.Update,
 		Name:   "no-duplicate-application",
 		Passed: true,
 		Detail: "every (update, peer) application happened at most once",
+	}
+}
+
+// checkLogBound: with the janitor running, no final-online peer's resident
+// log may grow with history length. The bound is LogBoundFactor × (distinct
+// workload keys + publishes inside the trailing compaction window): live
+// state keeps one backing entry per key (plus coexisting branches), and
+// entries newer than the last frontier the janitor could have used are
+// legitimately still resident.
+func checkLogBound(sc Scenario, net *gossip.Network, online []int) InvariantResult {
+	keys := make(map[string]bool, len(sc.Workload))
+	for _, p := range sc.Workload {
+		keys[p.Key] = true
+	}
+	window := sc.Config.CompactEvery + sc.Config.PullEvery + sc.Config.FrontierTTL
+	total := sc.FaultRounds + sc.SettleRounds
+	recent := 0
+	for _, p := range sc.Workload {
+		if p.Round >= total-window {
+			recent++
+		}
+	}
+	bound := int(sc.LogBoundFactor * float64(len(keys)+recent))
+	worst, worstPeer := -1, -1
+	for _, peer := range online {
+		if n := net.Peers[peer].Store().UpdateCount(); n > worst {
+			worst, worstPeer = n, peer
+		}
+	}
+	return InvariantResult{
+		Name:   "bounded-resident-log",
+		Passed: worst <= bound,
+		Detail: fmt.Sprintf("worst resident log %d entries (peer %d) vs bound %d (factor %g × (%d keys + %d in-window publishes)); %d published",
+			worst, worstPeer, bound, sc.LogBoundFactor, len(keys), recent, len(sc.Workload)),
+	}
+}
+
+// checkSnapshotCount: exactly the expected number of snapshot catch-up
+// transfers happened — the far-behind rejoiner was served one snapshot, and
+// nobody else fell off the delta path.
+func checkSnapshotCount(sc Scenario, res Result) InvariantResult {
+	return InvariantResult{
+		Name:   "snapshot-catch-up",
+		Passed: res.Snapshots == int64(sc.ExpectSnapshots),
+		Detail: fmt.Sprintf("%d snapshot transfers, expected exactly %d",
+			res.Snapshots, sc.ExpectSnapshots),
+	}
+}
+
+// checkRejoinBytes: total snapshot bytes shipped stay within
+// RejoinByteFactor × one serialised live-state snapshot — catch-up cost is
+// O(live state), independent of how much history the absent peer missed.
+func checkRejoinBytes(sc Scenario, net *gossip.Network, online []int, res Result) InvariantResult {
+	if len(online) == 0 {
+		return InvariantResult{Name: "bounded-rejoin-bytes", Detail: "no final-online peers"}
+	}
+	var buf bytes.Buffer
+	if err := net.Peers[online[0]].Store().WriteSnapshot(&buf); err != nil {
+		return InvariantResult{
+			Name:   "bounded-rejoin-bytes",
+			Detail: fmt.Sprintf("reference snapshot failed: %v", err),
+		}
+	}
+	bound := int64(sc.RejoinByteFactor * float64(buf.Len()))
+	return InvariantResult{
+		Name:   "bounded-rejoin-bytes",
+		Passed: res.SnapshotBytes <= bound,
+		Detail: fmt.Sprintf("%dB shipped in %d snapshots vs bound %dB (factor %g × %dB live-state snapshot)",
+			res.SnapshotBytes, res.Snapshots, bound, sc.RejoinByteFactor, buf.Len()),
 	}
 }
 

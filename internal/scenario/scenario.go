@@ -79,6 +79,20 @@ type Scenario struct {
 	// AnalyticSigma is the per-round stay-online probability fed to the
 	// analytic model for the overhead bound (1 for fault-only scenarios).
 	AnalyticSigma float64
+	// LogBoundFactor, when positive, adds the bounded-resident-log
+	// invariant: every final-online peer's resident log entries must stay
+	// within LogBoundFactor × (distinct workload keys + publishes within the
+	// trailing compaction window). It is the tripwire for unbounded history
+	// growth; set it only with Config.CompactEvery > 0.
+	LogBoundFactor float64
+	// RejoinByteFactor, when positive, adds the bounded-rejoin-bytes
+	// invariant: the total snapshot bytes shipped during the run must stay
+	// within RejoinByteFactor × one final live-state snapshot — catch-up
+	// cost O(live state), not O(history).
+	RejoinByteFactor float64
+	// ExpectSnapshots, when positive, adds the snapshot-catch-up invariant:
+	// exactly this many snapshot transfers must have happened.
+	ExpectSnapshots int
 }
 
 // Validate reports whether the scenario is runnable.
@@ -96,6 +110,14 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("scenario %s: overhead factor %g", s.Name, s.OverheadFactor)
 	case s.AnalyticSigma <= 0 || s.AnalyticSigma > 1:
 		return fmt.Errorf("scenario %s: analytic sigma %g out of (0,1]", s.Name, s.AnalyticSigma)
+	case s.LogBoundFactor < 0:
+		return fmt.Errorf("scenario %s: log bound factor %g negative", s.Name, s.LogBoundFactor)
+	case s.LogBoundFactor > 0 && s.Config.CompactEvery <= 0:
+		return fmt.Errorf("scenario %s: log bound factor without a janitor cadence", s.Name)
+	case s.RejoinByteFactor < 0:
+		return fmt.Errorf("scenario %s: rejoin byte factor %g negative", s.Name, s.RejoinByteFactor)
+	case s.ExpectSnapshots < 0:
+		return fmt.Errorf("scenario %s: expected snapshots %d negative", s.Name, s.ExpectSnapshots)
 	}
 	for i, p := range s.Workload {
 		if p.Round < 0 || p.Round >= s.FaultRounds+s.SettleRounds {
@@ -135,6 +157,9 @@ type Result struct {
 	Duplicates      int64             `json:"duplicates"`
 	PullRequests    int64             `json:"pull_requests"`
 	PullUpdates     int64             `json:"pull_updates"`
+	Snapshots       int64             `json:"snapshots"`
+	SnapshotBytes   int64             `json:"snapshot_bytes"`
+	LogCompacted    int64             `json:"log_compacted"`
 	Invariants      []InvariantResult `json:"invariants"`
 	Passed          bool              `json:"passed"`
 }
@@ -288,11 +313,14 @@ func Run(sc Scenario, seed int64) (Result, error) {
 		Duplicates:      int64(reg.Counter(gossip.MetricDuplicates)),
 		PullRequests:    int64(reg.Counter(gossip.MetricPullRequests)),
 		PullUpdates:     int64(reg.Counter(gossip.MetricPullUpdates)),
+		Snapshots:       int64(reg.Counter(gossip.MetricSnapshots)),
+		SnapshotBytes:   int64(reg.Counter(gossip.MetricSnapshotBytes)),
+		LogCompacted:    int64(reg.Counter(gossip.MetricLogCompacted)),
 	}
 	for _, u := range published {
 		res.Updates = append(res.Updates, u.ID())
 	}
-	res.Invariants = checkInvariants(sc, net, en, published, applied, res.Pushes, res.PushBytes)
+	res.Invariants = checkInvariants(sc, net, en, published, applied, res)
 	res.Passed = true
 	for _, inv := range res.Invariants {
 		res.Passed = res.Passed && inv.Passed

@@ -99,7 +99,7 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.exporter = metrics.NewExporter(s.reg, "pushpull")
-	s.exporter.AddGauge("store.updates", "Updates in the local log.",
+	s.exporter.AddGauge("store.updates", "Resident update-log entries (post-compaction).",
 		func() float64 { return float64(s.node.Store().UpdateCount()) })
 	s.exporter.AddGauge("store.live_keys", "Keys with a live winning revision.",
 		func() float64 { return float64(len(s.node.Keys())) })

@@ -43,7 +43,30 @@ type Backend interface {
 	// ordered by origin then sequence. Callers must treat the returned
 	// updates as read-only.
 	MissingFor(remote version.Clock) []Update
-	// UpdateCount returns the number of logged updates.
+	// DeltaFor is MissingFor with compaction awareness: it returns the
+	// remote's missing updates only when the log still holds the complete
+	// run. ok == false reports that compaction has dropped part of the
+	// remote's gap, so only a snapshot can catch it up — never a silent
+	// partial delta.
+	DeltaFor(remote version.Clock) (updates []Update, ok bool)
+	// CompactLog drops log entries at or below the frontier that no longer
+	// back a coexisting revision, advancing the per-origin compacted
+	// watermark (bounded by the clock's contiguous prefix). It returns the
+	// number of entries dropped.
+	CompactLog(frontier version.Clock) int
+	// CompactedThrough returns a copy of the per-origin compacted watermark.
+	CompactedThrough() version.Clock
+	// AdoptFrontier raises the compacted watermark (and the clock, over the
+	// sender's compaction holes) to wm without dropping entries — the
+	// receiving half of a snapshot catch-up, called after the snapshot's
+	// updates have been applied.
+	AdoptFrontier(wm version.Clock)
+	// ExpireTTL tombstones live revisions whose Stamp is at least ttl old at
+	// now, feeding the tombstone GC; ttl <= 0 is a no-op. It returns the
+	// number of revisions expired.
+	ExpireTTL(now time.Time, ttl time.Duration) int
+	// UpdateCount returns the number of resident log entries (post-
+	// compaction: live-state-backing entries plus the uncompacted tail).
 	UpdateCount() int
 	// GCTombstones drops tombstoned revisions whose retention expired at
 	// now, returning the number collected.

@@ -89,6 +89,99 @@ func BenchmarkApplyFresh(b *testing.B) {
 	}
 }
 
+// countingWriter tallies bytes written; the snapshot catch-up benchmark uses
+// it so encoding cost is measured without buffering the stream.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// catchUpHistory builds an overwrite-heavy history: `origins` × `perOrigin`
+// updates over keys rewritten `depth` times each, with properly dominating
+// version chains (prefix-sharing, so setup stays cheap). It returns the
+// populated store and the update list in apply order.
+func catchUpHistory(origins, perOrigin, depth int) (*Store, []Update) {
+	s := New()
+	stamp := time.Unix(1_700_000_000, 0)
+	rng := rand.New(rand.NewSource(1))
+	updates := make([]Update, 0, origins*perOrigin)
+	for o := 0; o < origins; o++ {
+		origin := fmt.Sprintf("origin-%02d", o)
+		seq := uint64(0)
+		for k := 0; k < perOrigin/depth; k++ {
+			chain := make(version.History, depth)
+			for d := range chain {
+				chain[d] = version.NewID(stamp, origin, rng)
+			}
+			for d := 0; d < depth; d++ {
+				seq++
+				u := Update{
+					Origin:  origin,
+					Seq:     seq,
+					Key:     fmt.Sprintf("key-%d-%d", o, k),
+					Value:   []byte("value"),
+					Version: chain[:d+1],
+					Stamp:   stamp,
+				}
+				s.Apply(u)
+				updates = append(updates, u)
+			}
+		}
+	}
+	return s, updates
+}
+
+// BenchmarkCatchUp measures serving a rejoiner that is 100k updates behind
+// (empty clock), on a history where every key was overwritten ten times.
+// The delta path ships the full history; the snapshot path, after frontier
+// compaction, encodes only the resident live-state-backing entries. The
+// updates/s metric is the history the rejoiner is caught up on per second
+// of serving time — the figure the PR-8 retention work moves.
+func BenchmarkCatchUp(b *testing.B) {
+	const origins, perOrigin, depth = 10, 10_000, 10
+	const history = origins * perOrigin
+
+	b.Run("delta", func(b *testing.B) {
+		s, _ := catchUpHistory(origins, perOrigin, depth)
+		empty := version.NewClock()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got, ok := s.DeltaFor(empty)
+			if !ok || len(got) != history {
+				b.Fatalf("delta %d complete=%v, want %d", len(got), ok, history)
+			}
+		}
+		b.ReportMetric(float64(history)*float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+		b.ReportMetric(float64(history), "shipped/op")
+	})
+
+	b.Run("snapshot", func(b *testing.B) {
+		s, _ := catchUpHistory(origins, perOrigin, depth)
+		if dropped := s.CompactLog(s.Clock()); dropped != history-history/depth {
+			b.Fatalf("compacted %d entries, want %d", dropped, history-history/depth)
+		}
+		if _, ok := s.DeltaFor(version.NewClock()); ok {
+			b.Fatal("rejoiner gap survived compaction; snapshot path not exercised")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			w := &countingWriter{}
+			if err := s.WriteSnapshot(w); err != nil {
+				b.Fatal(err)
+			}
+			bytes = w.n
+		}
+		b.ReportMetric(float64(history)*float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+		b.ReportMetric(float64(history/depth), "shipped/op")
+		b.ReportMetric(float64(bytes), "snapbytes/op")
+	})
+}
+
 // BenchmarkApplyDuplicate measures re-ingesting a known update — the
 // duplicate-push path's store half, pure log lookup.
 func BenchmarkApplyDuplicate(b *testing.B) {

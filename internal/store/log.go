@@ -21,17 +21,30 @@ type originLog struct {
 	origins []string
 	// clock summarises the applied updates of this log's origins.
 	clock version.Clock
+	// compacted is the per-origin compaction watermark: every sequence at or
+	// below it is covered — either retained because it still backs a
+	// coexisting revision, or dropped as superseded history. A remote clock
+	// below the watermark cannot be served an entry-by-entry delta any more;
+	// it needs a snapshot.
+	compacted version.Clock
 }
 
 func newOriginLog() originLog {
 	return originLog{
-		log:   make(map[string][]Update),
-		clock: version.NewClock(),
+		log:       make(map[string][]Update),
+		clock:     version.NewClock(),
+		compacted: version.NewClock(),
 	}
 }
 
-// have reports whether the (origin, seq) update is already logged.
+// have reports whether the (origin, seq) update is already logged. Sequences
+// at or below the compaction watermark count as logged: the update was seen
+// and either retained or dropped as superseded, so a straggling copy must be
+// a duplicate, not a fresh apply that would resurrect compacted history.
 func (l *originLog) have(origin string, seq uint64) bool {
+	if seq <= l.compacted.Get(origin) {
+		return true
+	}
 	log := l.log[origin]
 	idx := seqSearch(log, seq)
 	return idx < len(log) && log[idx].Seq == seq
@@ -45,6 +58,12 @@ func (l *originLog) have(origin string, seq uint64) bool {
 // in-order delivery advances in O(log n) + O(1) instead of rescanning the
 // whole log.
 func (l *originLog) record(u Update) {
+	if u.Seq <= l.compacted.Get(u.Origin) {
+		// Covered by the compaction watermark: a straggling copy of history
+		// that was already retained or dropped; re-inserting it would undo
+		// the compaction.
+		return
+	}
 	log, known := l.log[u.Origin]
 	if !known {
 		l.insertOrigin(u.Origin)
@@ -73,6 +92,94 @@ func (l *originLog) insertOrigin(origin string) {
 	l.origins = append(l.origins, "")
 	copy(l.origins[idx+1:], l.origins[idx:])
 	l.origins[idx] = origin
+}
+
+// compact drops log entries at or below the frontier that no longer back a
+// coexisting revision (retain reports whether an entry still does) and
+// advances the per-origin compacted watermark. The watermark never passes the
+// clock's contiguous prefix: a hole in the log is an in-flight update, not
+// history, and must stay pullable. Returns the number of entries dropped.
+func (l *originLog) compact(frontier version.Clock, retain func(Update) bool) int {
+	dropped := 0
+	for _, o := range l.origins {
+		limit := frontier.Get(o)
+		if c := l.clock.Get(o); c < limit {
+			limit = c
+		}
+		if limit <= l.compacted.Get(o) {
+			continue
+		}
+		log := l.log[o]
+		end := seqSearch(log, limit+1)
+		kept := log[:0]
+		for _, u := range log[:end] {
+			if retain(u) {
+				kept = append(kept, u)
+			} else {
+				dropped++
+			}
+		}
+		kept = append(kept, log[end:]...)
+		// Zero the tail so dropped entries' values do not pin memory.
+		for i := len(kept); i < len(log); i++ {
+			log[i] = Update{}
+		}
+		l.log[o] = kept
+		l.compacted[o] = limit
+	}
+	return dropped
+}
+
+// gapBefore reports whether compaction has dropped entries the remote clock
+// still needs. A remote below some origin's watermark is not by itself a
+// gap: compaction retains entries that still back coexisting revisions, so
+// when the full run (remote, watermark] happens to have survived — a peer
+// that merely missed a recent, still-live write — the entry-by-entry delta
+// is still exact. Only a hole in that run forces a snapshot.
+func (l *originLog) gapBefore(remote version.Clock) bool {
+	for o, c := range l.compacted {
+		r := remote.Get(o)
+		if r >= c {
+			continue
+		}
+		log := l.log[o]
+		i := seqSearch(log, r+1)
+		for seq := r + 1; seq <= c; seq++ {
+			if i >= len(log) || log[i].Seq != seq {
+				return true
+			}
+			i++
+		}
+	}
+	return false
+}
+
+// adoptCompacted raises the compacted watermark — and the clock — for one
+// origin to at least `through`, without dropping entries. It is the receiving
+// half of a snapshot catch-up: the snapshot's updates have already been
+// applied, and its watermark certifies that everything at or below it that
+// still matters was among them, so the clock may jump the holes left by the
+// sender's compaction and then resume its contiguous walk.
+func (l *originLog) adoptCompacted(origin string, through uint64) {
+	if through <= l.compacted.Get(origin) {
+		return
+	}
+	if _, known := l.log[origin]; !known {
+		if idx := sort.SearchStrings(l.origins, origin); idx >= len(l.origins) || l.origins[idx] != origin {
+			l.insertOrigin(origin)
+		}
+		l.log[origin] = nil
+	}
+	l.compacted[origin] = through
+	cur := l.clock.Get(origin)
+	if cur < through {
+		cur = through
+		log := l.log[origin]
+		for i := seqSearch(log, cur+1); i < len(log) && log[i].Seq == cur+1; i++ {
+			cur++
+		}
+		l.clock[origin] = cur
+	}
 }
 
 // missingCount returns the number of logged updates the remote clock has
@@ -140,6 +247,39 @@ func applyRevision(items map[string][]Revision, u Update) ApplyResult {
 	}
 	items[u.Key] = append(kept, newRev)
 	return Applied
+}
+
+// backsRevision reports whether u's version still heads a coexisting branch
+// of its key — the retention predicate of log compaction. Snapshots replay
+// the log, so entries backing current branches (live or tombstoned) must
+// survive compaction; everything else below the frontier is superseded
+// history nothing can ask for any more.
+func backsRevision(items map[string][]Revision, u Update) bool {
+	for _, r := range items[u.Key] {
+		if r.Version.Compare(u.Version) == version.Equal {
+			return true
+		}
+	}
+	return false
+}
+
+// expireRevisions tombstones live revisions whose Stamp is at least ttl old
+// at now, in one key → revisions map. Expiry keeps Version and Stamp, so the
+// resulting tombstone flows through the ordinary retention GC; because the
+// decision depends only on replicated fields (Stamp) and shared policy (ttl),
+// replicas running the same janitor converge on the same expiries without
+// exchanging a single message.
+func expireRevisions(items map[string][]Revision, now time.Time, ttl time.Duration) int {
+	expired := 0
+	for _, revs := range items {
+		for i, r := range revs {
+			if !r.Deleted && now.Sub(r.Stamp) >= ttl {
+				revs[i].Deleted = true
+				expired++
+			}
+		}
+	}
+	return expired
 }
 
 // gcRevisions drops tombstoned revisions whose retention expired, per the

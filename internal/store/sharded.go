@@ -300,7 +300,117 @@ func (s *Sharded) MissingFor(remote version.Clock) []Update {
 	return out
 }
 
-// UpdateCount returns the number of logged updates.
+// DeltaFor is MissingFor with compaction awareness: ok == false reports that
+// compaction has dropped part of the remote's gap, so only a snapshot can
+// catch it up. Taken under all log-shard read locks for a consistent cut.
+func (s *Sharded) DeltaFor(remote version.Clock) ([]Update, bool) {
+	for i := range s.logs {
+		s.logs[i].mu.RLock()
+	}
+	defer func() {
+		for i := len(s.logs) - 1; i >= 0; i-- {
+			s.logs[i].mu.RUnlock()
+		}
+	}()
+	total, norigins := 0, 0
+	for i := range s.logs {
+		if s.logs[i].data.gapBefore(remote) {
+			return nil, false
+		}
+		total += s.logs[i].data.missingCount(remote)
+		norigins += len(s.logs[i].data.origins)
+	}
+	if total == 0 {
+		return nil, true
+	}
+	origins := make([]string, 0, norigins)
+	for i := range s.logs {
+		origins = append(origins, s.logs[i].data.origins...)
+	}
+	sort.Strings(origins)
+	out := make([]Update, 0, total)
+	for _, o := range origins {
+		log := s.logFor(o).data.log[o]
+		out = append(out, log[seqSearch(log, remote.Get(o)+1):]...)
+	}
+	return out, true
+}
+
+// CompactLog drops log entries at or below the frontier that no longer back
+// a coexisting revision, advancing the compacted watermark. It takes the
+// whole-store lock order (all log shards ascending, then all item shards)
+// because the retention predicate reads the revision maps while the logs are
+// being rewritten.
+func (s *Sharded) CompactLog(frontier version.Clock) int {
+	for i := range s.logs {
+		s.logs[i].mu.Lock()
+	}
+	for i := range s.items {
+		s.items[i].mu.RLock()
+	}
+	retain := func(u Update) bool {
+		return backsRevision(s.items[pgrid.PathBits(u.Key)>>s.shift].items, u)
+	}
+	dropped := 0
+	for i := range s.logs {
+		dropped += s.logs[i].data.compact(frontier, retain)
+	}
+	for i := len(s.items) - 1; i >= 0; i-- {
+		s.items[i].mu.RUnlock()
+	}
+	for i := len(s.logs) - 1; i >= 0; i-- {
+		s.logs[i].mu.Unlock()
+	}
+	return dropped
+}
+
+// CompactedThrough returns a copy of the per-origin compacted watermark,
+// composed from the per-shard segments like Clock.
+func (s *Sharded) CompactedThrough() version.Clock {
+	for i := range s.logs {
+		s.logs[i].mu.RLock()
+	}
+	out := version.NewClock()
+	for i := range s.logs {
+		for origin, seq := range s.logs[i].data.compacted {
+			out[origin] = seq
+		}
+	}
+	for i := len(s.logs) - 1; i >= 0; i-- {
+		s.logs[i].mu.RUnlock()
+	}
+	return out
+}
+
+// AdoptFrontier raises the compacted watermark and clock to wm without
+// dropping entries. Each origin lives entirely in one log shard, so adoption
+// is per-shard with no cross-shard atomicity needed.
+func (s *Sharded) AdoptFrontier(wm version.Clock) {
+	for origin, through := range wm {
+		ls := s.logFor(origin)
+		ls.mu.Lock()
+		ls.data.adoptCompacted(origin, through)
+		ls.mu.Unlock()
+	}
+}
+
+// ExpireTTL tombstones live revisions whose Stamp is at least ttl old at
+// now; ttl <= 0 is a no-op. Shards are expired one at a time; expiry needs
+// no cross-shard atomicity.
+func (s *Sharded) ExpireTTL(now time.Time, ttl time.Duration) int {
+	if ttl <= 0 {
+		return 0
+	}
+	expired := 0
+	for i := range s.items {
+		s.items[i].mu.Lock()
+		expired += expireRevisions(s.items[i].items, now, ttl)
+		s.items[i].mu.Unlock()
+	}
+	return expired
+}
+
+// UpdateCount returns the number of resident log entries.
 func (s *Sharded) UpdateCount() int {
 	n := 0
 	for i := range s.logs {
@@ -329,12 +439,40 @@ func (s *Sharded) Equal(other Backend) bool {
 	return backendEqual(s, other)
 }
 
-// WriteSnapshot serialises the full update log to w. The stream is
-// byte-identical to the one the single-lock Store produces for the same
-// logical contents, regardless of shard count: both serialise
-// MissingFor(nil), whose order is canonical.
+// WriteSnapshot serialises the resident update log and compacted watermark
+// to w. The stream is byte-identical to the one the single-lock Store
+// produces for the same logical contents, regardless of shard count: both
+// serialise MissingFor(nil) and the watermark, whose orders are canonical.
 func (s *Sharded) WriteSnapshot(w io.Writer) error {
-	return encodeSnapshot(w, s.MissingFor(nil))
+	// One consistent cut across all log shards for both the entries and the
+	// watermark, mirroring the single-lock Store's single read lock.
+	for i := range s.logs {
+		s.logs[i].mu.RLock()
+	}
+	total, norigins := 0, 0
+	for i := range s.logs {
+		total += s.logs[i].data.missingCount(nil)
+		norigins += len(s.logs[i].data.origins)
+	}
+	origins := make([]string, 0, norigins)
+	for i := range s.logs {
+		origins = append(origins, s.logs[i].data.origins...)
+	}
+	sort.Strings(origins)
+	updates := make([]Update, 0, total)
+	compacted := version.NewClock()
+	for _, o := range origins {
+		updates = append(updates, s.logFor(o).data.log[o]...)
+	}
+	for i := range s.logs {
+		for origin, seq := range s.logs[i].data.compacted {
+			compacted[origin] = seq
+		}
+	}
+	for i := len(s.logs) - 1; i >= 0; i-- {
+		s.logs[i].mu.RUnlock()
+	}
+	return encodeSnapshot(w, updates, compacted)
 }
 
 // RestoreSnapshot replaces the store's contents with a snapshot previously
@@ -342,7 +480,7 @@ func (s *Sharded) WriteSnapshot(w io.Writer) error {
 // registered apply hook — stable. The current shard count and tombstone
 // retention are kept.
 func (s *Sharded) RestoreSnapshot(r io.Reader) error {
-	updates, err := decodeSnapshot(r)
+	updates, compacted, err := decodeSnapshot(r)
 	if err != nil {
 		return err
 	}
@@ -352,6 +490,7 @@ func (s *Sharded) RestoreSnapshot(r io.Reader) error {
 	for _, u := range updates {
 		fresh.Apply(u)
 	}
+	fresh.AdoptFrontier(compacted)
 	s.replaceFrom(fresh)
 	return nil
 }

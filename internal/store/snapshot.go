@@ -23,13 +23,23 @@ type snapshotUpdate struct {
 	Stamp   int64
 }
 
-// snapshot is the on-disk form of a store: the complete update log. Items,
-// branches and the vector clock are derived state — replaying the log
-// through Apply reconstructs them exactly (Apply is order-independent and
-// idempotent, which the property tests assert).
+// snapshotFrontier is one origin's compacted watermark in serialised form.
+type snapshotFrontier struct {
+	Origin string
+	Seq    uint64
+}
+
+// snapshot is the on-disk form of a store: the complete resident update log
+// plus the per-origin compacted watermark. Items, branches and the vector
+// clock are derived state — replaying the log through Apply and adopting the
+// watermark reconstructs them exactly (Apply is order-independent and
+// idempotent, which the property tests assert). Compacted is nil for an
+// uncompacted store, so its snapshot bytes are unchanged from format 1
+// streams without the field.
 type snapshot struct {
 	FormatVersion int
 	Updates       []snapshotUpdate
+	Compacted     []snapshotFrontier
 }
 
 // snapshotFormatVersion guards against reading snapshots from incompatible
@@ -37,10 +47,11 @@ type snapshot struct {
 const snapshotFormatVersion = 1
 
 // encodeSnapshot serialises a complete, canonically ordered update log to w.
-// Store and Sharded both feed it MissingFor(nil), whose (origin asc, seq
-// asc) order is independent of internal layout — so the bytes a snapshot
-// produces depend only on the logical contents, never on shard count.
-func encodeSnapshot(w io.Writer, updates []Update) error {
+// Store and Sharded both feed it MissingFor(nil) and their compacted
+// watermark, whose (origin asc) order is independent of internal layout — so
+// the bytes a snapshot produces depend only on the logical contents, never
+// on shard count.
+func encodeSnapshot(w io.Writer, updates []Update, compacted version.Clock) error {
 	snap := snapshot{
 		FormatVersion: snapshotFormatVersion,
 		Updates:       make([]snapshotUpdate, len(updates)),
@@ -56,20 +67,35 @@ func encodeSnapshot(w io.Writer, updates []Update) error {
 			Delete: u.Delete, Version: versionBytes, Stamp: u.Stamp.UnixNano(),
 		}
 	}
+	if len(compacted) > 0 {
+		snap.Compacted = make([]snapshotFrontier, 0, len(compacted))
+		for origin, seq := range compacted {
+			if seq > 0 {
+				snap.Compacted = append(snap.Compacted, snapshotFrontier{Origin: origin, Seq: seq})
+			}
+		}
+		sort.Slice(snap.Compacted, func(i, j int) bool {
+			return snap.Compacted[i].Origin < snap.Compacted[j].Origin
+		})
+		if len(snap.Compacted) == 0 {
+			snap.Compacted = nil
+		}
+	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("store: write snapshot: %w", err)
 	}
 	return nil
 }
 
-// decodeSnapshot reads a snapshot stream back into its update log.
-func decodeSnapshot(r io.Reader) ([]Update, error) {
+// decodeSnapshot reads a snapshot stream back into its update log and
+// compacted watermark (nil when the snapshot was uncompacted).
+func decodeSnapshot(r io.Reader) ([]Update, version.Clock, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("store: read snapshot: %w", err)
+		return nil, nil, fmt.Errorf("store: read snapshot: %w", err)
 	}
 	if snap.FormatVersion != snapshotFormatVersion {
-		return nil, fmt.Errorf("store: snapshot format %d unsupported (want %d)",
+		return nil, nil, fmt.Errorf("store: snapshot format %d unsupported (want %d)",
 			snap.FormatVersion, snapshotFormatVersion)
 	}
 	updates := make([]Update, len(snap.Updates))
@@ -80,7 +106,7 @@ func decodeSnapshot(r io.Reader) ([]Update, error) {
 		}
 		for _, raw := range su.Version {
 			if len(raw) != version.IDSize {
-				return nil, fmt.Errorf("store: snapshot has version id of %d bytes", len(raw))
+				return nil, nil, fmt.Errorf("store: snapshot has version id of %d bytes", len(raw))
 			}
 			var id version.ID
 			copy(id[:], raw)
@@ -88,18 +114,45 @@ func decodeSnapshot(r io.Reader) ([]Update, error) {
 		}
 		updates[i] = u
 	}
-	return updates, nil
+	var compacted version.Clock
+	if len(snap.Compacted) > 0 {
+		compacted = version.NewClock()
+		for _, f := range snap.Compacted {
+			compacted[f.Origin] = f.Seq
+		}
+	}
+	return updates, compacted, nil
 }
 
-// WriteSnapshot serialises the store's full update log to w.
+// DecodeSnapshot reads a snapshot stream produced by any Backend's
+// WriteSnapshot back into its resident update log and compacted watermark
+// (nil when the snapshot was uncompacted). It is the shared decoder of every
+// restore path, including the engine's snapshot catch-up frames: apply the
+// updates, then AdoptFrontier the watermark.
+func DecodeSnapshot(r io.Reader) ([]Update, version.Clock, error) {
+	return decodeSnapshot(r)
+}
+
+// WriteSnapshot serialises the store's resident update log and compacted
+// watermark to w.
 func (s *Store) WriteSnapshot(w io.Writer) error {
-	return encodeSnapshot(w, s.MissingFor(nil)) // everything, in (origin, seq) order
+	// One read lock for both halves: a compaction between reading the log
+	// and the watermark could otherwise pair fresh entries with a stale
+	// frontier.
+	s.mu.RLock()
+	var updates []Update
+	if total := s.data.missingCount(nil); total > 0 {
+		updates = s.data.appendMissing(make([]Update, 0, total), nil)
+	}
+	compacted := s.data.compacted.Clone()
+	s.mu.RUnlock()
+	return encodeSnapshot(w, updates, compacted)
 }
 
 // ReadSnapshot reconstructs a store from a snapshot written by
 // WriteSnapshot, with the given tombstone retention.
 func ReadSnapshot(r io.Reader, retain time.Duration) (*Store, error) {
-	updates, err := decodeSnapshot(r)
+	updates, compacted, err := decodeSnapshot(r)
 	if err != nil {
 		return nil, err
 	}
@@ -107,6 +160,7 @@ func ReadSnapshot(r io.Reader, retain time.Duration) (*Store, error) {
 	for _, u := range updates {
 		st.Apply(u)
 	}
+	st.AdoptFrontier(compacted)
 	return st, nil
 }
 
@@ -151,6 +205,7 @@ func (s *Store) Replace(other *Store) {
 		log[origin] = copied
 	}
 	clock := other.data.clock.Clone()
+	compacted := other.data.compacted.Clone()
 	retain := other.tombRetain
 	other.mu.RUnlock()
 
@@ -163,6 +218,6 @@ func (s *Store) Replace(other *Store) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.items = items
-	s.data = originLog{log: log, origins: origins, clock: clock}
+	s.data = originLog{log: log, origins: origins, clock: clock, compacted: compacted}
 	s.tombRetain = retain
 }

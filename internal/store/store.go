@@ -300,7 +300,64 @@ func (s *Store) MissingFor(remote version.Clock) []Update {
 	return s.data.appendMissing(make([]Update, 0, total), remote)
 }
 
-// UpdateCount returns the number of logged updates.
+// DeltaFor is MissingFor with compaction awareness: ok == false reports that
+// compaction has dropped part of the remote's gap, so only a snapshot can
+// catch it up. See Backend.DeltaFor.
+func (s *Store) DeltaFor(remote version.Clock) ([]Update, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.data.gapBefore(remote) {
+		return nil, false
+	}
+	total := s.data.missingCount(remote)
+	if total == 0 {
+		return nil, true
+	}
+	return s.data.appendMissing(make([]Update, 0, total), remote), true
+}
+
+// CompactLog drops log entries at or below the frontier that no longer back
+// a coexisting revision, advancing the compacted watermark. The frontier is
+// the minimum clock across known peers (the engine's pull bookkeeping);
+// peers further behind than that are caught up by snapshot, which is what
+// makes dropping their history safe.
+func (s *Store) CompactLog(frontier version.Clock) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data.compact(frontier, func(u Update) bool {
+		return backsRevision(s.items, u)
+	})
+}
+
+// CompactedThrough returns a copy of the per-origin compacted watermark.
+func (s *Store) CompactedThrough() version.Clock {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data.compacted.Clone()
+}
+
+// AdoptFrontier raises the compacted watermark and clock to wm without
+// dropping entries. See Backend.AdoptFrontier.
+func (s *Store) AdoptFrontier(wm version.Clock) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for origin, through := range wm {
+		s.data.adoptCompacted(origin, through)
+	}
+}
+
+// ExpireTTL tombstones live revisions whose Stamp is at least ttl old at
+// now; ttl <= 0 is a no-op. Expired keys feed the ordinary tombstone GC.
+func (s *Store) ExpireTTL(now time.Time, ttl time.Duration) int {
+	if ttl <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return expireRevisions(s.items, now, ttl)
+}
+
+// UpdateCount returns the number of resident log entries.
 func (s *Store) UpdateCount() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

@@ -33,6 +33,7 @@ import (
 //	query     = i64 qid | str key
 //	queryresp = i64 qid | str key | flags u8 (bit0 found, bit1 confident) |
 //	            blob value | hist version
+//	snapshot  = blob snapshot | uvarint nPeers × str
 //
 // The leading format-version byte exists for evolution: a node seeing an
 // unknown version drops the connection instead of misparsing. The decoder
@@ -132,6 +133,11 @@ func EncodedSize(env *Envelope) int {
 	case KindQueryResp:
 		n += 8 + StringSize(env.Key) + 1 + BlobSize(env.Value) +
 			HistorySize(len(env.Version))
+	case KindSnapshot:
+		n += BlobSize(env.Snapshot) + UvarintSize(uint64(len(env.KnownPeers)))
+		for _, addr := range env.KnownPeers {
+			n += StringSize(addr)
+		}
 	}
 	return n
 }
@@ -253,6 +259,12 @@ func AppendBody(dst []byte, env *Envelope) ([]byte, error) {
 		dst = append(dst, flags)
 		dst = appendBlob(dst, env.Value)
 		dst = appendHistory(dst, env.Version)
+	case KindSnapshot:
+		dst = appendBlob(dst, env.Snapshot)
+		dst = appendUvarint(dst, uint64(len(env.KnownPeers)))
+		for _, addr := range env.KnownPeers {
+			dst = appendString(dst, addr)
+		}
 	}
 	return dst, nil
 }
@@ -691,6 +703,13 @@ func decodeBody(data []byte, env *Envelope, s *decodeScratch) error {
 			return err
 		}
 		if env.Version, err = r.history(); err != nil {
+			return err
+		}
+	case KindSnapshot:
+		if env.Snapshot, err = r.blob(); err != nil {
+			return err
+		}
+		if env.KnownPeers, err = r.strs(peers); err != nil {
 			return err
 		}
 	}

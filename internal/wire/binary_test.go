@@ -33,6 +33,9 @@ func binTestEnvelopes(t *testing.T) []Envelope {
 		{Kind: KindQueryResp, From: "f", QID: 1 << 60, Key: "k", Found: true,
 			Value: []byte("v"), Version: u.Version, Confident: true},
 		{Kind: KindQueryResp, From: "f", QID: 0, Key: ""},
+		{Kind: KindSnapshot, From: "g", Snapshot: []byte("resident-state"),
+			KnownPeers: []string{"h", "i"}},
+		{Kind: KindSnapshot, From: "g"}, // empty snapshot, no peers
 	}
 }
 
@@ -51,6 +54,9 @@ func normalizeEnvelope(env Envelope) Envelope {
 	}
 	if len(env.Value) == 0 {
 		env.Value = nil
+	}
+	if len(env.Snapshot) == 0 {
+		env.Snapshot = nil
 	}
 	if len(env.Version) == 0 {
 		env.Version = nil

@@ -52,6 +52,8 @@ func fuzzSeedBodies(tb testing.TB) [][]byte {
 		{Kind: KindQuery, From: "peer-4", QID: 42, Key: "k"},
 		{Kind: KindQueryResp, From: "peer-5", QID: 42, Key: "k", Found: true,
 			Value: []byte("v"), Version: u.Version, Confident: true},
+		{Kind: KindSnapshot, From: "peer-6", Snapshot: []byte("snap-bytes"),
+			KnownPeers: []string{"peer-7"}},
 	}
 	bodies := make([][]byte, 0, len(envs))
 	for i := range envs {
@@ -136,6 +138,9 @@ func FuzzBinaryEnvelope(f *testing.F) {
 			env.Value = value
 			env.Version = history
 			env.Confident = deleted
+		case KindSnapshot:
+			env.Snapshot = value
+			env.KnownPeers = []string{peer}
 		default:
 			// Unencodable kinds must be reported, not panic.
 			if _, err := EncodeBinary(&env); err == nil {

@@ -41,9 +41,13 @@ const (
 	KindQuery
 	// KindQueryResp answers a query.
 	KindQueryResp
+	// KindSnapshot answers a pull request whose gap is compacted away (or
+	// exceeds the snapshot threshold) with the responder's entire resident
+	// state in one frame.
+	KindSnapshot
 
 	// kindMax bounds the valid kind range for the binary decoder.
-	kindMax = KindQueryResp
+	kindMax = KindSnapshot
 )
 
 // String names the kind.
@@ -61,6 +65,8 @@ func (k Kind) String() string {
 		return "query"
 	case KindQueryResp:
 		return "query-resp"
+	case KindSnapshot:
+		return "snapshot"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -131,10 +137,13 @@ type Envelope struct {
 	Clock version.Clock
 	// Updates are the missing updates for KindPullResp.
 	Updates []Update
-	// KnownPeers is a membership sample piggybacked on KindPullResp — the
-	// name-dropper effect applied to the pull phase, which bootstraps the
-	// views of freshly joined replicas.
+	// KnownPeers is a membership sample piggybacked on KindPullResp and
+	// KindSnapshot — the name-dropper effect applied to the pull phase, which
+	// bootstraps the views of freshly joined replicas.
 	KnownPeers []string
+	// Snapshot is the responder's serialised resident state for KindSnapshot
+	// (the shared store snapshot encoding, opaque to the wire layer).
+	Snapshot []byte
 	// UpdateRef identifies the acknowledged update for KindAck. The
 	// comparable (origin, seq) form travels as-is; no "origin/seq" string is
 	// formatted or parsed on the ack path.

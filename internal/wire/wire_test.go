@@ -61,6 +61,7 @@ func TestEnvelopeRoundTripAllKinds(t *testing.T) {
 		{Kind: KindQuery, From: "e", QID: -9, Key: "k"},
 		{Kind: KindQueryResp, From: "f", QID: -9, Key: "k", Found: true,
 			Value: []byte("v"), Version: u.Version, Confident: true},
+		{Kind: KindSnapshot, From: "g", Snapshot: []byte("blob"), KnownPeers: []string{"h"}},
 	}
 	for _, env := range envs {
 		// The gob compat codec round-trips.
@@ -92,6 +93,7 @@ func TestKindString(t *testing.T) {
 		KindPush: "push", KindPullReq: "pull-req",
 		KindPullResp: "pull-resp", KindAck: "ack",
 		KindQuery: "query", KindQueryResp: "query-resp",
+		KindSnapshot: "snapshot",
 	} {
 		if got := k.String(); got != want {
 			t.Fatalf("String = %q, want %q", got, want)

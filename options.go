@@ -228,6 +228,36 @@ func WithSnapshot(r io.Reader) Option {
 	}
 }
 
+// WithJanitorInterval sets the period of the background maintenance pass
+// that expires TTL'd keys, collects tombstones past retention, and compacts
+// the update log up to the stable frontier (the pointwise-minimum clock
+// across recently pulling peers). 0 disables the janitor.
+func WithJanitorInterval(d time.Duration) Option {
+	return func(o *nodeOptions) { o.cfg.JanitorInterval = d }
+}
+
+// WithTombstoneRetention sets how long tombstones outlive their delete
+// before the janitor collects them — long enough for every replica to have
+// pulled the death certificate. 0 selects the store default.
+func WithTombstoneRetention(d time.Duration) Option {
+	return func(o *nodeOptions) { o.cfg.TombstoneRetention = d }
+}
+
+// WithKeyTTL expires live revisions older than d into tombstones on the
+// janitor's schedule. The decision depends only on the replicated stamp and
+// the shared policy, so replicas expire deterministically without
+// coordination. 0 disables expiry.
+func WithKeyTTL(d time.Duration) Option {
+	return func(o *nodeOptions) { o.cfg.KeyTTL = d }
+}
+
+// WithSnapshotCatchUp answers a pull whose delta exceeds n updates with one
+// snapshot frame instead of an entry-by-entry list; 0 disables the size
+// trigger (compaction gaps still force snapshots).
+func WithSnapshotCatchUp(n int) Option {
+	return func(o *nodeOptions) { o.cfg.SnapshotCatchUp = n }
+}
+
 // WithWatchBuffer sets the per-subscriber event buffer for Watch streams
 // (default 256). When a subscriber falls this far behind, further events are
 // dropped for it and counted under MetricWatchDropped.
