@@ -2,7 +2,7 @@
 # .github/workflows/ci.yml.
 
 # The perf-trajectory file emitted by `make bench` (one per perf PR).
-BENCH_PR ?= 8
+BENCH_PR ?= 9
 BENCH_TIME ?= 300ms
 # bench-compare reruns the baseline's benchmarks at this benchtime; short
 # keeps the CI gate fast, the 25% threshold absorbs the extra noise.

@@ -1,0 +1,17 @@
+// Package docscheck pins the documentation surface to the code it
+// describes. Its tests are drift guards, run by the ordinary `go test
+// ./...` CI step:
+//
+//   - every exported identifier in the core packages (the public pushpull
+//     package, internal/engine, internal/store, internal/live,
+//     internal/scenario) must carry a doc comment, and every one of those
+//     packages must have a package comment;
+//   - every counter in pushpull.MetricNames must be documented in
+//     docs/OPERATIONS.md under both its registry name and its Prometheus
+//     exposition name;
+//   - every command-line flag pushpulld registers must be documented in
+//     docs/OPERATIONS.md.
+//
+// Adding a counter, a flag, or an exported symbol without documenting it
+// fails the build, so the operational docs cannot silently rot.
+package docscheck

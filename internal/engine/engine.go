@@ -141,6 +141,17 @@ type Config[ID comparable] struct {
 	// QueryLocalVoice makes the local store participate in every query as
 	// one more voice, so a fresh replica never answers worse than Get.
 	QueryLocalVoice bool
+	// DeferPullRender makes pull requests answered with an *unrendered*
+	// intent: a KindPullResp message carrying only the requester's clock
+	// (cloned into Message.Clock) and the gossiped peer sample, with no
+	// updates. The adapter renders the actual delta — or snapshot — at
+	// transmission time via RenderPullResp. This is the late-binding
+	// contract of a coalescing sender: responses that wait behind a busy
+	// link are merged by clock and re-rendered when the link frees, so the
+	// requester receives the newest superset instead of a stale backlog.
+	// Off (the default), responses are rendered eagerly inside handlePullReq
+	// exactly as before.
+	DeferPullRender bool
 	// ValidID reports whether a peer identity learned from the wire is
 	// usable as a protocol target. Nil accepts every non-self identity;
 	// the live adapter rejects empty addresses, which a zero-valued gob
@@ -779,21 +790,19 @@ func (e *Engine[ID]) handlePullReq(from ID, m Message[ID]) {
 	}
 	e.releaseScratch(sample)
 
-	// Snapshot-vs-delta decision: a gap that compaction has dropped can only
-	// be served as a snapshot, and a gap above the configured threshold is
-	// cheaper as one. Everything else ships the exact missing run.
-	missing, complete := e.st.DeltaFor(m.Clock)
-	if !complete || (e.cfg.SnapshotCatchUp > 0 && len(missing) > e.cfg.SnapshotCatchUp) {
-		var buf bytes.Buffer
-		if err := e.st.WriteSnapshot(&buf); err == nil {
-			e.ep.Send(from, Message[ID]{Kind: KindSnapshot, Snapshot: buf.Bytes(), Peers: peers})
-		} else if complete {
-			// Encoding to memory failing is effectively unreachable; keep the
-			// peer live on the delta when we still have one.
-			e.ep.Send(from, Message[ID]{Kind: KindPullResp, Updates: missing, Peers: peers})
+	if e.cfg.DeferPullRender {
+		// Late-binding: ship only the intent (requester clock + peer
+		// gossip); the adapter calls RenderPullResp when the message
+		// actually leaves, so a response that waited behind a slow link
+		// serves the newest state, not the state at enqueue time. The clock
+		// is cloned because inbound messages may alias decoder scratch.
+		e.ep.Send(from, Message[ID]{Kind: KindPullResp, Clock: m.Clock.Clone(), Peers: peers})
+	} else if updates, snapshot, ok := e.RenderPullResp(m.Clock); ok {
+		if snapshot != nil {
+			e.ep.Send(from, Message[ID]{Kind: KindSnapshot, Snapshot: snapshot, Peers: peers})
+		} else {
+			e.ep.Send(from, Message[ID]{Kind: KindPullResp, Updates: updates, Peers: peers})
 		}
-	} else {
-		e.ep.Send(from, Message[ID]{Kind: KindPullResp, Updates: missing, Peers: peers})
 	}
 
 	// "receives a pull request, but is not sure to have the latest update"
@@ -804,6 +813,54 @@ func (e *Engine[ID]) handlePullReq(from ID, m Message[ID]) {
 		e.sendPull()
 		e.lastReceived = now
 	}
+}
+
+// RenderPullResp renders the reply to a pull request that presented the
+// given clock, at whatever moment the adapter transmits it. It is the
+// snapshot-vs-delta decision of the pull phase: a gap that compaction has
+// dropped can only be served as a snapshot, a gap above SnapshotCatchUp is
+// cheaper as one, and everything else ships the exact missing run. A non-nil
+// snapshot means one KindSnapshot frame; otherwise updates (possibly empty)
+// go out as a KindPullResp. ok is false only when the delta is gone and the
+// snapshot failed to encode — nothing useful to send.
+//
+// With Config.DeferPullRender the adapter calls this at send time (it reads
+// only the store and immutable configuration, so a live adapter may call it
+// without holding its engine lock); without it, handlePullReq calls it
+// eagerly.
+func (e *Engine[ID]) RenderPullResp(clock version.Clock) (updates []store.Update, snapshot []byte, ok bool) {
+	missing, complete := e.st.DeltaFor(clock)
+	if !complete || (e.cfg.SnapshotCatchUp > 0 && len(missing) > e.cfg.SnapshotCatchUp) {
+		var buf bytes.Buffer
+		if err := e.st.WriteSnapshot(&buf); err == nil {
+			return nil, buf.Bytes(), true
+		}
+		if !complete {
+			// Encoding to memory failing is effectively unreachable; with the
+			// delta also compacted away there is nothing left to serve.
+			return nil, nil, false
+		}
+		// Keep the peer live on the delta when we still have one.
+	}
+	return missing, nil, true
+}
+
+// RenderPush renders the carried flooding list for a pending push of ref at
+// transmission time — the second late-binding hook of the coalescing sender.
+// A push that waited behind a busy link leaves with the list accumulated up
+// to the moment of transmission (every duplicate heard in between merged
+// in), not the copy frozen when the forward was decided, so slow links
+// propagate strictly better dedup information. ok is false when the engine
+// no longer tracks the update (a restart wiped volatile state); such a push
+// still travels, with an empty list. Must be called under the adapter's
+// engine serialisation: it reads per-update state and may draw randomness
+// for the ListMax truncation.
+func (e *Engine[ID]) RenderPush(ref store.Ref) (rf []ID, ok bool) {
+	state, ok := e.states[ref]
+	if !ok {
+		return nil, false
+	}
+	return e.carried(state.rf), true
 }
 
 // recordPullClock files the requester's clock into the stable-frontier

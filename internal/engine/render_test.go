@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// The tests below cover the two late-binding render hooks the coalescing
+// senders rely on (RenderPush, RenderPullResp) and the DeferPullRender
+// contract: an unrendered pull-response intent must, when rendered later,
+// serve exactly what the eager path would have.
+
+func TestRenderPushLateBoundList(t *testing.T) {
+	cfg := Config[int]{Fanout: 1, PartialList: true}
+	e, _ := newTestEngine(t, 1, cfg, nil)
+	e.Learn(2)
+	u := e.Publish("k", []byte("v"))
+
+	rf, ok := e.RenderPush(u.Ref())
+	if !ok {
+		t.Fatal("RenderPush did not recognise a freshly published update")
+	}
+	before := len(rf)
+
+	// A duplicate heard from peer 3 carrying peers 4 and 5 merges into the
+	// update's flooding list; a later render must ship the grown list, not
+	// the one frozen at publish time.
+	e.Handle(3, Message[int]{Kind: KindPush, Update: u, RF: []int{4, 5}})
+	rf, ok = e.RenderPush(u.Ref())
+	if !ok {
+		t.Fatal("RenderPush lost the update after a duplicate")
+	}
+	if len(rf) <= before {
+		t.Fatalf("list did not grow after duplicate: %d -> %d entries", before, len(rf))
+	}
+	seen := make(map[int]bool, len(rf))
+	for _, id := range rf {
+		seen[id] = true
+	}
+	for _, want := range []int{4, 5} {
+		if !seen[want] {
+			t.Fatalf("rendered list %v misses %d learned from the duplicate", rf, want)
+		}
+	}
+
+	// An update the engine no longer tracks still ships, with no list.
+	if rf, ok := e.RenderPush(store.Ref{Origin: "nobody", Seq: 9}); ok || rf != nil {
+		t.Fatalf("RenderPush of an untracked ref = %v, %v; want nil, false", rf, ok)
+	}
+}
+
+func TestRenderPullRespSnapshotDecision(t *testing.T) {
+	cfg := Config[int]{Fanout: 0, PullAttempts: 1, SnapshotCatchUp: 2}
+	e, _ := newTestEngine(t, 1, cfg, nil)
+	for _, kv := range []string{"a", "b", "c", "d", "e"} {
+		e.Publish(kv, []byte(kv))
+	}
+
+	// A peer missing all five updates is over the SnapshotCatchUp threshold:
+	// one snapshot frame, no delta.
+	updates, snapshot, ok := e.RenderPullResp(version.Clock{})
+	if !ok || snapshot == nil || updates != nil {
+		t.Fatalf("far-behind render = %d updates, snapshot %t, ok %t; want snapshot",
+			len(updates), snapshot != nil, ok)
+	}
+
+	// A nearly caught-up peer gets the exact missing run.
+	updates, snapshot, ok = e.RenderPullResp(version.Clock{"peer-1": 4})
+	if !ok || snapshot != nil || len(updates) != 1 {
+		t.Fatalf("near-tip render = %d updates, snapshot %t, ok %t; want 1 update",
+			len(updates), snapshot != nil, ok)
+	}
+	if updates[0].Key != "e" {
+		t.Fatalf("missing run served %q, want the fifth publish", updates[0].Key)
+	}
+
+	// A fully caught-up peer gets an empty (but ok) delta.
+	updates, snapshot, ok = e.RenderPullResp(e.Store().Clock())
+	if !ok || snapshot != nil || len(updates) != 0 {
+		t.Fatalf("caught-up render = %d updates, snapshot %t, ok %t; want empty delta",
+			len(updates), snapshot != nil, ok)
+	}
+}
+
+// TestDeferPullRenderIntentMatchesEagerPath: with DeferPullRender the engine
+// answers a pull request with an intent (clock + peer gossip, no updates);
+// rendering that intent later must produce the same delta the eager
+// configuration would have sent immediately.
+func TestDeferPullRenderIntentMatchesEagerPath(t *testing.T) {
+	seed := func(e *Engine[int]) {
+		e.Publish("x", []byte("1"))
+		e.Publish("y", []byte("2"))
+		e.PublishDelete("x")
+	}
+	reqClock := version.Clock{"peer-1": 1}
+
+	eager, epEager := newTestEngine(t, 1, Config[int]{Fanout: 0, PullAttempts: 1}, nil)
+	seed(eager)
+	epEager.sent = nil
+	eager.Handle(2, Message[int]{Kind: KindPullReq, Clock: reqClock})
+	if len(epEager.sent) != 1 || epEager.sent[0].msg.Kind != KindPullResp {
+		t.Fatalf("eager path sent %+v, want one rendered pull response", epEager.sent)
+	}
+	want := epEager.sent[0].msg.Updates
+	if len(want) == 0 {
+		t.Fatal("eager response carried no updates; the fixture is broken")
+	}
+
+	deferred, epDef := newTestEngine(t, 1, Config[int]{
+		Fanout: 0, PullAttempts: 1, DeferPullRender: true,
+	}, nil)
+	seed(deferred)
+	epDef.sent = nil
+	deferred.Handle(2, Message[int]{Kind: KindPullReq, Clock: reqClock})
+	if len(epDef.sent) != 1 {
+		t.Fatalf("deferred path sent %d messages, want one intent", len(epDef.sent))
+	}
+	intent := epDef.sent[0].msg
+	if intent.Kind != KindPullResp || intent.Updates != nil || intent.Clock == nil {
+		t.Fatalf("deferred path sent %+v, want an unrendered intent (clock, no updates)", intent)
+	}
+
+	got, snapshot, ok := deferred.RenderPullResp(intent.Clock)
+	if !ok || snapshot != nil {
+		t.Fatalf("rendering the intent gave snapshot %t, ok %t; want a delta", snapshot != nil, ok)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("deferred render served %d updates, eager served %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Ref() != want[i].Ref() {
+			t.Fatalf("update %d: deferred %v, eager %v", i, got[i].Ref(), want[i].Ref())
+		}
+	}
+}

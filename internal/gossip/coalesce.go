@@ -1,0 +1,234 @@
+package gossip
+
+import (
+	"sort"
+
+	"github.com/p2pgossip/update/internal/engine"
+	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// This file is the simulator's mirror of the live runtime's coalescing
+// per-peer senders (internal/live/sender.go). With Config.LinkBudget > 0 a
+// peer may emit at most that many messages per destination per round;
+// overflow merges into a per-destination pending delta with the same rules
+// the live sender applies — pushes dedup by store.Ref and newer versions
+// displace dominated pending ones, outstanding pull responses collapse to
+// the pointwise-minimum requester clock, pull requests and acks are
+// idempotent — and drains (budget-bounded, in sorted destination order for
+// determinism) on subsequent ticks with everything late-bound: flooding
+// lists re-rendered from engine state, pull-request clocks from the store,
+// pull responses from the coalesced clock. Scenarios can therefore assert
+// the coalescing design's two load-bearing properties — bounded pending
+// state and eventual delivery through a throttled link — deterministically,
+// which no wall-clock test of the TCP path can.
+
+// simPendingPush is one coalesced outbound push: the update and its round
+// counter; the flooding list is re-rendered at drain time.
+type simPendingPush struct {
+	u store.Update
+	t int
+}
+
+// simPending is everything owed to one destination, in mergeable form.
+type simPending struct {
+	pushes map[store.Ref]simPendingPush
+	order  []store.Ref
+	byKey  map[string][]store.Ref
+
+	acks   []store.Ref
+	ackSet map[store.Ref]struct{}
+
+	pullReq bool
+
+	pullResp  bool
+	pullClock version.Clock
+	pullPeers []int
+
+	// aux holds query traffic, which cannot merge, in arrival order.
+	aux []engine.Message[int]
+}
+
+func newSimPending() *simPending {
+	return &simPending{
+		pushes: make(map[store.Ref]simPendingPush),
+		byKey:  make(map[string][]store.Ref),
+		ackSet: make(map[store.Ref]struct{}),
+	}
+}
+
+// size counts the distinct pending items — the quantity the bounded-sender
+// invariant constrains.
+func (sp *simPending) size() int {
+	n := len(sp.pushes) + len(sp.acks) + len(sp.aux)
+	if sp.pullReq {
+		n++
+	}
+	if sp.pullResp {
+		n++
+	}
+	return n
+}
+
+func (sp *simPending) empty() bool { return sp.size() == 0 }
+
+// add merges one engine message into the pending delta, mirroring the live
+// sender's deposit rules.
+func (sp *simPending) add(m engine.Message[int]) {
+	switch m.Kind {
+	case engine.KindPush:
+		ref := m.Update.Ref()
+		if e, ok := sp.pushes[ref]; ok {
+			e.t = m.T
+			sp.pushes[ref] = e
+			return
+		}
+		refs := sp.byKey[m.Update.Key]
+		for _, other := range refs {
+			if e, ok := sp.pushes[other]; ok && e.u.Version.Dominates(m.Update.Version) {
+				return // already carrying this key at or past this version
+			}
+		}
+		kept := refs[:0]
+		for _, other := range refs {
+			e, ok := sp.pushes[other]
+			if !ok {
+				continue
+			}
+			if m.Update.Version.Dominates(e.u.Version) {
+				delete(sp.pushes, other)
+				continue
+			}
+			kept = append(kept, other)
+		}
+		sp.pushes[ref] = simPendingPush{u: m.Update, t: m.T}
+		sp.order = append(sp.order, ref)
+		sp.byKey[m.Update.Key] = append(kept, ref)
+	case engine.KindAck:
+		if _, ok := sp.ackSet[m.UpdateRef]; ok {
+			return
+		}
+		sp.ackSet[m.UpdateRef] = struct{}{}
+		sp.acks = append(sp.acks, m.UpdateRef)
+	case engine.KindPullReq:
+		sp.pullReq = true
+	case engine.KindPullResp:
+		if m.Clock == nil || m.Updates != nil {
+			sp.aux = append(sp.aux, m) // already rendered; cannot merge
+			return
+		}
+		if !sp.pullResp {
+			sp.pullResp = true
+			sp.pullClock = m.Clock
+			sp.pullPeers = m.Peers
+			return
+		}
+		for origin, have := range sp.pullClock {
+			if nv, ok := m.Clock[origin]; !ok {
+				delete(sp.pullClock, origin)
+			} else if nv < have {
+				sp.pullClock[origin] = nv
+			}
+		}
+		sp.pullPeers = m.Peers
+	default:
+		sp.aux = append(sp.aux, m)
+	}
+}
+
+// deposit routes one over-budget message into the destination's pending
+// delta and tracks the peak pending size for the scenario invariant.
+func (p *Peer) deposit(to int, m engine.Message[int]) {
+	if p.pendingOut == nil {
+		p.pendingOut = make(map[int]*simPending)
+	}
+	sp := p.pendingOut[to]
+	if sp == nil {
+		sp = newSimPending()
+		p.pendingOut[to] = sp
+	}
+	sp.add(m)
+	if n := sp.size(); n > p.peakPending {
+		p.peakPending = n
+	}
+}
+
+// drainPending emits up to LinkBudget pending messages per destination, in
+// sorted destination order so the deterministic message stream does not
+// depend on map iteration. Pushes go first (they carry the new data), then
+// acks, the pull request, the pull response, and finally aux traffic; the
+// remainder stays pending for the next round.
+func (p *Peer) drainPending() {
+	if len(p.pendingOut) == 0 {
+		return
+	}
+	dests := make([]int, 0, len(p.pendingOut))
+	for to := range p.pendingOut {
+		dests = append(dests, to)
+	}
+	sort.Ints(dests)
+	for _, to := range dests {
+		sp := p.pendingOut[to]
+		budget := p.cfg.LinkBudget - p.spent[to]
+		for budget > 0 && len(sp.order) > 0 {
+			ref := sp.order[0]
+			sp.order = sp.order[1:]
+			e, ok := sp.pushes[ref]
+			if !ok {
+				continue // superseded while pending
+			}
+			delete(sp.pushes, ref)
+			// Late-bound flooding list: the engine's current carried list,
+			// not the one at deposit time.
+			rf, _ := p.eng.RenderPush(ref)
+			p.emit(to, engine.Message[int]{
+				Kind: engine.KindPush, Update: e.u, RF: rf, T: e.t,
+			})
+			p.spent[to]++
+			budget--
+		}
+		for budget > 0 && len(sp.acks) > 0 {
+			ref := sp.acks[0]
+			sp.acks = sp.acks[1:]
+			delete(sp.ackSet, ref)
+			p.emit(to, engine.Message[int]{Kind: engine.KindAck, UpdateRef: ref})
+			p.spent[to]++
+			budget--
+		}
+		if budget > 0 && sp.pullReq {
+			sp.pullReq = false
+			// Late-bound clock: request exactly what is missing now.
+			p.emit(to, engine.Message[int]{
+				Kind: engine.KindPullReq, Clock: p.st.Clock(),
+			})
+			p.spent[to]++
+			budget--
+		}
+		if budget > 0 && sp.pullResp {
+			sp.pullResp = false
+			clock, peers := sp.pullClock, sp.pullPeers
+			sp.pullClock, sp.pullPeers = nil, nil
+			p.emit(to, engine.Message[int]{
+				Kind: engine.KindPullResp, Clock: clock, Peers: peers,
+			})
+			p.spent[to]++
+			budget--
+		}
+		for budget > 0 && len(sp.aux) > 0 {
+			m := sp.aux[0]
+			sp.aux = sp.aux[1:]
+			p.emit(to, m)
+			p.spent[to]++
+			budget--
+		}
+		if sp.empty() {
+			delete(p.pendingOut, to)
+		}
+	}
+}
+
+// PeakPendingPerDest reports the largest pending-delta size (distinct
+// coalesced items) any single destination accumulated over the peer's
+// lifetime. Zero unless LinkBudget is set. The slow-link scenarios assert
+// this stays bounded by the live-state size rather than traffic volume.
+func (p *Peer) PeakPendingPerDest() int { return p.peakPending }

@@ -110,6 +110,15 @@ type Config struct {
 	// participates in the stable compaction frontier. Zero keeps clocks
 	// forever (no expiry).
 	FrontierTTL int
+	// LinkBudget caps the messages a peer emits to any one destination per
+	// round; traffic beyond the budget coalesces into a per-destination
+	// pending delta (dedup by update ref, newest version wins, requester
+	// clocks merged pointwise-minimum) drained in later rounds — the
+	// simulator equivalent of the live runtime's coalescing senders, for
+	// cross-validating their bounded-memory behavior in deterministic
+	// scenarios. Zero disables the budget: every send goes out the round it
+	// is made, exactly as before.
+	LinkBudget int
 }
 
 // DefaultConfig returns the configuration used by the paper's headline
@@ -153,6 +162,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gossip: tombstone retention = %d negative", c.TombstoneRetention)
 	case c.FrontierTTL < 0:
 		return fmt.Errorf("gossip: frontier ttl = %d negative", c.FrontierTTL)
+	case c.LinkBudget < 0:
+		return fmt.Errorf("gossip: link budget = %d negative", c.LinkBudget)
 	default:
 		return nil
 	}

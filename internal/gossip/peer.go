@@ -46,6 +46,15 @@ type Peer struct {
 	// held at crash time (a persisted peer cache).
 	snapshot  []byte
 	bootstrap []int
+
+	// Link-budget coalescing state (coalesce.go), active only with
+	// cfg.LinkBudget > 0: per-destination pending deltas for over-budget
+	// traffic, tokens spent per destination this round, and the lifetime
+	// peak pending size the scenario invariants read.
+	pendingOut  map[int]*simPending
+	spent       map[int]int
+	spentRound  int
+	peakPending int
 }
 
 var (
@@ -64,9 +73,55 @@ func (s simEndpoint) Self() int        { return s.p.id }
 func (s simEndpoint) Now() int64       { return int64(s.p.round) }
 func (s simEndpoint) Rand() *rand.Rand { return s.p.env.RNG() }
 func (s simEndpoint) Send(to int, m engine.Message[int]) {
-	env := s.p.env
+	p := s.p
+	if p.cfg.LinkBudget > 0 {
+		p.refreshBudget()
+		// Over budget — or behind earlier pending traffic, which must not
+		// be overtaken — the message merges into the destination's pending
+		// delta instead of going on the wire.
+		if p.spent[to] >= p.cfg.LinkBudget || p.pendingOut[to] != nil {
+			p.deposit(to, m)
+			return
+		}
+		p.spent[to]++
+	}
+	p.emit(to, m)
+}
+
+// refreshBudget resets the per-destination token counts at the first send
+// of each round.
+func (p *Peer) refreshBudget() {
+	if p.spent == nil {
+		p.spent = make(map[int]int)
+		p.spentRound = p.round
+		return
+	}
+	if p.spentRound != p.round {
+		clear(p.spent)
+		p.spentRound = p.round
+	}
+}
+
+// emit puts one engine message on the simulated wire, charging the byte
+// size the live binary codec would. Deferred pull responses — an intent
+// carrying only the requester's clock (Config.DeferPullRender, on exactly
+// when LinkBudget is) — are rendered here, at transmission time, into a
+// delta or a snapshot.
+func (p *Peer) emit(to int, m engine.Message[int]) {
+	if m.Kind == engine.KindPullResp && m.Updates == nil && m.Clock != nil {
+		updates, snapshot, ok := p.eng.RenderPullResp(m.Clock)
+		if !ok {
+			return
+		}
+		if snapshot != nil {
+			m = engine.Message[int]{Kind: engine.KindSnapshot, Snapshot: snapshot, Peers: m.Peers}
+		} else {
+			m = engine.Message[int]{Kind: engine.KindPullResp, Updates: updates, Peers: m.Peers}
+		}
+	}
+	env := p.env
 	reg := env.Metrics()
-	frame := frameBytes(s.p.id)
+	frame := frameBytes(p.id)
 	switch m.Kind {
 	case engine.KindPush:
 		msg := PushMsg{Update: m.Update, RF: m.RF, T: m.T}
@@ -154,6 +209,7 @@ func NewPeer(id int, cfg Config) (*Peer, error) {
 		SnapshotCatchUp:  cfg.SnapshotCatchUp,
 		FrontierTTL:      int64(cfg.FrontierTTL),
 		QueryTimeout:     queryTimeoutRounds,
+		DeferPullRender:  cfg.LinkBudget > 0,
 		Hooks: engine.Hooks[int]{
 			OnLearned: func(n int) {
 				p.env.Metrics().Add(MetricReplicasLearned, float64(n))
@@ -197,6 +253,10 @@ func (p *Peer) Crash(env *simnet.Env) {
 	}
 	p.st.Reset()
 	p.eng.Restart(nil)
+	// Pending deltas and budget tokens are process state, not durable: the
+	// crash drops exactly this peer's undelivered coalesced traffic.
+	p.pendingOut = nil
+	p.spent = nil
 }
 
 // Restart implements simnet.Restartable: the process comes back, restores
@@ -267,6 +327,12 @@ func (p *Peer) CameOnline(env *simnet.Env) {
 // and the janitor every CompactEvery rounds.
 func (p *Peer) Tick(env *simnet.Env) {
 	p.bind(env)
+	if p.cfg.LinkBudget > 0 {
+		// Fresh round, fresh tokens: drain what earlier rounds coalesced
+		// before the engine generates new traffic.
+		p.refreshBudget()
+		p.drainPending()
+	}
 	p.eng.Tick()
 	if every := p.cfg.PullEvery; every > 0 && p.round > 0 && p.round%every == 0 {
 		p.eng.PullNow()

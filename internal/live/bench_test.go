@@ -7,6 +7,7 @@ package live
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -228,6 +229,144 @@ func benchParallelIngest(b *testing.B, senders int) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+}
+
+// BenchmarkLiveThrottledPeer measures slow-consumer isolation: a publisher
+// replica fans every update out to three fast TCP peers and one slow sink
+// that drains its socket at ~128KB/s (the "throttled" variant) or at full
+// speed ("unthrottled"). The coalescing per-peer senders must keep the fast
+// peers unaffected — their apply rate ("updates/s", measured at a fast peer)
+// should match across the two variants — while the slow link's backlog
+// merges into one pending delta instead of queueing, so the throttled
+// variant also reports the publisher's peak pending sender memory
+// ("pendingB/peak"), which stays O(live keys) however many updates the sink
+// refused.
+func BenchmarkLiveThrottledPeer(b *testing.B) {
+	b.Run("unthrottled", func(b *testing.B) { benchThrottledPeer(b, false) })
+	b.Run("throttled", func(b *testing.B) { benchThrottledPeer(b, true) })
+}
+
+func benchThrottledPeer(b *testing.B, throttled bool) {
+	// The slow peer is a raw TCP sink, not a replica: it accepts the
+	// publisher's connection and reads it in small sips, which is exactly
+	// the kernel-buffer backpressure a wedged consumer exerts, without a
+	// second replica's timing in the measurement.
+	sink, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sink.Close()
+	go func() {
+		for {
+			c, err := sink.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 256)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+					if throttled {
+						time.Sleep(2 * time.Millisecond)
+					}
+				}
+			}(c)
+		}
+	}()
+
+	// One fast peer counts what it absorbs. The publisher's sender may
+	// legitimately coalesce dominated same-key pushes while a link is busy,
+	// so the benchmark cannot wait for exactly b.N applies; instead a
+	// unique marker key published last signals that everything the sender
+	// kept has been delivered (per-destination pending drains in deposit
+	// order).
+	const markerKey = "flush-marker"
+	var applied, delivered atomic.Int64
+	done := make(chan struct{})
+	const fastPeers = 3
+	fast := make([]*TCPTransport, fastPeers)
+	for i := 0; i < fastPeers; i++ {
+		tr, err := ListenTCP("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		fast[i] = tr
+		cfg := Config{
+			// Pure receivers: no forwarding, no pulls.
+			Fanout:       0,
+			PullAttempts: 0,
+			Seed:         int64(i) + 2,
+		}
+		if i == 0 {
+			cfg.Hooks.OnApply = func(u store.Update, _ store.ApplyResult, _ Source, _ int) {
+				n := applied.Add(1)
+				if u.Key == markerKey {
+					delivered.Store(n)
+					close(done)
+				}
+			}
+		}
+		r, err := NewReplica(cfg, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Start()
+		i := i
+		defer func() {
+			r.Stop()
+			fast[i].Close()
+		}()
+	}
+
+	pubTr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub, err := NewReplica(Config{
+		// Fanout == peer count: every push deterministically targets all
+		// three fast peers and the sink.
+		Fanout:       fastPeers + 1,
+		PartialList:  true,
+		Seed:         1,
+		PullAttempts: 0,
+	}, pubTr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	peers := []string{sink.Addr().String()}
+	for _, tr := range fast {
+		peers = append(peers, tr.Addr())
+	}
+	pub.AddPeers(peers...)
+	pub.Start()
+	defer func() {
+		pub.Stop()
+		pubTr.Close()
+	}()
+
+	value := []byte("throttled-peer-payload")
+	watchdog := time.NewTimer(time.Minute + time.Duration(b.N)*time.Millisecond)
+	defer watchdog.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pub.Publish(fmt.Sprintf("key-%d", i%64), value)
+	}
+	pub.Publish(markerKey, value)
+	select {
+	case <-done:
+	case <-watchdog.C:
+		b.Fatalf("fast peer stalled at %d applies before the marker", applied.Load())
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(delivered.Load())/b.Elapsed().Seconds(), "updates/s")
+	if throttled {
+		_, peak := pub.PendingSendBytes()
+		b.ReportMetric(float64(peak), "pendingB/peak")
+	}
 }
 
 // BenchmarkTCPSendBurst measures a one-way burst of push envelopes to a

@@ -3,6 +3,7 @@ package live
 import (
 	"context"
 	"math/rand"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -181,6 +182,45 @@ func TestReplicaCountersAreRegistered(t *testing.T) {
 		o := rec.observed()
 		return o[MetricSnapshotServed] > 0 && o[MetricSnapshotCatchups] > 0
 	}, "compacted replica did not serve a snapshot catch-up")
+
+	// Backpressure counters ride the coalescing TCP sender path. Drive one
+	// sender state machine directly — no goroutine, no timing — so the
+	// outcome is deterministic: two versions of one key merge in the
+	// pending delta (send.coalesced), and delivering the rendered batch to
+	// a port nobody listens on drops it (send.failed).
+	ttr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ttr.Close() })
+	trep, err := NewReplica(cfg, ttr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(trep.Stop)
+	deadLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := deadLn.Addr().String()
+	deadLn.Close() // nothing listens here any more: dials are refused
+	sender := newPeerSender(trep, deadAddr)
+	cw, err := store.NewWriter("coal", store.New(), time.Now, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := cw.Put("ck", []byte("one"))
+	v2 := cw.Put("ck", []byte("two")) // dominates v1: supersedes it in the pending delta
+	for _, u := range []store.Update{v1, v2} {
+		u := u
+		if !sender.deposit(func(p *pendingDelta) (int, int, int) {
+			c, d := p.addPush(u, 0)
+			return c, 0, d
+		}) {
+			t.Fatal("deposit rejected by a fresh sender")
+		}
+	}
+	sender.deliver()
 
 	registered := make(map[string]bool, len(CounterNames))
 	for _, name := range CounterNames {

@@ -94,6 +94,16 @@ const (
 	// MetricKeysExpired counts live revisions the janitor tombstoned because
 	// their TTL lapsed.
 	MetricKeysExpired = "live.janitor.keys_expired"
+	// MetricSendCoalesced counts deposits absorbed by an already-pending
+	// per-peer delta instead of growing it: superseded pushes, re-merged
+	// pull requests/responses, duplicate acks. A high rate means slow links
+	// are being shielded by coalescing rather than by queueing.
+	MetricSendCoalesced = "live.send.coalesced"
+	// MetricSendFailed counts outbound envelopes dropped undelivered —
+	// transport errors after the redial retry, or non-mergeable pending
+	// traffic evicted past its cap. The protocol self-heals via pull
+	// anti-entropy; a sustained rate points at an unreachable peer.
+	MetricSendFailed = "live.send.failed"
 )
 
 // CounterNames is the canonical list of every counter name an instrumented
@@ -121,6 +131,8 @@ var CounterNames = []string{
 	MetricTombstonesGC,
 	MetricLogCompacted,
 	MetricKeysExpired,
+	MetricSendCoalesced,
+	MetricSendFailed,
 }
 
 // inc bumps a counter if a metrics sink is configured.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/p2pgossip/update/internal/engine"
@@ -148,19 +149,38 @@ type Replica struct {
 	outbox  []outboundBatch
 	pending []protoEvent
 
+	// coalesce selects the per-peer coalescing sender path (sender.go). It
+	// is on exactly when the transport can accept pre-encoded frames —
+	// i.e. on TCP — and off on the synchronous in-memory transports, whose
+	// direct delivery the cross-validation tests depend on. The engine's
+	// DeferPullRender follows it: with coalescing on, pull responses leave
+	// the engine as unrendered intents and are rendered at send time.
+	coalesce bool
+	// sendMu guards the sender registry. sendStopped mirrors the replica
+	// stopping so no sender goroutine can be registered after Stop begins
+	// waiting on bg.
+	sendMu      sync.Mutex
+	senders     map[string]*peerSender
+	sendStopped bool
+	// pendingBytes is the estimated footprint of every destination's
+	// pending delta; pendingPeak is its high-water mark.
+	pendingBytes atomic.Int64
+	pendingPeak  atomic.Int64
+
 	stop chan struct{}
 	bg   sync.WaitGroup
 	once sync.Once
 }
 
-// outboundBatch is one queued transport send: one envelope bound for one or
-// more destinations. The engine's push fanout emits the same message to k
-// peers back to back; the endpoint coalesces those into a single batch so
-// the flush encodes the envelope once and reuses the bytes for every
+// outboundBatch is one queued transport send: one engine message bound for
+// one or more destinations, converted to wire form after the replica lock
+// is released. The engine's push fanout emits the same message to k peers
+// back to back; the endpoint coalesces those into a single batch so the
+// flush encodes the envelope once and reuses the bytes for every
 // destination (via FrameSender when the transport offers it).
 type outboundBatch struct {
 	tos []string
-	env wire.Envelope
+	msg engine.Message[string]
 }
 
 // protoEvent is one queued observability event, fired after the engine call
@@ -199,17 +219,15 @@ func (ep liveEndpoint) Send(to string, m engine.Message[string]) {
 		// slice (compared by identity — the engine renders it once per
 		// batch). Fold consecutive targets into the previous batch.
 		last := &r.outbox[len(r.outbox)-1]
-		if last.env.Kind == wire.KindPush && last.env.T == m.T &&
-			last.env.Update.Origin == m.Update.Origin &&
-			last.env.Update.Seq == m.Update.Seq &&
-			sameSlice(last.env.RF, m.RF) {
+		if last.msg.Kind == engine.KindPush && last.msg.T == m.T &&
+			last.msg.Update.Origin == m.Update.Origin &&
+			last.msg.Update.Seq == m.Update.Seq &&
+			sameSlice(last.msg.RF, m.RF) {
 			last.tos = append(last.tos, to)
 			return
 		}
 	}
-	r.outbox = append(r.outbox, outboundBatch{
-		tos: []string{to}, env: envelopeFromEngine(r.addr, m),
-	})
+	r.outbox = append(r.outbox, outboundBatch{tos: []string{to}, msg: m})
 }
 
 // sameSlice reports whether two slices are the same view of the same
@@ -235,12 +253,15 @@ func NewReplica(cfg Config, transport Transport) (*Replica, error) {
 	if retain == 0 {
 		retain = store.DefaultTombstoneRetention
 	}
+	_, framed := transport.(FrameSender)
 	r := &Replica{
 		cfg:       cfg,
 		transport: transport,
 		addr:      transport.Addr(),
 		st:        store.NewShardedWithRetention(cfg.Shards, retain),
 		rng:       rand.New(rand.NewSource(seed)),
+		coalesce:  framed,
+		senders:   make(map[string]*peerSender),
 		stop:      make(chan struct{}),
 	}
 	w, err := store.NewWriter(r.addr, r.st, time.Now,
@@ -263,6 +284,7 @@ func NewReplica(cfg Config, transport Transport) (*Replica, error) {
 		FrontierTTL:     cfg.frontierTTL().Nanoseconds(),
 		LazySweep:       true,
 		QueryLocalVoice: true,
+		DeferPullRender: r.coalesce,
 		ValidID:         func(addr string) bool { return addr != "" },
 		Hooks: engine.Hooks[string]{
 			OnApply: func(u store.Update, res store.ApplyResult, src Source, branches int) {
@@ -323,12 +345,16 @@ func (r *Replica) flush(events []protoEvent, out []outboundBatch) {
 			}
 		}
 	}
-	fs, _ := r.transport.(FrameSender)
+	if r.coalesce {
+		r.depositOut(out)
+		return
+	}
 	for i := range out {
 		b := &out[i]
+		env := envelopeFromEngine(r.addr, b.msg)
 		if r.cfg.Metrics != nil {
 			var name string
-			switch b.env.Kind {
+			switch env.Kind {
 			case wire.KindPush:
 				name = MetricPushSent
 			case wire.KindPullReq:
@@ -347,21 +373,125 @@ func (r *Replica) flush(events []protoEvent, out []outboundBatch) {
 			}
 		}
 		// Offline targets are the normal case; send errors are dropped.
-		if fs != nil && len(b.tos) > 1 {
-			// Fanout fast path: encode once, hand the same frame to every
-			// destination's writer.
-			if f, err := wire.NewFrame(&b.env); err == nil {
-				for _, to := range b.tos {
-					_ = fs.SendFrame(to, f)
-				}
-				f.Release()
-				continue
-			}
-		}
 		for _, to := range b.tos {
-			_ = r.transport.Send(to, b.env)
+			_ = r.transport.Send(to, env)
 		}
 	}
+}
+
+// depositOut routes one flushed outbox into the per-peer coalescing
+// senders: pushes, acks, pull requests, and pull-response intents merge by
+// class (sender.go); query traffic, which cannot merge, rides along as
+// rendered envelopes. Metrics for these sends fire at transmission time in
+// the sender, not here — a coalesced-away push was never sent.
+func (r *Replica) depositOut(out []outboundBatch) {
+	for i := range out {
+		b := &out[i]
+		switch b.msg.Kind {
+		case engine.KindPush:
+			u, t := b.msg.Update, b.msg.T
+			for _, to := range b.tos {
+				r.depositTo(to, func(p *pendingDelta) (int, int, int) {
+					c, d := p.addPush(u, t)
+					return c, 0, d
+				})
+			}
+		case engine.KindAck:
+			ref := b.msg.UpdateRef
+			for _, to := range b.tos {
+				r.depositTo(to, func(p *pendingDelta) (int, int, int) {
+					c, d := p.addAck(ref)
+					return c, 0, d
+				})
+			}
+		case engine.KindPullReq:
+			for _, to := range b.tos {
+				r.depositTo(to, func(p *pendingDelta) (int, int, int) {
+					c, d := p.addPullReq()
+					return c, 0, d
+				})
+			}
+		case engine.KindPullResp:
+			if b.msg.Clock != nil && b.msg.Updates == nil {
+				// The engine's deferred intent: requester clock plus peer
+				// sample, rendered at send time.
+				clock, peers := b.msg.Clock, b.msg.Peers
+				for _, to := range b.tos {
+					r.depositTo(to, func(p *pendingDelta) (int, int, int) {
+						c, d := p.addPullResp(clock, peers)
+						return c, 0, d
+					})
+				}
+				break
+			}
+			fallthrough
+		default:
+			env := envelopeFromEngine(r.addr, b.msg)
+			for _, to := range b.tos {
+				r.depositTo(to, func(p *pendingDelta) (int, int, int) {
+					dropped, d := p.addAux(env)
+					return 0, dropped, d
+				})
+			}
+		}
+	}
+}
+
+// depositTo merges one deposit into the destination's sender, creating it
+// on demand. A sender caught mid-retire rejects the deposit; the loop then
+// observes a fresh registry state and retries, so deposits are never lost
+// to the idle-retire race. A nil sender means the replica is stopping and
+// the deposit is intentionally dropped.
+func (r *Replica) depositTo(to string, f func(*pendingDelta) (coalesced, dropped, delta int)) {
+	for {
+		s := r.senderFor(to)
+		if s == nil {
+			return
+		}
+		if s.deposit(f) {
+			return
+		}
+	}
+}
+
+// senderFor returns the live sender for a destination, spawning one if
+// needed. Returns nil once the replica is stopping — the registry is frozen
+// so no goroutine joins bg after Stop starts waiting on it.
+func (r *Replica) senderFor(to string) *peerSender {
+	r.sendMu.Lock()
+	defer r.sendMu.Unlock()
+	if r.sendStopped {
+		return nil
+	}
+	s, ok := r.senders[to]
+	if !ok {
+		s = newPeerSender(r, to)
+		r.senders[to] = s
+		r.bg.Add(1)
+		go s.run()
+	}
+	return s
+}
+
+// notePendingBytes moves the pending-memory gauge and maintains its
+// high-water mark.
+func (r *Replica) notePendingBytes(delta int64) {
+	cur := r.pendingBytes.Add(delta)
+	for {
+		peak := r.pendingPeak.Load()
+		if cur <= peak || r.pendingPeak.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// PendingSendBytes reports the estimated bytes currently held in
+// per-destination pending deltas and the high-water mark since the replica
+// started. With coalescing senders this is bounded by O(live state) per
+// destination regardless of traffic volume; the throttled-peer benchmark
+// and the slow-consumer tests assert exactly that.
+func (r *Replica) PendingSendBytes() (current, peak int64) {
+	return r.pendingBytes.Load(), r.pendingPeak.Load()
 }
 
 // handle is the transport's inbound callback. The conversion from wire to
@@ -571,10 +701,18 @@ func (r *Replica) Start() {
 	}
 }
 
-// Stop terminates the background goroutines and waits for them to exit. It
-// is idempotent.
+// Stop terminates the background goroutines — puller, janitor, and every
+// per-peer sender, whose undelivered pending deltas are discarded — and
+// waits for them to exit. It is idempotent.
 func (r *Replica) Stop() {
-	r.once.Do(func() { close(r.stop) })
+	r.once.Do(func() {
+		// Freeze the sender registry before signalling: nothing can call
+		// bg.Add once sendStopped is set, so the Wait below is race-free.
+		r.sendMu.Lock()
+		r.sendStopped = true
+		r.sendMu.Unlock()
+		close(r.stop)
+	})
 	r.bg.Wait()
 }
 

@@ -1,0 +1,419 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/version"
+	"github.com/p2pgossip/update/internal/wire"
+)
+
+// Tests for the coalescing per-peer senders that replaced the bounded
+// per-connection frame queue: the pending-delta merge rules in isolation,
+// and the three behaviours the old writer queue could not give — bounded
+// sender memory behind a wedged consumer, recovery with the newest merged
+// state after a peer restarts on its address, and a disconnecting peer
+// taking down only its own pending state.
+
+func testWriter(t *testing.T, origin string) *store.Writer {
+	t.Helper()
+	w, err := store.NewWriter(origin, store.New(), time.Now, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	return w
+}
+
+func TestPendingDeltaPushCoalescing(t *testing.T) {
+	w := testWriter(t, "w")
+	v1 := w.Put("k", []byte("one"))
+	v2 := w.Put("k", []byte("two")) // dominates v1
+	other := w.Put("other", []byte("x"))
+
+	p := newPendingDelta()
+	if c, d := p.addPush(v1, 1); c != 0 || d != v1.SizeBytes() {
+		t.Fatalf("first deposit coalesced %d, delta %d", c, d)
+	}
+	if c, _ := p.addPush(other, 1); c != 0 {
+		t.Fatalf("unrelated key coalesced %d", c)
+	}
+	// The newer version displaces the pending dominated one.
+	if c, d := p.addPush(v2, 2); c != 1 || d != v2.SizeBytes()-v1.SizeBytes() {
+		t.Fatalf("displacing deposit coalesced %d, delta %d", c, d)
+	}
+	if _, ok := p.entries[v1.Ref()]; ok {
+		t.Fatal("dominated push still pending after displacement")
+	}
+	// A dominated version arriving late is absorbed without growing state.
+	if c, d := p.addPush(v1, 3); c != 1 || d != 0 {
+		t.Fatalf("absorbed deposit coalesced %d, delta %d", c, d)
+	}
+	// Same ref again only refreshes the round counter.
+	if c, d := p.addPush(v2, 9); c != 1 || d != 0 {
+		t.Fatalf("same-ref deposit coalesced %d, delta %d", c, d)
+	}
+	if got := p.entries[v2.Ref()].t; got != 9 {
+		t.Fatalf("round counter %d, want refreshed 9", got)
+	}
+	if len(p.entries) != 2 {
+		t.Fatalf("%d entries pending, want v2 and other", len(p.entries))
+	}
+	if want := v2.SizeBytes() + other.SizeBytes(); p.bytes != want {
+		t.Fatalf("tracked %dB, want %dB", p.bytes, want)
+	}
+}
+
+func TestPendingDeltaPullRespMerge(t *testing.T) {
+	p := newPendingDelta()
+	if c, _ := p.addPullResp(version.Clock{"a": 5, "b": 3}, []string{"x"}); c != 0 {
+		t.Fatalf("first pull response coalesced %d", c)
+	}
+	// Merging takes the pointwise minimum; an origin missing from either
+	// side counts as zero and drops out. The peer sample is the newest one.
+	if c, _ := p.addPullResp(version.Clock{"a": 2, "c": 9}, []string{"y"}); c != 1 {
+		t.Fatalf("second pull response coalesced %d", c)
+	}
+	if len(p.pullRespClock) != 1 || p.pullRespClock["a"] != 2 {
+		t.Fatalf("merged clock %v, want {a:2}", p.pullRespClock)
+	}
+	if len(p.pullRespPeers) != 1 || p.pullRespPeers[0] != "y" {
+		t.Fatalf("merged peers %v, want the newest sample", p.pullRespPeers)
+	}
+	// Idempotent flag classes dedup too.
+	if c, _ := p.addPullReq(); c != 0 {
+		t.Fatalf("first pull request coalesced %d", c)
+	}
+	if c, d := p.addPullReq(); c != 1 || d != 0 {
+		t.Fatalf("repeat pull request coalesced %d, delta %d", c, d)
+	}
+	ref := store.Ref{Origin: "o", Seq: 1}
+	if c, _ := p.addAck(ref); c != 0 {
+		t.Fatalf("first ack coalesced %d", c)
+	}
+	if c, d := p.addAck(ref); c != 1 || d != 0 {
+		t.Fatalf("repeat ack coalesced %d, delta %d", c, d)
+	}
+}
+
+func TestPendingDeltaAuxCap(t *testing.T) {
+	p := newPendingDelta()
+	dropped := 0
+	for i := 0; i < maxPendingAux+7; i++ {
+		env := wire.Envelope{Kind: wire.KindQuery, Key: fmt.Sprintf("q-%d", i)}
+		d, _ := p.addAux(env)
+		dropped += d
+	}
+	if dropped != 7 {
+		t.Fatalf("%d aux envelopes dropped, want 7 beyond the cap", dropped)
+	}
+	if len(p.aux) != maxPendingAux {
+		t.Fatalf("%d aux pending, want the cap %d", len(p.aux), maxPendingAux)
+	}
+	// Oldest dropped first: the survivors start at q-7.
+	if p.aux[0].Key != "q-7" {
+		t.Fatalf("oldest surviving aux %q, want q-7", p.aux[0].Key)
+	}
+}
+
+// TestSlowConsumerBoundedPending wedges one consumer completely — it accepts
+// the publisher's connection and never reads a byte — while the publisher
+// overwrites a small hot key set far past what any bounded queue would hold.
+// The fast peer must still converge (slow-consumer isolation), deposits must
+// visibly coalesce, and the publisher's peak pending sender memory must stay
+// within a small multiple of the final live state, not the published
+// traffic.
+func TestSlowConsumerBoundedPending(t *testing.T) {
+	sink, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	var sinkMu sync.Mutex
+	var sinkConns []net.Conn
+	defer func() {
+		sinkMu.Lock()
+		defer sinkMu.Unlock()
+		for _, c := range sinkConns {
+			c.Close()
+		}
+	}()
+	go func() {
+		for {
+			c, err := sink.Accept()
+			if err != nil {
+				return
+			}
+			sinkMu.Lock()
+			sinkConns = append(sinkConns, c) // held open, never read
+			sinkMu.Unlock()
+		}
+	}()
+
+	fastTr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fastTr.Close()
+	fast, err := NewReplica(Config{Fanout: 0, PullAttempts: 0, Seed: 2}, fastTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast.Start()
+	defer fast.Stop()
+
+	rec := &recordingMetrics{}
+	pubTr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := NewReplica(Config{
+		Fanout:       2,
+		PartialList:  true,
+		PullAttempts: 0,
+		Seed:         1,
+		Metrics:      rec,
+	}, pubTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.AddPeers(fastTr.Addr(), sink.Addr().String())
+	pub.Start()
+	// The sink never drains, so its sender can be parked in a write at
+	// Stop time: close the transport first to error the write out, then
+	// stop the replica.
+	defer pub.Stop()
+	defer pubTr.Close()
+
+	const keys, rounds = 8, 500
+	final := make([]store.Update, keys)
+	var totalTraffic int64
+	for i := 0; i < rounds; i++ {
+		for k := 0; k < keys; k++ {
+			u := pub.Publish(fmt.Sprintf("hot-%d", k), []byte(fmt.Sprintf("v%d", i)))
+			final[k] = u
+			totalTraffic += int64(u.SizeBytes())
+		}
+	}
+
+	want := fmt.Sprintf("v%d", rounds-1)
+	eventually(t, 10*time.Second, func() bool {
+		for k := 0; k < keys; k++ {
+			rev, ok := fast.Get(fmt.Sprintf("hot-%d", k))
+			if !ok || string(rev.Value) != want {
+				return false
+			}
+		}
+		return true
+	}, "fast peer starved behind a wedged consumer")
+
+	if rec.observed()[MetricSendCoalesced] == 0 {
+		t.Fatal("no deposit ever coalesced; the wedged link exerted no backpressure")
+	}
+	var liveBytes int64
+	for _, u := range final {
+		liveBytes += int64(u.SizeBytes())
+	}
+	_, peak := pub.PendingSendBytes()
+	// O(state), with slack for both destinations' transient pending and the
+	// byte-estimate constants — and far below the published traffic.
+	bound := 4*liveBytes + 64<<10
+	if peak > bound {
+		t.Fatalf("peak pending %dB exceeds live-state bound %dB (live %dB)", peak, bound, liveBytes)
+	}
+	if totalTraffic < 4*bound {
+		t.Fatalf("fixture too small: %dB published vs bound %dB — bound proves nothing", totalTraffic, bound)
+	}
+}
+
+// TestPeerRestartReceivesMergedNewestState kills a peer, keeps publishing
+// into its absence (deposits merge, rendered sends fail), restarts it on the
+// same address, and asserts it ends up with the newest state — late-bound
+// rendering plus pull anti-entropy make the whole outage repairable, with no
+// writer queue to replay stale frames from.
+func TestPeerRestartReceivesMergedNewestState(t *testing.T) {
+	cfg := Config{
+		Fanout:       1,
+		PartialList:  true,
+		PullAttempts: 1,
+		PullInterval: 10 * time.Millisecond,
+	}
+
+	aTr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aTr.Close()
+	ca := cfg
+	ca.Seed = 1
+	a, err := NewReplica(ca, aTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	defer a.Stop()
+
+	bTr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := bTr.Addr()
+	cb := cfg
+	cb.Seed = 2
+	b1, err := NewReplica(cb, bTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1.AddPeers(aTr.Addr())
+	b1.Start()
+
+	a.AddPeers(addrB)
+	a.Publish("k", []byte("v1"))
+	eventually(t, 5*time.Second, func() bool {
+		rev, ok := b1.Get("k")
+		return ok && string(rev.Value) == "v1"
+	}, "first revision never reached the peer")
+
+	// Crash the peer. The publisher keeps overwriting: its pending delta
+	// for addrB merges to the newest version and rendered sends fail
+	// against the dead address.
+	b1.Stop()
+	bTr.Close()
+	for i := 2; i <= 6; i++ {
+		a.Publish("k", []byte(fmt.Sprintf("v%d", i)))
+	}
+
+	// Restart on the same address (retry the bind: the kernel may briefly
+	// hold the port).
+	var bTr2 *TCPTransport
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		bTr2, err = ListenTCP(addrB)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addrB, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer bTr2.Close()
+	cb2 := cfg
+	cb2.Seed = 9
+	b2, err := NewReplica(cb2, bTr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2.AddPeers(aTr.Addr())
+	b2.Start()
+	defer b2.Stop()
+
+	a.Publish("k", []byte("v7"))
+	eventually(t, 5*time.Second, func() bool {
+		rev, ok := b2.Get("k")
+		return ok && string(rev.Value) == "v7"
+	}, "restarted peer never received the newest revision")
+	eventually(t, 5*time.Second, func() bool {
+		return b2.Store().Equal(a.Store())
+	}, "restarted peer never reconciled the revisions it missed")
+}
+
+// TestDisconnectMidCoalesceDropsOnlyItsPending hammers a replica with
+// concurrent publishers while one of its two peers churns connections —
+// accepting and immediately closing, then disappearing entirely. The
+// healthy peer must converge on every final value, and once the flood stops
+// the publisher's pending gauge must return to zero: the dead peer's
+// pending state is dropped with it, nobody else's. Run it under -race (make
+// race) — the deposit/deliver/redial interleavings are the point.
+func TestDisconnectMidCoalesceDropsOnlyItsPending(t *testing.T) {
+	churn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer churn.Close()
+	go func() {
+		for {
+			c, err := churn.Accept()
+			if err != nil {
+				return
+			}
+			// Read a little, then slam the connection shut mid-stream.
+			buf := make([]byte, 64)
+			c.Read(buf)
+			c.Close()
+		}
+	}()
+
+	healthyTr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthyTr.Close()
+	healthy, err := NewReplica(Config{Fanout: 0, PullAttempts: 0, Seed: 2}, healthyTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy.Start()
+	defer healthy.Stop()
+
+	pubTr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := NewReplica(Config{
+		Fanout:       2,
+		PartialList:  true,
+		PullAttempts: 0,
+		Seed:         1,
+	}, pubTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.AddPeers(healthyTr.Addr(), churn.Addr().String())
+	pub.Start()
+	defer pub.Stop()
+	defer pubTr.Close()
+
+	const publishers, perPublisher, keysPer = 3, 300, 8
+	var wg sync.WaitGroup
+	for g := 0; g < publishers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				pub.Publish(fmt.Sprintf("g%d-k%d", g, i%keysPer), []byte(fmt.Sprintf("v%d", i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The churning peer disconnects for good mid-coalesce.
+	churn.Close()
+
+	eventually(t, 10*time.Second, func() bool {
+		for g := 0; g < publishers; g++ {
+			for k := 0; k < keysPer; k++ {
+				// Final value of key k: the last i in [0,perPublisher) with
+				// i % keysPer == k.
+				last := (perPublisher-1-k)/keysPer*keysPer + k
+				rev, ok := pub.Get(fmt.Sprintf("g%d-k%d", g, k))
+				if !ok || string(rev.Value) != fmt.Sprintf("v%d", last) {
+					return false
+				}
+				rev, ok = healthy.Get(fmt.Sprintf("g%d-k%d", g, k))
+				if !ok || string(rev.Value) != fmt.Sprintf("v%d", last) {
+					return false
+				}
+			}
+		}
+		return true
+	}, "healthy peer missed final values behind a churning sibling")
+
+	eventually(t, 10*time.Second, func() bool {
+		current, _ := pub.PendingSendBytes()
+		return current == 0
+	}, "pending gauge never drained after the churning peer died")
+}

@@ -17,12 +17,12 @@ const dialTimeout = 2 * time.Second
 
 // writeTimeout bounds the delivery of one outbound batch. A peer that keeps
 // the connection open but stops reading (stalled process, dead NAT entry)
-// would otherwise let the queue and then the TCP window absorb traffic
-// forever; the deadline turns the stall into a write error and the
-// connection is evicted like any other dead one.
+// would otherwise let the TCP window absorb traffic forever; the deadline
+// turns the stall into a write error and the connection is evicted like any
+// other dead one.
 const writeTimeout = 10 * time.Second
 
-// errConnDead marks a pooled connection whose writer has already failed.
+// errConnDead marks a pooled connection that has already failed.
 var errConnDead = errors.New("live: pooled connection dead")
 
 // maxPooledConns caps the outbound connection pool, and maxInboundConns the
@@ -36,23 +36,21 @@ const (
 	maxInboundConns = 512
 )
 
-// outboundQueueLen is the per-connection frame queue. It only needs to
-// absorb bursts between writer wakeups; a full queue applies backpressure
-// to senders (bounded by writeTimeout).
-const outboundQueueLen = 256
-
 // connBufBytes sizes the per-connection read and write buffers.
 const connBufBytes = 32 << 10
 
 // TCPTransport sends and receives envelopes over TCP. Connections to each
-// destination are pooled; each pooled connection runs a writer goroutine
-// draining a queue of pre-encoded frames (wire.Frame), so a send is one
-// encode — shared across an entire fanout via SendFrame — plus one queue
-// hop, and consecutive frames to the same peer coalesce into a single
-// buffered write and flush. Failed dials stay cheap (one timeout, reported
-// synchronously); when a pooled connection turns out to be stale the writer
-// redials once and replays the unflushed frames, so a single peer outage
-// costs one redial rather than a lost batch.
+// destination are pooled; a send writes its pre-encoded frames (wire.Frame)
+// straight through the pooled connection's buffered writer — one flush per
+// batch — and blocks until the socket accepts them, bounded by writeTimeout.
+// There is no per-connection queue: backpressure from a slow peer surfaces
+// synchronously to the caller, which is exactly what the replica's
+// per-peer coalescing senders (sender.go) absorb — each destination has one
+// sending goroutine, so a stalled link parks that goroutine alone while its
+// outbound state merges instead of queueing. Failed dials stay cheap (one
+// timeout, reported synchronously); when a pooled connection turns out to
+// be stale the sender redials once and replays the unflushed frames, so a
+// single peer outage costs one redial rather than a lost batch.
 type TCPTransport struct {
 	listener net.Listener
 
@@ -78,30 +76,30 @@ type TCPTransport struct {
 }
 
 var (
-	_ Transport   = (*TCPTransport)(nil)
-	_ FrameSender = (*TCPTransport)(nil)
+	_ Transport        = (*TCPTransport)(nil)
+	_ FrameSender      = (*TCPTransport)(nil)
+	_ FrameBatchSender = (*TCPTransport)(nil)
 )
 
-// pooledConn is one outbound connection: an inline fast path plus a frame
-// queue drained by a writer goroutine. At any moment at most one goroutine
-// owns the socket (writing == true): a sender that finds the connection
-// idle writes its frame inline — no handoff, minimum latency — while
-// senders arriving during a write queue their frames for the writer
-// goroutine, which drains the whole backlog as one buffered write and a
-// single flush. The queue is bounded; a full queue blocks senders up to
-// writeTimeout (backpressure) before the connection is declared stalled.
+// pooledConn is one outbound connection. Writers serialise on wmu and write
+// their frames synchronously — the socket itself is the queue, and a slow
+// peer blocks its (single, coalescing) sender goroutine rather than growing
+// a frame backlog. The state mutex only guards the pointer swaps (the one
+// redial, shutdown's unblocking Close) and the terminal flags.
 type pooledConn struct {
 	to string
 
-	mu      sync.Mutex
-	cond    sync.Cond
-	buf     []*wire.Frame // queued frames, each retained by the queue
-	writing bool          // some goroutine owns the socket right now
-	dead    bool          // terminal: no further sends accepted
-	stopped bool          // shutdown requested (Close, eviction)
+	// wmu admits one writing goroutine at a time. Concurrent direct users
+	// of the transport serialise here; the replica's per-peer senders never
+	// contend (one goroutine per destination).
+	wmu sync.Mutex
 
-	// conn and bw are used by the current owner; the mutex only guards the
-	// pointer swaps (the owner's one redial, shutdown's unblocking Close).
+	mu      sync.Mutex
+	dead    bool // terminal: no further sends accepted
+	stopped bool // shutdown requested (Close, eviction)
+
+	// conn and bw belong to the current wmu holder; the mutex above guards
+	// the pointer swaps.
 	conn     net.Conn
 	bw       *bufio.Writer
 	redialed bool
@@ -114,84 +112,39 @@ type pooledConn struct {
 }
 
 func newPooledConn(to string, conn net.Conn) *pooledConn {
-	pc := &pooledConn{
+	return &pooledConn{
 		to:   to,
 		conn: conn,
 		bw:   bufio.NewWriterSize(conn, connBufBytes),
 	}
-	pc.cond.L = &pc.mu
-	return pc
 }
 
-// shutdown asks the writer to exit and unblocks any in-flight write;
-// idempotent.
+// shutdown closes the socket, unblocking any in-flight write; idempotent.
 func (pc *pooledConn) shutdown() {
 	pc.mu.Lock()
 	pc.stopped = true
 	pc.conn.Close()
-	pc.cond.Broadcast()
 	pc.mu.Unlock()
 }
 
-// send delivers one frame: inline when the connection is idle, queued for
-// the writer goroutine otherwise.
-func (pc *pooledConn) send(f *wire.Frame) error {
+// send writes one batch of frames, blocking until the socket has absorbed
+// them (bounded by writeTimeout) — the transport's backpressure surface.
+func (pc *pooledConn) send(frames []*wire.Frame) error {
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
 	pc.mu.Lock()
 	if pc.dead || pc.stopped {
 		pc.mu.Unlock()
 		return errConnDead
 	}
-	if !pc.writing && len(pc.buf) == 0 {
-		// Idle connection: own the socket and write without a handoff.
-		pc.writing = true
-		pc.mu.Unlock()
-		one := [1]*wire.Frame{f}
-		err := pc.writeOwned(one[:])
-		pc.mu.Lock()
-		pc.writing = false
-		if err != nil {
-			pc.dead = true
-		}
-		if len(pc.buf) > 0 || pc.dead {
-			pc.cond.Broadcast() // hand queued frames (or cleanup) to the writer
-		}
-		pc.mu.Unlock()
-		if err != nil {
-			return err
-		}
-		return nil
-	}
-	// Busy connection: queue for the writer's next batch, blocking only
-	// when the queue is full.
-	if len(pc.buf) >= outboundQueueLen {
-		var timedOut atomic.Bool
-		timer := time.AfterFunc(writeTimeout, func() {
-			timedOut.Store(true)
-			pc.mu.Lock()
-			pc.cond.Broadcast()
-			pc.mu.Unlock()
-		})
-		for len(pc.buf) >= outboundQueueLen && !pc.dead && !pc.stopped && !timedOut.Load() {
-			pc.cond.Wait()
-		}
-		timer.Stop()
-		if len(pc.buf) >= outboundQueueLen && !pc.dead && !pc.stopped {
-			// The peer absorbed nothing for a whole writeTimeout: stalled.
-			pc.dead = true
-			pc.cond.Broadcast()
-			pc.mu.Unlock()
-			return fmt.Errorf("live: send queue to %s stalled", pc.to)
-		}
-	}
-	if pc.dead || pc.stopped {
-		pc.mu.Unlock()
-		return errConnDead
-	}
-	f.Retain()
-	pc.buf = append(pc.buf, f)
-	pc.cond.Broadcast()
 	pc.mu.Unlock()
-	return nil
+	err := pc.writeOwned(frames)
+	if err != nil {
+		pc.mu.Lock()
+		pc.dead = true
+		pc.mu.Unlock()
+	}
+	return err
 }
 
 // writeOwned writes one batch as the socket's current owner, redialling
@@ -214,9 +167,6 @@ func (pc *pooledConn) writeOwned(batch []*wire.Frame) error {
 		return nil
 	} else {
 		pc.mu.Lock()
-		// dead counts like stopped: a queue-stall verdict means writeLoop
-		// has (or will have) torn the connection down — installing a fresh
-		// socket into the evicted pooledConn would leak it.
 		if pc.stopped || pc.dead || pc.redialed {
 			pc.mu.Unlock()
 			return err
@@ -272,7 +222,7 @@ func (t *TCPTransport) SetHandler(h Handler) {
 	t.handlerAtomic.Store(h)
 }
 
-// Send implements Transport: encode once, queue on the destination's
+// Send implements Transport: encode once, write on the destination's
 // connection.
 func (t *TCPTransport) Send(to string, env wire.Envelope) error {
 	f, err := wire.NewFrame(&env)
@@ -283,13 +233,21 @@ func (t *TCPTransport) Send(to string, env wire.Envelope) error {
 	return t.SendFrame(to, f)
 }
 
-// SendFrame implements FrameSender: queue a pre-encoded frame on the pooled
-// connection to the destination, dialling one if absent (dial failures are
-// reported synchronously). The frame is retained for as long as the
-// transport needs it; the caller keeps its own reference. A connection whose
-// writer has already died is replaced by one guaranteed-fresh dial before
-// the send is reported failed.
+// SendFrame implements FrameSender: write one pre-encoded frame to the
+// pooled connection to the destination, dialling one if absent (dial
+// failures are reported synchronously). The call blocks until the socket
+// absorbs the frame, bounded by writeTimeout. A connection that has already
+// died is replaced by one guaranteed-fresh dial before the send is reported
+// failed.
 func (t *TCPTransport) SendFrame(to string, f *wire.Frame) error {
+	one := [1]*wire.Frame{f}
+	return t.SendFrames(to, one[:])
+}
+
+// SendFrames implements FrameBatchSender: write a batch of pre-encoded
+// frames to one destination through a single buffered write and flush —
+// a coalesced delta to one peer is one syscall, not one per envelope.
+func (t *TCPTransport) SendFrames(to string, fs []*wire.Frame) error {
 	t.mu.RLock()
 	closed := t.closed
 	t.mu.RUnlock()
@@ -300,17 +258,18 @@ func (t *TCPTransport) SendFrame(to string, f *wire.Frame) error {
 	if err != nil {
 		return err
 	}
-	if err := pc.send(f); err == nil {
+	if err := pc.send(fs); err == nil {
 		return nil
 	}
-	// The pooled connection died under us (its writer failed or a racing
-	// sender stalled it): retry exactly once on a connection this call
-	// dialled itself.
+	// The pooled connection died under us (its owner's write failed, or it
+	// was evicted): retry exactly once on a connection this call dialled
+	// itself.
+	t.evictConn(pc)
 	pc, err = t.dialAndPool(to, true)
 	if err != nil {
 		return err
 	}
-	if err := pc.send(f); err != nil {
+	if err := pc.send(fs); err != nil {
 		return fmt.Errorf("live: send to %s: %w", to, err)
 	}
 	return nil
@@ -327,10 +286,10 @@ func (t *TCPTransport) conn(to string) (*pooledConn, error) {
 	return t.dialAndPool(to, false)
 }
 
-// dialAndPool dials `to`, installs the connection in the pool, and starts
-// its writer. With replace set an existing entry is displaced (the retry
-// path, which must not reuse a possibly-dead pooled connection); without it
-// a concurrently pooled connection wins and the fresh dial is discarded.
+// dialAndPool dials `to` and installs the connection in the pool. With
+// replace set an existing entry is displaced (the retry path, which must not
+// reuse a possibly-dead pooled connection); without it a concurrently pooled
+// connection wins and the fresh dial is discarded.
 func (t *TCPTransport) dialAndPool(to string, replace bool) (*pooledConn, error) {
 	raw, err := net.DialTimeout("tcp", to, dialTimeout)
 	if err != nil {
@@ -362,9 +321,7 @@ func (t *TCPTransport) dialAndPool(to string, replace bool) (*pooledConn, error)
 		}
 	}
 	t.pool[to] = pc
-	t.wg.Add(1)
 	t.poolMu.Unlock()
-	go t.writeLoop(pc)
 	for _, vc := range displaced {
 		vc.shutdown()
 	}
@@ -372,61 +329,14 @@ func (t *TCPTransport) dialAndPool(to string, replace bool) (*pooledConn, error)
 }
 
 // evictConn drops a connection from the pool if it is still the pooled one
-// (a racing send may already have replaced it).
+// (a racing send may already have replaced it) and closes its socket.
 func (t *TCPTransport) evictConn(pc *pooledConn) {
 	t.poolMu.Lock()
 	if t.pool[pc.to] == pc {
 		delete(t.pool, pc.to)
 	}
 	t.poolMu.Unlock()
-}
-
-// writeLoop drains one connection's backlog: each wakeup takes every queued
-// frame, writes the whole batch through one buffered writer, and ends with
-// a single flush — a fanout burst to the same peer is one syscall, not one
-// per envelope. Idle-connection sends bypass the loop entirely (the inline
-// path in pooledConn.send); the loop exists for what arrives while the
-// socket is busy.
-func (t *TCPTransport) writeLoop(pc *pooledConn) {
-	defer t.wg.Done()
-	for {
-		pc.mu.Lock()
-		for !pc.dead && !pc.stopped && (len(pc.buf) == 0 || pc.writing) {
-			pc.cond.Wait()
-		}
-		if pc.dead || pc.stopped {
-			// Terminal: mark dead under the lock so no sender queues behind
-			// this drain, then release the backlog and the socket.
-			pc.dead = true
-			buf := pc.buf
-			pc.buf = nil
-			conn := pc.conn
-			pc.cond.Broadcast()
-			pc.mu.Unlock()
-			for _, f := range buf {
-				f.Release()
-			}
-			conn.Close()
-			t.evictConn(pc)
-			return
-		}
-		batch := pc.buf
-		pc.buf = nil
-		pc.writing = true
-		pc.cond.Broadcast() // queue space freed: unblock backpressured senders
-		pc.mu.Unlock()
-		err := pc.writeOwned(batch)
-		for _, f := range batch {
-			f.Release()
-		}
-		pc.mu.Lock()
-		pc.writing = false
-		if err != nil {
-			pc.dead = true
-		}
-		pc.cond.Broadcast()
-		pc.mu.Unlock()
-	}
+	pc.shutdown()
 }
 
 // writeBatch writes the frames through bw and flushes once. The write
@@ -450,7 +360,7 @@ func (pc *pooledConn) writeBatch(conn net.Conn, bw *bufio.Writer, frames []*wire
 }
 
 // Close implements Transport: stops accepting, tears down pooled and
-// inbound connections, and waits for the writer and serve goroutines.
+// inbound connections, and waits for the serve goroutines.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -473,7 +383,7 @@ func (t *TCPTransport) Close() error {
 	}
 	t.poolMu.Unlock()
 	for _, pc := range conns {
-		pc.shutdown() // also closes the socket: unblocks mid-batch writes
+		pc.shutdown() // closes the socket: unblocks mid-batch writes
 	}
 
 	err := t.listener.Close()

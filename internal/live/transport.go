@@ -46,6 +46,15 @@ type FrameSender interface {
 	SendFrame(to string, f *wire.Frame) error
 }
 
+// FrameBatchSender is implemented by transports that can deliver several
+// pre-encoded frames to one destination as a single write+flush. The
+// coalescing per-peer senders use it so that an entire merged delta — pushes,
+// a pull response, acks — costs one syscall on the wire. The frames are only
+// borrowed for the duration of the call.
+type FrameBatchSender interface {
+	SendFrames(to string, fs []*wire.Frame) error
+}
+
 // Hub is an in-memory message fabric connecting MemTransports. It supports
 // taking endpoints "offline" — sends to them fail, mirroring the paper's
 // unreliable peers — and is safe for concurrent use.

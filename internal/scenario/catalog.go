@@ -69,6 +69,7 @@ func Catalog() []Scenario {
 		flappingPartition(),
 		massCrashRestart(),
 		slowLinkSkew(),
+		slowLinkSkewThrottled(),
 		combinedChaos(),
 		longAbsentRejoiner(),
 		unboundedHistorySoak(),
@@ -386,6 +387,34 @@ func slowLinkSkew() Scenario {
 		OverheadFactor: 5,
 		AnalyticSigma:  1,
 	}
+}
+
+// slowLinkSkewThrottled reruns slowLinkSkew's fault plane and workload with
+// a hard per-destination link budget and the coalescing senders it enables:
+// over-budget traffic merges into per-destination pending deltas (the
+// simulator mirror of the live runtime's per-peer senders) instead of
+// queueing. On top of the core invariants — delivery and convergence must
+// still hold through links that refuse most of the offered traffic — it
+// asserts the coalescing memory bound: no pending delta ever exceeds a
+// small multiple of the live key count, however much traffic was refused.
+func slowLinkSkewThrottled() Scenario {
+	sc := slowLinkSkew()
+	sc.Name = "slow-link-skew-throttled"
+	sc.Description = "slow-link-skew + hot-key overwrites under a 1 msg/round/dest link budget; coalescing senders stay O(state)"
+	// One message per destination per round: any round in which a peer owes
+	// a destination a push plus an ack, a pull exchange, or several hot-key
+	// versions must coalesce the excess rather than emit it.
+	sc.Config.LinkBudget = 1
+	sc.SenderBoundFactor = 2
+	// Sustained overwrites of a small hot-key set: the newest-version-wins
+	// merge rule is what keeps pending deltas from growing with the 40
+	// publishes — the invariant bound is stated in distinct keys (8).
+	sc.Workload = overwrites(40, 8, sc.N, -1)
+	sc.OverheadFactor = 6
+	// Budgeted links trickle: give anti-entropy a longer stable tail to
+	// finish the merge.
+	sc.SettleRounds = 40
+	return sc
 }
 
 // combinedChaos stacks everything: churn, loss, slow edges, a partition, a

@@ -40,7 +40,36 @@ func checkInvariants(sc Scenario, net *gossip.Network, en *simnet.Engine,
 	if sc.RejoinByteFactor > 0 {
 		invs = append(invs, checkRejoinBytes(sc, net, online, res))
 	}
+	if sc.SenderBoundFactor > 0 {
+		invs = append(invs, checkSenderBound(sc, net, res))
+	}
 	return invs
+}
+
+// checkSenderBound: under a link budget, the coalescing senders merge
+// over-budget traffic instead of queueing it, so the largest pending delta
+// any peer ever held for one destination must stay within SenderBoundFactor
+// × (distinct workload keys + 2): at most one coalesced push per live
+// key branch plus the idempotent pull-request/pull-response intents —
+// O(live state), however much traffic the throttled link refused.
+func checkSenderBound(sc Scenario, net *gossip.Network, res Result) InvariantResult {
+	keys := make(map[string]bool, len(sc.Workload))
+	for _, p := range sc.Workload {
+		keys[p.Key] = true
+	}
+	bound := int(sc.SenderBoundFactor * float64(len(keys)+2))
+	worst, worstPeer := 0, -1
+	for i, p := range net.Peers {
+		if n := p.PeakPendingPerDest(); n > worst {
+			worst, worstPeer = n, i
+		}
+	}
+	return InvariantResult{
+		Name:   "bounded-sender-pending",
+		Passed: worst <= bound,
+		Detail: fmt.Sprintf("worst per-destination pending %d items (peer %d) vs bound %d (factor %g × (%d keys + 2 intents)); %d published under link budget %d",
+			worst, worstPeer, bound, sc.SenderBoundFactor, len(keys), len(sc.Workload), sc.Config.LinkBudget),
+	}
 }
 
 // checkDelivery: every published update (tombstones included — death

@@ -93,6 +93,12 @@ type Scenario struct {
 	// ExpectSnapshots, when positive, adds the snapshot-catch-up invariant:
 	// exactly this many snapshot transfers must have happened.
 	ExpectSnapshots int
+	// SenderBoundFactor, when positive, adds the bounded-sender-pending
+	// invariant: no peer's per-destination coalesced pending delta may ever
+	// exceed SenderBoundFactor × (distinct workload keys + 2) items — the
+	// sender memory stays O(live state), not O(traffic shipped through a
+	// throttled link). Requires Config.LinkBudget > 0.
+	SenderBoundFactor float64
 }
 
 // Validate reports whether the scenario is runnable.
@@ -118,6 +124,10 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("scenario %s: rejoin byte factor %g negative", s.Name, s.RejoinByteFactor)
 	case s.ExpectSnapshots < 0:
 		return fmt.Errorf("scenario %s: expected snapshots %d negative", s.Name, s.ExpectSnapshots)
+	case s.SenderBoundFactor < 0:
+		return fmt.Errorf("scenario %s: sender bound factor %g negative", s.Name, s.SenderBoundFactor)
+	case s.SenderBoundFactor > 0 && s.Config.LinkBudget <= 0:
+		return fmt.Errorf("scenario %s: sender bound factor without a link budget", s.Name)
 	}
 	for i, p := range s.Workload {
 		if p.Round < 0 || p.Round >= s.FaultRounds+s.SettleRounds {
@@ -140,28 +150,33 @@ type InvariantResult struct {
 // Result is the machine-readable outcome of one scenario run. Same scenario
 // and seed ⇒ byte-identical JSON (no timestamps, no map-order dependence).
 type Result struct {
-	Scenario        string            `json:"scenario"`
-	Description     string            `json:"description"`
-	Seed            int64             `json:"seed"`
-	N               int               `json:"n"`
-	Rounds          int               `json:"rounds"`
-	Published       int               `json:"published"`
-	Updates         []string          `json:"updates"`
-	FinalOnline     int               `json:"final_online"`
-	Messages        int64             `json:"messages"`
-	MessagesOffline int64             `json:"messages_offline"`
-	MessagesDropped int64             `json:"messages_dropped"`
-	Bytes           int64             `json:"bytes"`
-	Pushes          int64             `json:"pushes"`
-	PushBytes       int64             `json:"push_bytes"`
-	Duplicates      int64             `json:"duplicates"`
-	PullRequests    int64             `json:"pull_requests"`
-	PullUpdates     int64             `json:"pull_updates"`
-	Snapshots       int64             `json:"snapshots"`
-	SnapshotBytes   int64             `json:"snapshot_bytes"`
-	LogCompacted    int64             `json:"log_compacted"`
-	Invariants      []InvariantResult `json:"invariants"`
-	Passed          bool              `json:"passed"`
+	Scenario        string   `json:"scenario"`
+	Description     string   `json:"description"`
+	Seed            int64    `json:"seed"`
+	N               int      `json:"n"`
+	Rounds          int      `json:"rounds"`
+	Published       int      `json:"published"`
+	Updates         []string `json:"updates"`
+	FinalOnline     int      `json:"final_online"`
+	Messages        int64    `json:"messages"`
+	MessagesOffline int64    `json:"messages_offline"`
+	MessagesDropped int64    `json:"messages_dropped"`
+	Bytes           int64    `json:"bytes"`
+	Pushes          int64    `json:"pushes"`
+	PushBytes       int64    `json:"push_bytes"`
+	Duplicates      int64    `json:"duplicates"`
+	PullRequests    int64    `json:"pull_requests"`
+	PullUpdates     int64    `json:"pull_updates"`
+	Snapshots       int64    `json:"snapshots"`
+	SnapshotBytes   int64    `json:"snapshot_bytes"`
+	LogCompacted    int64    `json:"log_compacted"`
+	// SenderPeakPending is the largest per-destination coalesced pending
+	// delta any peer accumulated; only set (and serialised) when the
+	// scenario runs with a link budget, so legacy result files are
+	// byte-stable.
+	SenderPeakPending int               `json:"sender_peak_pending,omitempty"`
+	Invariants        []InvariantResult `json:"invariants"`
+	Passed            bool              `json:"passed"`
 }
 
 // settleAfter wraps an availability process and forces every peer online from
@@ -316,6 +331,13 @@ func Run(sc Scenario, seed int64) (Result, error) {
 		Snapshots:       int64(reg.Counter(gossip.MetricSnapshots)),
 		SnapshotBytes:   int64(reg.Counter(gossip.MetricSnapshotBytes)),
 		LogCompacted:    int64(reg.Counter(gossip.MetricLogCompacted)),
+	}
+	if sc.Config.LinkBudget > 0 {
+		for _, p := range net.Peers {
+			if n := p.PeakPendingPerDest(); n > res.SenderPeakPending {
+				res.SenderPeakPending = n
+			}
+		}
 	}
 	for _, u := range published {
 		res.Updates = append(res.Updates, u.ID())
