@@ -2,13 +2,13 @@
 # .github/workflows/ci.yml.
 
 # The perf-trajectory file emitted by `make bench` (one per perf PR).
-BENCH_PR ?= 9
+BENCH_PR ?= 10
 BENCH_TIME ?= 300ms
 # bench-compare reruns the baseline's benchmarks at this benchtime; short
 # keeps the CI gate fast, the 25% threshold absorbs the extra noise.
 COMPARE_TIME ?= 200ms
 
-.PHONY: build test race bench bench-smoke bench-compare scenarios daemon soak
+.PHONY: build test race bench bench-smoke bench-compare scenarios daemon soak soak-durable
 
 build:
 	go build ./...
@@ -32,7 +32,8 @@ bench:
 # race-enabled, so the perf baseline cannot rot.
 bench-smoke:
 	go test -race -run '^$$' -bench . -benchtime=1x \
-		./internal/engine/ ./internal/store/ ./internal/wire/ ./internal/live/ .
+		./internal/engine/ ./internal/store/ ./internal/wire/ ./internal/live/ \
+		./internal/wal/ .
 
 # bench-compare is the CI perf gate: rerun the committed baseline's
 # benchmarks and fail if ns/op or allocs/op regress more than 25% anywhere.
@@ -56,4 +57,11 @@ daemon:
 # SOAK_OUT=<file> to keep the final scraped states as JSON. Drop -short
 # for the full version (5 processes, 2 kill cycles, a joining member).
 soak:
-	go test -race -short -v -run TestClusterSoak ./internal/cluster/
+	go test -race -short -v -run 'TestClusterSoak$$' ./internal/cluster/
+
+# soak-durable is the durability chaos soak: every member runs with a
+# write-ahead log, a victim is SIGKILLed while a write burst is in flight,
+# its WAL tail is torn, and it must recover from disk alone holding every
+# write it acknowledged. Drop -short for more members and kill cycles.
+soak-durable:
+	go test -race -short -v -run TestClusterSoakDurable ./internal/cluster/

@@ -94,6 +94,48 @@ func TestCompareCustomUnits(t *testing.T) {
 	}
 }
 
+func TestCompareIOBoundSkipsTimeButGatesAllocs(t *testing.T) {
+	base := []Result{{
+		Package: "./internal/wal", Name: "BenchmarkWALAppend/always",
+		NsPerOp: 200000, BytesPerOp: 0, AllocsPerOp: 0, IOBound: true,
+		Extra: map[string]float64{"flush-ms/op": 0.2},
+	}}
+	// A 3x wall-time swing on an fsync-bound benchmark is disk weather,
+	// not a regression — and its time-derived extras are skipped with it.
+	regs, missing := compareResults(base, []Result{{
+		Package: "./internal/wal", Name: "BenchmarkWALAppend/always",
+		NsPerOp: 600000, BytesPerOp: 0, AllocsPerOp: 0,
+		Extra: map[string]float64{"flush-ms/op": 0.6},
+	}}, 0.25)
+	if len(regs) != 0 || len(missing) != 0 {
+		t.Fatalf("io-bound wall-time swing flagged: %v %v", regs, missing)
+	}
+	// Allocations are deterministic regardless of disk speed and still gate.
+	regs, _ = compareResults(base, []Result{{
+		Package: "./internal/wal", Name: "BenchmarkWALAppend/always",
+		NsPerOp: 600000, BytesPerOp: 0, AllocsPerOp: 3,
+	}}, 0.25)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("io-bound alloc regression not flagged: %v", regs)
+	}
+	// Disappearing entirely is still caught.
+	if _, missing := compareResults(base, nil, 0.25); len(missing) != 1 {
+		t.Fatalf("missing io-bound benchmark not flagged: %v", missing)
+	}
+}
+
+func TestIOBoundClassification(t *testing.T) {
+	if !ioBound("./internal/wal", "BenchmarkWALAppend/always") ||
+		!ioBound("./internal/wal", "BenchmarkWALAppendParallel") {
+		t.Fatal("fsync-bound benchmarks not classified io-bound")
+	}
+	if ioBound("./internal/wal", "BenchmarkWALAppend/never") ||
+		ioBound("./internal/wal", "BenchmarkRecovery/records=1000") ||
+		ioBound("./internal/live", "BenchmarkWALAppend/always") {
+		t.Fatal("cpu-bound benchmarks misclassified io-bound")
+	}
+}
+
 func TestParseBenchOutputCustomUnits(t *testing.T) {
 	out := "BenchmarkCatchUp/snapshot-8  12  95000 ns/op  12345 updates/s  80 B/op  9 allocs/op\n"
 	results := parseBenchOutput("./p", out)

@@ -42,6 +42,20 @@ type Result struct {
 	// Units ending in "/s" are throughputs — higher is better — and the
 	// compare gate checks them in that direction.
 	Extra map[string]float64 `json:"extra,omitempty"`
+	// IOBound marks benchmarks whose timed loop is dominated by fsync:
+	// their wall time measures the machine's disk-flush latency (bimodal
+	// across runs on shared storage), not the code under test, so the
+	// compare gate skips their time-derived metrics. Allocations still
+	// gate — they are deterministic regardless of disk speed.
+	IOBound bool `json:"io_bound,omitempty"`
+}
+
+// ioBound reports whether a benchmark belongs in the fsync-dominated set
+// recorded as IOBound in the trajectory file.
+func ioBound(pkg, name string) bool {
+	return pkg == "./internal/wal" &&
+		(strings.HasPrefix(name, "BenchmarkWALAppend/always") ||
+			strings.HasPrefix(name, "BenchmarkWALAppendParallel"))
 }
 
 // File is the schema of the emitted trajectory file.
@@ -63,7 +77,7 @@ func main() {
 	benchtime := flag.String("benchtime", "300ms", "go test -benchtime value")
 	pattern := flag.String("bench", ".", "go test -bench pattern")
 	pkgs := flag.String("packages",
-		"./internal/engine,./internal/store,./internal/wire,./internal/live",
+		"./internal/engine,./internal/store,./internal/wire,./internal/live,./internal/wal",
 		"comma-separated packages to benchmark")
 	flag.Parse()
 
@@ -140,6 +154,7 @@ func parseBenchOutput(pkg, out string) []Result {
 			BytesPerOp:  -1,
 			AllocsPerOp: -1,
 		}
+		res.IOBound = ioBound(pkg, res.Name)
 		for i := 2; i+1 < len(fields); i += 2 {
 			value, unit := fields[i], fields[i+1]
 			switch unit {

@@ -6,11 +6,15 @@
 // protocol.
 //
 //	pushpulld -http 127.0.0.1:8080 -gossip 127.0.0.1:7946 \
-//	    -peers 10.0.0.2:7946,10.0.0.3:7946 -snapshot /var/lib/pushpull/snap
+//	    -peers 10.0.0.2:7946,10.0.0.3:7946 -wal-dir /var/lib/pushpull/wal
 //
-// On startup the daemon restores -snapshot if the file exists (counting
-// the restored updates for /v1/state); on SIGINT/SIGTERM it marks itself
-// unready, writes a fresh snapshot atomically, and drains. The line
+// With -wal-dir the daemon is crash-consistent: every accepted update is
+// appended to a write-ahead log (fsync policy per -fsync) before the apply
+// is acknowledged, and startup restores the latest checkpoint and replays
+// the surviving log — a kill -9 loses nothing acknowledged. Without it,
+// -snapshot provides graceful-shutdown-only persistence: restored on start
+// if the file exists (counting the restored updates for /v1/state), written
+// atomically on SIGINT/SIGTERM before draining. The line
 //
 //	pushpulld ready http=HOST:PORT gossip=HOST:PORT
 //
@@ -29,7 +33,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -38,6 +41,7 @@ import (
 	"github.com/p2pgossip/update/internal/pf"
 	"github.com/p2pgossip/update/internal/serve"
 	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/wal"
 )
 
 func main() {
@@ -67,6 +71,13 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		tombstoneTTL    = fs.Duration("tombstone-retention", 0, "how long tombstones outlive their delete before collection (0 = store default)")
 		keyTTL          = fs.Duration("key-ttl", 0, "expire live keys older than this into tombstones (0 disables)")
 		snapCatchUp     = fs.Int("snapshot-catchup", 1024, "pull deltas above this many updates are served as one snapshot frame (0 disables the size trigger)")
+
+		walDir        = fs.String("wal-dir", "", "write-ahead-log directory; enables crash-consistent durability (supersedes -snapshot restore)")
+		fsyncPolicy   = fs.String("fsync", "interval", "WAL fsync policy: always (group commit per append), interval (timer-bounded loss window), never (kernel-paced)")
+		fsyncInterval = fs.Duration("fsync-interval", wal.DefaultSyncInterval, "flush period under -fsync interval")
+		walSegment    = fs.Int64("wal-segment", wal.DefaultSegmentBytes, "WAL segment size in bytes; sealed segments are pruned by checkpoints")
+		walCheckpoint = fs.Int64("wal-checkpoint", 0, "resident WAL bytes that trigger a janitor checkpoint (0 = built-in default)")
+		strictRestore = fs.Bool("strict-restore", false, "exit instead of starting empty when the -snapshot file exists but is unusable")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -102,10 +113,36 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	reg := pushpull.NewMetrics()
 	opts = append(opts, pushpull.WithMetrics(reg))
 
-	// Restore a previous incarnation's snapshot, counting the restored
-	// updates so /v1/state can reconcile apply counters across the restart.
+	// With a WAL the checkpoint + log replay is the authoritative restore
+	// path; otherwise restore a previous incarnation's snapshot, counting the
+	// restored updates so /v1/state can reconcile apply counters across the
+	// restart.
+	var walLog *pushpull.WAL
 	restored := 0
-	if *snapshotPath != "" {
+	switch {
+	case *walDir != "":
+		if *snapshotPath != "" {
+			fmt.Fprintf(stderr, "pushpulld: -wal-dir set; ignoring -snapshot restore (still written on graceful shutdown)\n")
+		}
+		policy, err := wal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			fmt.Fprintf(stderr, "pushpulld: %v\n", err)
+			return 2
+		}
+		walLog, err = pushpull.OpenWAL(pushpull.WALOptions{
+			Dir:          *walDir,
+			Policy:       policy,
+			Interval:     *fsyncInterval,
+			SegmentBytes: *walSegment,
+			Metrics:      reg,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "pushpulld: open wal %s: %v\n", *walDir, err)
+			return 1
+		}
+		defer walLog.Close()
+		opts = append(opts, pushpull.WithWAL(walLog), pushpull.WithWALCheckpoint(*walCheckpoint))
+	case *snapshotPath != "":
 		raw, err := os.ReadFile(*snapshotPath)
 		switch {
 		case errors.Is(err, os.ErrNotExist):
@@ -115,12 +152,16 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 			return 1
 		default:
 			st, err := store.ReadSnapshot(bytes.NewReader(raw), 0)
-			if err != nil {
+			switch {
+			case err != nil && *strictRestore:
 				fmt.Fprintf(stderr, "pushpulld: snapshot %s unusable: %v\n", *snapshotPath, err)
 				return 1
+			case err != nil:
+				fmt.Fprintf(stderr, "pushpulld: snapshot %s unusable (%v); starting empty, anti-entropy will catch up\n", *snapshotPath, err)
+			default:
+				restored = st.UpdateCount()
+				opts = append(opts, pushpull.WithSnapshot(bytes.NewReader(raw)))
 			}
-			restored = st.UpdateCount()
-			opts = append(opts, pushpull.WithSnapshot(bytes.NewReader(raw)))
 		}
 	}
 
@@ -128,6 +169,13 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "pushpulld: open: %v\n", err)
 		return 1
+	}
+	if rec, ok := node.WALRecovery(); ok {
+		restored = rec.Restored()
+		if restored > 0 || rec.TruncatedBytes > 0 {
+			fmt.Fprintf(stderr, "pushpulld: wal recovery: checkpoint=%d replayed=%d duplicates=%d truncated=%dB\n",
+				rec.CheckpointRestored, rec.Replayed, rec.Duplicates, rec.TruncatedBytes)
+		}
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -192,24 +240,13 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	return code
 }
 
-// writeSnapshotAtomic writes the node's snapshot next to path and renames
-// it into place, so a crash mid-write can never leave a truncated snapshot
+// writeSnapshotAtomic writes the node's snapshot next to path, fsyncs it,
+// and renames it into place (fsyncing the directory), so a crash mid-write
+// or just after the rename can never leave a truncated or unlinked snapshot
 // where the next boot will read it.
 func writeSnapshotAtomic(node *pushpull.Node, path string) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("snapshot temp file: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if err := node.WriteSnapshot(tmp); err != nil {
-		tmp.Close()
-		return fmt.Errorf("write snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("close snapshot: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("commit snapshot: %w", err)
+	if err := wal.WriteFileAtomic(path, node.WriteSnapshot); err != nil {
+		return fmt.Errorf("snapshot %s: %w", path, err)
 	}
 	return nil
 }

@@ -136,15 +136,93 @@ func TestDaemonServesAndSnapshotsAcrossRestart(t *testing.T) {
 	}
 }
 
-func TestDaemonRejectsUnusableSnapshot(t *testing.T) {
+func TestDaemonStrictRestoreRejectsUnusableSnapshot(t *testing.T) {
 	bad := filepath.Join(t.TempDir(), "corrupt.snap")
 	if err := os.WriteFile(bad, []byte("definitely not gob"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	code := run([]string{"-http", "127.0.0.1:0", "-gossip", "127.0.0.1:0", "-snapshot", bad},
+	code := run([]string{"-http", "127.0.0.1:0", "-gossip", "127.0.0.1:0", "-snapshot", bad, "-strict-restore"},
 		io.Discard, io.Discard, nil)
 	if code != 1 {
 		t.Fatalf("exit code %d, want 1", code)
+	}
+}
+
+func TestDaemonWarnsAndStartsEmptyOnUnusableSnapshot(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "corrupt.snap")
+	if err := os.WriteFile(bad, []byte("definitely not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, shutdown := startDaemon(t, "-snapshot", bad)
+	resp, err := http.Get(base + "/v1/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state serve.State
+	err = json.NewDecoder(resp.Body).Decode(&state)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Restored != 0 || state.UpdateCount != 0 {
+		t.Fatalf("state after skipped restore = %+v", state)
+	}
+	// The graceful shutdown replaces the corrupt file with a valid (empty)
+	// snapshot.
+	if code := shutdown(); code != 0 {
+		t.Fatalf("daemon exit code %d", code)
+	}
+}
+
+func TestDaemonWALRecoversAcrossRestart(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	base, shutdown := startDaemon(t, "-wal-dir", walDir, "-fsync", "never")
+
+	req, _ := http.NewRequest(http.MethodPut, base+"/v1/kv/boot/count", bytes.NewReader([]byte("1")))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put: %d", resp.StatusCode)
+	}
+	if code := shutdown(); code != 0 {
+		t.Fatalf("daemon exit code %d", code)
+	}
+
+	// A new incarnation replays the WAL: same value, counted as restored.
+	base2, _ := startDaemon(t, "-wal-dir", walDir, "-fsync", "never")
+	resp, err = http.Get(base2 + "/v1/kv/boot/count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "1" {
+		t.Fatalf("recovered get: %d %q", resp.StatusCode, body)
+	}
+	resp, err = http.Get(base2 + "/v1/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state serve.State
+	err = json.NewDecoder(resp.Body).Decode(&state)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Restored != 1 || state.UpdateCount != 1 {
+		t.Fatalf("state after wal recovery = %+v", state)
+	}
+}
+
+func TestDaemonRejectsBadFsyncPolicy(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	code := run([]string{"-http", "127.0.0.1:0", "-gossip", "127.0.0.1:0", "-wal-dir", dir, "-fsync", "sometimes"},
+		io.Discard, io.Discard, nil)
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
 	}
 }
 

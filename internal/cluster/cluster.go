@@ -70,6 +70,16 @@ type ProcConfig struct {
 	// SnapshotPath, when non-empty, is restored on start (if the file
 	// exists) and written on graceful shutdown.
 	SnapshotPath string
+	// WALDir, when non-empty, enables the daemon's write-ahead log: every
+	// acknowledged write is on disk before the HTTP response, and a restart
+	// recovers from this directory alone (see KillAndRecover).
+	WALDir string
+	// Fsync is the WAL fsync policy (always/interval/never); "" leaves the
+	// daemon default.
+	Fsync string
+	// StrictRestore makes an unusable snapshot fatal at startup instead of
+	// a warn-and-start-empty.
+	StrictRestore bool
 	// Seed pins the daemon's randomness; 0 draws from crypto/rand.
 	Seed int64
 	// PullInterval is the anti-entropy period (0 = daemon default 30s).
@@ -97,6 +107,15 @@ func (c ProcConfig) args() []string {
 	}
 	if c.SnapshotPath != "" {
 		args = append(args, "-snapshot", c.SnapshotPath)
+	}
+	if c.WALDir != "" {
+		args = append(args, "-wal-dir", c.WALDir)
+	}
+	if c.Fsync != "" {
+		args = append(args, "-fsync", c.Fsync)
+	}
+	if c.StrictRestore {
+		args = append(args, "-strict-restore")
 	}
 	if c.Seed != 0 {
 		args = append(args, "-seed", strconv.FormatInt(c.Seed, 10))
@@ -266,6 +285,9 @@ func Launch(bin string, n int, base ProcConfig, logw io.Writer) (*Cluster, error
 		if base.SnapshotPath != "" {
 			cfg.SnapshotPath = fmt.Sprintf("%s.%d", base.SnapshotPath, i)
 		}
+		if base.WALDir != "" {
+			cfg.WALDir = fmt.Sprintf("%s.%d", base.WALDir, i)
+		}
 		p, err := StartProc(bin, cfg, logw)
 		if err != nil {
 			c.Shutdown()
@@ -319,6 +341,35 @@ func (c *Cluster) KillAndRestart(i int, snapshotPath string) error {
 	p, err := StartProc(c.Bin, cfg, c.logw)
 	if err != nil {
 		return fmt.Errorf("cluster: restart member %d: %w", i, err)
+	}
+	c.Procs[i] = p
+	c.Clients[i] = NewClient(p.HTTPAddr)
+	return nil
+}
+
+// KillAndRecover restarts member i from its on-disk write-ahead log alone:
+// no snapshot scrape, no drain — the durability fault. If the process is
+// still running it is SIGKILLed first; callers testing mid-burst kills
+// deliver the SIGKILL themselves (Procs[i].Kill) while traffic is in
+// flight, optionally corrupt the WAL tail, and then call this to bring the
+// member back on its old addresses with the full current peer list.
+func (c *Cluster) KillAndRecover(i int) error {
+	old := c.Procs[i]
+	if old.Cfg.WALDir == "" {
+		return fmt.Errorf("cluster: member %d has no WAL directory to recover from", i)
+	}
+	if !old.Exited() {
+		if err := old.Kill(); err != nil {
+			return err
+		}
+	}
+	cfg := old.Cfg
+	cfg.HTTPAddr = old.HTTPAddr
+	cfg.GossipAddr = old.GossipAddr
+	cfg.Peers = c.GossipAddrs()
+	p, err := StartProc(c.Bin, cfg, c.logw)
+	if err != nil {
+		return fmt.Errorf("cluster: recover member %d: %w", i, err)
 	}
 	c.Procs[i] = p
 	c.Clients[i] = NewClient(p.HTTPAddr)

@@ -17,7 +17,7 @@ import (
 )
 
 // godocPackages are the packages whose exported surface must be fully
-// documented. The public package is the API users program against; the four
+// documented. The public package is the API users program against; the
 // internal ones are the protocol core that every adapter builds on.
 var godocPackages = []string{
 	".",
@@ -25,6 +25,7 @@ var godocPackages = []string{
 	"internal/store",
 	"internal/live",
 	"internal/scenario",
+	"internal/wal",
 }
 
 func repoRoot(t *testing.T) string {

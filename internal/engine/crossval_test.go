@@ -141,7 +141,7 @@ func runLiveWorkload(t *testing.T, partialList bool) *dissemination {
 	// the publisher's goroutine and the run is deterministic.
 	var ids []string
 	for _, w := range crossWriters {
-		u := replicas[w].Publish(fmt.Sprintf("key-%d", w),
+		u, _ := replicas[w].Publish(fmt.Sprintf("key-%d", w),
 			[]byte(fmt.Sprintf("value-%d", w)))
 		ids = append(ids, u.ID())
 	}

@@ -53,7 +53,7 @@ func TestCrashRestartReconvergesViaPull(t *testing.T) {
 	}()
 
 	victim := replicas[2]
-	pre := replicas[0].Publish("pre", []byte("1"))
+	pre, _ := replicas[0].Publish("pre", []byte("1"))
 	eventually(t, 2*time.Second, func() bool {
 		return victim.HasUpdate(pre.ID())
 	}, "pre-crash update never reached the victim")
@@ -71,8 +71,8 @@ func TestCrashRestartReconvergesViaPull(t *testing.T) {
 	}
 
 	// Life goes on without it.
-	mid := replicas[1].Publish("mid", []byte("2"))
-	del := replicas[0].Delete("pre")
+	mid, _ := replicas[1].Publish("mid", []byte("2"))
+	del, _ := replicas[0].Delete("pre")
 	eventually(t, 2*time.Second, func() bool {
 		return replicas[0].HasUpdate(mid.ID()) && replicas[1].HasUpdate(del.ID())
 	}, "survivors did not converge while the victim was down")

@@ -352,7 +352,7 @@ func TestReplicaSnapshotRestore(t *testing.T) {
 	}
 	// Restored state came from origin "snap-src"; r2's own writes use its
 	// own origin, starting at 1.
-	u := r2.Publish("c", []byte("3"))
+	u, _ := r2.Publish("c", []byte("3"))
 	if u.Origin != "snap-dst" || u.Seq != 1 {
 		t.Fatalf("post-restore update = %s", u.ID())
 	}

@@ -14,8 +14,8 @@ func TestLiveQueryReturnsFreshest(t *testing.T) {
 
 	// Replica 1 has the old revision; replica 2 the newer one (same origin
 	// history, longer).
-	u1 := replicas[0].Publish("k", []byte("old"))
-	u2 := replicas[0].Publish("k", []byte("new"))
+	u1, _ := replicas[0].Publish("k", []byte("old"))
+	u2, _ := replicas[0].Publish("k", []byte("new"))
 	replicas[1].Store().Apply(u1)
 	replicas[2].Store().Apply(u1)
 	replicas[2].Store().Apply(u2)
@@ -39,8 +39,8 @@ func TestLiveQueryLocalVoice(t *testing.T) {
 	// downgraded by stale peers.
 	cfg := Config{Fanout: 0, PullAttempts: 0}
 	_, replicas := newCluster(t, 3, cfg)
-	u1 := replicas[0].Publish("k", []byte("old"))
-	u2 := replicas[0].Publish("k", []byte("new"))
+	u1, _ := replicas[0].Publish("k", []byte("old"))
+	u2, _ := replicas[0].Publish("k", []byte("new"))
 	replicas[1].Store().Apply(u1)
 	replicas[2].Store().Apply(u1)
 	replicas[2].Store().Apply(u2) // the querier itself is freshest

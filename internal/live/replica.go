@@ -13,6 +13,7 @@ import (
 	"github.com/p2pgossip/update/internal/pf"
 	"github.com/p2pgossip/update/internal/replicalist"
 	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/wal"
 	"github.com/p2pgossip/update/internal/wire"
 )
 
@@ -79,6 +80,15 @@ type Config struct {
 	Hooks Hooks
 	// Metrics receives protocol counters; nil disables instrumentation.
 	Metrics Metrics
+	// WAL, when non-nil, makes applied state crash-consistent: every update
+	// the store accepts (local publish and remote ingest) is appended to
+	// the log before the apply is acknowledged, and RecoverWAL restores
+	// checkpoint + surviving records on restart. The replica does not own
+	// the log's lifecycle — the caller opens and closes it.
+	WAL *wal.Log
+	// WALCheckpointBytes is the resident log size beyond which the janitor
+	// checkpoints (snapshot + prune); 0 means DefaultWALCheckpointBytes.
+	WALCheckpointBytes int64
 }
 
 // DefaultReplicaConfig returns a production-ish configuration: fanout 5,
@@ -122,6 +132,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("live: key ttl %v negative", c.KeyTTL)
 	case c.Shards < 0:
 		return fmt.Errorf("live: shards %d negative", c.Shards)
+	case c.WALCheckpointBytes < 0:
+		return fmt.Errorf("live: wal checkpoint threshold %d negative", c.WALCheckpointBytes)
 	default:
 		return nil
 	}
@@ -528,6 +540,9 @@ func (r *Replica) handle(env wire.Envelope) {
 			updates[i] = env.Updates[i].ToStore()
 			res, branches := r.st.ApplyObserved(updates[i])
 			pre[i] = engine.Applied{Res: res, Branches: branches}
+			if res != store.Duplicate {
+				_ = r.walAppend(updates[i])
+			}
 		}
 		r.run(func(e *engine.Engine[string]) {
 			e.HandlePullRespApplied(env.From, engine.Message[string]{
@@ -571,8 +586,12 @@ func (r *Replica) handle(env wire.Envelope) {
 			res, branches := r.st.ApplyObserved(u)
 			refs[i] = u.Ref()
 			r.fireApply(u, res, SourcePull, branches)
+			if res != store.Duplicate {
+				_ = r.walAppend(u)
+			}
 		}
 		r.st.AdoptFrontier(wm)
+		r.walAppendFrontier(wm)
 		// The snapshot may carry our own origin past the writer's counter
 		// (restart after disk loss); never reuse sequence numbers.
 		r.writer.Resync()
@@ -636,6 +655,12 @@ func (r *Replica) preApply(u store.Update) engine.Applied {
 		return engine.Applied{Res: store.Duplicate, Branches: r.st.BranchCount(u.Key)}
 	}
 	res, branches := r.st.ApplyObserved(u)
+	if res != store.Duplicate {
+		// Log before the engine acknowledges the push. The store apply
+		// precedes the log record, so a checkpoint snapshot taken later
+		// always covers every record already in sealed segments.
+		_ = r.walAppend(u)
+	}
 	return engine.Applied{Res: res, Branches: branches}
 }
 
@@ -769,23 +794,34 @@ func (r *Replica) RunJanitor() {
 			r.add(MetricLogCompacted, n)
 		}
 	}
+	r.maybeCheckpointWAL()
 }
 
 // Publish creates and pushes an update for key. The write itself — sequence
 // assignment, version extension, store apply — runs on the calling goroutine
 // through the self-serialising Writer and the lock-striped store; only the
-// push initiation enters the engine's critical section.
-func (r *Replica) Publish(key string, value []byte) store.Update {
+// push initiation enters the engine's critical section. With a WAL
+// configured the update is logged (and, policy permitting, fsynced) before
+// Publish returns; a logging failure returns the update with an error — the
+// write is applied locally but not durable, and is not pushed.
+func (r *Replica) Publish(key string, value []byte) (store.Update, error) {
 	u, branches := r.writer.PutObserved(key, value)
+	if err := r.walAppend(u); err != nil {
+		return u, err
+	}
 	r.run(func(e *engine.Engine[string]) { e.PublishApplied(u, branches) })
-	return u
+	return u, nil
 }
 
-// Delete creates and pushes a tombstone for key.
-func (r *Replica) Delete(key string) store.Update {
+// Delete creates and pushes a tombstone for key. The durability contract
+// matches Publish.
+func (r *Replica) Delete(key string) (store.Update, error) {
 	u, branches := r.writer.DeleteObserved(key)
+	if err := r.walAppend(u); err != nil {
+		return u, err
+	}
 	r.run(func(e *engine.Engine[string]) { e.PublishApplied(u, branches) })
-	return u
+	return u, nil
 }
 
 // Get reads the winning revision for key from the local store.

@@ -194,7 +194,7 @@ func TestSlowConsumerBoundedPending(t *testing.T) {
 	var totalTraffic int64
 	for i := 0; i < rounds; i++ {
 		for k := 0; k < keys; k++ {
-			u := pub.Publish(fmt.Sprintf("hot-%d", k), []byte(fmt.Sprintf("v%d", i)))
+			u, _ := pub.Publish(fmt.Sprintf("hot-%d", k), []byte(fmt.Sprintf("v%d", i)))
 			final[k] = u
 			totalTraffic += int64(u.SizeBytes())
 		}

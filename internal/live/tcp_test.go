@@ -226,7 +226,7 @@ func TestWireUpdateConversion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	u := r.Publish("k", []byte("v"))
+	u, _ := r.Publish("k", []byte("v"))
 
 	back := wire.FromStore(u).ToStore()
 	if back.ID() != u.ID() || string(back.Value) != string(u.Value) {

@@ -1,0 +1,265 @@
+package live
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/p2pgossip/update/internal/pf"
+	"github.com/p2pgossip/update/internal/wal"
+)
+
+// walConfig is the base protocol config the WAL tests run replicas with.
+func walConfig() Config {
+	return Config{
+		Fanout:       2,
+		NewPF:        func() pf.Func { return pf.Geometric{Base: 0.9} },
+		PartialList:  true,
+		PullAttempts: 2,
+		PullInterval: 5 * time.Millisecond,
+	}
+}
+
+// openWAL opens a log in dir with the never policy (a kill -9 in-process is
+// an abandoned handle, not lost page cache) and fails the test on error.
+func openWAL(t *testing.T, dir string, opts wal.Options) *wal.Log {
+	t.Helper()
+	opts.Dir = dir
+	if opts.Policy == 0 {
+		opts.Policy = wal.SyncNever
+	}
+	l, err := wal.Open(opts)
+	if err != nil {
+		t.Fatalf("wal.Open(%s): %v", dir, err)
+	}
+	return l
+}
+
+// TestWALReplicaRecoversAfterKill is the live-level crash drill: a replica
+// logging to a WAL applies local publishes, a delete, and remotely ingested
+// updates, is killed without any snapshot, and a fresh replica recovering
+// from the WAL directory alone converges to the exact pre-kill store.
+func TestWALReplicaRecoversAfterKill(t *testing.T) {
+	dir := t.TempDir()
+	l := openWAL(t, dir, wal.Options{})
+
+	hub := NewHub()
+	addrs := []string{"wal-0", "plain-1"}
+	tr0, err := hub.Attach(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr1, err := hub.Attach(addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := walConfig()
+	c0.Seed = 1
+	c0.WAL = l
+	r0, err := NewReplica(c0, tr0)
+	if err != nil {
+		t.Fatalf("new replica: %v", err)
+	}
+	c1 := walConfig()
+	c1.Seed = 2
+	r1, err := NewReplica(c1, tr1)
+	if err != nil {
+		t.Fatalf("new replica: %v", err)
+	}
+	r0.AddPeers(addrs...)
+	r1.AddPeers(addrs...)
+	r0.Start()
+	r1.Start()
+	defer r1.Stop()
+
+	for i := 0; i < 3; i++ {
+		if _, err := r0.Publish(fmt.Sprintf("local-%d", i), []byte("v")); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+	}
+	del, err := r0.Delete("local-0")
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	remote, _ := r1.Publish("remote", []byte("r"))
+	eventually(t, 2*time.Second, func() bool {
+		return r0.HasUpdate(remote.ID()) && r1.HasUpdate(del.ID())
+	}, "replicas never converged before the kill")
+	want := r0.Store().UpdateCount()
+
+	// kill -9: no snapshot, no graceful close — the WAL directory is all
+	// that survives.
+	r0.Stop()
+	if err := tr0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openWAL(t, dir, wal.Options{})
+	defer l2.Close()
+	tr2, err := hub.Attach(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := walConfig()
+	c2.Seed = 3
+	c2.WAL = l2
+	r2, err := NewReplica(c2, tr2)
+	if err != nil {
+		t.Fatalf("restart replica: %v", err)
+	}
+	rec, err := r2.RecoverWAL()
+	if err != nil {
+		t.Fatalf("RecoverWAL: %v", err)
+	}
+	if rec.Restored() != want {
+		t.Fatalf("recovery restored %d updates (%+v), want %d", rec.Restored(), rec, want)
+	}
+	if !r2.Store().Equal(r1.Store()) {
+		t.Fatal("recovered store diverges from the surviving replica")
+	}
+	if _, ok := r2.Get("local-0"); ok {
+		t.Fatal("tombstoned key resurrected by recovery")
+	}
+
+	// The writer resynced past the replayed log: new publishes must not
+	// collide with pre-kill sequence numbers.
+	post, err := r2.Publish("post", []byte("p"))
+	if err != nil {
+		t.Fatalf("post-recovery publish: %v", err)
+	}
+	r2.AddPeers(addrs...)
+	r2.Start()
+	defer r2.Stop()
+	eventually(t, 2*time.Second, func() bool {
+		return r1.HasUpdate(post.ID())
+	}, "post-recovery publish never propagated")
+}
+
+// TestWALDuplicateReplayAbsorbed simulates the crash window between apply
+// and append ack: the same update is logged twice, and recovery applies it
+// once, counting the second copy as a duplicate instead of failing.
+func TestWALDuplicateReplayAbsorbed(t *testing.T) {
+	dir := t.TempDir()
+	l := openWAL(t, dir, wal.Options{})
+
+	hub := NewHub()
+	tr, err := hub.Attach("dup-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := walConfig()
+	cfg.Seed = 1
+	cfg.WAL = l
+	r, err := NewReplica(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := r.Publish("k", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(u); err != nil { // the double-logged record
+		t.Fatal(err)
+	}
+	r.Stop()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openWAL(t, dir, wal.Options{})
+	defer l2.Close()
+	tr2, err := hub.Attach("dup-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := walConfig()
+	cfg2.Seed = 2
+	cfg2.WAL = l2
+	r2, err := NewReplica(cfg2, tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r2.RecoverWAL()
+	if err != nil {
+		t.Fatalf("RecoverWAL: %v", err)
+	}
+	if rec.Replayed != 1 || rec.Duplicates != 1 {
+		t.Fatalf("recovery = %+v, want 1 replayed + 1 duplicate", rec)
+	}
+	if rev, ok := r2.Get("k"); !ok || string(rev.Value) != "v" {
+		t.Fatalf("recovered value = %v %v", rev, ok)
+	}
+}
+
+// TestWALJanitorCheckpointBoundsLogAndRecovers drives the janitor's
+// checkpoint path: once the log outgrows the configured threshold a
+// maintenance pass snapshots and prunes it, and recovery from the
+// checkpointed directory still reproduces the full store.
+func TestWALJanitorCheckpointBoundsLogAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	l := openWAL(t, dir, wal.Options{SegmentBytes: 512})
+
+	hub := NewHub()
+	tr, err := hub.Attach("ckpt-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := walConfig()
+	cfg.Seed = 1
+	cfg.WAL = l
+	cfg.WALCheckpointBytes = 1 // every janitor pass checkpoints
+	r, err := NewReplica(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writes = 64
+	for i := 0; i < writes; i++ {
+		if _, err := r.Publish(fmt.Sprintf("k-%03d", i), []byte("vvvvvvvvvvvvvvvv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := l.Size()
+	r.RunJanitor()
+	if l.Segments() != 1 {
+		t.Fatalf("checkpoint left %d resident segments, want 1", l.Segments())
+	}
+	if l.Size() >= grown {
+		t.Fatalf("checkpoint did not shrink the log: %d -> %d bytes", grown, l.Size())
+	}
+	r.Stop()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openWAL(t, dir, wal.Options{SegmentBytes: 512})
+	defer l2.Close()
+	tr2, err := hub.Attach("ckpt-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := walConfig()
+	cfg2.Seed = 2
+	cfg2.WAL = l2
+	r2, err := NewReplica(cfg2, tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r2.RecoverWAL()
+	if err != nil {
+		t.Fatalf("RecoverWAL: %v", err)
+	}
+	if rec.Restored() != writes {
+		t.Fatalf("recovery restored %d (%+v), want %d", rec.Restored(), rec, writes)
+	}
+	if rec.CheckpointRestored == 0 {
+		t.Fatalf("recovery never used the checkpoint: %+v", rec)
+	}
+	for i := 0; i < writes; i++ {
+		if _, ok := r2.Get(fmt.Sprintf("k-%03d", i)); !ok {
+			t.Fatalf("key k-%03d missing after checkpointed recovery", i)
+		}
+	}
+}

@@ -1,0 +1,875 @@
+// Package wal is the crash-consistency layer of the live runtime: a
+// segmented, append-only write-ahead log for store updates and frontier
+// adoptions.
+//
+// The paper's propagation guarantees assume replicas whose applied state
+// survives failures; this package makes that true on real disks. Every
+// record is framed as
+//
+//	len uint32 | crc uint32 | body
+//
+// with a CRC32-Castagnoli checksum over the body, and the body reuses the
+// internal/wire binary codec (a logged update is the same bytes it
+// travelled as). Records accumulate in numbered segment files
+// (wal-00000001.seg, wal-00000002.seg, ...), each starting with an 8-byte
+// magic header; a segment is sealed — fsynced, closed, never written again
+// — before its successor is created, so only the newest segment can ever
+// hold a torn tail.
+//
+// Durability is a policy, not a constant: SyncAlways fsyncs before every
+// append acknowledges (group commit batches concurrent appenders under one
+// fsync), SyncInterval fsyncs on a timer bounding the loss window, and
+// SyncNever leaves flushing to the kernel. Whatever the policy, bytes are
+// written to the kernel before an append returns, so state survives process
+// kills under every policy; fsync only widens the crash types covered to
+// power loss and kernel panics.
+//
+// Open scans existing segments, truncates a torn tail (short record, bad
+// CRC, implausible length) at the last valid boundary, and freezes the
+// replay horizon: Replay visits exactly the records that were valid at Open
+// time, so appends racing recovery are never replayed into themselves.
+// Checkpoint bounds the log: it seals the active segment, writes an
+// application snapshot atomically next to the segments, and prunes every
+// segment older than the seal — recovery is then snapshot + surviving
+// segments.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/version"
+	"github.com/p2pgossip/update/internal/wire"
+)
+
+// SyncPolicy selects when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+// The fsync policies, cheapest guarantee last.
+const (
+	// SyncAlways fsyncs before every Append returns. Concurrent appenders
+	// are group-committed: one fsync covers every record written before it
+	// started, so the per-append cost amortizes under load.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a timer (Options.Interval), bounding the
+	// post-crash loss window to at most one interval of acknowledged
+	// writes. Appends return as soon as the kernel has the bytes.
+	SyncInterval
+	// SyncNever never fsyncs during appends; sealing and Close still sync.
+	// State survives process kills (the page cache persists) but not power
+	// loss.
+	SyncNever
+)
+
+// String names the policy the way the -fsync daemon flag spells it.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy maps the -fsync flag spellings to policies.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+// Metrics is the counter sink the log reports to; it matches the live
+// adapter's metrics interface so one registry serves both.
+type Metrics interface {
+	// Inc adds one to the named counter.
+	Inc(name string)
+	// Add adds delta to the named counter.
+	Add(name string, delta float64)
+}
+
+// The wal.* counter names. Everything is monotonic.
+const (
+	// MetricAppends counts records appended.
+	MetricAppends = "wal.appends"
+	// MetricAppendBytes counts bytes appended (framing included).
+	MetricAppendBytes = "wal.append_bytes"
+	// MetricAppendErrors counts appends that failed; after the first the
+	// log is wedged and every later append fails fast.
+	MetricAppendErrors = "wal.append_errors"
+	// MetricFsyncs counts fsync calls; appends ÷ fsyncs is the group-commit
+	// batching factor under SyncAlways.
+	MetricFsyncs = "wal.fsyncs"
+	// MetricRotations counts segment seals.
+	MetricRotations = "wal.rotations"
+	// MetricCheckpoints counts completed checkpoints.
+	MetricCheckpoints = "wal.checkpoints"
+	// MetricCheckpointErrors counts failed checkpoints.
+	MetricCheckpointErrors = "wal.checkpoint_errors"
+	// MetricSegmentsPruned counts segments deleted by checkpoints.
+	MetricSegmentsPruned = "wal.segments_pruned"
+	// MetricReplayed counts recovery records that grew the store
+	// (reported by the live adapter during RecoverWAL).
+	MetricReplayed = "wal.replayed"
+	// MetricReplayDuplicates counts recovery records the store already
+	// covered (reported by the live adapter during RecoverWAL).
+	MetricReplayDuplicates = "wal.replay_duplicates"
+	// MetricRecoverTruncatedBytes counts torn-tail bytes dropped at Open.
+	MetricRecoverTruncatedBytes = "wal.recover_truncated_bytes"
+	// MetricRecoverSkippedSegments counts damaged non-tail segments whose
+	// suffix was skipped at Open (salvage mode; Strict refuses instead).
+	MetricRecoverSkippedSegments = "wal.recover_skipped_segments"
+	// MetricRecoverSkippedRecords counts checksum-valid records whose body
+	// failed to decode during Replay and were skipped.
+	MetricRecoverSkippedRecords = "wal.recover_skipped_records"
+)
+
+// CounterNames lists every counter the log reports, for registry
+// preregistration and the documentation drift guard.
+var CounterNames = []string{
+	MetricAppends,
+	MetricAppendBytes,
+	MetricAppendErrors,
+	MetricFsyncs,
+	MetricRotations,
+	MetricCheckpoints,
+	MetricCheckpointErrors,
+	MetricSegmentsPruned,
+	MetricReplayed,
+	MetricReplayDuplicates,
+	MetricRecoverTruncatedBytes,
+	MetricRecoverSkippedSegments,
+	MetricRecoverSkippedRecords,
+}
+
+// Defaults for zero Options fields.
+const (
+	// DefaultSyncInterval is the SyncInterval flush cadence when
+	// Options.Interval is zero.
+	DefaultSyncInterval = 5 * time.Millisecond
+	// DefaultSegmentBytes is the rotation threshold when
+	// Options.SegmentBytes is zero.
+	DefaultSegmentBytes = 8 << 20
+	// MaxRecordBytes bounds a single record body; a length prefix above it
+	// is treated as tail damage, not an allocation request.
+	MaxRecordBytes = 64 << 20
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// crcTable is the Castagnoli table shared by append and recovery.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the directory holding segments and the checkpoint snapshot.
+	// It is created if missing. Required.
+	Dir string
+	// Policy selects the fsync policy; the zero value is SyncAlways.
+	Policy SyncPolicy
+	// Interval is the SyncInterval flush cadence; zero means
+	// DefaultSyncInterval.
+	Interval time.Duration
+	// SegmentBytes is the size at which the active segment is sealed and a
+	// new one started; zero means DefaultSegmentBytes.
+	SegmentBytes int64
+	// Strict makes Open refuse a log with damage outside the tail of the
+	// newest segment (which is always truncated — that is the expected
+	// crash artifact). Without Strict such damage is salvaged: the valid
+	// prefix of a damaged sealed segment replays, the rest is skipped and
+	// counted.
+	Strict bool
+	// Metrics receives the wal.* counters; nil discards them.
+	Metrics Metrics
+}
+
+// OpenStats reports what Open found on disk.
+type OpenStats struct {
+	// Segments is the number of segment files present after recovery.
+	Segments int
+	// Records is the number of checksum-valid records found.
+	Records int
+	// TruncatedBytes is how many torn-tail bytes were dropped.
+	TruncatedBytes int64
+	// SkippedSegments is how many damaged sealed segments were salvaged
+	// (valid prefix kept, suffix skipped). Always zero under Strict.
+	SkippedSegments int
+}
+
+// ReplayStats reports what Replay visited.
+type ReplayStats struct {
+	// Records is the number of records delivered to the callback.
+	Records int
+	// Skipped is the number of checksum-valid records whose body failed to
+	// decode and were skipped.
+	Skipped int
+}
+
+// RecordKind discriminates WAL record bodies.
+type RecordKind byte
+
+// The record kinds.
+const (
+	// RecordUpdate is a store update (wire.AppendStoreUpdate body).
+	RecordUpdate RecordKind = 1
+	// RecordFrontier is an adopted compaction frontier (wire.AppendClock
+	// body), logged when a snapshot catch-up moves the clock wholesale.
+	RecordFrontier RecordKind = 2
+)
+
+// Record is one replayed WAL entry. Kind selects which payload field is
+// meaningful.
+type Record struct {
+	// Kind discriminates the payload.
+	Kind RecordKind
+	// Update is the logged update for RecordUpdate.
+	Update store.Update
+	// Frontier is the adopted clock for RecordFrontier.
+	Frontier version.Clock
+}
+
+// replaySeg freezes a segment's replay horizon at Open time: Replay reads
+// idx only up to limit, so records appended after Open are invisible to it.
+type replaySeg struct {
+	idx   uint64
+	limit int64
+}
+
+// sealedSeg is a sealed segment and the byte size Size() accounts for it.
+type sealedSeg struct {
+	idx  uint64
+	size int64
+}
+
+// Log is a write-ahead log over one directory. All methods are safe for
+// concurrent use.
+type Log struct {
+	dir      string
+	policy   SyncPolicy
+	interval time.Duration
+	segBytes int64
+	metrics  Metrics
+	stats    OpenStats
+
+	replaySegs []replaySeg
+
+	// failed latches the first unrecoverable I/O error; once set, every
+	// append fails fast with it. Stored as error via atomic.Value.
+	failed atomic.Value
+
+	// closed flips once in Close; read lock-free by sync waiters.
+	closed atomic.Bool
+
+	// mu guards the append state: the active file, sizes, sequence
+	// numbers, and the sealed-segment list.
+	mu      sync.Mutex
+	f       *os.File
+	segIdx  uint64
+	segSize int64
+	total   int64
+	sealed  []sealedSeg // ascending by index
+	seq     uint64      // records appended this process
+	scratch []byte
+
+	// fsyncMu serializes fsync against sealing: a sealer syncs and closes
+	// the outgoing file under it, so a group-commit syncer that loses the
+	// race observes ErrClosed and knows its records are already durable.
+	fsyncMu sync.Mutex
+
+	// sm guards the group-commit state.
+	sm        sync.Mutex
+	syncCond  *sync.Cond
+	syncedSeq uint64
+	syncing   bool
+
+	stopInterval chan struct{}
+	intervalDone chan struct{}
+}
+
+// Open creates or recovers the log in o.Dir. Existing segments are scanned
+// record by record; a torn tail on the newest segment is truncated at the
+// last valid record boundary, and damage anywhere else either fails Open
+// (Strict) or is salvaged with the damage counted. The returned log is
+// ready for Append; call Replay first when recovering state.
+func Open(o Options) (*Log, error) {
+	if o.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	if o.Interval <= 0 {
+		o.Interval = DefaultSyncInterval
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.SegmentBytes < headerSize+minRecordBytes {
+		return nil, fmt.Errorf("wal: SegmentBytes %d is below the %d-byte minimum", o.SegmentBytes, headerSize+minRecordBytes)
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", o.Dir, err)
+	}
+	l := &Log{
+		dir:      o.Dir,
+		policy:   o.Policy,
+		interval: o.Interval,
+		segBytes: o.SegmentBytes,
+		metrics:  o.Metrics,
+	}
+	l.syncCond = sync.NewCond(&l.sm)
+	idxs, err := listSegments(o.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(idxs) == 0 {
+		if err := l.startSegment(1); err != nil {
+			return nil, err
+		}
+	} else if err := l.recoverSegments(idxs, o.Strict); err != nil {
+		return nil, err
+	}
+	l.stats.Segments = len(l.sealed) + 1
+	if l.stats.TruncatedBytes > 0 {
+		l.count(MetricRecoverTruncatedBytes, float64(l.stats.TruncatedBytes))
+	}
+	if l.stats.SkippedSegments > 0 {
+		l.count(MetricRecoverSkippedSegments, float64(l.stats.SkippedSegments))
+	}
+	if l.policy == SyncInterval {
+		l.stopInterval = make(chan struct{})
+		l.intervalDone = make(chan struct{})
+		go l.intervalLoop()
+	}
+	return l, nil
+}
+
+// recoverSegments scans the existing segment files in index order,
+// truncates tail damage on the newest, and reopens it for append.
+func (l *Log) recoverSegments(idxs []uint64, strict bool) error {
+	for i, idx := range idxs {
+		path := segmentPath(l.dir, idx)
+		res, err := scanSegment(path)
+		if err != nil {
+			return err
+		}
+		last := i == len(idxs)-1
+		if res.damage != "" && !last {
+			if strict {
+				return fmt.Errorf("wal: sealed segment %s: %s at offset %d", path, res.damage, res.validLen)
+			}
+			l.stats.SkippedSegments++
+		}
+		limit := res.validLen
+		l.stats.Records += res.records
+		if !last {
+			l.replaySegs = append(l.replaySegs, replaySeg{idx: idx, limit: limit})
+			l.sealed = append(l.sealed, sealedSeg{idx: idx, size: limit})
+			l.total += limit
+			continue
+		}
+		if res.damage != "" {
+			l.stats.TruncatedBytes += res.fileSize - limit
+		}
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			return fmt.Errorf("wal: reopening %s: %w", path, err)
+		}
+		if limit < headerSize {
+			// The header itself is damaged: nothing in this segment is
+			// recoverable, so rebuild it empty.
+			limit = 0
+		}
+		if limit != res.fileSize {
+			if err := f.Truncate(limit); err != nil {
+				f.Close()
+				return fmt.Errorf("wal: truncating %s to %d: %w", path, limit, err)
+			}
+		}
+		if limit == 0 {
+			if _, err := f.Write(segmentHeader()); err != nil {
+				f.Close()
+				return fmt.Errorf("wal: rewriting header of %s: %w", path, err)
+			}
+			limit = headerSize
+		} else if _, err := f.Seek(limit, io.SeekStart); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: seeking %s: %w", path, err)
+		}
+		if res.damage != "" && l.policy != SyncNever {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return fmt.Errorf("wal: syncing truncation of %s: %w", path, err)
+			}
+		}
+		l.replaySegs = append(l.replaySegs, replaySeg{idx: idx, limit: limit})
+		l.f = f
+		l.segIdx = idx
+		l.segSize = limit
+		l.total += limit
+	}
+	return nil
+}
+
+// Append logs one store update. The record is written to the kernel before
+// Append returns; under SyncAlways it is also fsynced (group-committed with
+// concurrent appenders) first. An I/O error wedges the log: the error is
+// latched and every subsequent append returns it.
+func (l *Log) Append(u store.Update) error {
+	return l.appendRecord(func(dst []byte) []byte {
+		dst = append(dst, byte(RecordUpdate))
+		return wire.AppendStoreUpdate(dst, u)
+	})
+}
+
+// AppendFrontier logs a wholesale frontier adoption (snapshot catch-up), so
+// recovery can restore the compaction watermark a snapshot installed.
+func (l *Log) AppendFrontier(c version.Clock) error {
+	return l.appendRecord(func(dst []byte) []byte {
+		dst = append(dst, byte(RecordFrontier))
+		return wire.AppendClock(dst, c)
+	})
+}
+
+// appendRecord frames, writes, and (policy permitting) syncs one record
+// whose body mk appends to dst.
+func (l *Log) appendRecord(mk func(dst []byte) []byte) error {
+	if err := l.loadFailed(); err != nil {
+		l.inc(MetricAppendErrors)
+		return err
+	}
+	l.mu.Lock()
+	if l.closed.Load() {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	b := append(l.scratch[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	b = mk(b)
+	body := b[recordHeaderSize:]
+	l.scratch = b
+	if len(body) > MaxRecordBytes {
+		l.mu.Unlock()
+		l.inc(MetricAppendErrors)
+		return fmt.Errorf("wal: record body %d bytes exceeds MaxRecordBytes", len(body))
+	}
+	putU32(b[0:4], uint32(len(body)))
+	putU32(b[4:8], crc32.Checksum(body, crcTable))
+	if l.segSize+int64(len(b)) > l.segBytes && l.segSize > headerSize {
+		if err := l.sealLocked(); err != nil {
+			l.mu.Unlock()
+			l.fail(err)
+			l.inc(MetricAppendErrors)
+			return err
+		}
+	}
+	if _, err := l.f.Write(b); err != nil {
+		l.mu.Unlock()
+		l.fail(err)
+		l.inc(MetricAppendErrors)
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	n := int64(len(b))
+	l.segSize += n
+	l.total += n
+	l.seq++
+	seq := l.seq
+	l.mu.Unlock()
+	l.inc(MetricAppends)
+	l.count(MetricAppendBytes, float64(n))
+	if l.policy == SyncAlways {
+		return l.waitSynced(seq)
+	}
+	return nil
+}
+
+// Sync forces the active segment to stable storage, returning once every
+// record appended before the call is durable. Under SyncNever, records in
+// segments sealed earlier may still be unsynced.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	seq := l.seq
+	l.mu.Unlock()
+	return l.waitSynced(seq)
+}
+
+// waitSynced blocks until syncedSeq covers seq, electing itself the syncer
+// when nobody else is mid-fsync. This is the group commit: one fsync
+// covers every record appended before it started, and the waiters all
+// observe the advanced syncedSeq.
+func (l *Log) waitSynced(seq uint64) error {
+	l.sm.Lock()
+	for {
+		if l.syncedSeq >= seq {
+			l.sm.Unlock()
+			return nil
+		}
+		if err := l.loadFailed(); err != nil {
+			l.sm.Unlock()
+			return err
+		}
+		if l.closed.Load() {
+			// Close syncs everything; if we are here with closed set and
+			// syncedSeq behind, Close's final sync failed.
+			l.sm.Unlock()
+			return ErrClosed
+		}
+		if !l.syncing {
+			l.syncing = true
+			l.sm.Unlock()
+			err := l.syncOnce()
+			l.sm.Lock()
+			l.syncing = false
+			l.syncCond.Broadcast()
+			if err != nil {
+				l.sm.Unlock()
+				return err
+			}
+			continue
+		}
+		l.syncCond.Wait()
+	}
+}
+
+// syncOnce fsyncs the active segment and advances syncedSeq to cover every
+// record appended before it started. A sealer racing us closes the file
+// under fsyncMu after syncing it, so ErrClosed here means the records are
+// already durable.
+func (l *Log) syncOnce() error {
+	l.mu.Lock()
+	f := l.f
+	seq := l.seq
+	closed := l.closed.Load()
+	l.mu.Unlock()
+	if closed || f == nil {
+		return nil
+	}
+	l.fsyncMu.Lock()
+	err := f.Sync()
+	l.fsyncMu.Unlock()
+	if err != nil {
+		if errors.Is(err, os.ErrClosed) {
+			l.advanceSynced(seq)
+			return nil
+		}
+		l.fail(err)
+		return err
+	}
+	l.inc(MetricFsyncs)
+	l.advanceSynced(seq)
+	return nil
+}
+
+// advanceSynced raises the durable sequence watermark and wakes waiters.
+func (l *Log) advanceSynced(seq uint64) {
+	l.sm.Lock()
+	if seq > l.syncedSeq {
+		l.syncedSeq = seq
+	}
+	l.syncCond.Broadcast()
+	l.sm.Unlock()
+}
+
+// intervalLoop is the SyncInterval flusher.
+func (l *Log) intervalLoop() {
+	t := time.NewTicker(l.interval)
+	defer t.Stop()
+	defer close(l.intervalDone)
+	for {
+		select {
+		case <-t.C:
+			if err := l.Sync(); err != nil {
+				// The error is latched; appenders see it. Keep ticking so a
+				// Close can still drain us.
+				continue
+			}
+		case <-l.stopInterval:
+			return
+		}
+	}
+}
+
+// sealLocked makes the active segment durable, closes it, and starts its
+// successor. Callers hold l.mu. On error the log has no active segment and
+// must be wedged by the caller.
+func (l *Log) sealLocked() error {
+	l.fsyncMu.Lock()
+	var err error
+	if l.policy != SyncNever {
+		err = l.f.Sync()
+	}
+	cerr := l.f.Close()
+	l.fsyncMu.Unlock()
+	if err == nil {
+		err = cerr
+	}
+	l.f = nil
+	if err != nil {
+		return fmt.Errorf("wal: sealing segment %d: %w", l.segIdx, err)
+	}
+	if l.policy != SyncNever {
+		l.inc(MetricFsyncs)
+		// Everything appended so far now sits in sealed, synced segments.
+		l.advanceSynced(l.seq)
+	}
+	l.sealed = append(l.sealed, sealedSeg{idx: l.segIdx, size: l.segSize})
+	l.inc(MetricRotations)
+	return l.startSegment(l.segIdx + 1)
+}
+
+// startSegment creates segment idx and makes it active. Callers hold l.mu
+// (or have exclusive access during Open).
+func (l *Log) startSegment(idx uint64) error {
+	path := segmentPath(l.dir, idx)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating %s: %w", path, err)
+	}
+	if _, err := f.Write(segmentHeader()); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing header of %s: %w", path, err)
+	}
+	if l.policy != SyncNever {
+		if err := SyncDir(l.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	l.f = f
+	l.segIdx = idx
+	l.segSize = headerSize
+	l.total += headerSize
+	return nil
+}
+
+// Checkpoint bounds the log: it seals the active segment, writes the
+// application snapshot atomically to CheckpointPath via write, and prunes
+// every segment older than the seal. The snapshot is taken after the seal,
+// so it necessarily covers every record in the pruned segments (records are
+// appended only after their store apply completed). Returns how many
+// segments were pruned.
+func (l *Log) Checkpoint(write func(io.Writer) error) (int, error) {
+	pruned, err := l.checkpoint(write)
+	if err != nil {
+		l.inc(MetricCheckpointErrors)
+		return pruned, err
+	}
+	l.inc(MetricCheckpoints)
+	return pruned, nil
+}
+
+func (l *Log) checkpoint(write func(io.Writer) error) (int, error) {
+	l.mu.Lock()
+	if l.closed.Load() {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if err := l.sealLocked(); err != nil {
+		l.mu.Unlock()
+		l.fail(err)
+		return 0, err
+	}
+	boundary := l.segIdx
+	l.mu.Unlock()
+	if err := WriteFileAtomic(l.CheckpointPath(), write); err != nil {
+		return 0, fmt.Errorf("wal: writing checkpoint: %w", err)
+	}
+	return l.pruneBefore(boundary)
+}
+
+// pruneBefore removes every sealed segment with index < boundary.
+func (l *Log) pruneBefore(boundary uint64) (int, error) {
+	l.mu.Lock()
+	var drop []sealedSeg
+	keep := l.sealed[:0]
+	for _, s := range l.sealed {
+		if s.idx < boundary {
+			drop = append(drop, s)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	l.sealed = keep
+	replayKeep := l.replaySegs[:0]
+	for _, rs := range l.replaySegs {
+		if rs.idx >= boundary {
+			replayKeep = append(replayKeep, rs)
+		}
+	}
+	l.replaySegs = replayKeep
+	l.mu.Unlock()
+	var firstErr error
+	removed := 0
+	var freed int64
+	for _, s := range drop {
+		path := segmentPath(l.dir, s.idx)
+		if err := os.Remove(path); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("wal: pruning %s: %w", path, err)
+			}
+			continue
+		}
+		freed += s.size
+		removed++
+	}
+	if removed > 0 {
+		if l.policy != SyncNever {
+			if err := SyncDir(l.dir); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		l.count(MetricSegmentsPruned, float64(removed))
+		l.mu.Lock()
+		l.total -= freed
+		l.mu.Unlock()
+	}
+	return removed, firstErr
+}
+
+// Replay streams every record that was valid on disk when Open ran, oldest
+// first, stopping at the first callback error. Records appended after Open
+// are not visited, so recovery can overlap live traffic without replaying
+// it into itself. Checksum-valid bodies that fail to decode are skipped and
+// counted, never delivered.
+func (l *Log) Replay(fn func(Record) error) (ReplayStats, error) {
+	var st ReplayStats
+	l.mu.Lock()
+	segs := append([]replaySeg(nil), l.replaySegs...)
+	l.mu.Unlock()
+	for _, seg := range segs {
+		if err := replaySegment(segmentPath(l.dir, seg.idx), seg.limit, &st, fn); err != nil {
+			return st, err
+		}
+	}
+	if st.Skipped > 0 {
+		l.count(MetricRecoverSkippedRecords, float64(st.Skipped))
+	}
+	return st, nil
+}
+
+// CheckpointPath is where Checkpoint writes the application snapshot.
+func (l *Log) CheckpointPath() string {
+	return filepath.Join(l.dir, "checkpoint.snap")
+}
+
+// OpenCheckpoint opens the checkpoint snapshot for reading. ok is false
+// when no checkpoint has ever been written.
+func (l *Log) OpenCheckpoint() (rc io.ReadCloser, ok bool, err error) {
+	f, err := os.Open(l.CheckpointPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("wal: opening checkpoint: %w", err)
+	}
+	return f, true, nil
+}
+
+// Size is the resident byte size of all segments (headers included). The
+// live adapter compares it against its checkpoint threshold.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Segments is the number of on-disk segment files (sealed plus active).
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.sealed) + 1
+}
+
+// Stats reports what Open found on disk.
+func (l *Log) Stats() OpenStats { return l.stats }
+
+// Dir is the directory the log lives in.
+func (l *Log) Dir() string { return l.dir }
+
+// Close syncs and closes the active segment. Further appends return
+// ErrClosed; Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed.Load() {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed.Store(true)
+	f := l.f
+	l.f = nil
+	seq := l.seq
+	l.mu.Unlock()
+	if l.stopInterval != nil {
+		close(l.stopInterval)
+		<-l.intervalDone
+	}
+	var err error
+	if f != nil {
+		l.fsyncMu.Lock()
+		err = f.Sync()
+		cerr := f.Close()
+		l.fsyncMu.Unlock()
+		if err == nil {
+			err = cerr
+		}
+		if err == nil {
+			l.inc(MetricFsyncs)
+		}
+	}
+	if err == nil {
+		l.advanceSynced(seq)
+	} else {
+		l.fail(err)
+		// Wake waiters so they observe the latched error.
+		l.sm.Lock()
+		l.syncCond.Broadcast()
+		l.sm.Unlock()
+	}
+	return err
+}
+
+// fail latches the first unrecoverable error and wakes sync waiters.
+func (l *Log) fail(err error) {
+	if err == nil {
+		return
+	}
+	if l.failed.Load() == nil {
+		l.failed.Store(err)
+	}
+	l.sm.Lock()
+	l.syncCond.Broadcast()
+	l.sm.Unlock()
+}
+
+// loadFailed returns the latched error, if any.
+func (l *Log) loadFailed() error {
+	err, _ := l.failed.Load().(error)
+	return err
+}
+
+func (l *Log) inc(name string) {
+	if l.metrics != nil {
+		l.metrics.Inc(name)
+	}
+}
+
+func (l *Log) count(name string, delta float64) {
+	if l.metrics != nil {
+		l.metrics.Add(name, delta)
+	}
+}

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"fmt"
+
+	"github.com/p2pgossip/update/internal/store"
+	"github.com/p2pgossip/update/internal/version"
+)
+
+// This file exports the store-form update and clock codecs for callers that
+// persist protocol state rather than ship it between peers — concretely the
+// write-ahead log in internal/wal. The encodings are byte-identical to the
+// ones updates and clocks use inside envelopes (binary.go), so a WAL record
+// body is the same bytes the update travelled as, minus the envelope
+// framing. Unlike the envelope codecs these operate on store.Update
+// directly and do not copy the value: a WAL append borrows the bytes only
+// for the duration of the write.
+
+// AppendStoreUpdate appends the canonical binary encoding of u to dst and
+// returns the extended slice. The stamp is encoded as UnixNano, matching
+// the wire form of updates inside envelopes.
+func AppendStoreUpdate(dst []byte, u store.Update) []byte {
+	dst = appendString(dst, u.Origin)
+	dst = appendUvarint(dst, u.Seq)
+	dst = appendString(dst, u.Key)
+	dst = appendBlob(dst, u.Value)
+	var flags byte
+	if u.Delete {
+		flags |= flagDelete
+	}
+	dst = append(dst, flags)
+	dst = appendHistory(dst, u.Version)
+	return appendI64(dst, u.Stamp.UnixNano())
+}
+
+// DecodeStoreUpdate decodes one update produced by AppendStoreUpdate. The
+// whole buffer must be consumed: stray trailing bytes are an error, so a
+// corrupted record cannot half-parse silently.
+func DecodeStoreUpdate(data []byte) (store.Update, error) {
+	r := binReader{data: data}
+	var u Update
+	if err := r.update(&u); err != nil {
+		return store.Update{}, err
+	}
+	if r.remaining() != 0 {
+		return store.Update{}, fmt.Errorf("wire: %d stray bytes after update", r.remaining())
+	}
+	return u.ToStore(), nil
+}
+
+// AppendClock appends the canonical binary encoding of c to dst and returns
+// the extended slice. The encoding is the one clocks use inside envelopes:
+// origins sorted, counts as uvarints.
+func AppendClock(dst []byte, c version.Clock) []byte {
+	return appendClock(dst, c)
+}
+
+// DecodeClock decodes one clock produced by AppendClock. Like
+// DecodeStoreUpdate it rejects stray trailing bytes.
+func DecodeClock(data []byte) (version.Clock, error) {
+	r := binReader{data: data}
+	c, err := r.clock(nil)
+	if err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d stray bytes after clock", r.remaining())
+	}
+	return c, nil
+}

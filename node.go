@@ -33,6 +33,8 @@ type Node struct {
 	transport live.Transport
 	metrics   *Metrics
 	watchBuf  int
+	walRec    WALRecoveryStats
+	hasWAL    bool
 
 	mu       sync.Mutex
 	closed   bool
@@ -77,6 +79,8 @@ func Open(opts ...Option) (*Node, error) {
 		return nil, ErrNoTransport
 	case o.transports > 1:
 		return fail(fmt.Errorf("%w: %d transport options given, want exactly one", ErrInvalidConfig, o.transports))
+	case o.cfg.WAL != nil && o.snapshot != nil:
+		return fail(fmt.Errorf("%w: WithWAL and WithSnapshot are mutually exclusive (the WAL checkpoint is the restore path)", ErrInvalidConfig))
 	}
 
 	n := &Node{
@@ -103,6 +107,18 @@ func Open(opts ...Option) (*Node, error) {
 	n.replica = rep
 	n.transport = tr
 
+	// Recovery runs before the store apply hook below is registered: replayed
+	// records must not tick the store.* counters (the soak's conservation
+	// invariant accounts restored updates separately).
+	if cfg.WAL != nil {
+		rec, err := rep.RecoverWAL()
+		if err != nil {
+			_ = tr.Close()
+			return nil, fmt.Errorf("%w: recover: %v", ErrWAL, err)
+		}
+		n.walRec = rec
+		n.hasWAL = true
+	}
 	if o.metrics != nil {
 		reg := o.metrics
 		rep.Store().SetApplyHook(func(_ Update, res store.ApplyResult, _ int) {
@@ -137,7 +153,11 @@ func (n *Node) Publish(ctx context.Context, key string, value []byte) (Update, e
 	if err := n.operational(ctx, "publish"); err != nil {
 		return Update{}, err
 	}
-	return n.replica.Publish(key, value), nil
+	u, err := n.replica.Publish(key, value)
+	if err != nil {
+		return u, fmt.Errorf("%w: publish: %v", ErrWAL, err)
+	}
+	return u, nil
 }
 
 // Delete creates a tombstone for key, applies it locally, and starts pushing
@@ -147,7 +167,18 @@ func (n *Node) Delete(ctx context.Context, key string) (Update, error) {
 	if err := n.operational(ctx, "delete"); err != nil {
 		return Update{}, err
 	}
-	return n.replica.Delete(key), nil
+	u, err := n.replica.Delete(key)
+	if err != nil {
+		return u, fmt.Errorf("%w: delete: %v", ErrWAL, err)
+	}
+	return u, nil
+}
+
+// WALRecovery reports what crash recovery restored when the node was opened
+// with WithWAL: checkpoint updates, replayed records, absorbed duplicates,
+// and torn-tail bytes dropped. ok is false when no WAL is configured.
+func (n *Node) WALRecovery() (stats WALRecoveryStats, ok bool) {
+	return n.walRec, n.hasWAL
 }
 
 // Get reads the winning revision for key from the local store. The boolean

@@ -7,6 +7,7 @@ import (
 
 	"github.com/p2pgossip/update/internal/live"
 	"github.com/p2pgossip/update/internal/metrics"
+	"github.com/p2pgossip/update/internal/wal"
 )
 
 // Metrics is a registry of named counters and series; pass one to Open with
@@ -56,12 +57,14 @@ const (
 // MetricNames returns the canonical list of every counter name an
 // instrumented Node can report: the live protocol counters (kept canonical
 // by live.CounterNames and its registration test), the store apply-outcome
-// counters, and the node-level watch counters. The /metrics exporter in
-// internal/serve iterates this list so the serving surface always exports
-// exactly the counters the protocol emits.
+// counters, the write-ahead-log counters, and the node-level watch
+// counters. The /metrics exporter in internal/serve iterates this list so
+// the serving surface always exports exactly the counters the protocol
+// emits.
 func MetricNames() []string {
-	names := make([]string, 0, len(live.CounterNames)+5)
+	names := make([]string, 0, len(live.CounterNames)+len(wal.CounterNames)+5)
 	names = append(names, live.CounterNames...)
+	names = append(names, wal.CounterNames...)
 	return append(names,
 		MetricStoreApplied,
 		MetricStoreDuplicate,
@@ -217,7 +220,9 @@ func WithPeers(addrs ...string) Option {
 
 // WithSnapshot restores the node's store from a snapshot (produced by
 // Node.WriteSnapshot) before the protocol starts, so the first anti-entropy
-// pull already reconciles against the restored state.
+// pull already reconciles against the restored state. Mutually exclusive
+// with WithWAL, whose checkpoint + log replay is the authoritative restore
+// path.
 func WithSnapshot(r io.Reader) Option {
 	return func(o *nodeOptions) {
 		if r == nil {
@@ -226,6 +231,60 @@ func WithSnapshot(r io.Reader) Option {
 		}
 		o.snapshot = r
 	}
+}
+
+// WAL is a write-ahead log attachable to a Node with WithWAL. Open one with
+// OpenWAL (or internal/wal.Open inside this module).
+type WAL = wal.Log
+
+// WALOptions configures OpenWAL: directory, fsync policy, segment size.
+type WALOptions = wal.Options
+
+// WALSyncPolicy selects when appended records are fsynced; see the
+// WALSync* constants.
+type WALSyncPolicy = wal.SyncPolicy
+
+// The write-ahead-log fsync policies, re-exported for WALOptions.
+const (
+	// WALSyncAlways fsyncs (group-committed) before every append returns.
+	WALSyncAlways = wal.SyncAlways
+	// WALSyncInterval fsyncs on a timer, bounding the loss window.
+	WALSyncInterval = wal.SyncInterval
+	// WALSyncNever leaves flushing to the kernel: state survives process
+	// kills but not power loss.
+	WALSyncNever = wal.SyncNever
+)
+
+// OpenWAL opens (creating or recovering) a write-ahead log for WithWAL.
+// Close it after the Node that uses it is closed.
+func OpenWAL(o WALOptions) (*WAL, error) { return wal.Open(o) }
+
+// WALRecoveryStats reports what crash recovery restored; see
+// Node.WALRecovery.
+type WALRecoveryStats = live.WALRecovery
+
+// WithWAL makes the node's applied state crash-consistent: every accepted
+// update is appended to l before the apply is acknowledged, Open restores
+// the log's checkpoint and replays surviving records before the protocol
+// starts, and the janitor checkpoints the log when it outgrows the
+// WithWALCheckpoint threshold. The node does not take ownership of l —
+// close it after the node. Mutually exclusive with WithSnapshot.
+func WithWAL(l *WAL) Option {
+	return func(o *nodeOptions) {
+		if l == nil {
+			o.fail(fmt.Errorf("%w: WithWAL(nil)", ErrInvalidConfig))
+			return
+		}
+		o.cfg.WAL = l
+	}
+}
+
+// WithWALCheckpoint sets the resident WAL size (bytes) beyond which the
+// janitor checkpoints — writes a store snapshot into the WAL directory and
+// prunes the segments it covers. 0 (the default) selects
+// live.DefaultWALCheckpointBytes.
+func WithWALCheckpoint(bytes int64) Option {
+	return func(o *nodeOptions) { o.cfg.WALCheckpointBytes = bytes }
 }
 
 // WithJanitorInterval sets the period of the background maintenance pass
